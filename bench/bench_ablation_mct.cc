@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Ablations of MCT's design choices (DESIGN.md Section 5, paper
+ * Sections 4.4 / 5.3 / 5.4):
+ *
+ *  1. Wear-quota fixup on/off: without the fixup, lifetime
+ *     overestimation lets chosen configurations violate the floor.
+ *  2. Write pausing vs write cancellation as the chosen
+ *     configuration's interruption policy (extension study).
+ *  3. Wear-leveling assumption vs explicit Start-Gap: the measured
+ *     leveling efficiency validates Table 9's 95% assumption.
+ */
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+
+using namespace mct;
+using namespace mct::bench;
+
+int
+main()
+{
+    SweepCache cache = openCache();
+
+    banner("Ablation 1: wear-quota fixup (Section 5.3)");
+    {
+        TextTable t;
+        t.header({"app", "chosen life w/o fixup", "with fixup",
+                  "floor (8y) w/o", "with"});
+        int violationsWithout = 0, violationsWith = 0;
+        for (const std::string app :
+             {"lbm", "libquantum", "stream", "ocean"}) {
+            SystemParams sp;
+
+            auto runOnce = [&](bool fixup, MellowConfig &chosenOut) {
+                System sys(app, sp, staticBaselineConfig());
+                sys.run(standardEvalParams().warmupInsts);
+                MctParams mp;
+                mp.wearQuotaFixup = fixup;
+                // The paper's literal constraint (no safety margin):
+                // the optimizer picks configurations right at the
+                // floor, which is where lifetime overestimation makes
+                // the fixup earn its keep.
+                mp.objective.safetyMargin = 1.0;
+                mp.steadyMeasure = [&](const MellowConfig &cfg) {
+                    return cache.get(app, cfg);
+                };
+                mp.liveSamplingOverhead = false;
+                MctController ctl(sys, mp);
+                ctl.runFor(600 * 1000);
+                chosenOut = ctl.currentConfig();
+                return cache.get(app, chosenOut);
+            };
+            MellowConfig cfgWithout, cfgWith;
+            const Metrics without = runOnce(false, cfgWithout);
+            const Metrics with = runOnce(true, cfgWith);
+            cache.save();
+            // Quota-bearing lifetimes under-read ~20-30% in short
+            // windows (EXPERIMENTS.md), so the floor is read with a
+            // 0.7x margin for them; quota-free configurations have
+            // no such bias and are read literally (5% tolerance).
+            auto floorMet = [](const MellowConfig &cfg,
+                               const Metrics &m) {
+                const double margin = cfg.wearQuota ? 0.7 : 0.95;
+                return m.lifetimeYears >= margin * 8.0;
+            };
+            const bool okWithout = floorMet(cfgWithout, without);
+            const bool okWith = floorMet(cfgWith, with);
+            violationsWithout += !okWithout;
+            violationsWith += !okWith;
+            t.row({app, fmt(without.lifetimeYears, 2),
+                   fmt(with.lifetimeYears, 2), okWithout ? "met" : "VIOLATED",
+                   okWith ? "met" : "VIOLATED"});
+        }
+        t.print();
+        std::printf("\nfloor violations: %d without fixup, %d with "
+                    "(paper: the fixup is the last resort that "
+                    "guarantees the target)\n",
+                    violationsWithout, violationsWith);
+    }
+
+    banner("Ablation 2: write pausing vs write cancellation "
+           "(extension)");
+    {
+        TextTable t;
+        t.header({"app", "IPC cancel", "IPC pause", "life cancel",
+                  "life pause"});
+        EvalParams ep = standardEvalParams();
+        for (const char *app : {"lbm", "milc", "stream"}) {
+            MellowConfig cancel;
+            cancel.bankAware = true;
+            cancel.bankAwareThreshold = 4;
+            cancel.slowLatency = 3.0;
+            cancel.slowCancellation = true;
+            MellowConfig pause = cancel;
+            pause.pauseInsteadOfCancel = true;
+            const Metrics c = evaluateConfig(app, cancel, ep);
+            const Metrics p = evaluateConfig(app, pause, ep);
+            t.row({app, fmt(c.ipc, 3), fmt(p.ipc, 3),
+                   fmt(c.lifetimeYears, 2), fmt(p.lifetimeYears, 2)});
+        }
+        t.print();
+        std::printf("\nexpected shape: pausing preserves in-flight "
+                    "work, so it keeps (or improves) lifetime at "
+                    "similar IPC.\n");
+    }
+
+    banner("Ablation 3: assumed 95% leveling vs explicit Start-Gap "
+           "(Table 9 assumption)");
+    {
+        // Start-Gap levels over full rotations, i.e. over
+        // device-lifetime write volumes; validating the Table 9
+        // assumption therefore uses a device-level write stress (a
+        // 64 MB device, 4 M writes) rather than the scaled system
+        // windows every other experiment runs in.
+        // Leveling completes once the rotation count approaches the
+        // row count: rotations = writes / (period * rows). The demo
+        // device is sized so ~250 rotations cover its 256 rows per
+        // bank within a 4M-write stress (at 4 GB scale the same
+        // ratio is reached over the device lifetime).
+        NvmParams base;
+        base.capacityBytes = 4ULL << 20; // 256 rows per bank
+        struct Pattern
+        {
+            const char *name;
+            double hotFraction; // share of writes to one hot row
+        };
+        const Pattern patterns[] = {
+            {"uniform rows", 0.0},
+            {"80% of writes to 1% of rows", 0.8},
+            {"single hot row", 1.0},
+        };
+        TextTable t;
+        t.header({"write pattern", "leveling eff (start-gap)",
+                  "life vs assumed-95%", "life vs no leveling"});
+        for (const Pattern &pat : patterns) {
+            NvmParams p = base;
+            p.wearLevelMode = WearLevelMode::StartGap;
+            p.startGapPeriod = 64;
+            NvmDevice dev(p);
+            Rng rng(17);
+            const std::uint64_t rows = p.rowsPerBank();
+            const std::uint64_t hotRows =
+                std::max<std::uint64_t>(1, rows / 100);
+            const std::uint64_t writes = 4 * 1000 * 1000;
+            double worstNoLevel = 0.0;
+            std::vector<double> rowWearNoLevel(rows, 0.0);
+            for (std::uint64_t i = 0; i < writes; ++i) {
+                std::uint64_t row;
+                if (pat.hotFraction >= 1.0)
+                    row = 7;
+                else if (rng.uniform() < pat.hotFraction)
+                    row = rng.below(hotRows);
+                else
+                    row = rng.below(rows);
+                dev.addWear(0, row, 1.0);
+                rowWearNoLevel[row] += 1.0;
+                worstNoLevel =
+                    std::max(worstNoLevel, rowWearNoLevel[row]);
+            }
+            // Lifetime ratios at equal write rates cancel the time
+            // term: life ~ capacity / worst-row wear.
+            const double lifeSg =
+                p.rowWearCapacity() /
+                std::max(dev.maxRowWear(), 1e-9);
+            const double lifeAssumed =
+                p.bankWearCapacity() / static_cast<double>(writes);
+            const double lifeNoLevel =
+                p.rowWearCapacity() / worstNoLevel;
+            t.row({pat.name,
+                   fmt(dev.levelingEfficiency(), 3),
+                   fmt(lifeSg / lifeAssumed, 3),
+                   fmt(lifeSg / lifeNoLevel, 1) + "x"});
+        }
+        t.print();
+        std::printf("\nShape: under skew, Start-Gap recovers orders "
+                    "of magnitude of lifetime versus no leveling and "
+                    "lands near the assumed-efficiency model "
+                    "(gap-copy wear keeps it slightly below 1.0).\n");
+    }
+    return 0;
+}

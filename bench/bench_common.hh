@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure regeneration binaries: the
+ * standard evaluation parameters (kept identical across benches so
+ * the on-disk sweep cache is shared), ideal-policy search, library
+ * assembly for the offline models, and a canned MCT runtime run.
+ */
+
+#ifndef MCT_BENCH_BENCH_COMMON_HH
+#define MCT_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "mct/config_space.hh"
+#include "mct/controller.hh"
+#include "mct/optimizer.hh"
+#include "sim/sweep_cache.hh"
+
+namespace mct::bench
+{
+
+/** Standard evaluation run lengths (every bench must agree so the
+ *  sweep cache stays coherent). */
+inline EvalParams
+standardEvalParams()
+{
+    return EvalParams{}; // 200k warm-up, 1M measured
+}
+
+/** Open the shared on-disk sweep cache (MCT_SWEEP_CACHE overrides). */
+inline SweepCache
+openCache()
+{
+    return SweepCache(standardEvalParams(), SweepCache::defaultPath());
+}
+
+/** Sweep one application over a space, with progress on stderr. */
+inline std::vector<Metrics>
+sweep(SweepCache &cache, const std::string &app,
+      const std::vector<MellowConfig> &space)
+{
+    return cache.getAll(app, space, true);
+}
+
+/** Index of the ideal configuration (brute force, paper Section 6.2). */
+inline int
+idealIndex(const std::vector<Metrics> &truth, double lifetimeTarget)
+{
+    const int i =
+        chooseOptimal(truth, LifetimeObjective{lifetimeTarget, 0.95});
+    return i >= 0 ? i : chooseMostDurable(truth);
+}
+
+/**
+ * Offline library over @p space for the offline/HBM models: one row
+ * per application except @p excludeApp; the selector picks the
+ * objective (0 IPC, 1 lifetime, 2 energy), normalized per-app by its
+ * static-baseline value so magnitudes are comparable across apps.
+ */
+inline ml::Matrix
+buildLibrary(SweepCache &cache, const std::vector<MellowConfig> &space,
+             const std::string &excludeApp, int objective,
+             bool normalize = true)
+{
+    std::vector<ml::Vector> rows;
+    for (const auto &app : workloadNames()) {
+        if (app == excludeApp)
+            continue;
+        const Metrics base = cache.get(app, staticBaselineConfig());
+        ml::Vector row;
+        row.reserve(space.size());
+        for (const auto &cfg : space) {
+            const Metrics m = cache.get(app, cfg);
+            double v = objective == 0   ? m.ipc
+                       : objective == 1 ? m.lifetimeYears
+                                        : m.energyJ;
+            if (normalize) {
+                const double b = objective == 0   ? base.ipc
+                                 : objective == 1 ? base.lifetimeYears
+                                                  : base.energyJ;
+                v /= std::max(b, 1e-12);
+            }
+            row.push_back(v);
+        }
+        rows.push_back(std::move(row));
+    }
+    return ml::Matrix::fromRows(rows);
+}
+
+/** Outcome of one live MCT run. */
+struct MctRunResult
+{
+    MellowConfig chosen;
+    Metrics chosenEvaluated; ///< fresh evaluation of the final config
+    Metrics samplingPeriod;  ///< cost during sampling (Fig 9)
+    Metrics testingPeriod;   ///< measured post-selection execution
+    double samplingInsts = 0;
+    double testingInsts = 0;
+    std::size_t decisions = 0;
+    std::uint64_t fallbacks = 0;
+};
+
+/**
+ * Run the MCT runtime on @p app and evaluate its final configuration
+ * with the standard evaluator (so MCT rows compare apples-to-apples
+ * with default/static/ideal rows).
+ */
+inline MctRunResult
+runMct(SweepCache &cache, const std::string &app, PredictorKind kind,
+       double lifetimeTarget, InstCount totalInsts = 8 * 1000 * 1000)
+{
+    SystemParams sp;
+    System sys(app, sp, staticBaselineConfig());
+    sys.run(standardEvalParams().warmupInsts);
+
+    MctParams mp;
+    mp.predictor = kind;
+    mp.objective.minLifetimeYears = lifetimeTarget;
+    // Scaled-run substitution (MctParams::steadyMeasure): sample
+    // objectives come from steady-state evaluations of the same 77
+    // configurations, standing in for the paper's long (1B-insn)
+    // sampling windows; the live cyclic sampler still runs and is
+    // charged as overhead. A lighter live schedule keeps the Fig 9
+    // sampling:testing ratio near the paper's 1:2.
+    mp.steadyMeasure = [&cache, &app](const MellowConfig &cfg) {
+        return cache.get(app, cfg);
+    };
+    mp.sampling.rounds = 6;
+    MctController ctl(sys, mp);
+    ctl.runFor(totalInsts);
+
+    MctRunResult r;
+    r.chosen = ctl.currentConfig();
+    r.chosenEvaluated = cache.get(app, r.chosen);
+    r.samplingPeriod = ctl.samplingAccum().metrics(sys);
+    r.testingPeriod = ctl.testingAccum().metrics(sys);
+    r.samplingInsts = static_cast<double>(ctl.samplingAccum().insts);
+    r.testingInsts = static_cast<double>(ctl.testingAccum().insts);
+    r.decisions = ctl.decisions().size();
+    r.fallbacks = ctl.fallbacks();
+    return r;
+}
+
+/** Print a one-line banner for a bench binary. */
+inline void
+banner(const std::string &what)
+{
+    std::printf("==============================================="
+                "=============\n%s\n"
+                "==============================================="
+                "=============\n",
+                what.c_str());
+}
+
+} // namespace mct::bench
+
+#endif // MCT_BENCH_BENCH_COMMON_HH

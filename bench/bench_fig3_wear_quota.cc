@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Figure 3: including wear quota in the learning space adds
+ * complexity and degrades prediction accuracy (paper: by 2-6%).
+ *
+ * Two experiments, following Section 4.4 / Section 6.2.3:
+ *  1. The per-configuration IPC/energy curves of lbm's feature-based
+ *     samples with and without wear quota: quota kinks the curves at
+ *     the fast end (quota triggers) while the slow end is
+ *     intrinsically slow.
+ *  2. Gradient-boosting accuracy when the training samples and test
+ *     space include quota configurations vs when they exclude them.
+ */
+
+#include "bench_common.hh"
+#include "mct/samplers.hh"
+#include "common/stats.hh"
+#include "ml/metrics.hh"
+
+using namespace mct;
+using namespace mct::bench;
+
+int
+main()
+{
+    SweepCache cache = openCache();
+    const auto noQuota = enumerateNoQuotaSpace();
+    SpaceOptions withQuotaOpts;
+    withQuotaOpts.includeQuotaOff = false; // quota-on variants only
+    const auto quotaOnly = enumerateSpace(withQuotaOpts);
+    const auto full = enumerateSpace();
+
+    banner("Figure 3 (top): lbm sample configurations with vs "
+           "without wear quota");
+    {
+        // The 28 fast/slow latency grid points of the feature-based
+        // samples, cancellation (off,off): IPC and energy with and
+        // without an 8-year quota.
+        TextTable t;
+        t.header({"fast", "slow", "IPC no-quota", "IPC quota",
+                  "J/Mi no-quota", "J/Mi quota"});
+        SpaceOptions opts;
+        for (std::size_t fi = 0; fi < opts.latencies.size(); ++fi) {
+            for (std::size_t si = fi; si < opts.latencies.size();
+                 si += 3) {
+                MellowConfig cfg;
+                cfg.fastLatency = opts.latencies[fi];
+                if (si > fi) {
+                    cfg.bankAware = true;
+                    cfg.bankAwareThreshold = 2;
+                    cfg.slowLatency = opts.latencies[si];
+                }
+                const Metrics a = cache.get("lbm", cfg);
+                cfg.wearQuota = true;
+                cfg.wearQuotaTarget = 8.0;
+                const Metrics b = cache.get("lbm", cfg);
+                t.row({fmt(cfg.fastLatency, 1),
+                       cfg.usesSlowWrites() ? fmt(cfg.slowLatency, 1)
+                                            : "-",
+                       fmt(a.ipc, 3), fmt(b.ipc, 3),
+                       fmt(a.energyJ, 4), fmt(b.energyJ, 4)});
+            }
+        }
+        t.print();
+        cache.save();
+    }
+
+    banner("Figure 3 (bottom): prediction accuracy including vs "
+           "excluding wear quota (gradient boosting, 77 samples)");
+    TextTable t;
+    t.header({"app", "obj", "acc excl quota", "acc incl quota",
+              "degradation"});
+    RunningStat degradation;
+    for (const std::string app : {"lbm", "leslie3d", "stream",
+                                  "GemsFDTD"}) {
+        const auto truthNo = sweep(cache, app, noQuota);
+        const auto truthFull = sweep(cache, app, full);
+        const Metrics base = cache.get(app, staticBaselineConfig());
+        cache.save();
+
+        for (int obj = 0; obj < 3; ++obj) {
+            auto val = [&](const Metrics &m) {
+                const double v = obj == 0   ? m.ipc
+                                 : obj == 1 ? m.lifetimeYears
+                                            : m.energyJ;
+                const double b = obj == 0   ? base.ipc
+                                 : obj == 1 ? base.lifetimeYears
+                                            : base.energyJ;
+                return v / std::max(b, 1e-12);
+            };
+
+            // Excluding quota: train 77 feature-based samples, test
+            // on the quota-free space.
+            const auto samples = featureBasedSamples(42);
+            TrainData d;
+            d.space = &noQuota;
+            d.sampleIdx = indicesInSpace(noQuota, samples);
+            d.sampleY.clear();
+            for (auto idx : d.sampleIdx)
+                d.sampleY.push_back(val(truthNo[idx]));
+            const auto predNo = predictAllConfigs(
+                PredictorKind::GradientBoosting, d);
+            ml::Vector truthVecNo;
+            for (const auto &m : truthNo)
+                truthVecNo.push_back(val(m));
+            const double accNo = ml::coefficientOfDetermination(
+                predNo, truthVecNo);
+
+            // Including quota: same latency grid but half the samples
+            // carry an 8-year quota; test on the full space.
+            std::vector<MellowConfig> mixed = samples;
+            for (std::size_t i = 0; i < mixed.size(); i += 2) {
+                mixed[i].wearQuota = true;
+                mixed[i].wearQuotaTarget = 8.0;
+            }
+            TrainData d2;
+            d2.space = &full;
+            d2.sampleIdx = indicesInSpace(full, mixed);
+            d2.sampleY.clear();
+            for (auto idx : d2.sampleIdx)
+                d2.sampleY.push_back(val(truthFull[idx]));
+            const auto predFull = predictAllConfigs(
+                PredictorKind::GradientBoosting, d2);
+            ml::Vector truthVecFull;
+            for (const auto &m : truthFull)
+                truthVecFull.push_back(val(m));
+            const double accFull = ml::coefficientOfDetermination(
+                predFull, truthVecFull);
+
+            const char *objName = obj == 0   ? "IPC"
+                                  : obj == 1 ? "lifetime"
+                                             : "energy";
+            t.row({app, objName, fmt(accNo, 3), fmt(accFull, 3),
+                   fmt(accNo - accFull, 3)});
+            degradation.push(accNo - accFull);
+        }
+    }
+    t.print();
+    std::printf("\nmean accuracy degradation when including wear "
+                "quota: %.3f (paper: 0.02-0.06)\n",
+                degradation.mean());
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Figure 4: feature selection.
+ *
+ *  (a) Linear-lasso coefficients over the 5 compressed features, per
+ *      application and objective: bank_aware and eager_writebacks
+ *      collapse to ~zero, leaving fast_latency, slow_latency, and
+ *      cancellation as the primary features.
+ *  (b) Feature-based sampling (77 samples gridding the primary
+ *      features) vs random sampling of the same size: gradient
+ *      boosting gains accuracy (paper: ~3% on average).
+ */
+
+#include "bench_common.hh"
+#include "mct/samplers.hh"
+#include "common/stats.hh"
+#include "mct/feature_selection.hh"
+#include "ml/metrics.hh"
+
+using namespace mct;
+using namespace mct::bench;
+
+int
+main()
+{
+    SweepCache cache = openCache();
+    const auto space = enumerateNoQuotaSpace();
+
+    banner("Figure 4a: linear-lasso coefficients on the 5 compressed "
+           "features (standardized targets)");
+    TextTable t;
+    std::vector<std::string> head = {"app", "objective"};
+    for (const auto &n : compressedFeatureNames())
+        head.push_back(n);
+    t.header(head);
+
+    RunningStat primaryMag, secondaryMag;
+    int primaryCorrect = 0, appCount = 0;
+    for (const auto &app : workloadNames()) {
+        const auto truth = sweep(cache, app, space);
+        cache.save();
+        const FeatureSelectionResult res = selectFeatures(space, truth);
+        const char *objNames[3] = {"IPC", "lifetime", "energy"};
+        for (int obj = 0; obj < 3; ++obj) {
+            std::vector<std::string> row = {app, objNames[obj]};
+            for (std::size_t f = 0; f < compressedDims; ++f) {
+                row.push_back(fmt(res.coefficients[obj][f], 3));
+                const double mag =
+                    std::abs(res.coefficients[obj][f]);
+                if (f == 0 || f == 1)
+                    secondaryMag.push(mag);
+                else
+                    primaryMag.push(mag);
+            }
+            t.row(row);
+        }
+        ++appCount;
+        // Does the survivor set contain only primary features?
+        bool onlyPrimary = true;
+        for (auto f : res.primary)
+            onlyPrimary &= f >= 2;
+        primaryCorrect += onlyPrimary;
+    }
+    t.print();
+    std::printf("\nmean |coef| of primary features "
+                "(fast/slow/cancel): %.3f\n",
+                primaryMag.mean());
+    std::printf("mean |coef| of bank_aware/eager features: %.3f "
+                "(paper Fig 4a: near zero)\n",
+                secondaryMag.mean());
+    std::printf("apps where lasso keeps only the primary features: "
+                "%d/%d\n",
+                primaryCorrect, appCount);
+
+    banner("Figure 4b: feature-based vs random sampling "
+           "(gradient boosting, 77 samples)");
+    TextTable t2;
+    t2.header({"app", "obj", "rand@77", "feat@77", "gain@77",
+               "rand@39", "feat@39", "gain@39"});
+    RunningStat gain, gainSmall;
+    for (const auto &app : workloadNames()) {
+        const auto truth = sweep(cache, app, space);
+        const Metrics base = cache.get(app, staticBaselineConfig());
+        for (int obj = 0; obj < 3; ++obj) {
+            auto val = [&](const Metrics &m) {
+                const double v = obj == 0   ? m.ipc
+                                 : obj == 1 ? m.lifetimeYears
+                                            : m.energyJ;
+                const double b = obj == 0   ? base.ipc
+                                 : obj == 1 ? base.lifetimeYears
+                                            : base.energyJ;
+                return v / std::max(b, 1e-12);
+            };
+            ml::Vector truthVec;
+            for (const auto &m : truth)
+                truthVec.push_back(val(m));
+
+            auto accuracyOf = [&](const std::vector<MellowConfig>
+                                      &samples) {
+                TrainData d;
+                d.space = &space;
+                d.sampleIdx = indicesInSpace(space, samples);
+                for (auto idx : d.sampleIdx)
+                    d.sampleY.push_back(truthVec[idx]);
+                const auto pred = predictAllConfigs(
+                    PredictorKind::GradientBoosting, d);
+                return ml::coefficientOfDetermination(pred, truthVec);
+            };
+
+            // Average random sampling over a few seeds for fairness.
+            RunningStat randAcc;
+            for (std::uint64_t seed : {11u, 22u, 33u})
+                randAcc.push(
+                    accuracyOf(randomSamples(space, 77, seed)));
+            const double featAcc =
+                accuracyOf(featureBasedSamples(42));
+
+            // Tighter budget: every 2nd grid sample (39) vs random
+            // 39, to probe below the 77-sample operating point.
+            const auto full = featureBasedSamples(42);
+            std::vector<MellowConfig> strided;
+            for (std::size_t k = 0; k < full.size(); k += 2)
+                strided.push_back(full[k]);
+            RunningStat randSmall;
+            for (std::uint64_t seed : {44u, 55u, 66u})
+                randSmall.push(accuracyOf(
+                    randomSamples(space, strided.size(), seed)));
+            const double featSmall = accuracyOf(strided);
+
+            const char *objNames[3] = {"IPC", "lifetime", "energy"};
+            t2.row({app, objNames[obj], fmt(randAcc.mean(), 3),
+                    fmt(featAcc, 3), fmt(featAcc - randAcc.mean(), 3),
+                    fmt(randSmall.mean(), 3), fmt(featSmall, 3),
+                    fmt(featSmall - randSmall.mean(), 3)});
+            gain.push(featAcc - randAcc.mean());
+            gainSmall.push(featSmall - randSmall.mean());
+        }
+    }
+    t2.print();
+    std::printf("\nmean gain from feature-based sampling @77: %.3f "
+                "(paper: ~0.03)\n",
+                gain.mean());
+    std::printf("mean gain @39 samples: %.3f\n", gainSmall.mean());
+    std::printf("\nDeviation from the paper: on this substrate both "
+                "sampling schemes reach the\nmodel accuracy ceiling "
+                "(R2 ~0.95) at 77 samples and the feature-guided "
+                "grid's\n+3%% advantage does not replicate "
+                "(EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 6: phase detection on ocean. The memory workload (demand
+ * reads + writebacks) is monitored per window of I instructions; the
+ * Student's-t score against the window history spikes at ocean's
+ * coarse phase boundaries, while fine-grained bursts stay below the
+ * threshold. Prints the workload/score series and the detected phase
+ * positions, plus a false-positive check on a phase-free workload.
+ */
+
+#include "bench_common.hh"
+#include "mct/phase_detector.hh"
+
+using namespace mct;
+using namespace mct::bench;
+
+int
+main()
+{
+    banner("Figure 6: phase detection (ocean, threshold 15)");
+
+    SystemParams sp;
+    System sys("ocean", sp, staticBaselineConfig());
+    sys.run(100 * 1000); // warm-up
+
+    const InstCount window = 20 * 1000; // I, scaled (paper: 1M)
+    PhaseDetectorParams pp;             // threshold 15, 100-window
+    PhaseDetector det(pp);
+
+    std::printf("%-8s %-12s %-10s %s\n", "window", "mem-workload",
+                "t-score", "phase?");
+    std::vector<std::size_t> phaseAt;
+    SysSnapshot prev = sys.snapshot();
+    for (std::size_t w = 0; w < 400; ++w) {
+        sys.run(window);
+        const SysSnapshot cur = sys.snapshot();
+        const CoreStats d = cur.core.delta(prev.core);
+        prev = cur;
+        const double workload =
+            static_cast<double>(d.memReads + d.memWrites);
+        const bool phase = det.push(workload);
+        if (phase)
+            phaseAt.push_back(w);
+        // Print a decimated series plus every detection row.
+        if (w % 10 == 0 || phase) {
+            std::printf("%-8zu %-12.0f %-10.2f %s\n", w, workload,
+                        det.lastScore(), phase ? "<== NEW PHASE" : "");
+        }
+    }
+
+    std::printf("\ndetected phases: %zu at windows [",
+                phaseAt.size());
+    for (std::size_t i = 0; i < phaseAt.size(); ++i)
+        std::printf("%s%zu", i ? ", " : "", phaseAt[i]);
+    std::printf("]\n");
+    std::printf("ocean cycles 4 program phases every ~105 windows at "
+                "this scale;\nthe detector should fire a few times "
+                "per cycle boundary, not per burst.\n");
+
+    // Control: stream has no coarse phases; the detector must stay
+    // quiet on it.
+    System flat("stream", sp, staticBaselineConfig());
+    flat.run(1200 * 1000); // past the cold LLC-fill transition
+    PhaseDetector det2(pp);
+    std::size_t falsePositives = 0;
+    SysSnapshot fprev = flat.snapshot();
+    for (std::size_t w = 0; w < 200; ++w) {
+        flat.run(window);
+        const SysSnapshot cur = flat.snapshot();
+        const CoreStats d = cur.core.delta(fprev.core);
+        fprev = cur;
+        falsePositives += det2.push(
+            static_cast<double>(d.memReads + d.memWrites));
+    }
+    std::printf("\ncontrol (stream, no phases): %zu detections in "
+                "200 windows (expect 0)\n",
+                falsePositives);
+    return 0;
+}

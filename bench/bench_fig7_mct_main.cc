@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 7 + Table 10: the headline result. Per application, under
+ * the default objective (8-year lifetime floor, IPC within 95% of
+ * max, minimal energy):
+ *
+ *   default       no mellow-writes techniques;
+ *   static        the best static policy from prior work;
+ *   MCT (gbt)     the runtime with gradient boosting;
+ *   MCT (q-lasso) the runtime with quadratic lasso;
+ *   ideal         brute force over the full space.
+ *
+ * Expected shapes (paper): default is fast/cheap but misses the
+ * lifetime floor almost everywhere; static meets it but trails ideal
+ * badly on several apps (lbm, leslie3d, libquantum, stream); MCT
+ * lands between static and ideal on IPC and energy (paper: +9.24%
+ * IPC, -7.95% energy vs static; 94.49% of ideal IPC with +5.3%
+ * energy, geomean).
+ */
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+#include "mct/config.hh"
+
+using namespace mct;
+using namespace mct::bench;
+
+int
+main()
+{
+    banner("Figure 7: MCT vs baseline systems (8-year objective)");
+
+    SweepCache cache = openCache();
+    const auto space = enumerateSpace();
+
+    TextTable t;
+    t.header({"app", "IPC dflt", "IPC stat", "IPC gbt", "IPC qls",
+              "IPC ideal", "life dflt", "life stat", "life gbt",
+              "life qls", "life ideal", "J/Mi stat", "J/Mi gbt",
+              "J/Mi qls", "J/Mi ideal"});
+
+    std::vector<double> gbtOverStaticIpc, gbtOverStaticEnergy;
+    std::vector<double> gbtOverIdealIpc, gbtOverIdealEnergy;
+    std::vector<double> qlsOverStaticIpc, qlsOverStaticEnergy;
+    std::vector<double> qlsOverIdealIpc, qlsOverIdealEnergy;
+    std::vector<std::pair<std::string, MellowConfig>> chosenGbt;
+
+    for (const auto &app : workloadNames()) {
+        const Metrics dflt = cache.get(app, defaultConfig());
+        const Metrics stat = cache.get(app, staticBaselineConfig());
+        const auto truth = sweep(cache, app, space);
+        const Metrics ideal =
+            truth[static_cast<std::size_t>(idealIndex(truth, 8.0))];
+        cache.save();
+
+        const MctRunResult gbt = runMct(
+            cache, app, PredictorKind::GradientBoosting, 8.0);
+        const MctRunResult qls = runMct(
+            cache, app, PredictorKind::QuadraticLasso, 8.0);
+        cache.save();
+        chosenGbt.emplace_back(app, gbt.chosen);
+
+        t.row({app, fmt(dflt.ipc, 3), fmt(stat.ipc, 3),
+               fmt(gbt.chosenEvaluated.ipc, 3),
+               fmt(qls.chosenEvaluated.ipc, 3), fmt(ideal.ipc, 3),
+               fmt(dflt.lifetimeYears, 1), fmt(stat.lifetimeYears, 1),
+               fmt(gbt.chosenEvaluated.lifetimeYears, 1),
+               fmt(qls.chosenEvaluated.lifetimeYears, 1),
+               fmt(ideal.lifetimeYears, 1), fmt(stat.energyJ, 4),
+               fmt(gbt.chosenEvaluated.energyJ, 4),
+               fmt(qls.chosenEvaluated.energyJ, 4),
+               fmt(ideal.energyJ, 4)});
+
+        gbtOverStaticIpc.push_back(gbt.chosenEvaluated.ipc / stat.ipc);
+        gbtOverStaticEnergy.push_back(gbt.chosenEvaluated.energyJ /
+                                      stat.energyJ);
+        gbtOverIdealIpc.push_back(gbt.chosenEvaluated.ipc / ideal.ipc);
+        gbtOverIdealEnergy.push_back(gbt.chosenEvaluated.energyJ /
+                                     ideal.energyJ);
+        qlsOverStaticIpc.push_back(qls.chosenEvaluated.ipc / stat.ipc);
+        qlsOverStaticEnergy.push_back(qls.chosenEvaluated.energyJ /
+                                      stat.energyJ);
+        qlsOverIdealIpc.push_back(qls.chosenEvaluated.ipc / ideal.ipc);
+        qlsOverIdealEnergy.push_back(qls.chosenEvaluated.energyJ /
+                                     ideal.energyJ);
+    }
+    t.print();
+
+    std::printf("\ngeomean summary (paper's headline numbers in "
+                "parentheses):\n");
+    std::printf("  MCT(gbt) IPC vs static:      %+.2f%%   (+9.24%%)\n",
+                (geomean(gbtOverStaticIpc) - 1.0) * 100);
+    std::printf("  MCT(gbt) energy vs static:   %+.2f%%   (-7.95%%)\n",
+                (geomean(gbtOverStaticEnergy) - 1.0) * 100);
+    std::printf("  MCT(gbt) IPC of ideal:       %.2f%%    (94.49%%)\n",
+                geomean(gbtOverIdealIpc) * 100);
+    std::printf("  MCT(gbt) energy vs ideal:    %+.2f%%   (+5.3%%)\n",
+                (geomean(gbtOverIdealEnergy) - 1.0) * 100);
+    std::printf("  MCT(q-lasso) IPC vs static:  %+.2f%%   (+6%%)\n",
+                (geomean(qlsOverStaticIpc) - 1.0) * 100);
+    std::printf("  MCT(q-lasso) energy vs stat: %+.2f%%   (-5.3%%)\n",
+                (geomean(qlsOverStaticEnergy) - 1.0) * 100);
+    std::printf("  MCT(q-lasso) IPC of ideal:   %.2f%%    (91.69%%)\n",
+                geomean(qlsOverIdealIpc) * 100);
+
+    banner("Table 10: optimal configurations selected by MCT "
+           "(gradient boosting)");
+    TextTable t10;
+    auto header = configTableHeader();
+    header.insert(header.begin(), "app");
+    t10.header(header);
+    {
+        auto row = configTableRow(staticBaselineConfig());
+        row.insert(row.begin(), "static");
+        t10.row(row);
+    }
+    for (const auto &[app, cfg] : chosenGbt) {
+        auto row = configTableRow(cfg);
+        row.insert(row.begin(), app);
+        t10.row(row);
+    }
+    t10.print();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 8: sensitivity to the lifetime target. For targets of 4, 6,
+ * 8, and 10 years, compare the static baseline, MCT with gradient
+ * boosting, and the ideal policy on four representative applications.
+ * Expected shape (paper): higher targets push the chosen
+ * configurations toward lower IPC and higher energy; MCT tracks the
+ * trend and stays between static and ideal, with the wear-quota
+ * fixup catching lifetime overestimates.
+ */
+
+#include "bench_common.hh"
+#include "mct/config.hh"
+
+using namespace mct;
+using namespace mct::bench;
+
+int
+main()
+{
+    banner("Figure 8: sensitivity to lifetime targets (4-10 years)");
+
+    SweepCache cache = openCache();
+    const auto space = enumerateSpace();
+    const std::vector<std::string> apps = {"lbm", "leslie3d",
+                                           "GemsFDTD", "stream"};
+
+    for (const auto &app : apps) {
+        const auto truth = sweep(cache, app, space);
+        const Metrics stat = cache.get(app, staticBaselineConfig());
+        cache.save();
+
+        std::printf("\n-- %s (static: IPC %.3f, life %.1f y, "
+                    "%.4f J/Mi) --\n",
+                    app.c_str(), stat.ipc, stat.lifetimeYears,
+                    stat.energyJ);
+        TextTable t;
+        t.header({"target", "IPC mct", "IPC ideal", "life mct",
+                  "life ideal", "J/Mi mct", "J/Mi ideal",
+                  "mct config"});
+        for (double target : {4.0, 6.0, 8.0, 10.0}) {
+            const Metrics ideal = truth[static_cast<std::size_t>(
+                idealIndex(truth, target))];
+            const MctRunResult mct = runMct(
+                cache, app, PredictorKind::GradientBoosting, target);
+            cache.save();
+            t.row({fmt(target, 0) + "y",
+                   fmt(mct.chosenEvaluated.ipc, 3), fmt(ideal.ipc, 3),
+                   fmt(mct.chosenEvaluated.lifetimeYears, 1),
+                   fmt(ideal.lifetimeYears, 1),
+                   fmt(mct.chosenEvaluated.energyJ, 4),
+                   fmt(ideal.energyJ, 4),
+                   toString(mct.chosen)});
+        }
+        t.print();
+    }
+
+    std::printf("\nExpected shape: ideal IPC is non-increasing in the "
+                "target; MCT follows with\nsmall deviations "
+                "(discontinuities also appear in the paper, Section "
+                "6.2.2),\nand the wear-quota fixup keeps measured "
+                "lifetime near or above each target.\n");
+    return 0;
+}

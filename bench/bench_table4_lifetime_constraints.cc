@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 4: ideal configurations of leslie3d under different minimal
+ * lifetime constraints (4 / 6 / 8 / 10 years). Like the paper, this
+ * table explores the wear-quota-free subspace; the ideal knobs shift
+ * toward slower writes as the lifetime floor rises.
+ */
+
+#include "bench_common.hh"
+#include "mct/config.hh"
+
+using namespace mct;
+using namespace mct::bench;
+
+int
+main()
+{
+    banner("Table 4: Ideal configurations vs minimal lifetime "
+           "constraint (leslie3d, no wear quota)");
+
+    SweepCache cache = openCache();
+    const auto space = enumerateNoQuotaSpace();
+    const auto truth = sweep(cache, "leslie3d", space);
+
+    TextTable t;
+    auto header = configTableHeader();
+    header.insert(header.begin(), "target");
+    header.push_back("IPC");
+    header.push_back("life (y)");
+    header.push_back("J/Minst");
+    t.header(header);
+
+    for (double target : {4.0, 6.0, 8.0, 10.0}) {
+        const int idx = idealIndex(truth, target);
+        auto row = configTableRow(space[static_cast<std::size_t>(idx)]);
+        row.insert(row.begin(), fmt(target, 1) + " years");
+        const Metrics &m = truth[static_cast<std::size_t>(idx)];
+        row.push_back(fmt(m.ipc, 3));
+        row.push_back(fmt(m.lifetimeYears, 2));
+        row.push_back(fmt(m.energyJ, 4));
+        t.row(row);
+    }
+    t.print();
+    cache.save();
+
+    std::printf("\nExpected shape (paper Table 4): higher targets "
+                "push the ideal toward\nslower slow writes and lower "
+                "aggressiveness; the chosen configurations differ\n"
+                "across targets.\n");
+    return 0;
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Table 7 + Figure 2: comparison of the predictor family.
+ *
+ *  - Table 7: offline/online data requirements and measured
+ *    computation overhead (fit + predict-all at 77 samples).
+ *  - Figure 2: convergence — coefficient of determination (Eq. 3) on
+ *    the full learning space vs number of random training samples,
+ *    averaged over the 10 applications, per objective.
+ *
+ * Expected shapes (paper): gradient boosting and quadratic-lasso are
+ * the most accurate with low cost; quadratic without regularization
+ * converges slowly (65 features vs few samples); linear trails the
+ * quadratic models; offline averaging is weakest; the hierarchical
+ * Bayesian model is accurate on lifetime (high app correlation) but
+ * by far the most expensive.
+ */
+
+#include <array>
+#include <chrono>
+#include <map>
+
+#include "bench_common.hh"
+#include "mct/samplers.hh"
+#include "common/stats.hh"
+#include "ml/metrics.hh"
+
+using namespace mct;
+using namespace mct::bench;
+
+namespace
+{
+
+struct ObjData
+{
+    ml::Vector truth;   // normalized objective over the space
+    double base = 1.0;
+};
+
+double
+objectiveOf(const Metrics &m, int obj)
+{
+    return obj == 0 ? m.ipc : obj == 1 ? m.lifetimeYears : m.energyJ;
+}
+
+} // namespace
+
+int
+main()
+{
+    SweepCache cache = openCache();
+    const auto space = enumerateNoQuotaSpace();
+    const auto &apps = workloadNames();
+    const char *objNames[3] = {"IPC", "lifetime", "energy"};
+
+    // Ground truth per app per objective, normalized by the static
+    // baseline (Section 4.4 normalization).
+    std::map<std::string, std::array<ObjData, 3>> truth;
+    for (const auto &app : apps) {
+        const auto metrics = sweep(cache, app, space);
+        const Metrics base = cache.get(app, staticBaselineConfig());
+        for (int obj = 0; obj < 3; ++obj) {
+            ObjData d;
+            d.base = std::max(objectiveOf(base, obj), 1e-12);
+            d.truth.reserve(space.size());
+            for (const auto &m : metrics)
+                d.truth.push_back(objectiveOf(m, obj) / d.base);
+            truth[app][obj] = std::move(d);
+        }
+        cache.save();
+    }
+
+    // Offline libraries per (excluded app, objective).
+    std::map<std::string, std::array<ml::Matrix, 3>> libs;
+    for (const auto &app : apps) {
+        for (int obj = 0; obj < 3; ++obj)
+            libs[app][obj] = buildLibrary(cache, space, app, obj);
+    }
+
+    const std::vector<std::size_t> sampleCounts = {10, 20, 40, 77,
+                                                   120, 200};
+    const auto &kinds = allPredictorKinds();
+
+    // accuracy[kind][objective][countIdx] averaged over apps.
+    std::map<PredictorKind,
+             std::array<std::vector<double>, 3>> accuracy;
+    std::map<PredictorKind, double> overheadMs;
+
+    for (auto kind : kinds) {
+        for (int obj = 0; obj < 3; ++obj)
+            accuracy[kind][obj].assign(sampleCounts.size(), 0.0);
+
+        for (std::size_t ci = 0; ci < sampleCounts.size(); ++ci) {
+            const std::size_t n = sampleCounts[ci];
+            for (int obj = 0; obj < 3; ++obj) {
+                RunningStat acc;
+                for (const auto &app : apps) {
+                    const auto samples = randomSamples(
+                        space, n, 1000 + 7 * n);
+                    TrainData data;
+                    data.space = &space;
+                    data.sampleIdx = indicesInSpace(space, samples);
+                    data.sampleY.clear();
+                    for (auto idx : data.sampleIdx)
+                        data.sampleY.push_back(
+                            truth[app][obj].truth[idx]);
+                    data.library = &libs[app][obj];
+
+                    const auto t0 =
+                        std::chrono::steady_clock::now();
+                    const ml::Vector pred =
+                        predictAllConfigs(kind, data);
+                    const auto t1 =
+                        std::chrono::steady_clock::now();
+                    if (n == 77 && obj == 0) {
+                        overheadMs[kind] +=
+                            std::chrono::duration<double, std::milli>(
+                                t1 - t0)
+                                .count() /
+                            static_cast<double>(apps.size());
+                    }
+                    acc.push(ml::coefficientOfDetermination(
+                        pred, truth[app][obj].truth));
+                }
+                accuracy[kind][obj][ci] = acc.mean();
+            }
+        }
+    }
+
+    banner("Table 7: Comparison of different models");
+    {
+        TextTable t;
+        t.header({"predictor", "needs offline?", "needs online?",
+                  "overhead (ms, fit+predict @77)"});
+        for (auto kind : kinds) {
+            t.row({toString(kind),
+                   needsOfflineData(kind) ? "Yes" : "No",
+                   kind == PredictorKind::Offline ? "No" : "Yes",
+                   fmt(overheadMs[kind], 2)});
+        }
+        t.print();
+    }
+
+    banner("Figure 2: convergence (Eq. 3 accuracy vs random samples, "
+           "mean over 10 apps)");
+    for (int obj = 0; obj < 3; ++obj) {
+        std::printf("\n-- objective: %s --\n", objNames[obj]);
+        TextTable t;
+        std::vector<std::string> head = {"predictor"};
+        for (auto n : sampleCounts)
+            head.push_back("n=" + std::to_string(n));
+        t.header(head);
+        for (auto kind : kinds) {
+            std::vector<std::string> row = {toString(kind)};
+            for (std::size_t ci = 0; ci < sampleCounts.size(); ++ci)
+                row.push_back(fmt(accuracy[kind][obj][ci], 3));
+            t.row(row);
+        }
+        t.print();
+    }
+
+    // Headline checks from the paper's narrative.
+    const auto at77 = [&](PredictorKind k, int obj) {
+        // Index of 77 in sampleCounts.
+        std::size_t ci = 0;
+        for (std::size_t i = 0; i < sampleCounts.size(); ++i)
+            if (sampleCounts[i] == 77)
+                ci = i;
+        return accuracy[k][obj][ci];
+    };
+    std::printf("\nchecks (paper narrative):\n");
+    std::printf("  gbt >= linear on IPC @77:        %s "
+                "(%.3f vs %.3f)\n",
+                at77(PredictorKind::GradientBoosting, 0) >=
+                        at77(PredictorKind::Linear, 0)
+                    ? "yes"
+                    : "NO",
+                at77(PredictorKind::GradientBoosting, 0),
+                at77(PredictorKind::Linear, 0));
+    std::printf("  quad-lasso >= quad (few samples): %s "
+                "(%.3f vs %.3f @n=20)\n",
+                accuracy[PredictorKind::QuadraticLasso][0][1] >=
+                        accuracy[PredictorKind::Quadratic][0][1]
+                    ? "yes"
+                    : "NO",
+                accuracy[PredictorKind::QuadraticLasso][0][1],
+                accuracy[PredictorKind::Quadratic][0][1]);
+    std::printf("  offline weakest on IPC @77:       %s (%.3f)\n",
+                at77(PredictorKind::Offline, 0) <=
+                        at77(PredictorKind::GradientBoosting, 0)
+                    ? "yes"
+                    : "NO",
+                at77(PredictorKind::Offline, 0));
+    std::printf("  HBM strong on lifetime @77:       %.3f\n",
+                at77(PredictorKind::HierBayes, 1));
+    return 0;
+}

@@ -1,0 +1,29 @@
+# One binary per paper table/figure, plus ablations and Google-
+# Benchmark microbenchmarks. Included from the top-level CMakeLists
+# (not add_subdirectory) so ${CMAKE_BINARY_DIR}/bench holds ONLY the
+# bench executables: the canonical run command is
+#     for b in build/bench/*; do $b; done
+# and must not trip over CMake bookkeeping files.
+
+function(mct_add_bench name)
+    add_executable(${name} ${CMAKE_CURRENT_LIST_DIR}/${name}.cc)
+    target_link_libraries(${name} PRIVATE mct_core benchmark::benchmark)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+mct_add_bench(bench_table1_tradeoffs)
+mct_add_bench(bench_table2_config_space)
+mct_add_bench(bench_table4_lifetime_constraints)
+mct_add_bench(bench_fig1_ideal_configs)
+mct_add_bench(bench_table6_effective_features)
+mct_add_bench(bench_table7_fig2_models)
+mct_add_bench(bench_fig3_wear_quota)
+mct_add_bench(bench_fig4_feature_selection)
+mct_add_bench(bench_fig6_phase_detection)
+mct_add_bench(bench_fig7_mct_main)
+mct_add_bench(bench_fig8_lifetime_sensitivity)
+mct_add_bench(bench_fig9_sampling_overhead)
+mct_add_bench(bench_fig10_multiprogram)
+mct_add_bench(bench_ablation_mct)
+mct_add_bench(bench_micro_perf)

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Embedded-system objective example (paper Section 3.2): enforce a
+ * constraint on energy while maximizing performance and lifetime.
+ * The same predicted (IPC, lifetime, energy) triples feed a
+ * different selector — `chooseForEnergyCap` — showing that MCT's
+ * objectives are user-defined functions, not baked into the
+ * framework.
+ *
+ * Usage: embedded_budget [app] [energy_cap_J_per_Minst]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mct/config.hh"
+#include "mct/config_space.hh"
+#include "mct/optimizer.hh"
+#include "mct/predictors.hh"
+#include "mct/samplers.hh"
+#include "sim/evaluator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mct;
+
+    const std::string app = argc > 1 ? argv[1] : "milc";
+    if (!isWorkloadName(app)) {
+        std::fprintf(stderr, "unknown application '%s'\n", app.c_str());
+        return 1;
+    }
+
+    // Measure the 77 feature-guided samples and the baseline.
+    EvalParams ep;
+    const auto space = enumerateNoQuotaSpace();
+    const auto samples = featureBasedSamples(42);
+    const auto idx = indicesInSpace(space, samples);
+    const Metrics base =
+        evaluateConfig(app, staticBaselineConfig(), ep);
+    std::printf("Measuring %zu sample configurations on %s...\n",
+                samples.size(), app.c_str());
+    std::vector<Metrics> sampled;
+    for (const auto &cfg : samples)
+        sampled.push_back(evaluateConfig(app, cfg, ep));
+
+    // Gradient-boosting predictions for the whole space, per
+    // objective, normalized by the baseline (Section 4.4).
+    TrainData d;
+    d.space = &space;
+    d.sampleIdx = idx;
+    auto predict = [&](auto pick) {
+        const double b = std::max(pick(base), 1e-12);
+        d.sampleY.clear();
+        for (const auto &m : sampled)
+            d.sampleY.push_back(pick(m) / b);
+        ml::Vector out =
+            predictAllConfigs(PredictorKind::GradientBoosting, d);
+        for (auto &v : out)
+            v *= b;
+        return out;
+    };
+    const ml::Vector pIpc =
+        predict([](const Metrics &m) { return m.ipc; });
+    const ml::Vector pLife =
+        predict([](const Metrics &m) { return m.lifetimeYears; });
+    const ml::Vector pEnergy =
+        predict([](const Metrics &m) { return m.energyJ; });
+    std::vector<Metrics> predicted(space.size());
+    for (std::size_t i = 0; i < space.size(); ++i)
+        predicted[i] = Metrics{pIpc[i], pLife[i], pEnergy[i]};
+
+    // Embedded objective: cap energy below a fraction of the
+    // baseline's, keep >= 4 years of lifetime, maximize IPC.
+    const double cap = argc > 2 ? std::atof(argv[2])
+                                : 0.9 * base.energyJ;
+    EnergyCapObjective obj{cap, 4.0};
+    const int pick = chooseForEnergyCap(predicted, obj);
+
+    std::printf("\nBaseline: IPC %.3f, %.2f years, %.4f J/Minst\n",
+                base.ipc, base.lifetimeYears, base.energyJ);
+    std::printf("Objective: energy <= %.4f J/Minst, lifetime >= "
+                "%.1f years, maximize IPC\n",
+                obj.maxEnergyJ, obj.minLifetimeYears);
+    if (pick < 0) {
+        std::printf("No configuration satisfies the budget.\n");
+        return 0;
+    }
+    const MellowConfig &cfg = space[static_cast<std::size_t>(pick)];
+    const Metrics real = evaluateConfig(app, cfg, ep);
+    std::printf("\nChosen: %s\n", toString(cfg).c_str());
+    std::printf("  predicted: IPC %.3f, %.2f years, %.4f J/Minst\n",
+                predicted[pick].ipc, predicted[pick].lifetimeYears,
+                predicted[pick].energyJ);
+    std::printf("  measured:  IPC %.3f, %.2f years, %.4f J/Minst\n",
+                real.ipc, real.lifetimeYears, real.energyJ);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Phase-adaptation example (paper Sections 5.1-5.2, Fig 6): run the
+ * full MCT loop on ocean, whose coarse program phases trip the
+ * Student's-t phase detector and trigger re-sampling, producing a
+ * fresh configuration choice per phase. Prints the timeline of
+ * detections and decisions.
+ *
+ * Usage: phase_adaptation [insts_millions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mct/controller.hh"
+#include "sim/evaluator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mct;
+
+    const InstCount total =
+        (argc > 1 ? std::atoll(argv[1]) : 12) * 1000000ull;
+
+    SystemParams sp;
+    System sys("ocean", sp, staticBaselineConfig());
+    sys.run(300 * 1000);
+
+    MctParams mp;
+    // A steady measurement source keeps sampling cheap; the phase
+    // detector and the re-sampling logic are the point here.
+    EvalParams sampleEval;
+    mp.steadyMeasure = [&](const MellowConfig &cfg) {
+        return evaluateConfig("ocean", cfg, sampleEval);
+    };
+    mp.liveSamplingOverhead = false;
+    mp.phase.scoreThreshold = 12.0; // slightly eager for the demo
+    MctController mct(sys, mp);
+
+    std::printf("Running MCT on ocean for %llu M instructions; its "
+                "program phases cycle every ~3.3 M.\n\n",
+                static_cast<unsigned long long>(total / 1000000));
+    mct.runFor(total);
+
+    std::printf("decision timeline (instruction, configuration):\n");
+    for (const auto &d : mct.decisions()) {
+        std::printf("  @%-9llu %s\n",
+                    static_cast<unsigned long long>(d.atInstruction),
+                    toString(d.config).c_str());
+    }
+    std::printf("\nphase-triggered re-samplings: %llu\n",
+                static_cast<unsigned long long>(mct.resamplings()));
+    std::printf("detector phases seen:          %llu\n",
+                static_cast<unsigned long long>(
+                    mct.detector().phasesDetected()));
+    const Metrics testing = mct.testingAccum().metrics(sys);
+    std::printf("testing-period IPC:            %.3f\n", testing.ipc);
+    std::printf("testing-period lifetime:       %.2f years\n",
+                testing.lifetimeYears);
+    return 0;
+}

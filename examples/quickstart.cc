@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Quickstart: build a simulated NVM system, run a workload under two
+ * configurations, and print the three objectives (IPC, lifetime,
+ * energy). This is the smallest useful program against the public
+ * API.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "sim/evaluator.hh"
+
+int
+main()
+{
+    using namespace mct;
+
+    // The simulated machine: Tables 8 & 9 defaults (2 GHz OoO core,
+    // 3-level caches, 4 GB / 16-bank ReRAM main memory).
+    EvalParams ep;
+    ep.warmupInsts = 200 * 1000;
+    ep.measureInsts = 1000 * 1000;
+
+    // Two configurations: the unprotected default (fast writes only)
+    // and the Mellow-Writes static baseline from the paper.
+    const MellowConfig fast = defaultConfig();
+    const MellowConfig baseline = staticBaselineConfig();
+
+    std::printf("%-12s %-10s %8s %14s %12s\n", "app", "config", "IPC",
+                "lifetime (y)", "J / Minst");
+    for (const char *app : {"lbm", "stream", "zeusmp"}) {
+        const Metrics mf = evaluateConfig(app, fast, ep);
+        const Metrics mb = evaluateConfig(app, baseline, ep);
+        std::printf("%-12s %-10s %8.3f %14.2f %12.4f\n", app,
+                    "default", mf.ipc, mf.lifetimeYears, mf.energyJ);
+        std::printf("%-12s %-10s %8.3f %14.2f %12.4f\n", app,
+                    "static", mb.ipc, mb.lifetimeYears, mb.energyJ);
+    }
+    std::printf("\nNote how the default is fast but wears the memory "
+                "out early,\nwhile the static Mellow-Writes policy "
+                "trades IPC for the 8-year floor.\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tradeoff explorer: sweep a slice of the Mellow-Writes configuration
+ * space for one application and print the IPC / lifetime / energy
+ * Pareto frontier, illustrating the tension the paper's Section 2
+ * describes (write cancellation and eager writebacks buy IPC at
+ * lifetime cost; slow writes buy lifetime at IPC cost).
+ *
+ * Usage: tradeoff_explorer [app]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mct/config.hh"
+#include "mct/config_space.hh"
+#include "sim/evaluator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mct;
+
+    const std::string app = argc > 1 ? argv[1] : "libquantum";
+    if (!isWorkloadName(app)) {
+        std::fprintf(stderr, "unknown application '%s'\n", app.c_str());
+        return 1;
+    }
+
+    // A coarse slice: every latency pair, cancellation on/off, the
+    // techniques at one aggressiveness each.
+    SpaceOptions opts;
+    opts.latencies = {1.0, 2.0, 3.0, 4.0};
+    opts.bankThresholds = {2};
+    opts.eagerThresholds = {8};
+    opts.quotaTargets = {};
+    const auto slice = enumerateSpace(opts);
+
+    EvalParams ep;
+    ep.warmupInsts = 200 * 1000;
+    ep.measureInsts = 500 * 1000;
+
+    struct Point
+    {
+        MellowConfig cfg;
+        Metrics m;
+    };
+    std::vector<Point> points;
+    std::printf("Evaluating %zu configurations on %s...\n",
+                slice.size(), app.c_str());
+    for (const auto &cfg : slice)
+        points.push_back({cfg, evaluateConfig(app, cfg, ep)});
+
+    // Pareto frontier: maximize IPC and lifetime, minimize energy.
+    auto dominates = [](const Metrics &a, const Metrics &b) {
+        return a.ipc >= b.ipc && a.lifetimeYears >= b.lifetimeYears &&
+               a.energyJ <= b.energyJ &&
+               (a.ipc > b.ipc || a.lifetimeYears > b.lifetimeYears ||
+                a.energyJ < b.energyJ);
+    };
+    std::vector<Point> frontier;
+    for (const auto &p : points) {
+        bool dominated = false;
+        for (const auto &q : points) {
+            if (dominates(q.m, p.m)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(p);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const Point &a, const Point &b) {
+                  return a.m.ipc > b.m.ipc;
+              });
+
+    std::printf("\nPareto frontier (%zu of %zu configurations):\n",
+                frontier.size(), points.size());
+    std::printf("%8s %12s %10s   %s\n", "IPC", "life (y)", "J/Minst",
+                "config");
+    for (const auto &p : frontier) {
+        std::printf("%8.3f %12.2f %10.4f   %s\n", p.m.ipc,
+                    p.m.lifetimeYears, p.m.energyJ,
+                    toString(p.cfg).c_str());
+    }
+    return 0;
+}

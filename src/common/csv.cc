@@ -1,0 +1,80 @@
+#include "common/csv.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+void
+CsvFile::row(std::vector<std::string> cells)
+{
+    rowsData.push_back(std::move(cells));
+}
+
+void
+CsvFile::numericRow(const std::vector<double> &cells)
+{
+    std::vector<std::string> out;
+    out.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream os;
+        os.precision(17);
+        os << v;
+        out.push_back(os.str());
+    }
+    rowsData.push_back(std::move(out));
+}
+
+bool
+CsvFile::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    for (const auto &r : rowsData) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            if (i)
+                os << ',';
+            os << r[i];
+        }
+        os << '\n';
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+CsvFile::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    rowsData.clear();
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells;
+        std::string cell;
+        std::istringstream ls(line);
+        while (std::getline(ls, cell, ','))
+            cells.push_back(cell);
+        rowsData.push_back(std::move(cells));
+    }
+    return true;
+}
+
+double
+CsvFile::asDouble(const std::string &cell)
+{
+    char *end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str())
+        mct_fatal("CSV cell is not numeric: '", cell, "'");
+    return v;
+}
+
+} // namespace mct

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV reading/writing used by the sweep cache and by bench
+ * binaries that dump figure series for external plotting.
+ */
+
+#ifndef MCT_COMMON_CSV_HH
+#define MCT_COMMON_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace mct
+{
+
+/**
+ * Row-oriented CSV document. Cells are stored as strings; numeric
+ * helpers parse on access. No quoting support: our data never contains
+ * commas or newlines inside cells.
+ */
+class CsvFile
+{
+  public:
+    /** Append a row of string cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a row of doubles, formatted with full precision. */
+    void numericRow(const std::vector<double> &cells);
+
+    /** Write the document to the given path; returns false on error. */
+    bool save(const std::string &path) const;
+
+    /** Load a document; returns false if the file cannot be read. */
+    bool load(const std::string &path);
+
+    /** All rows. */
+    const std::vector<std::vector<std::string>> &data() const
+    {
+        return rowsData;
+    }
+
+    /** Parse a cell as double (fatal on malformed input). */
+    static double asDouble(const std::string &cell);
+
+  private:
+    std::vector<std::vector<std::string>> rowsData;
+};
+
+} // namespace mct
+
+#endif // MCT_COMMON_CSV_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic() flags internal simulator bugs (aborts); fatal() flags user
+ * errors such as invalid configuration (exits); warn() and inform()
+ * report conditions without stopping the simulation.
+ */
+
+#ifndef MCT_COMMON_LOGGING_HH
+#define MCT_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mct
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent, Warn, Inform, Debug };
+
+/** Get the process-wide log level (default: Warn). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Format a parameter pack into a string via an ostringstream. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Internal invariant violated: this is a simulator bug. Aborts. */
+#define mct_panic(...) \
+    ::mct::detail::panicImpl(__FILE__, __LINE__, \
+                             ::mct::detail::format(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error. Exits with status 1. */
+#define mct_fatal(...) \
+    ::mct::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::mct::detail::format(__VA_ARGS__))
+
+/** Something looks wrong but the simulation can continue. */
+#define mct_warn(...) \
+    ::mct::detail::warnImpl(::mct::detail::format(__VA_ARGS__))
+
+/** Normal operating status message. */
+#define mct_inform(...) \
+    ::mct::detail::informImpl(::mct::detail::format(__VA_ARGS__))
+
+/** Developer-facing trace message. */
+#define mct_debug(...) \
+    ::mct::detail::debugImpl(::mct::detail::format(__VA_ARGS__))
+
+} // namespace mct
+
+#endif // MCT_COMMON_LOGGING_HH

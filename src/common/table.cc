@@ -1,0 +1,85 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace mct
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    body.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(head);
+    for (const auto &r : body)
+        grow(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i]
+                                                       : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << cell;
+        }
+        os << "\n";
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        std::size_t total = 0;
+        for (auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : body)
+        emit(r);
+    os.flush();
+}
+
+void
+TextTable::print() const
+{
+    print(std::cout);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+fmtBool(bool v)
+{
+    return v ? "True" : "False";
+}
+
+std::string
+fmtOrNa(bool guard, double v, int precision)
+{
+    return guard ? fmt(v, precision) : "N/A";
+}
+
+} // namespace mct

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness, so every bench
+ * binary can print paper-style tables with aligned columns.
+ */
+
+#ifndef MCT_COMMON_TABLE_HH
+#define MCT_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mct
+{
+
+/**
+ * Column-aligned text table. Add a header row once, then data rows;
+ * print() computes column widths and renders with a separator rule.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (string cells, pre-formatted). */
+    void row(std::vector<std::string> cells);
+
+    /** Render to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string fmt(double v, int precision = 3);
+
+/** Format a boolean as "True"/"False" like the paper's tables. */
+std::string fmtBool(bool v);
+
+/** Format "N/A" when the guard is false, else the value. */
+std::string fmtOrNa(bool guard, double v, int precision = 1);
+
+} // namespace mct
+
+#endif // MCT_COMMON_TABLE_HH

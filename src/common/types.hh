@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental simulation types and unit constants.
+ *
+ * Time is measured in Ticks of one picosecond, like gem5. The simulated
+ * CPU runs at 2 GHz (500 ticks per cycle) and the NVM main memory at
+ * 400 MHz (2500 ticks per cycle), matching Tables 8 and 9 of the paper.
+ */
+
+#ifndef MCT_COMMON_TYPES_HH
+#define MCT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mct
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Physical byte address in the simulated memory. */
+using Addr = std::uint64_t;
+
+/** Instruction count. */
+using InstCount = std::uint64_t;
+
+/** Cycle count (CPU or memory clock domain; see context). */
+using Cycles = std::uint64_t;
+
+/** One nanosecond in ticks. */
+constexpr Tick tickNs = 1000;
+
+/** One microsecond in ticks. */
+constexpr Tick tickUs = 1000 * tickNs;
+
+/** One millisecond in ticks. */
+constexpr Tick tickMs = 1000 * tickUs;
+
+/** One second in ticks. */
+constexpr Tick tickSec = 1000 * tickMs;
+
+/** CPU clock: 2 GHz (Table 8). */
+constexpr Tick cpuCyclePs = 500;
+
+/** Memory clock: 400 MHz (Table 9). */
+constexpr Tick memCyclePs = 2500;
+
+/** Cache line size in bytes (Table 8: 64-byte cacheline). */
+constexpr unsigned lineBytes = 64;
+
+/** Seconds per simulated "year" when reporting NVM lifetime. */
+constexpr double secondsPerYear = 365.25 * 24 * 3600;
+
+} // namespace mct
+
+#endif // MCT_COMMON_TYPES_HH

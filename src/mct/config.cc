@@ -1,0 +1,119 @@
+#include "mct/config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace mct
+{
+
+const std::vector<std::string> &
+configDimNames()
+{
+    static const std::vector<std::string> names = {
+        "bank_aware",
+        "bank_aware_threshold",
+        "eager_writebacks",
+        "eager_threshold",
+        "wear_quota",
+        "wear_quota_target",
+        "fast_latency",
+        "slow_latency",
+        "fast_cancellation",
+        "slow_cancellation",
+    };
+    return names;
+}
+
+ml::Vector
+configToVector(const MellowConfig &cfg)
+{
+    ml::Vector v(configDims, 0.0);
+    v[0] = cfg.bankAware ? 1.0 : 0.0;
+    v[1] = cfg.bankAware ? cfg.bankAwareThreshold : 0.0;
+    v[2] = cfg.eagerWritebacks ? 1.0 : 0.0;
+    v[3] = cfg.eagerWritebacks ? cfg.eagerThreshold : 0.0;
+    v[4] = cfg.wearQuota ? 1.0 : 0.0;
+    v[5] = cfg.wearQuota ? cfg.wearQuotaTarget : 0.0;
+    v[6] = cfg.fastLatency;
+    v[7] = cfg.usesSlowWrites() ? cfg.slowLatency : 0.0;
+    v[8] = cfg.fastCancellation ? 1.0 : 0.0;
+    v[9] = cfg.usesSlowWrites() && cfg.slowCancellation ? 1.0 : 0.0;
+    return v;
+}
+
+MellowConfig
+configFromVector(const ml::Vector &v)
+{
+    if (v.size() != configDims)
+        mct_fatal("configFromVector: expected ", configDims, " dims");
+    MellowConfig cfg;
+    cfg.bankAware = v[0] != 0.0;
+    cfg.bankAwareThreshold = cfg.bankAware
+        ? static_cast<int>(v[1]) : 1;
+    cfg.eagerWritebacks = v[2] != 0.0;
+    cfg.eagerThreshold = cfg.eagerWritebacks
+        ? static_cast<int>(v[3]) : 4;
+    cfg.wearQuota = v[4] != 0.0;
+    cfg.wearQuotaTarget = cfg.wearQuota ? v[5] : 8.0;
+    cfg.fastLatency = v[6];
+    cfg.slowLatency = cfg.usesSlowWrites() ? v[7] : v[6];
+    cfg.fastCancellation = v[8] != 0.0;
+    cfg.slowCancellation = v[9] != 0.0 || cfg.fastCancellation;
+    if (!cfg.valid())
+        mct_fatal("configFromVector: decoded invalid configuration");
+    return cfg;
+}
+
+std::string
+toString(const MellowConfig &cfg)
+{
+    std::ostringstream os;
+    os << "{";
+    if (cfg.bankAware)
+        os << "bank_aware(" << cfg.bankAwareThreshold << ") ";
+    if (cfg.eagerWritebacks)
+        os << "eager(" << cfg.eagerThreshold << ") ";
+    if (cfg.wearQuota)
+        os << "wear_quota(" << fmt(cfg.wearQuotaTarget, 1) << "y) ";
+    os << "fast=" << fmt(cfg.fastLatency, 1);
+    if (cfg.usesSlowWrites())
+        os << " slow=" << fmt(cfg.slowLatency, 1);
+    os << " cancel=" << (cfg.fastCancellation ? "F" : "")
+       << (cfg.usesSlowWrites() && cfg.slowCancellation ? "S" : "")
+       << ((cfg.fastCancellation ||
+            (cfg.usesSlowWrites() && cfg.slowCancellation))
+               ? ""
+               : "none")
+       << "}";
+    return os.str();
+}
+
+std::vector<std::string>
+configTableHeader()
+{
+    return {"bank_aware", "bank_aware_th", "eager_wb", "eager_th",
+            "wear_quota", "wq_target", "fast_lat", "slow_lat",
+            "fast_cancel", "slow_cancel"};
+}
+
+std::vector<std::string>
+configTableRow(const MellowConfig &cfg)
+{
+    return {
+        fmtBool(cfg.bankAware),
+        cfg.bankAware ? std::to_string(cfg.bankAwareThreshold) : "N/A",
+        fmtBool(cfg.eagerWritebacks),
+        cfg.eagerWritebacks ? std::to_string(cfg.eagerThreshold)
+                            : "N/A",
+        fmtBool(cfg.wearQuota),
+        fmtOrNa(cfg.wearQuota, cfg.wearQuotaTarget, 1),
+        fmt(cfg.fastLatency, 1),
+        fmtOrNa(cfg.usesSlowWrites(), cfg.slowLatency, 1),
+        fmtBool(cfg.fastCancellation),
+        cfg.usesSlowWrites() ? fmtBool(cfg.slowCancellation) : "N/A",
+    };
+}
+
+} // namespace mct

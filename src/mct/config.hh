@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Vector encoding of the Mellow-Writes configuration space (paper
+ * Eq. 1): every configuration is a 10-dimensional vector
+ *
+ *   [bank_aware, bank_aware_threshold, eager_writebacks,
+ *    eager_threshold, wear_quota, wear_quota_target, fast_latency,
+ *    slow_latency, fast_cancellation, slow_cancellation]
+ *
+ * with disabled techniques contributing zeros. The learning models
+ * consume these vectors (and their 65-dimensional quadratic
+ * expansion).
+ */
+
+#ifndef MCT_MCT_CONFIG_HH
+#define MCT_MCT_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "memctrl/mellow_config.hh"
+#include "ml/linalg.hh"
+
+namespace mct
+{
+
+/** Dimension of the configuration vector. */
+constexpr std::size_t configDims = 10;
+
+/** Names of the 10 dimensions, in Eq. 1 order. */
+const std::vector<std::string> &configDimNames();
+
+/** Encode a configuration as the Eq. 1 vector. */
+ml::Vector configToVector(const MellowConfig &cfg);
+
+/**
+ * Decode an Eq. 1 vector back to a configuration (inverse of
+ * configToVector for vectors it produced).
+ */
+MellowConfig configFromVector(const ml::Vector &v);
+
+/** One-line human-readable rendering. */
+std::string toString(const MellowConfig &cfg);
+
+/** Paper-style table row (Tables 4, 5, 10 column order). */
+std::vector<std::string> configTableRow(const MellowConfig &cfg);
+
+/** Header matching configTableRow. */
+std::vector<std::string> configTableHeader();
+
+} // namespace mct
+
+#endif // MCT_MCT_CONFIG_HH

@@ -1,0 +1,106 @@
+#include "mct/config_space.hh"
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+namespace
+{
+
+/** The three legal cancellation pairs when slow writes exist. */
+struct CancelPair
+{
+    bool fast;
+    bool slow;
+};
+
+constexpr CancelPair cancelPairs[] = {
+    {false, false}, {false, true}, {true, true}};
+
+void
+emitQuotaVariants(MellowConfig base, const SpaceOptions &opts,
+                  std::vector<MellowConfig> &out)
+{
+    if (opts.includeQuotaOff) {
+        base.wearQuota = false;
+        out.push_back(base);
+    }
+    for (double target : opts.quotaTargets) {
+        base.wearQuota = true;
+        base.wearQuotaTarget = target;
+        out.push_back(base);
+    }
+}
+
+} // namespace
+
+std::vector<MellowConfig>
+enumerateSpace(const SpaceOptions &opts)
+{
+    std::vector<MellowConfig> out;
+
+    // Technique levels: off plus each threshold.
+    std::vector<int> bankLevels = {0};
+    for (int t : opts.bankThresholds)
+        bankLevels.push_back(t);
+    std::vector<int> eagerLevels = {0};
+    for (int t : opts.eagerThresholds)
+        eagerLevels.push_back(t);
+
+    for (int bank : bankLevels) {
+        for (int eager : eagerLevels) {
+            MellowConfig base;
+            base.bankAware = bank > 0;
+            if (bank > 0)
+                base.bankAwareThreshold = bank;
+            base.eagerWritebacks = eager > 0;
+            if (eager > 0)
+                base.eagerThreshold = eager;
+
+            const bool slowUsed = base.usesSlowWrites();
+            for (std::size_t fi = 0; fi < opts.latencies.size(); ++fi) {
+                base.fastLatency = opts.latencies[fi];
+                if (!slowUsed) {
+                    // Default-technique-only configurations: no slow
+                    // write parameters, cancellation on fast writes
+                    // only.
+                    base.slowLatency = base.fastLatency;
+                    base.slowCancellation = false;
+                    for (bool fc : {false, true}) {
+                        base.fastCancellation = fc;
+                        base.slowCancellation = fc; // constraint
+                        emitQuotaVariants(base, opts, out);
+                    }
+                    continue;
+                }
+                for (std::size_t si = fi + 1;
+                     si < opts.latencies.size(); ++si) {
+                    base.slowLatency = opts.latencies[si];
+                    for (const auto &cp : cancelPairs) {
+                        base.fastCancellation = cp.fast;
+                        base.slowCancellation = cp.slow;
+                        emitQuotaVariants(base, opts, out);
+                    }
+                }
+            }
+        }
+    }
+
+    for (const auto &cfg : out) {
+        if (!cfg.valid())
+            mct_panic("enumerateSpace produced invalid configuration");
+    }
+    return out;
+}
+
+std::vector<MellowConfig>
+enumerateNoQuotaSpace(const SpaceOptions &optsIn)
+{
+    SpaceOptions opts = optsIn;
+    opts.quotaTargets.clear();
+    opts.includeQuotaOff = true;
+    return enumerateSpace(opts);
+}
+
+} // namespace mct

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Enumeration of the combined-technique configuration space under the
+ * constraints of paper Section 3.3.1:
+ *
+ *  - parameters exist only when their technique is enabled;
+ *  - slow_latency > fast_latency;
+ *  - fast cancellation implies slow cancellation, so the cancellation
+ *    pairs are (off, off), (off, slow), (fast, slow).
+ *
+ * The paper's exact discretization is unpublished; ours (latencies in
+ * 0.5x steps, bank thresholds 1..4, eager thresholds {4,8,16,32},
+ * wear-quota {off, 8y} by default) yields a space of the same
+ * magnitude as the paper's 3,164 configurations.
+ */
+
+#ifndef MCT_MCT_CONFIG_SPACE_HH
+#define MCT_MCT_CONFIG_SPACE_HH
+
+#include <vector>
+
+#include "memctrl/mellow_config.hh"
+
+namespace mct
+{
+
+/** Knob discretization for enumeration. */
+struct SpaceOptions
+{
+    /** Latency grid for fast and slow writes. */
+    std::vector<double> latencies = {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+
+    /** Bank-aware thresholds when the technique is on. */
+    std::vector<int> bankThresholds = {1, 2, 3, 4};
+
+    /** Eager thresholds when the technique is on. */
+    std::vector<int> eagerThresholds = {4, 8, 16, 32};
+
+    /** Wear-quota targets; empty means "quota never enabled". */
+    std::vector<double> quotaTargets = {8.0};
+
+    /** Also include wear-quota-off variants (always true in paper). */
+    bool includeQuotaOff = true;
+};
+
+/** Enumerate every valid configuration for the given options. */
+std::vector<MellowConfig> enumerateSpace(const SpaceOptions &opts = {});
+
+/** The learning subspace: wear quota excluded (paper Section 4.4). */
+std::vector<MellowConfig> enumerateNoQuotaSpace(
+    const SpaceOptions &opts = {});
+
+} // namespace mct
+
+#endif // MCT_MCT_CONFIG_SPACE_HH

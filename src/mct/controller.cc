@@ -1,0 +1,264 @@
+#include "mct/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mct/samplers.hh"
+
+namespace mct
+{
+
+namespace
+{
+
+/** Safe ratio for normalization (Section 4.4). */
+double
+ratio(double value, double base)
+{
+    return value / std::max(base, 1e-12);
+}
+
+} // namespace
+
+MctController::MctController(System &system, const MctParams &params)
+    : sys(system), p(params), det(params.phase)
+{
+    space_ = enumerateNoQuotaSpace(p.spaceOpts);
+    samples_ = featureBasedSamples(p.seed, p.spaceOpts);
+    sampleIdx_ = indicesInSpace(space_, samples_);
+    current = p.baseline;
+    sys.setConfig(current);
+}
+
+Metrics
+MctController::measureBaseline(InstCount insts, WindowAccum &acc)
+{
+    const MellowConfig prev = sys.config();
+    sys.setConfig(p.baseline);
+    const SysSnapshot before = sys.snapshot();
+    sys.run(insts);
+    const SysSnapshot after = sys.snapshot();
+    acc.add(before, after);
+    WindowAccum w;
+    w.add(before, after);
+    sys.setConfig(prev);
+    return w.metrics(sys);
+}
+
+void
+MctController::sampleAndChoose()
+{
+    // Cyclic fine-grained sampling over the 77 feature-based samples
+    // with a paired baseline anchor (Section 4.4 normalization): each
+    // sample unit is normalized against an adjacent anchor unit that
+    // saw the same burst state.
+    CyclicSampler sampler(sys, p.sampling);
+    std::vector<Metrics> sampled;
+    std::vector<Metrics> pairBase;
+    if (!p.steadyMeasure || p.liveSamplingOverhead) {
+        const CyclicSampler::PairedResult paired =
+            sampler.runPaired(p.baseline, samples_);
+        baseMetrics = paired.anchor;
+        sampled = paired.sample;
+        pairBase = paired.pairedAnchor;
+        // Fold the sampler's cost into the sampling aggregate.
+        const WindowAccum &pa = sampler.periodAccum();
+        samplingAcc.time += pa.time;
+        samplingAcc.insts += pa.insts;
+        samplingAcc.reads += pa.reads;
+        samplingAcc.writeEnergyUnits += pa.writeEnergyUnits;
+        if (samplingAcc.wearDelta.empty())
+            samplingAcc.wearDelta.assign(pa.wearDelta.size(), 0.0);
+        for (std::size_t b = 0; b < pa.wearDelta.size(); ++b)
+            samplingAcc.wearDelta[b] += pa.wearDelta[b];
+    }
+    if (p.steadyMeasure) {
+        // Scaled-run substitution (see MctParams::steadyMeasure): the
+        // sample objectives come from steady-state measurements of
+        // the same configurations.
+        baseMetrics = p.steadyMeasure(p.baseline);
+        sampled.clear();
+        pairBase.assign(samples_.size(), baseMetrics);
+        for (const auto &cfg : samples_)
+            sampled.push_back(p.steadyMeasure(cfg));
+    }
+
+    // Train one predictor per objective on baseline-normalized data.
+    TrainData data;
+    data.space = &space_;
+    data.sampleIdx = sampleIdx_;
+
+    ml::Vector yIpc(samples_.size()), yLife(samples_.size()),
+        yEnergy(samples_.size());
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        yIpc[i] = ratio(sampled[i].ipc, pairBase[i].ipc);
+        yLife[i] = ratio(sampled[i].lifetimeYears,
+                         pairBase[i].lifetimeYears);
+        yEnergy[i] = ratio(sampled[i].energyJ, pairBase[i].energyJ);
+    }
+
+    data.sampleY = yIpc;
+    const ml::Vector predIpc = predictAllConfigs(p.predictor, data);
+    data.sampleY = yLife;
+    const ml::Vector predLife = predictAllConfigs(p.predictor, data);
+    data.sampleY = yEnergy;
+    const ml::Vector predEnergy = predictAllConfigs(p.predictor, data);
+
+    // De-normalize back to absolute objectives (Section 4.4: multiply
+    // by the periodically re-measured baseline).
+    std::vector<Metrics> predicted(space_.size());
+    for (std::size_t i = 0; i < space_.size(); ++i) {
+        predicted[i].ipc = predIpc[i] * baseMetrics.ipc;
+        predicted[i].lifetimeYears =
+            predLife[i] * baseMetrics.lifetimeYears;
+        predicted[i].energyJ = predEnergy[i] * baseMetrics.energyJ;
+    }
+    Decision decision;
+    decision.atInstruction = sys.retired();
+    int idx = chooseOptimal(predicted, p.objective);
+    if (idx >= 0 && p.steadyMeasure) {
+        // With steady measurements available, the Section 5.4
+        // never-worse-than-baseline guarantee is enforced at
+        // selection time instead of via noisy runtime windows.
+        const Metrics chosenSteady =
+            p.steadyMeasure(space_[static_cast<std::size_t>(idx)]);
+        if (chosenSteady.ipc < baseMetrics.ipc)
+            idx = -1;
+    }
+    if (idx >= 0) {
+        decision.config = space_[static_cast<std::size_t>(idx)];
+        decision.predicted = predicted[static_cast<std::size_t>(idx)];
+        decision.feasible = true;
+    } else {
+        // Nothing predicted feasible: fall back to the baseline,
+        // whose wear quota enforces the floor by construction.
+        decision.config = p.baseline;
+        decision.predicted = baseMetrics;
+        decision.feasible = false;
+    }
+
+    // Wear-quota fixup (Section 5.3): guarantee the lifetime floor
+    // against lifetime overestimation.
+    if (p.wearQuotaFixup) {
+        decision.config.wearQuota = true;
+        decision.config.wearQuotaTarget = std::clamp(
+            p.objective.minLifetimeYears, 4.0, 10.0);
+    }
+    if (!decision.config.valid())
+        mct_panic("MctController selected an invalid configuration");
+
+    // Let the reconfiguration transient pass before the fixup quota
+    // arms (see MctParams::stabilizeInsts).
+    if (p.stabilizeInsts > 0) {
+        MellowConfig grace = decision.config;
+        grace.wearQuota = false;
+        sys.setConfig(grace);
+        const SysSnapshot g0 = sys.snapshot();
+        sys.run(p.stabilizeInsts);
+        samplingAcc.add(g0, sys.snapshot());
+    }
+    current = decision.config;
+    sys.setConfig(current);
+    history.push_back(decision);
+    det.reset();
+    sinceHealthCheck = 0;
+    consecutiveBadChecks = 0;
+    state = State::Running;
+}
+
+void
+MctController::runMonitoredWindow(InstCount insts)
+{
+    const SysSnapshot before = sys.snapshot();
+    sys.run(insts);
+    const SysSnapshot after = sys.snapshot();
+    testingAcc.add(before, after);
+
+    // Memory workload for the phase detector: demand reads plus
+    // writebacks observed by existing performance counters.
+    const CoreStats dc = after.core.delta(before.core);
+    const double workload =
+        static_cast<double>(dc.memReads + dc.memWrites);
+    if (det.push(workload)) {
+        ++nResamplings;
+        state = State::NeedSampling;
+        return;
+    }
+
+    sinceHealthCheck += insts;
+    // With a steady measurement source the never-worse guarantee was
+    // enforced at selection time; running the check anyway would
+    // charge the baseline's (higher) wear rate against the chosen
+    // configuration's quota budget and throttle floor-adjacent
+    // choices for behavior that is not theirs.
+    if (!p.steadyMeasure && p.healthCheckPeriod > 0 &&
+        sinceHealthCheck >= p.healthCheckPeriod) {
+        sinceHealthCheck = 0;
+        healthCheck();
+    }
+}
+
+void
+MctController::healthCheck()
+{
+    // Alternate short chosen/baseline segments so both sides see the
+    // same burst mix (a single window lands wherever the burst cycle
+    // happens to be and misfires the comparison).
+    const MellowConfig chosenCfg = current;
+    WindowAccum chosenW, baseW;
+    const InstCount seg = std::max<InstCount>(p.healthCheckLen / 2, 1);
+    for (int pair = 0; pair < 3; ++pair) {
+        sys.setConfig(chosenCfg);
+        const SysSnapshot c0 = sys.snapshot();
+        sys.run(seg);
+        const SysSnapshot c1 = sys.snapshot();
+        chosenW.add(c0, c1);
+        testingAcc.add(c0, c1);
+
+        sys.setConfig(p.baseline);
+        const SysSnapshot b0 = sys.snapshot();
+        sys.run(seg);
+        const SysSnapshot b1 = sys.snapshot();
+        baseW.add(b0, b1);
+        testingAcc.add(b0, b1);
+    }
+    sys.setConfig(chosenCfg);
+    const Metrics chosenNow = chosenW.metrics(sys);
+    baseMetrics = baseW.metrics(sys); // refresh the normalization
+
+    // Never (persistently) worse than the baseline (Section 5.4).
+    // Both the guard band and the two-strikes rule exist because a
+    // single check is still burst-window noise at this scale. With a
+    // steady measurement source the guarantee was already enforced at
+    // selection time, and window noise could only undo a verified
+    // choice.
+    if (!p.steadyMeasure &&
+        chosenNow.ipc < 0.9 * baseMetrics.ipc &&
+        current != p.baseline) {
+        if (++consecutiveBadChecks >= 2) {
+            ++nFallbacks;
+            current = p.baseline;
+            sys.setConfig(current);
+            consecutiveBadChecks = 0;
+        }
+    } else {
+        consecutiveBadChecks = 0;
+    }
+}
+
+void
+MctController::runFor(InstCount insts)
+{
+    const InstCount target = sys.retired() + insts;
+    while (sys.retired() < target) {
+        if (state == State::NeedSampling) {
+            sampleAndChoose();
+            continue;
+        }
+        const InstCount remaining = target - sys.retired();
+        runMonitoredWindow(
+            std::min<InstCount>(remaining, p.phaseWindowInsts));
+    }
+}
+
+} // namespace mct

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The MCT runtime (paper Section 5, Fig 5): phase detection drives
+ * cyclic fine-grained sampling; predictions over the quota-free
+ * learning space feed the constrained optimizer; the chosen
+ * configuration gets a wear-quota fixup guaranteeing the lifetime
+ * floor; and periodic health checks re-measure the baseline, refresh
+ * the normalization, and fall back to the baseline whenever the
+ * chosen configuration underperforms it.
+ */
+
+#ifndef MCT_MCT_CONTROLLER_HH
+#define MCT_MCT_CONTROLLER_HH
+
+#include <functional>
+#include <vector>
+
+#include "mct/config_space.hh"
+#include "mct/cyclic_sampler.hh"
+#include "mct/optimizer.hh"
+#include "mct/phase_detector.hh"
+#include "mct/predictors.hh"
+#include "sim/system.hh"
+
+namespace mct
+{
+
+/** Runtime parameters (defaults follow the paper's ratios, scaled). */
+struct MctParams
+{
+    PredictorKind predictor = PredictorKind::GradientBoosting;
+
+    /** Default objective with a 1.15 safety margin: see
+     *  LifetimeObjective::safetyMargin. */
+    LifetimeObjective objective{8.0, 0.95, 1.15};
+
+    /** Cyclic sampling schedule (t and round count, Section 5.2). */
+    CyclicSamplerParams sampling{};
+
+    /** Instructions of the baseline window measured per sampling
+     *  period (normalization anchor, Section 4.4). */
+    InstCount baselineWindow = 40 * 1000;
+
+    /** Phase-monitor window I (Section 5.1). */
+    InstCount phaseWindowInsts = 20 * 1000;
+    PhaseDetectorParams phase{};
+
+    /** Instructions between health checks; 0 disables them. */
+    InstCount healthCheckPeriod = 500 * 1000;
+    InstCount healthCheckLen = 20 * 1000;
+
+    /** Apply the Section 5.3 wear-quota fixup to chosen configs. */
+    bool wearQuotaFixup = true;
+
+    /**
+     * Instructions run under the chosen configuration (without its
+     * fixup quota) before the quota arms. The reconfiguration
+     * transient — flushing the sampling period's dirty backlog under
+     * the new policy — would otherwise be charged against the fresh
+     * quota budget and throttle the configuration unfairly.
+     */
+    InstCount stabilizeInsts = 100 * 1000;
+
+    /** The baseline (static) configuration used for normalization,
+     *  health checks, and fallback. */
+    MellowConfig baseline = staticBaselineConfig();
+
+    /** Knob discretization of the learning space. */
+    SpaceOptions spaceOpts{};
+
+    /**
+     * Optional steady-state measurement source for the sampling
+     * stage. The paper's sampling period (1B instructions) is long
+     * enough that each sample's measurement approximates its steady
+     * state; our scaled-down runs are not, so the bench harnesses
+     * supply steady-state evaluations of the same 77 samples here
+     * while the live cyclic sampler still runs (and is charged) for
+     * overhead accounting. Leave empty for fully-live operation.
+     */
+    std::function<Metrics(const MellowConfig &)> steadyMeasure;
+
+    /** Run the live cyclic sampler even when steadyMeasure is set,
+     *  so the sampling overhead (Fig 9) stays accounted. */
+    bool liveSamplingOverhead = true;
+
+    std::uint64_t seed = 42;
+};
+
+/** One prediction/selection round, kept for inspection. */
+struct Decision
+{
+    MellowConfig config;
+    Metrics predicted;
+    bool feasible = true; // lifetime floor satisfiable per prediction
+    InstCount atInstruction = 0;
+};
+
+/**
+ * Drives a live System through the MCT state machine.
+ */
+class MctController
+{
+  public:
+    MctController(System &system, const MctParams &params);
+
+    /** Run the managed system for at least @p insts instructions. */
+    void runFor(InstCount insts);
+
+    /** Currently applied configuration (baseline until first choice). */
+    const MellowConfig &currentConfig() const { return current; }
+
+    /** All selection rounds so far. */
+    const std::vector<Decision> &decisions() const { return history; }
+
+    /** Aggregate cost of all sampling periods (Fig 9). */
+    const WindowAccum &samplingAccum() const { return samplingAcc; }
+
+    /** Aggregate of all post-selection execution (Fig 9). */
+    const WindowAccum &testingAccum() const { return testingAcc; }
+
+    /** Phase-triggered re-samplings. */
+    std::uint64_t resamplings() const { return nResamplings; }
+
+    /** Health-check fallbacks to the baseline. */
+    std::uint64_t fallbacks() const { return nFallbacks; }
+
+    /** The phase detector (tests/benches). */
+    const PhaseDetector &detector() const { return det; }
+
+    /** The learning space (wear quota excluded). */
+    const std::vector<MellowConfig> &space() const { return space_; }
+
+    /** The sample configurations. */
+    const std::vector<MellowConfig> &samples() const { return samples_; }
+
+    /** Most recent absolute baseline measurements. */
+    const Metrics &baselineMetrics() const { return baseMetrics; }
+
+  private:
+    System &sys;
+    MctParams p;
+    std::vector<MellowConfig> space_;
+    std::vector<MellowConfig> samples_;
+    std::vector<std::size_t> sampleIdx_;
+    PhaseDetector det;
+
+    enum class State { NeedSampling, Running };
+    State state = State::NeedSampling;
+    MellowConfig current;
+    Metrics baseMetrics;
+    std::vector<Decision> history;
+    WindowAccum samplingAcc;
+    WindowAccum testingAcc;
+    InstCount sinceHealthCheck = 0;
+    unsigned consecutiveBadChecks = 0;
+    std::uint64_t nResamplings = 0;
+    std::uint64_t nFallbacks = 0;
+
+    /** Measure the baseline configuration for @p insts. */
+    Metrics measureBaseline(InstCount insts, WindowAccum &acc);
+
+    /** Full sampling + prediction + selection round. */
+    void sampleAndChoose();
+
+    /** One monitored execution window of the chosen configuration. */
+    void runMonitoredWindow(InstCount insts);
+
+    /** Health check: re-measure baseline, maybe fall back. */
+    void healthCheck();
+};
+
+} // namespace mct
+
+#endif // MCT_MCT_CONTROLLER_HH

@@ -1,0 +1,57 @@
+#include "mct/feature_compressor.hh"
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+const std::vector<std::string> &
+compressedFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "bank_aware", "eager_writebacks", "fast_latency",
+        "slow_latency", "cancellation"};
+    return names;
+}
+
+ml::Vector
+compressConfig(const MellowConfig &cfg)
+{
+    ml::Vector v(compressedDims, 0.0);
+    v[0] = cfg.bankAware ? cfg.bankAwareThreshold : 0;
+    if (cfg.eagerWritebacks) {
+        // Map threshold {4, 8, 16, 32} to level 1..4.
+        int level = 0;
+        for (int t = cfg.eagerThreshold; t > 2; t /= 2)
+            ++level;
+        v[1] = level; // 4 -> 1, 8 -> 2, 16 -> 3, 32 -> 4
+    }
+    v[2] = cfg.fastLatency;
+    v[3] = cfg.usesSlowWrites() ? cfg.slowLatency : 0.0;
+    if (cfg.fastCancellation)
+        v[4] = 2.0;
+    else if (cfg.usesSlowWrites() && cfg.slowCancellation)
+        v[4] = 1.0;
+    return v;
+}
+
+ml::Matrix
+compressAll(const std::vector<MellowConfig> &cfgs)
+{
+    ml::Matrix x(cfgs.size(), compressedDims);
+    for (std::size_t r = 0; r < cfgs.size(); ++r) {
+        const ml::Vector v = compressConfig(cfgs[r]);
+        for (std::size_t c = 0; c < compressedDims; ++c)
+            x(r, c) = v[c];
+    }
+    return x;
+}
+
+const std::vector<std::size_t> &
+primaryFeatureIndices()
+{
+    static const std::vector<std::size_t> idx = {2, 3, 4};
+    return idx;
+}
+
+} // namespace mct

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Manual feature compression (paper Section 4.4, "Feature
+ * selection"): the 8 non-quota knobs are merged by domain knowledge
+ * into 5 features:
+ *
+ *   bank_aware        0 (off) .. 4        (usage + threshold merged)
+ *   eager_writebacks  0 (off), 1..4       (usage + level merged;
+ *                                          levels index {4,8,16,32})
+ *   fast_latency      1.0 .. 4.0
+ *   slow_latency      0 (unused) .. 4.0
+ *   cancellation      0 none, 1 slow only, 2 fast+slow
+ */
+
+#ifndef MCT_MCT_FEATURE_COMPRESSOR_HH
+#define MCT_MCT_FEATURE_COMPRESSOR_HH
+
+#include <string>
+#include <vector>
+
+#include "memctrl/mellow_config.hh"
+#include "ml/linalg.hh"
+
+namespace mct
+{
+
+/** Number of compressed features. */
+constexpr std::size_t compressedDims = 5;
+
+/** Names of the compressed features. */
+const std::vector<std::string> &compressedFeatureNames();
+
+/** Compress one configuration. */
+ml::Vector compressConfig(const MellowConfig &cfg);
+
+/** Compress many configurations into a design matrix. */
+ml::Matrix compressAll(const std::vector<MellowConfig> &cfgs);
+
+/** Indices (into the compressed features) of the three primary
+ *  features the paper identifies: fast_latency, slow_latency,
+ *  cancellation. */
+const std::vector<std::size_t> &primaryFeatureIndices();
+
+} // namespace mct
+
+#endif // MCT_MCT_FEATURE_COMPRESSOR_HH

@@ -1,0 +1,115 @@
+#include "mct/feature_selection.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "mct/config.hh"
+#include "ml/lasso.hh"
+#include "ml/quadratic_features.hh"
+
+namespace mct
+{
+
+namespace
+{
+
+ml::Vector
+standardize(const ml::Vector &y)
+{
+    double mu = 0.0;
+    for (double v : y)
+        mu += v;
+    mu /= static_cast<double>(y.size());
+    double ss = 0.0;
+    for (double v : y)
+        ss += (v - mu) * (v - mu);
+    const double sd = std::sqrt(ss / static_cast<double>(y.size()));
+    ml::Vector out(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        out[i] = sd > 1e-12 ? (y[i] - mu) / sd : 0.0;
+    return out;
+}
+
+} // namespace
+
+FeatureSelectionResult
+selectFeatures(const std::vector<MellowConfig> &configs,
+               const std::vector<Metrics> &measured,
+               double keepFraction)
+{
+    if (configs.size() != measured.size() || configs.empty())
+        mct_fatal("selectFeatures: bad inputs");
+
+    const ml::Matrix x = compressAll(configs);
+    std::vector<ml::Vector> targets(3, ml::Vector(configs.size()));
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        targets[0][i] = measured[i].ipc;
+        targets[1][i] = measured[i].lifetimeYears;
+        targets[2][i] = measured[i].energyJ;
+    }
+
+    FeatureSelectionResult res;
+    ml::Vector maxAbs(compressedDims, 0.0);
+    for (const auto &y : targets) {
+        ml::LassoParams lp;
+        lp.lambdaFrac = 0.05;
+        ml::LassoRegression lasso(lp);
+        lasso.fit(x, standardize(y));
+        res.coefficients.push_back(lasso.coefficients());
+        for (std::size_t j = 0; j < compressedDims; ++j) {
+            maxAbs[j] = std::max(maxAbs[j],
+                                 std::fabs(lasso.coefficients()[j]));
+        }
+    }
+
+    double overallMax = 0.0;
+    for (double v : maxAbs)
+        overallMax = std::max(overallMax, v);
+    for (std::size_t j = 0; j < compressedDims; ++j) {
+        if (maxAbs[j] >= keepFraction * overallMax && maxAbs[j] > 1e-9)
+            res.primary.push_back(j);
+    }
+    return res;
+}
+
+std::vector<RankedFeature>
+topQuadraticFeatures(const std::vector<MellowConfig> &configs,
+                     const ml::Vector &y, std::size_t k)
+{
+    if (configs.size() != y.size() || configs.empty())
+        mct_fatal("topQuadraticFeatures: bad inputs");
+
+    ml::QuadraticFeatureMap qmap(configDimNames());
+    ml::Matrix x(configs.size(), qmap.outputDim());
+    for (std::size_t r = 0; r < configs.size(); ++r) {
+        const ml::Vector e = qmap.expand(configToVector(configs[r]));
+        for (std::size_t c = 0; c < e.size(); ++c)
+            x(r, c) = e[c];
+    }
+
+    ml::LassoParams lp;
+    lp.lambdaFrac = 0.02;
+    ml::LassoRegression lasso(lp);
+    lasso.fit(x, standardize(y));
+
+    std::vector<std::size_t> order(qmap.outputDim());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        return std::fabs(lasso.coefficients()[a]) >
+               std::fabs(lasso.coefficients()[b]);
+    });
+
+    std::vector<RankedFeature> out;
+    for (std::size_t i = 0; i < std::min(k, order.size()); ++i) {
+        const std::size_t j = order[i];
+        if (std::fabs(lasso.coefficients()[j]) <= 1e-12)
+            break;
+        out.push_back({qmap.name(j), lasso.coefficients()[j]});
+    }
+    return out;
+}
+
+} // namespace mct

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lasso-driven feature analysis (paper Section 4.2 Table 6 and
+ * Section 4.4 Fig 4a): linear-lasso coefficients over the compressed
+ * 5-feature space identify the primary knobs, and quadratic-lasso
+ * weights rank the most effective single knobs and knob pairs per
+ * application.
+ */
+
+#ifndef MCT_MCT_FEATURE_SELECTION_HH
+#define MCT_MCT_FEATURE_SELECTION_HH
+
+#include <string>
+#include <vector>
+
+#include "mct/feature_compressor.hh"
+#include "sim/system.hh"
+
+namespace mct
+{
+
+/** Lasso coefficients per objective over the compressed features. */
+struct FeatureSelectionResult
+{
+    /** coefficients[obj][feature]; obj order: IPC, lifetime, energy. */
+    std::vector<ml::Vector> coefficients;
+
+    /** Features whose influence survives the lasso (indices into
+     *  compressedFeatureNames()). */
+    std::vector<std::size_t> primary;
+};
+
+/**
+ * Fit linear lasso per objective on compressed features (targets are
+ * standardized internally so coefficient magnitudes compare across
+ * objectives).
+ */
+FeatureSelectionResult selectFeatures(
+    const std::vector<MellowConfig> &configs,
+    const std::vector<Metrics> &measured,
+    double keepFraction = 0.15);
+
+/** A named, signed feature weight. */
+struct RankedFeature
+{
+    std::string name;
+    double weight;
+};
+
+/**
+ * Table 6: the top-k quadratic-lasso features for one objective
+ * (positive weight = increases the objective).
+ */
+std::vector<RankedFeature> topQuadraticFeatures(
+    const std::vector<MellowConfig> &configs, const ml::Vector &y,
+    std::size_t k);
+
+} // namespace mct
+
+#endif // MCT_MCT_FEATURE_SELECTION_HH

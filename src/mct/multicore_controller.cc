@@ -1,0 +1,102 @@
+#include "mct/multicore_controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mct/samplers.hh"
+
+namespace mct
+{
+
+namespace
+{
+
+Metrics
+measureMix(const std::vector<std::string> &apps,
+           const MultiCoreParams &mp, const MellowConfig &cfg,
+           InstCount warmup, InstCount measure)
+{
+    MultiCoreSystem sys(apps, mp, cfg);
+    sys.run(warmup);
+    const MultiSnapshot s0 = sys.snapshot();
+    sys.run(measure);
+    const MultiMetrics m = sys.metricsBetween(s0, sys.snapshot());
+    return Metrics{m.geomeanIpc, m.lifetimeYears, m.energyJ};
+}
+
+} // namespace
+
+MultiMctResult
+chooseMultiCoreConfig(const std::vector<std::string> &apps,
+                      const MultiCoreParams &mp,
+                      const MultiMctParams &params)
+{
+    const auto space = enumerateNoQuotaSpace(params.spaceOpts);
+    auto samples = featureBasedSamples(params.seed, params.spaceOpts);
+    if (params.sampleStride > 1) {
+        std::vector<MellowConfig> kept;
+        for (std::size_t i = 0; i < samples.size();
+             i += params.sampleStride)
+            kept.push_back(samples[i]);
+        samples = std::move(kept);
+    }
+    const auto sampleIdx = indicesInSpace(space, samples);
+
+    MultiMctResult res;
+    res.baselineMeasured =
+        measureMix(apps, mp, params.baseline, params.sampleWarmup,
+                   params.sampleMeasure);
+    res.sampled.reserve(samples.size());
+    for (const auto &cfg : samples) {
+        res.sampled.push_back(measureMix(apps, mp, cfg,
+                                         params.sampleWarmup,
+                                         params.sampleMeasure));
+    }
+
+    // Baseline-normalized training targets per objective.
+    TrainData d;
+    d.space = &space;
+    d.sampleIdx = sampleIdx;
+    auto predict = [&](auto pick) {
+        const double base = std::max(pick(res.baselineMeasured),
+                                     1e-12);
+        d.sampleY.clear();
+        for (const auto &m : res.sampled)
+            d.sampleY.push_back(pick(m) / base);
+        ml::Vector out = predictAllConfigs(params.predictor, d);
+        for (auto &v : out)
+            v *= base;
+        return out;
+    };
+    const ml::Vector pIpc =
+        predict([](const Metrics &m) { return m.ipc; });
+    const ml::Vector pLife =
+        predict([](const Metrics &m) { return m.lifetimeYears; });
+    const ml::Vector pEnergy =
+        predict([](const Metrics &m) { return m.energyJ; });
+
+    std::vector<Metrics> predicted(space.size());
+    for (std::size_t i = 0; i < space.size(); ++i)
+        predicted[i] = Metrics{pIpc[i], pLife[i], pEnergy[i]};
+
+    const int idx = chooseOptimal(predicted, params.objective);
+    if (idx >= 0) {
+        res.chosen = space[static_cast<std::size_t>(idx)];
+        res.predicted = predicted[static_cast<std::size_t>(idx)];
+        res.feasible = true;
+    } else {
+        res.chosen = params.baseline;
+        res.predicted = res.baselineMeasured;
+        res.feasible = false;
+    }
+    if (params.wearQuotaFixup) {
+        res.chosen.wearQuota = true;
+        res.chosen.wearQuotaTarget = std::clamp(
+            params.objective.minLifetimeYears, 4.0, 10.0);
+    }
+    if (!res.chosen.valid())
+        mct_panic("chooseMultiCoreConfig produced invalid config");
+    return res;
+}
+
+} // namespace mct

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MCT selection for multi-program workloads (paper Section 6.2.5).
+ *
+ * On the 4-core machine the design space cannot be brute-forced (the
+ * paper calls it computationally intractable), but MCT still works:
+ * sample the 77 feature-guided configurations, predict the geomean-
+ * IPC / lifetime / energy of the whole space, optimize under the
+ * lifetime floor, and apply the wear-quota fixup. Sample objectives
+ * come from short dedicated runs of the mix under each configuration
+ * (the quasi-steady stand-in for the paper's long sampling windows;
+ * see MctParams::steadyMeasure for the single-core analogue).
+ */
+
+#ifndef MCT_MCT_MULTICORE_CONTROLLER_HH
+#define MCT_MCT_MULTICORE_CONTROLLER_HH
+
+#include <string>
+#include <vector>
+
+#include "mct/config_space.hh"
+#include "mct/optimizer.hh"
+#include "mct/predictors.hh"
+#include "sim/multicore.hh"
+
+namespace mct
+{
+
+/** Selection parameters for the multi-core machine. */
+struct MultiMctParams
+{
+    PredictorKind predictor = PredictorKind::GradientBoosting;
+    LifetimeObjective objective{8.0, 0.95, 1.15};
+    MellowConfig baseline = staticBaselineConfig();
+    SpaceOptions spaceOpts{};
+
+    /** Per-core warm-up before each sample measurement. */
+    InstCount sampleWarmup = 60 * 1000;
+
+    /** Per-core instructions measured per sample. */
+    InstCount sampleMeasure = 100 * 1000;
+
+    /**
+     * Take every k-th feature-guided sample (multi-core sample
+     * evaluations are expensive; the latency/cancellation grid stays
+     * covered at stride 3, which keeps 26 of the 77 samples).
+     */
+    unsigned sampleStride = 1;
+
+    /** Apply the Section 5.3 wear-quota fixup to the choice. */
+    bool wearQuotaFixup = true;
+
+    std::uint64_t seed = 42;
+};
+
+/** Outcome of one multi-core selection round. */
+struct MultiMctResult
+{
+    MellowConfig chosen;
+    Metrics predicted;       ///< at the chosen configuration
+    bool feasible = true;    ///< lifetime floor satisfiable per model
+    Metrics baselineMeasured;
+    std::vector<Metrics> sampled; ///< per feature-guided sample
+};
+
+/**
+ * Run the sampling + prediction + constrained-optimization round for
+ * a 4-program mix and return the chosen configuration.
+ */
+MultiMctResult chooseMultiCoreConfig(
+    const std::vector<std::string> &apps, const MultiCoreParams &mp,
+    const MultiMctParams &params);
+
+} // namespace mct
+
+#endif // MCT_MCT_MULTICORE_CONTROLLER_HH

@@ -1,0 +1,98 @@
+#include "mct/optimizer.hh"
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+int
+chooseOptimal(const std::vector<Metrics> &predicted,
+              const LifetimeObjective &obj)
+{
+    if (predicted.empty())
+        mct_fatal("chooseOptimal: no predictions");
+
+    const double floor = obj.minLifetimeYears * obj.safetyMargin;
+
+    // Pass 1: P* among lifetime-feasible configurations.
+    double bestIpc = -1.0;
+    for (const auto &m : predicted) {
+        if (m.lifetimeYears >= floor)
+            bestIpc = std::max(bestIpc, m.ipc);
+    }
+    if (bestIpc < 0.0)
+        return -1;
+
+    // Pass 2: minimal energy among those within ipcFraction of P*.
+    int best = -1;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const Metrics &m = predicted[i];
+        if (m.lifetimeYears < floor)
+            continue;
+        if (m.ipc < obj.ipcFraction * bestIpc)
+            continue;
+        if (best < 0 || m.energyJ < predicted[best].energyJ)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+int
+chooseMostDurable(const std::vector<Metrics> &predicted)
+{
+    if (predicted.empty())
+        mct_fatal("chooseMostDurable: no predictions");
+    int best = 0;
+    for (std::size_t i = 1; i < predicted.size(); ++i) {
+        if (predicted[i].lifetimeYears >
+            predicted[best].lifetimeYears) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+int
+chooseForPerfTarget(const std::vector<Metrics> &predicted,
+                    const PerfTargetObjective &obj)
+{
+    if (predicted.empty())
+        mct_fatal("chooseForPerfTarget: no predictions");
+    int best = -1;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        if (predicted[i].ipc < obj.minIpc)
+            continue;
+        if (best < 0 || predicted[i].energyJ < predicted[best].energyJ)
+            best = static_cast<int>(i);
+    }
+    if (best >= 0)
+        return best;
+    // Infeasible: deliver as much performance as possible.
+    best = 0;
+    for (std::size_t i = 1; i < predicted.size(); ++i) {
+        if (predicted[i].ipc > predicted[best].ipc)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+int
+chooseForEnergyCap(const std::vector<Metrics> &predicted,
+                   const EnergyCapObjective &obj)
+{
+    if (predicted.empty())
+        mct_fatal("chooseForEnergyCap: no predictions");
+    int best = -1;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const Metrics &m = predicted[i];
+        if (m.energyJ > obj.maxEnergyJ)
+            continue;
+        if (m.lifetimeYears < obj.minLifetimeYears)
+            continue;
+        if (best < 0 || m.ipc > predicted[best].ipc)
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+} // namespace mct

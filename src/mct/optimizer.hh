@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Constrained configuration selection (paper Section 3.2):
+ *
+ *   minimize    E_i
+ *   subject to  T_i >= t            (lifetime floor)
+ *               P_i >= 0.95 * P*    (near-maximal IPC)
+ *
+ * plus the alternative user-defined objectives Section 3.2 sketches
+ * for embedded systems and data centers, which swap the roles of the
+ * three metrics.
+ */
+
+#ifndef MCT_MCT_OPTIMIZER_HH
+#define MCT_MCT_OPTIMIZER_HH
+
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace mct
+{
+
+/** The paper's default objective. */
+struct LifetimeObjective
+{
+    double minLifetimeYears = 8.0;
+    double ipcFraction = 0.95;
+
+    /**
+     * Feasibility is tested against minLifetimeYears * safetyMargin.
+     * Lifetime estimates from finite windows are biased high (the
+     * cold-cache transient under-counts writes), and configurations
+     * selected exactly at the floor force the wear-quota fixup into
+     * heavy throttling; a margin keeps the choice clear of both.
+     * 1.0 reproduces the paper's literal constraint.
+     */
+    double safetyMargin = 1.0;
+};
+
+/** Data-center objective: hold performance, prefer low energy. */
+struct PerfTargetObjective
+{
+    double minIpc = 0.0;
+};
+
+/** Embedded objective: cap energy, prefer performance. */
+struct EnergyCapObjective
+{
+    double maxEnergyJ = 0.0;
+    double minLifetimeYears = 0.0;
+};
+
+/**
+ * Index of the optimal configuration under the default objective, or
+ * -1 when no configuration satisfies the lifetime floor.
+ */
+int chooseOptimal(const std::vector<Metrics> &predicted,
+                  const LifetimeObjective &obj);
+
+/**
+ * Index of the configuration with the longest predicted lifetime
+ * (the fallback when nothing is feasible).
+ */
+int chooseMostDurable(const std::vector<Metrics> &predicted);
+
+/** Data-center selection: min energy s.t. IPC >= target; falls back
+ *  to max IPC when infeasible. */
+int chooseForPerfTarget(const std::vector<Metrics> &predicted,
+                        const PerfTargetObjective &obj);
+
+/** Embedded selection: max IPC s.t. energy <= cap and lifetime >=
+ *  floor; -1 when infeasible. */
+int chooseForEnergyCap(const std::vector<Metrics> &predicted,
+                       const EnergyCapObjective &obj);
+
+} // namespace mct
+
+#endif // MCT_MCT_OPTIMIZER_HH

@@ -1,0 +1,163 @@
+#include "mct/predictors.hh"
+
+#include "common/logging.hh"
+#include "ml/gradient_boosting.hh"
+#include "ml/hierarchical_bayes.hh"
+#include "ml/lasso.hh"
+#include "ml/linear_regression.hh"
+#include "ml/metrics.hh"
+#include "ml/offline_predictor.hh"
+#include "ml/quadratic_features.hh"
+
+namespace mct
+{
+
+std::string
+toString(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Offline:
+        return "offline";
+      case PredictorKind::Linear:
+        return "linear model, no regularization";
+      case PredictorKind::LinearLasso:
+        return "linear model, lasso regularization";
+      case PredictorKind::Quadratic:
+        return "quadratic model, no regularization";
+      case PredictorKind::QuadraticLasso:
+        return "quadratic model, lasso regularization";
+      case PredictorKind::GradientBoosting:
+        return "gradient boosting";
+      case PredictorKind::HierBayes:
+        return "hierarchical Bayesian model";
+    }
+    return "unknown";
+}
+
+const std::vector<PredictorKind> &
+allPredictorKinds()
+{
+    static const std::vector<PredictorKind> kinds = {
+        PredictorKind::Offline,
+        PredictorKind::Linear,
+        PredictorKind::LinearLasso,
+        PredictorKind::Quadratic,
+        PredictorKind::QuadraticLasso,
+        PredictorKind::GradientBoosting,
+        PredictorKind::HierBayes,
+    };
+    return kinds;
+}
+
+bool
+needsOfflineData(PredictorKind kind)
+{
+    return kind == PredictorKind::Offline ||
+           kind == PredictorKind::HierBayes;
+}
+
+ml::Matrix
+encodeSpace(const std::vector<MellowConfig> &space)
+{
+    ml::Matrix x(space.size(), configDims);
+    for (std::size_t r = 0; r < space.size(); ++r) {
+        const ml::Vector v = configToVector(space[r]);
+        for (std::size_t c = 0; c < configDims; ++c)
+            x(r, c) = v[c];
+    }
+    return x;
+}
+
+namespace
+{
+
+ml::Matrix
+gatherRows(const ml::Matrix &x, const std::vector<std::size_t> &idx)
+{
+    ml::Matrix out(idx.size(), x.cols());
+    for (std::size_t r = 0; r < idx.size(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            out(r, c) = x(idx[r], c);
+    return out;
+}
+
+void
+validate(const TrainData &data, PredictorKind kind)
+{
+    if (!data.space || data.space->empty())
+        mct_fatal("predictAllConfigs: no configuration space");
+    if (!needsOfflineData(kind) &&
+        (data.sampleIdx.size() != data.sampleY.size() ||
+         data.sampleIdx.empty())) {
+        mct_fatal("predictAllConfigs: bad samples");
+    }
+    if (needsOfflineData(kind)) {
+        if (!data.library)
+            mct_fatal(toString(kind), " needs offline library data");
+        if (data.library->cols() != data.space->size())
+            mct_fatal("library column count must match the space");
+    }
+    for (auto i : data.sampleIdx) {
+        if (i >= data.space->size())
+            mct_fatal("sample index out of range");
+    }
+}
+
+} // namespace
+
+ml::Vector
+predictAllConfigs(PredictorKind kind, const TrainData &data)
+{
+    validate(data, kind);
+    const auto &space = *data.space;
+
+    switch (kind) {
+      case PredictorKind::Offline: {
+        ml::OfflinePredictor model;
+        model.fit(*data.library);
+        return model.predictAll();
+      }
+      case PredictorKind::HierBayes: {
+        ml::HierarchicalBayesPredictor model;
+        model.fitOffline(*data.library);
+        return model.infer(data.sampleIdx, data.sampleY);
+      }
+      case PredictorKind::Linear:
+      case PredictorKind::LinearLasso: {
+        const ml::Matrix xAll = encodeSpace(space);
+        const ml::Matrix xs = gatherRows(xAll, data.sampleIdx);
+        if (kind == PredictorKind::Linear) {
+            ml::LinearRegression model(0.0);
+            model.fit(xs, data.sampleY);
+            return model.predictAll(xAll);
+        }
+        ml::LassoRegression model;
+        model.fit(xs, data.sampleY);
+        return model.predictAll(xAll);
+      }
+      case PredictorKind::Quadratic:
+      case PredictorKind::QuadraticLasso: {
+        const ml::QuadraticFeatureMap qmap(configDimNames());
+        const ml::Matrix xAll = qmap.expandAll(encodeSpace(space));
+        const ml::Matrix xs = gatherRows(xAll, data.sampleIdx);
+        if (kind == PredictorKind::Quadratic) {
+            ml::LinearRegression model(0.0);
+            model.fit(xs, data.sampleY);
+            return model.predictAll(xAll);
+        }
+        ml::LassoRegression model;
+        model.fit(xs, data.sampleY);
+        return model.predictAll(xAll);
+      }
+      case PredictorKind::GradientBoosting: {
+        const ml::Matrix xAll = encodeSpace(space);
+        const ml::Matrix xs = gatherRows(xAll, data.sampleIdx);
+        ml::GradientBoosting model;
+        model.fit(xs, data.sampleY);
+        return model.predictAll(xAll);
+      }
+    }
+    mct_panic("unreachable predictor kind");
+}
+
+} // namespace mct

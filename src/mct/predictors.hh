@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unified interface over the predictor family the paper compares
+ * (Table 7, Fig 2): offline averaging, linear and quadratic
+ * regression with and without lasso, gradient boosting, and the
+ * hierarchical Bayesian model. Each predictor consumes measurements
+ * of a few sampled configurations and produces predictions for every
+ * configuration in the space.
+ */
+
+#ifndef MCT_MCT_PREDICTORS_HH
+#define MCT_MCT_PREDICTORS_HH
+
+#include <string>
+#include <vector>
+
+#include "mct/config.hh"
+#include "ml/linalg.hh"
+
+namespace mct
+{
+
+/** The models of Table 7. */
+enum class PredictorKind
+{
+    Offline,
+    Linear,
+    LinearLasso,
+    Quadratic,
+    QuadraticLasso,
+    GradientBoosting,
+    HierBayes,
+};
+
+/** Table 7 row label. */
+std::string toString(PredictorKind kind);
+
+/** All predictor kinds in Table 7 order. */
+const std::vector<PredictorKind> &allPredictorKinds();
+
+/** Training inputs for one objective. */
+struct TrainData
+{
+    /** The full configuration space being predicted. */
+    const std::vector<MellowConfig> *space = nullptr;
+
+    /** Indices (into the space) of the sampled configurations. */
+    std::vector<std::size_t> sampleIdx;
+
+    /** Measured objective at each sampled configuration. */
+    ml::Vector sampleY;
+
+    /**
+     * Offline library for Offline / HierBayes: one row per training
+     * application, one column per space configuration.
+     */
+    const ml::Matrix *library = nullptr;
+};
+
+/**
+ * Predict the objective for every configuration in the space.
+ */
+ml::Vector predictAllConfigs(PredictorKind kind, const TrainData &data);
+
+/** True when the predictor requires offline (library) data. */
+bool needsOfflineData(PredictorKind kind);
+
+/** Encode the whole space as an Eq. 1 design matrix. */
+ml::Matrix encodeSpace(const std::vector<MellowConfig> &space);
+
+} // namespace mct
+
+#endif // MCT_MCT_PREDICTORS_HH

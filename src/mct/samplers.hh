@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sample-configuration selection (paper Section 4.4, Fig 4b).
+ *
+ * Feature-based sampling grids the three primary features uniformly
+ * (fast_latency, slow_latency, cancellation) and randomizes the rest:
+ * 63 slow-write samples (21 latency pairs x 3 cancellation pairs)
+ * plus 14 fast-only samples (7 latencies x 2 cancellation choices)
+ * = 77 samples, the count the paper reports. Random sampling draws
+ * uniformly from a supplied space.
+ */
+
+#ifndef MCT_MCT_SAMPLERS_HH
+#define MCT_MCT_SAMPLERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memctrl/mellow_config.hh"
+#include "mct/config_space.hh"
+
+namespace mct
+{
+
+/**
+ * The 77 feature-guided samples. Wear quota is always off (it is
+ * excluded from learning, Section 4.4).
+ */
+std::vector<MellowConfig> featureBasedSamples(
+    std::uint64_t seed, const SpaceOptions &opts = {});
+
+/** @p n configurations drawn uniformly without replacement. */
+std::vector<MellowConfig> randomSamples(
+    const std::vector<MellowConfig> &space, std::size_t n,
+    std::uint64_t seed);
+
+/**
+ * Indices of @p samples within @p space (fatal if a sample is
+ * missing; used to align sampled measurements with library columns).
+ */
+std::vector<std::size_t> indicesInSpace(
+    const std::vector<MellowConfig> &space,
+    const std::vector<MellowConfig> &samples);
+
+} // namespace mct
+
+#endif // MCT_MCT_SAMPLERS_HH

@@ -1,0 +1,22 @@
+#include "memctrl/request.hh"
+
+namespace mct
+{
+
+std::string
+toString(ReqSource source)
+{
+    switch (source) {
+      case ReqSource::Demand:
+        return "demand";
+      case ReqSource::Writeback:
+        return "writeback";
+      case ReqSource::Eager:
+        return "eager";
+      case ReqSource::Scrub:
+        return "scrub";
+    }
+    return "unknown";
+}
+
+} // namespace mct

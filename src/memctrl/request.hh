@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Memory requests exchanged between the cache hierarchy / CPU and the
+ * NVM memory controller.
+ */
+
+#ifndef MCT_MEMCTRL_REQUEST_HH
+#define MCT_MEMCTRL_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mct
+{
+
+/** Where a request originated; determines queue and priority. */
+enum class ReqSource
+{
+    Demand,    ///< Demand read miss (read queue, highest priority).
+    Writeback, ///< LLC eviction writeback (write queue).
+    Eager,     ///< Eager mellow writeback (eager queue, lowest).
+    Scrub,     ///< Retention / disturbance refresh write (forced).
+};
+
+/** Human-readable name of a request source. */
+std::string toString(ReqSource source);
+
+/**
+ * One memory request as tracked by the controller.
+ */
+struct Request
+{
+    /** Line-aligned physical address. */
+    Addr addr = 0;
+
+    /** True for writes (Writeback and Eager sources). */
+    bool isWrite = false;
+
+    /** Originating agent. */
+    ReqSource source = ReqSource::Demand;
+
+    /** Tick the request entered the controller. */
+    Tick arrival = 0;
+
+    /** Caller-chosen identifier for read completions. */
+    std::uint64_t id = 0;
+
+    /** Issuing core (used by the multi-core system). */
+    unsigned coreId = 0;
+
+    /** Decoded bank (filled by the controller on submit). */
+    unsigned bank = 0;
+
+    /** Decoded row within the bank. */
+    std::uint64_t row = 0;
+};
+
+} // namespace mct
+
+#endif // MCT_MEMCTRL_REQUEST_HH

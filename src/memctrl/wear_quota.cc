@@ -1,0 +1,54 @@
+#include "memctrl/wear_quota.hh"
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+WearQuota::WearQuota(Tick sliceTicks, double totalWearCapacity)
+    : slice(sliceTicks), capacity(totalWearCapacity)
+{
+    if (slice == 0)
+        mct_fatal("WearQuota: slice length must be positive");
+    if (capacity <= 0.0)
+        mct_fatal("WearQuota: wear capacity must be positive");
+}
+
+void
+WearQuota::configure(bool enabled, double targetYears, Tick now,
+                     double currentWear)
+{
+    isEnabled = enabled;
+    isRestricted = false;
+    armTick = now;
+    armWear = currentWear;
+    sliceStart = now;
+    if (enabled) {
+        if (targetYears <= 0.0)
+            mct_fatal("WearQuota: target lifetime must be positive");
+        ratePerSec = capacity / (targetYears * secondsPerYear);
+    } else {
+        ratePerSec = 0.0;
+    }
+}
+
+void
+WearQuota::update(Tick now, double currentWear)
+{
+    if (!isEnabled || now < sliceStart + slice)
+        return;
+    // We only re-evaluate at slice boundaries; catch up in whole
+    // slices (arithmetically, so long idle gaps stay O(1)).
+    sliceStart += ((now - sliceStart) / slice) * slice;
+    const double elapsedSec =
+        static_cast<double>(sliceStart - armTick) /
+        static_cast<double>(tickSec);
+    const double allowed = ratePerSec * elapsedSec;
+    const double used = currentWear - armWear;
+    const bool over = used > allowed;
+    if (over && !isRestricted)
+        ++nRestricted;
+    isRestricted = over;
+}
+
+} // namespace mct

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Wear Quota (paper Section 3.1, from Mellow Writes ISCA'16).
+ *
+ * Execution is divided into small time slices and each slice is
+ * granted a wear budget consistent with the target lifetime. If, at a
+ * slice boundary, the cumulative wear since the quota was armed
+ * exceeds the cumulative budget, the entire next slice is restricted:
+ * every write is issued with the slowest (4x) latency and write
+ * cancellation is enforced so reads are not penalized.
+ */
+
+#ifndef MCT_MEMCTRL_WEAR_QUOTA_HH
+#define MCT_MEMCTRL_WEAR_QUOTA_HH
+
+#include "common/types.hh"
+
+namespace mct
+{
+
+/**
+ * Tracks the per-slice wear budget and the restricted/unrestricted
+ * state machine.
+ */
+class WearQuota
+{
+  public:
+    /**
+     * @param sliceTicks Length of one quota slice.
+     * @param totalWearCapacity Fast-write-equivalent wear the whole
+     *        device can absorb (sum over banks, after leveling
+     *        efficiency).
+     */
+    WearQuota(Tick sliceTicks, double totalWearCapacity);
+
+    /**
+     * Arm or disarm the quota. Wear accumulated before arming does not
+     * count against the budget.
+     *
+     * @param enabled Whether the technique is active.
+     * @param targetYears Target lifetime used to size the budget.
+     * @param now Current tick.
+     * @param currentWear Device total wear at this instant.
+     */
+    void configure(bool enabled, double targetYears, Tick now,
+                   double currentWear);
+
+    /**
+     * Advance the slice state machine to @p now. Called by the
+     * controller before making issue decisions.
+     */
+    void update(Tick now, double currentWear);
+
+    /** True while the current slice is restricted to 4x writes. */
+    bool restricted() const { return isRestricted; }
+
+    /** True when the technique is armed. */
+    bool enabled() const { return isEnabled; }
+
+    /** Number of restricted slices entered so far (statistics). */
+    std::uint64_t restrictedSlices() const { return nRestricted; }
+
+    /** Allowed wear per second for the configured target. */
+    double budgetRate() const { return ratePerSec; }
+
+  private:
+    Tick slice;
+    double capacity;
+    bool isEnabled = false;
+    bool isRestricted = false;
+    Tick armTick = 0;
+    double armWear = 0.0;
+    Tick sliceStart = 0;
+    double ratePerSec = 0.0;
+    std::uint64_t nRestricted = 0;
+};
+
+} // namespace mct
+
+#endif // MCT_MEMCTRL_WEAR_QUOTA_HH

@@ -1,0 +1,85 @@
+#include "ml/gradient_boosting.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+void
+GradientBoosting::fit(const Matrix &x, const Vector &y)
+{
+    const std::size_t n = x.rows();
+    if (n == 0 || y.size() != n)
+        mct_fatal("GradientBoosting::fit: bad shapes");
+    trees.clear();
+
+    base = 0.0;
+    for (double v : y)
+        base += v;
+    base /= static_cast<double>(n);
+
+    Vector residual(n);
+    Vector current(n, base);
+    Rng rng(p.seed);
+
+    const std::size_t sampleN = std::max<std::size_t>(
+        2, static_cast<std::size_t>(p.subsample *
+                                    static_cast<double>(n)));
+    std::vector<std::size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), 0);
+
+    for (unsigned m = 0; m < p.nTrees; ++m) {
+        for (std::size_t i = 0; i < n; ++i)
+            residual[i] = y[i] - current[i];
+
+        // Stochastic subsample (Friedman 2002) decorrelates stages.
+        std::vector<std::size_t> idx;
+        if (sampleN < n) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t j =
+                    i + static_cast<std::size_t>(rng.below(n - i));
+                std::swap(pool[i], pool[j]);
+            }
+            idx.assign(pool.begin(),
+                       pool.begin() + static_cast<long>(sampleN));
+        }
+
+        RegressionTree tree(p.tree);
+        tree.fit(x, residual, idx);
+
+        for (std::size_t i = 0; i < n; ++i) {
+            Vector row(x.cols());
+            for (std::size_t c = 0; c < x.cols(); ++c)
+                row[c] = x(i, c);
+            current[i] += p.shrinkage * tree.predict(row);
+        }
+        trees.push_back(std::move(tree));
+    }
+}
+
+double
+GradientBoosting::predict(const Vector &x) const
+{
+    double acc = base;
+    for (const auto &tree : trees)
+        acc += p.shrinkage * tree.predict(x);
+    return acc;
+}
+
+Vector
+GradientBoosting::predictAll(const Matrix &x) const
+{
+    Vector out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        Vector row(x.cols());
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            row[c] = x(r, c);
+        out[r] = predict(row);
+    }
+    return out;
+}
+
+} // namespace mct::ml

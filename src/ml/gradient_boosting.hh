@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Stochastic gradient boosting of regression trees (Friedman 2002;
+ * paper Section 4.3). With least-squares loss each stage fits a small
+ * tree to the current residuals and is added with shrinkage.
+ */
+
+#ifndef MCT_ML_GRADIENT_BOOSTING_HH
+#define MCT_ML_GRADIENT_BOOSTING_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "ml/regression_tree.hh"
+
+namespace mct::ml
+{
+
+/** Boosting hyperparameters. */
+struct BoostParams
+{
+    unsigned nTrees = 120;
+    double shrinkage = 0.1;
+    double subsample = 0.8;
+    TreeParams tree{3, 2};
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Gradient-boosted regression-tree ensemble.
+ */
+class GradientBoosting
+{
+  public:
+    explicit GradientBoosting(const BoostParams &params = {})
+        : p(params)
+    {}
+
+    void fit(const Matrix &x, const Vector &y);
+
+    double predict(const Vector &x) const;
+    Vector predictAll(const Matrix &x) const;
+
+    /** Trees actually grown. */
+    std::size_t size() const { return trees.size(); }
+
+  private:
+    BoostParams p;
+    double base = 0.0;
+    std::vector<RegressionTree> trees;
+};
+
+} // namespace mct::ml
+
+#endif // MCT_ML_GRADIENT_BOOSTING_HH

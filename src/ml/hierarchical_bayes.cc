@@ -1,0 +1,127 @@
+#include "ml/hierarchical_bayes.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace mct::ml
+{
+
+void
+HierarchicalBayesPredictor::fitOffline(const Matrix &library)
+{
+    const std::size_t nApps = library.rows();
+    const std::size_t nCfg = library.cols();
+    if (nApps == 0 || nCfg == 0)
+        mct_fatal("HierarchicalBayesPredictor: empty library");
+    const unsigned L = params.latentDim;
+
+    // Center each configuration column so factors model structure,
+    // not the global mean.
+    colMeans.assign(nCfg, 0.0);
+    for (std::size_t a = 0; a < nApps; ++a)
+        for (std::size_t c = 0; c < nCfg; ++c)
+            colMeans[c] += library(a, c);
+    for (auto &m : colMeans)
+        m /= static_cast<double>(nApps);
+
+    Matrix y(nApps, nCfg);
+    for (std::size_t a = 0; a < nApps; ++a)
+        for (std::size_t c = 0; c < nCfg; ++c)
+            y(a, c) = library(a, c) - colMeans[c];
+
+    // Alternating least squares for Y ~ W H: W is nApps x L,
+    // H is L x nCfg. Random init, ridge-regularized updates.
+    Rng rng(params.seed);
+    Matrix w(nApps, L);
+    h = Matrix(L, nCfg);
+    for (std::size_t a = 0; a < nApps; ++a)
+        for (unsigned l = 0; l < L; ++l)
+            w(a, l) = 0.1 * rng.gaussian();
+    for (unsigned l = 0; l < L; ++l)
+        for (std::size_t c = 0; c < nCfg; ++c)
+            h(l, c) = 0.1 * rng.gaussian();
+
+    const double ridge = params.priorPrecision;
+    for (unsigned it = 0; it < params.emIters; ++it) {
+        // Update H columns: h_c = (W^T W + rI)^{-1} W^T y_c.
+        Matrix g(L, L);
+        for (std::size_t a = 0; a < nApps; ++a)
+            for (unsigned i = 0; i < L; ++i)
+                for (unsigned j = 0; j < L; ++j)
+                    g(i, j) += w(a, i) * w(a, j);
+        for (unsigned i = 0; i < L; ++i)
+            g(i, i) += ridge;
+        for (std::size_t c = 0; c < nCfg; ++c) {
+            Vector rhs(L, 0.0);
+            for (std::size_t a = 0; a < nApps; ++a)
+                for (unsigned i = 0; i < L; ++i)
+                    rhs[i] += w(a, i) * y(a, c);
+            const Vector hc = choleskySolve(g, rhs);
+            for (unsigned i = 0; i < L; ++i)
+                h(i, c) = hc[i];
+        }
+        // Update W rows: w_a = (H H^T + rI)^{-1} H y_a.
+        Matrix g2(L, L);
+        for (std::size_t c = 0; c < nCfg; ++c)
+            for (unsigned i = 0; i < L; ++i)
+                for (unsigned j = 0; j < L; ++j)
+                    g2(i, j) += h(i, c) * h(j, c);
+        for (unsigned i = 0; i < L; ++i)
+            g2(i, i) += ridge;
+        for (std::size_t a = 0; a < nApps; ++a) {
+            Vector rhs(L, 0.0);
+            for (std::size_t c = 0; c < nCfg; ++c)
+                for (unsigned i = 0; i < L; ++i)
+                    rhs[i] += h(i, c) * y(a, c);
+            const Vector wa = choleskySolve(g2, rhs);
+            for (unsigned i = 0; i < L; ++i)
+                w(a, i) = wa[i];
+        }
+    }
+    fitted = true;
+}
+
+Vector
+HierarchicalBayesPredictor::infer(
+    const std::vector<std::size_t> &observedIdx,
+    const Vector &observedY) const
+{
+    if (!fitted)
+        mct_fatal("HierarchicalBayesPredictor::infer before fitOffline");
+    if (observedIdx.size() != observedY.size() || observedIdx.empty())
+        mct_fatal("HierarchicalBayesPredictor::infer: bad observations");
+    const unsigned L = params.latentDim;
+    const std::size_t nCfg = h.cols();
+
+    // Posterior mean of the new application's loadings:
+    // (H_S H_S^T / noise + prior I)^{-1} H_S (y_S - mean_S) / noise.
+    Matrix a(L, L);
+    Vector rhs(L, 0.0);
+    for (std::size_t k = 0; k < observedIdx.size(); ++k) {
+        const std::size_t c = observedIdx[k];
+        if (c >= nCfg)
+            mct_fatal("HierarchicalBayesPredictor: index out of range");
+        const double resid = observedY[k] - colMeans[c];
+        for (unsigned i = 0; i < L; ++i) {
+            rhs[i] += h(i, c) * resid / params.noise;
+            for (unsigned j = 0; j < L; ++j)
+                a(i, j) += h(i, c) * h(j, c) / params.noise;
+        }
+    }
+    for (unsigned i = 0; i < L; ++i)
+        a(i, i) += params.priorPrecision;
+    const Vector loadings = choleskySolve(std::move(a), rhs);
+
+    Vector out(nCfg, 0.0);
+    for (std::size_t c = 0; c < nCfg; ++c) {
+        double acc = colMeans[c];
+        for (unsigned i = 0; i < L; ++i)
+            acc += loadings[i] * h(i, c);
+        out[c] = acc;
+    }
+    return out;
+}
+
+} // namespace mct::ml

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hierarchical Bayesian predictor in the spirit of LEO (Mishra et al.
+ * ASPLOS'15), the model the paper evaluates in Table 7 / Fig 2.
+ *
+ * Instead of learning a direct input->output function, the model
+ * assumes latent structure shared across applications: the offline
+ * library (applications x configurations) is factorized into latent
+ * configuration factors by alternating least squares (EM for a
+ * probabilistic matrix factorization). A new application observes a
+ * few configurations; its latent loadings get a Gaussian posterior
+ * whose mean is ridge-regressed against the factor matrix, and
+ * predictions for all configurations follow. Accuracy therefore
+ * depends on the training library containing applications that
+ * correlate with the new one — exactly the property the paper
+ * discusses.
+ */
+
+#ifndef MCT_ML_HIERARCHICAL_BAYES_HH
+#define MCT_ML_HIERARCHICAL_BAYES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/linalg.hh"
+
+namespace mct::ml
+{
+
+/** Hyperparameters of the hierarchical model. */
+struct HierBayesParams
+{
+    /** Latent dimensionality (shared factors across applications). */
+    unsigned latentDim = 6;
+
+    /** ALS/EM sweeps during offline factorization. */
+    unsigned emIters = 60;
+
+    /** Gaussian prior precision on loadings (ridge strength). */
+    double priorPrecision = 1e-3;
+
+    /** Observation noise variance. */
+    double noise = 1e-4;
+
+    std::uint64_t seed = 11;
+};
+
+/**
+ * Offline factorization plus per-application posterior inference.
+ */
+class HierarchicalBayesPredictor
+{
+  public:
+    explicit HierarchicalBayesPredictor(const HierBayesParams &p = {})
+        : params(p)
+    {}
+
+    /**
+     * Factorize the offline library (rows: training applications,
+     * cols: configurations). Must be called before infer().
+     */
+    void fitOffline(const Matrix &library);
+
+    /**
+     * Condition on the new application's observed configurations and
+     * return predictions for every configuration column.
+     *
+     * @param observedIdx Column indices that were sampled online.
+     * @param observedY Measured values at those columns.
+     */
+    Vector infer(const std::vector<std::size_t> &observedIdx,
+                 const Vector &observedY) const;
+
+    /** Latent factors (latentDim x nConfigs) after fitOffline. */
+    const Matrix &factors() const { return h; }
+
+  private:
+    HierBayesParams params;
+    Matrix h;          // latentDim x nConfigs
+    Vector colMeans;   // per-configuration mean across library apps
+    bool fitted = false;
+};
+
+} // namespace mct::ml
+
+#endif // MCT_ML_HIERARCHICAL_BAYES_HH

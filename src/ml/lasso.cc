@@ -1,0 +1,126 @@
+#include "ml/lasso.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+namespace
+{
+
+double
+softThreshold(double z, double gamma)
+{
+    if (z > gamma)
+        return z - gamma;
+    if (z < -gamma)
+        return z + gamma;
+    return 0.0;
+}
+
+} // namespace
+
+void
+LassoRegression::fit(const Matrix &xRaw, const Vector &y)
+{
+    const std::size_t n = xRaw.rows();
+    const std::size_t d = xRaw.cols();
+    if (n == 0 || y.size() != n)
+        mct_fatal("LassoRegression::fit: bad shapes");
+
+    const Matrix x = scaler.fitTransform(xRaw);
+
+    double yMean = 0.0;
+    for (double v : y)
+        yMean += v;
+    yMean /= static_cast<double>(n);
+    b = yMean;
+
+    // lambda_max = max_j |x_j . yc| / n zeroes all coefficients.
+    Vector yc(n);
+    for (std::size_t r = 0; r < n; ++r)
+        yc[r] = y[r] - yMean;
+    double lambdaMax = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+        double corr = 0.0;
+        for (std::size_t r = 0; r < n; ++r)
+            corr += x(r, j) * yc[r];
+        lambdaMax = std::max(lambdaMax,
+                             std::fabs(corr) / static_cast<double>(n));
+    }
+    const double lambda = p.lambdaFrac * lambdaMax;
+
+    // Column squared norms (columns are standardized: ~n each, but
+    // compute exactly for constant-column robustness).
+    Vector colSq(d, 0.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t j = 0; j < d; ++j)
+            colSq[j] += x(r, j) * x(r, j);
+
+    w.assign(d, 0.0);
+    Vector residual = yc; // y - X w with w = 0
+
+    iters = 0;
+    for (unsigned it = 0; it < p.maxIters; ++it) {
+        double maxDelta = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+            if (colSq[j] <= 1e-12)
+                continue;
+            // rho = x_j . (residual + x_j w_j)
+            double rho = 0.0;
+            for (std::size_t r = 0; r < n; ++r)
+                rho += x(r, j) * residual[r];
+            rho += colSq[j] * w[j];
+            const double newW =
+                softThreshold(rho / static_cast<double>(n),
+                              lambda) /
+                (colSq[j] / static_cast<double>(n));
+            const double delta = newW - w[j];
+            if (delta != 0.0) {
+                for (std::size_t r = 0; r < n; ++r)
+                    residual[r] -= x(r, j) * delta;
+                w[j] = newW;
+                maxDelta = std::max(maxDelta, std::fabs(delta));
+            }
+        }
+        ++iters;
+        if (maxDelta < p.tol)
+            break;
+    }
+}
+
+double
+LassoRegression::predict(const Vector &xRaw) const
+{
+    const Vector x = scaler.transformRow(xRaw);
+    return dot(w, x) + b;
+}
+
+Vector
+LassoRegression::predictAll(const Matrix &xRaw) const
+{
+    Vector out(xRaw.rows());
+    for (std::size_t r = 0; r < xRaw.rows(); ++r) {
+        Vector row(xRaw.cols());
+        for (std::size_t c = 0; c < xRaw.cols(); ++c)
+            row[c] = xRaw(r, c);
+        out[r] = predict(row);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+LassoRegression::selectedFeatures(double eps) const
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t j = 0; j < w.size(); ++j) {
+        if (std::fabs(w[j]) > eps)
+            idx.push_back(j);
+    }
+    return idx;
+}
+
+} // namespace mct::ml

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lasso (L1-regularized least squares) via cyclic coordinate descent
+ * with soft thresholding (Tibshirani 1996; paper Section 4.3). Lasso
+ * plays two roles in MCT: it regularizes the quadratic predictor so
+ * it converges from few samples, and its zeroed coefficients perform
+ * the feature selection of Section 4.4 / Fig 4a.
+ */
+
+#ifndef MCT_ML_LASSO_HH
+#define MCT_ML_LASSO_HH
+
+#include "ml/linalg.hh"
+#include "ml/scaler.hh"
+
+namespace mct::ml
+{
+
+/** Lasso hyperparameters. */
+struct LassoParams
+{
+    /**
+     * L1 strength as a fraction of lambda_max (the smallest lambda
+     * that zeroes every coefficient), so the setting is scale-free.
+     */
+    double lambdaFrac = 0.01;
+
+    unsigned maxIters = 1000;
+    double tol = 1e-7;
+};
+
+/**
+ * Lasso regression with internal feature standardization; exposed
+ * coefficients refer to the standardized features, which is what the
+ * effectiveness ranking (Table 6) and the feature selection (Fig 4a)
+ * want to compare.
+ */
+class LassoRegression
+{
+  public:
+    explicit LassoRegression(const LassoParams &params = {})
+        : p(params)
+    {}
+
+    void fit(const Matrix &x, const Vector &y);
+
+    double predict(const Vector &x) const;
+    Vector predictAll(const Matrix &x) const;
+
+    /** Coefficients in standardized-feature space. */
+    const Vector &coefficients() const { return w; }
+
+    /** Intercept in standardized-feature space. */
+    double intercept() const { return b; }
+
+    /** Indices of features with nonzero coefficients. */
+    std::vector<std::size_t> selectedFeatures(double eps = 1e-9) const;
+
+    /** Coordinate-descent sweeps used by the last fit. */
+    unsigned itersUsed() const { return iters; }
+
+  private:
+    LassoParams p;
+    StandardScaler scaler;
+    Vector w;
+    double b = 0.0;
+    unsigned iters = 0;
+};
+
+} // namespace mct::ml
+
+#endif // MCT_ML_LASSO_HH

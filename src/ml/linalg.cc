@@ -1,0 +1,143 @@
+#include "ml/linalg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : nRows(rows), nCols(cols), data(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::fromRows(const std::vector<Vector> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows[0].size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r].size() != m.cols())
+            mct_fatal("Matrix::fromRows: ragged rows");
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            m(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Vector
+Matrix::multiply(const Vector &x) const
+{
+    if (x.size() != nCols)
+        mct_fatal("Matrix::multiply: dimension mismatch");
+    Vector y(nRows, 0.0);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *rp = row(r);
+        double acc = 0.0;
+        for (std::size_t c = 0; c < nCols; ++c)
+            acc += rp[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Vector
+Matrix::multiplyTransposed(const Vector &x) const
+{
+    if (x.size() != nRows)
+        mct_fatal("Matrix::multiplyTransposed: dimension mismatch");
+    Vector y(nCols, 0.0);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *rp = row(r);
+        const double xr = x[r];
+        for (std::size_t c = 0; c < nCols; ++c)
+            y[c] += rp[c] * xr;
+    }
+    return y;
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(nCols, nCols);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *rp = row(r);
+        for (std::size_t i = 0; i < nCols; ++i) {
+            const double v = rp[i];
+            if (v == 0.0)
+                continue;
+            for (std::size_t j = i; j < nCols; ++j)
+                g(i, j) += v * rp[j];
+        }
+    }
+    for (std::size_t i = 0; i < nCols; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            g(i, j) = g(j, i);
+    return g;
+}
+
+Vector
+choleskySolve(Matrix a, Vector b)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        mct_fatal("choleskySolve: dimension mismatch");
+
+    // Scale-aware jitter keeps the factorization alive for rank-
+    // deficient normal equations (duplicate features are common after
+    // quadratic expansion of boolean knobs).
+    double maxDiag = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        maxDiag = std::max(maxDiag, std::fabs(a(i, i)));
+    const double jitter = std::max(1e-12, 1e-10 * maxDiag);
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += jitter;
+
+    // In-place lower Cholesky.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= a(i, k) * a(j, k);
+            if (i == j) {
+                if (sum <= 0.0)
+                    sum = jitter;
+                a(i, i) = std::sqrt(sum);
+            } else {
+                a(i, j) = sum / a(j, j);
+            }
+        }
+    }
+    // Forward substitution: L z = b.
+    Vector z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= a(i, k) * z[k];
+        z[i] = sum / a(i, i);
+    }
+    // Back substitution: L^T x = z.
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double sum = z[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            sum -= a(k, ii) * x[k];
+        x[ii] = sum / a(ii, ii);
+    }
+    return x;
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    if (a.size() != b.size())
+        mct_fatal("dot: dimension mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace mct::ml

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the learning framework: row-major
+ * matrices, matrix products against vectors, and a Cholesky solver
+ * for symmetric positive-definite systems (normal equations).
+ */
+
+#ifndef MCT_ML_LINALG_HH
+#define MCT_ML_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mct::ml
+{
+
+using Vector = std::vector<double>;
+
+/**
+ * Row-major dense matrix.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from nested initializer data (rows of equal length). */
+    static Matrix fromRows(const std::vector<Vector> &rows);
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data[r * nCols + c];
+    }
+
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data[r * nCols + c];
+    }
+
+    /** Pointer to row r. */
+    double *row(std::size_t r) { return &data[r * nCols]; }
+    const double *row(std::size_t r) const { return &data[r * nCols]; }
+
+    /** y = A x. */
+    Vector multiply(const Vector &x) const;
+
+    /** y = A^T x. */
+    Vector multiplyTransposed(const Vector &x) const;
+
+    /** G = A^T A (cols x cols). */
+    Matrix gram() const;
+
+  private:
+    std::size_t nRows = 0;
+    std::size_t nCols = 0;
+    Vector data;
+};
+
+/**
+ * Solve A x = b for symmetric positive-definite A via Cholesky.
+ * A small ridge is added automatically if factorization stalls.
+ */
+Vector choleskySolve(Matrix a, Vector b);
+
+/** Dot product. */
+double dot(const Vector &a, const Vector &b);
+
+} // namespace mct::ml
+
+#endif // MCT_ML_LINALG_HH

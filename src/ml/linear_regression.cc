@@ -1,0 +1,65 @@
+#include "ml/linear_regression.hh"
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+void
+LinearRegression::fit(const Matrix &x, const Vector &y)
+{
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    if (n == 0 || y.size() != n)
+        mct_fatal("LinearRegression::fit: bad shapes");
+
+    // Center targets and features so the intercept separates out and
+    // the ridge penalty leaves it alone.
+    Vector xMean(d, 0.0);
+    double yMean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        yMean += y[r];
+        for (std::size_t c = 0; c < d; ++c)
+            xMean[c] += x(r, c);
+    }
+    yMean /= static_cast<double>(n);
+    for (auto &m : xMean)
+        m /= static_cast<double>(n);
+
+    Matrix xc(n, d);
+    Vector yc(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        yc[r] = y[r] - yMean;
+        for (std::size_t c = 0; c < d; ++c)
+            xc(r, c) = x(r, c) - xMean[c];
+    }
+
+    Matrix g = xc.gram();
+    for (std::size_t i = 0; i < d; ++i)
+        g(i, i) += lambda;
+    const Vector rhs = xc.multiplyTransposed(yc);
+    w = choleskySolve(std::move(g), rhs);
+    b = yMean - dot(w, xMean);
+}
+
+double
+LinearRegression::predict(const Vector &x) const
+{
+    return dot(w, x) + b;
+}
+
+Vector
+LinearRegression::predictAll(const Matrix &x) const
+{
+    Vector out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        double acc = b;
+        const double *rp = x.row(r);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            acc += w[c] * rp[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+} // namespace mct::ml

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ordinary least squares / ridge regression with intercept, solved via
+ * the normal equations (the design matrices here are tiny: at most a
+ * few hundred samples by 65 quadratic features).
+ */
+
+#ifndef MCT_ML_LINEAR_REGRESSION_HH
+#define MCT_ML_LINEAR_REGRESSION_HH
+
+#include "ml/linalg.hh"
+#include "ml/scaler.hh"
+
+namespace mct::ml
+{
+
+/**
+ * Linear model y = w.x + b. With ridge > 0 the weights are L2
+ * penalized (the intercept is never penalized).
+ */
+class LinearRegression
+{
+  public:
+    explicit LinearRegression(double ridge = 0.0) : lambda(ridge) {}
+
+    /** Fit on rows of @p x against targets @p y. */
+    void fit(const Matrix &x, const Vector &y);
+
+    /** Predict one sample. */
+    double predict(const Vector &x) const;
+
+    /** Predict many samples. */
+    Vector predictAll(const Matrix &x) const;
+
+    /** Learned weights in the original (unscaled) feature space. */
+    const Vector &weights() const { return w; }
+
+    /** Learned intercept. */
+    double intercept() const { return b; }
+
+  private:
+    double lambda;
+    Vector w;
+    double b = 0.0;
+};
+
+} // namespace mct::ml
+
+#endif // MCT_ML_LINEAR_REGRESSION_HH

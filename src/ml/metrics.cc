@@ -1,0 +1,53 @@
+#include "ml/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+double
+coefficientOfDetermination(const Vector &predicted, const Vector &truth)
+{
+    if (predicted.size() != truth.size() || truth.empty())
+        mct_fatal("coefficientOfDetermination: bad shapes");
+    double mean = 0.0;
+    for (double v : truth)
+        mean += v;
+    mean /= static_cast<double>(truth.size());
+
+    double ssRes = 0.0, ssTot = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        ssRes += (predicted[i] - truth[i]) * (predicted[i] - truth[i]);
+        ssTot += (truth[i] - mean) * (truth[i] - mean);
+    }
+    if (ssTot <= 0.0)
+        return ssRes <= 1e-18 ? 1.0 : 0.0;
+    return std::max(0.0, 1.0 - ssRes / ssTot);
+}
+
+double
+meanAbsoluteError(const Vector &predicted, const Vector &truth)
+{
+    if (predicted.size() != truth.size() || truth.empty())
+        mct_fatal("meanAbsoluteError: bad shapes");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        acc += std::fabs(predicted[i] - truth[i]);
+    return acc / static_cast<double>(truth.size());
+}
+
+double
+rootMeanSquaredError(const Vector &predicted, const Vector &truth)
+{
+    if (predicted.size() != truth.size() || truth.empty())
+        mct_fatal("rootMeanSquaredError: bad shapes");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < truth.size(); ++i)
+        acc += (predicted[i] - truth[i]) * (predicted[i] - truth[i]);
+    return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+} // namespace mct::ml

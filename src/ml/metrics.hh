@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Prediction-quality metrics. The paper's accuracy metric is the
+ * coefficient of determination clamped at zero (Eq. 3).
+ */
+
+#ifndef MCT_ML_METRICS_HH
+#define MCT_ML_METRICS_HH
+
+#include "ml/linalg.hh"
+
+namespace mct::ml
+{
+
+/**
+ * acc = max(0, 1 - ||Y' - Y||^2 / ||Y - mean(Y)||^2)  (paper Eq. 3).
+ * Returns 1 when Y is constant and perfectly predicted, 0 when
+ * constant and mispredicted.
+ */
+double coefficientOfDetermination(const Vector &predicted,
+                                  const Vector &truth);
+
+/** Mean absolute error. */
+double meanAbsoluteError(const Vector &predicted, const Vector &truth);
+
+/** Root mean squared error. */
+double rootMeanSquaredError(const Vector &predicted,
+                            const Vector &truth);
+
+} // namespace mct::ml
+
+#endif // MCT_ML_METRICS_HH

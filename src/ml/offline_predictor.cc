@@ -1,0 +1,29 @@
+#include "ml/offline_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+void
+OfflinePredictor::fit(const Matrix &library)
+{
+    if (library.rows() == 0)
+        mct_fatal("OfflinePredictor: empty library");
+    means.assign(library.cols(), 0.0);
+    for (std::size_t r = 0; r < library.rows(); ++r)
+        for (std::size_t c = 0; c < library.cols(); ++c)
+            means[c] += library(r, c);
+    for (auto &m : means)
+        m /= static_cast<double>(library.rows());
+}
+
+double
+OfflinePredictor::predict(std::size_t configIdx) const
+{
+    if (configIdx >= means.size())
+        mct_fatal("OfflinePredictor::predict: index out of range");
+    return means[configIdx];
+}
+
+} // namespace mct::ml

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The paper's "offline" baseline predictor (Table 7): the prediction
+ * for every configuration is simply the average of the training
+ * applications' measurements for that configuration. No online data,
+ * no runtime cost, poor accuracy.
+ */
+
+#ifndef MCT_ML_OFFLINE_PREDICTOR_HH
+#define MCT_ML_OFFLINE_PREDICTOR_HH
+
+#include "ml/linalg.hh"
+
+namespace mct::ml
+{
+
+/**
+ * Average-of-training-applications predictor over a fixed
+ * configuration list.
+ */
+class OfflinePredictor
+{
+  public:
+    /**
+     * @param library One row per training application, one column per
+     *        configuration (all applications share the column order).
+     */
+    void fit(const Matrix &library);
+
+    /** Predicted value for configuration @p configIdx. */
+    double predict(std::size_t configIdx) const;
+
+    /** Predictions for every configuration. */
+    const Vector &predictAll() const { return means; }
+
+  private:
+    Vector means;
+};
+
+} // namespace mct::ml
+
+#endif // MCT_ML_OFFLINE_PREDICTOR_HH

@@ -1,0 +1,56 @@
+#include "ml/quadratic_features.hh"
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+QuadraticFeatureMap::QuadraticFeatureMap(
+    std::vector<std::string> inputNames)
+    : d(inputNames.size())
+{
+    if (d == 0)
+        mct_fatal("QuadraticFeatureMap: no inputs");
+    names.reserve(d + d + d * (d - 1) / 2);
+    for (const auto &n : inputNames)
+        names.push_back(n);
+    for (const auto &n : inputNames)
+        names.push_back(n + "^2");
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = i + 1; j < d; ++j)
+            names.push_back(inputNames[i] + " * " + inputNames[j]);
+}
+
+Vector
+QuadraticFeatureMap::expand(const Vector &x) const
+{
+    if (x.size() != d)
+        mct_fatal("QuadraticFeatureMap::expand: dimension mismatch");
+    Vector out;
+    out.reserve(outputDim());
+    for (std::size_t i = 0; i < d; ++i)
+        out.push_back(x[i]);
+    for (std::size_t i = 0; i < d; ++i)
+        out.push_back(x[i] * x[i]);
+    for (std::size_t i = 0; i < d; ++i)
+        for (std::size_t j = i + 1; j < d; ++j)
+            out.push_back(x[i] * x[j]);
+    return out;
+}
+
+Matrix
+QuadraticFeatureMap::expandAll(const Matrix &x) const
+{
+    Matrix out(x.rows(), outputDim());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        Vector row(d);
+        for (std::size_t c = 0; c < d; ++c)
+            row[c] = x(r, c);
+        const Vector e = expand(row);
+        for (std::size_t c = 0; c < e.size(); ++c)
+            out(r, c) = e[c];
+    }
+    return out;
+}
+
+} // namespace mct::ml

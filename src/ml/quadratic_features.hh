@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quadratic feature expansion (paper Section 4.3.1): a d-dimensional
+ * input grows to d linear + d square + d(d-1)/2 cross terms. For the
+ * 10-dimensional configuration vector this is the 65-dimensional
+ * space the paper cites. Feature names are tracked so the Table 6
+ * effectiveness ranking can be printed symbolically.
+ */
+
+#ifndef MCT_ML_QUADRATIC_FEATURES_HH
+#define MCT_ML_QUADRATIC_FEATURES_HH
+
+#include <string>
+#include <vector>
+
+#include "ml/linalg.hh"
+
+namespace mct::ml
+{
+
+/**
+ * Stateless quadratic feature map with named outputs.
+ */
+class QuadraticFeatureMap
+{
+  public:
+    /** @param inputNames One name per raw input dimension. */
+    explicit QuadraticFeatureMap(std::vector<std::string> inputNames);
+
+    /** Number of expanded features. */
+    std::size_t outputDim() const { return names.size(); }
+
+    /** Number of raw inputs. */
+    std::size_t inputDim() const { return d; }
+
+    /** Expand one sample. */
+    Vector expand(const Vector &x) const;
+
+    /** Expand a whole design matrix. */
+    Matrix expandAll(const Matrix &x) const;
+
+    /** Human-readable name of expanded feature @p j. */
+    const std::string &name(std::size_t j) const { return names[j]; }
+
+    /** All expanded names: linear, squares, then cross terms. */
+    const std::vector<std::string> &allNames() const { return names; }
+
+  private:
+    std::size_t d;
+    std::vector<std::string> names;
+};
+
+} // namespace mct::ml
+
+#endif // MCT_ML_QUADRATIC_FEATURES_HH

@@ -1,0 +1,142 @@
+#include "ml/regression_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+void
+RegressionTree::fit(const Matrix &x, const Vector &y,
+                    const std::vector<std::size_t> &idxIn)
+{
+    if (x.rows() == 0 || x.rows() != y.size())
+        mct_fatal("RegressionTree::fit: bad shapes");
+    nodes.clear();
+    std::vector<std::size_t> idx = idxIn;
+    if (idx.empty()) {
+        idx.resize(x.rows());
+        std::iota(idx.begin(), idx.end(), 0);
+    }
+    build(x, y, idx, 0);
+}
+
+int
+RegressionTree::build(const Matrix &x, const Vector &y,
+                      std::vector<std::size_t> &idx, unsigned depth)
+{
+    const int self = static_cast<int>(nodes.size());
+    nodes.push_back(Node{});
+
+    double mean = 0.0;
+    for (auto i : idx)
+        mean += y[i];
+    mean /= static_cast<double>(idx.size());
+    nodes[self].value = mean;
+
+    if (depth >= p.maxDepth || idx.size() < 2 * p.minSamplesLeaf)
+        return self;
+
+    // Exact best split: minimize total squared error, evaluated via
+    // prefix sums over each feature's sorted order.
+    double bestGain = 1e-12;
+    std::size_t bestFeat = 0;
+    double bestThresh = 0.0;
+
+    double total = 0.0, totalSq = 0.0;
+    for (auto i : idx) {
+        total += y[i];
+        totalSq += y[i] * y[i];
+    }
+    const double sseParent =
+        totalSq - total * total / static_cast<double>(idx.size());
+
+    std::vector<std::size_t> order(idx);
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return x(a, f) < x(b, f);
+                  });
+        double leftSum = 0.0, leftSq = 0.0;
+        for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+            const double yi = y[order[k]];
+            leftSum += yi;
+            leftSq += yi * yi;
+            const std::size_t nl = k + 1;
+            const std::size_t nr = order.size() - nl;
+            if (nl < p.minSamplesLeaf || nr < p.minSamplesLeaf)
+                continue;
+            const double xa = x(order[k], f);
+            const double xb = x(order[k + 1], f);
+            if (xb <= xa)
+                continue; // no separating threshold here
+            const double rightSum = total - leftSum;
+            const double rightSq = totalSq - leftSq;
+            const double sse =
+                (leftSq - leftSum * leftSum / static_cast<double>(nl)) +
+                (rightSq -
+                 rightSum * rightSum / static_cast<double>(nr));
+            const double gain = sseParent - sse;
+            if (gain > bestGain) {
+                bestGain = gain;
+                bestFeat = f;
+                bestThresh = 0.5 * (xa + xb);
+            }
+        }
+    }
+
+    if (bestGain <= 1e-12)
+        return self;
+
+    std::vector<std::size_t> leftIdx, rightIdx;
+    for (auto i : idx) {
+        if (x(i, bestFeat) <= bestThresh)
+            leftIdx.push_back(i);
+        else
+            rightIdx.push_back(i);
+    }
+    if (leftIdx.empty() || rightIdx.empty())
+        return self;
+
+    nodes[self].leaf = false;
+    nodes[self].feature = bestFeat;
+    nodes[self].threshold = bestThresh;
+    const int l = build(x, y, leftIdx, depth + 1);
+    const int r = build(x, y, rightIdx, depth + 1);
+    nodes[self].left = l;
+    nodes[self].right = r;
+    return self;
+}
+
+double
+RegressionTree::predict(const Vector &x) const
+{
+    if (nodes.empty())
+        mct_fatal("RegressionTree::predict before fit");
+    int cur = 0;
+    while (!nodes[cur].leaf) {
+        cur = x[nodes[cur].feature] <= nodes[cur].threshold
+                  ? nodes[cur].left
+                  : nodes[cur].right;
+    }
+    return nodes[cur].value;
+}
+
+Vector
+RegressionTree::predictAll(const Matrix &x) const
+{
+    Vector out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        Vector row(x.cols());
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            row[c] = x(r, c);
+        out[r] = predict(row);
+    }
+    return out;
+}
+
+} // namespace mct::ml

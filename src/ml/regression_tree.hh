@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CART-style least-squares regression tree: the weak learner inside
+ * gradient boosting. Exact split search over every feature value is
+ * affordable at MCT's sample counts (tens to hundreds of samples).
+ */
+
+#ifndef MCT_ML_REGRESSION_TREE_HH
+#define MCT_ML_REGRESSION_TREE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/linalg.hh"
+
+namespace mct::ml
+{
+
+/** Tree hyperparameters. */
+struct TreeParams
+{
+    unsigned maxDepth = 3;
+    unsigned minSamplesLeaf = 2;
+};
+
+/**
+ * Binary regression tree with axis-aligned splits.
+ */
+class RegressionTree
+{
+  public:
+    explicit RegressionTree(const TreeParams &params = {}) : p(params) {}
+
+    /** Fit on the subset of rows given by @p idx (all rows if empty). */
+    void fit(const Matrix &x, const Vector &y,
+             const std::vector<std::size_t> &idx = {});
+
+    double predict(const Vector &x) const;
+    Vector predictAll(const Matrix &x) const;
+
+    /** Number of nodes (diagnostics). */
+    std::size_t nodeCount() const { return nodes.size(); }
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        double value = 0.0;
+        std::size_t feature = 0;
+        double threshold = 0.0;
+        int left = -1;
+        int right = -1;
+    };
+
+    TreeParams p;
+    std::vector<Node> nodes;
+
+    int build(const Matrix &x, const Vector &y,
+              std::vector<std::size_t> &idx, unsigned depth);
+};
+
+} // namespace mct::ml
+
+#endif // MCT_ML_REGRESSION_TREE_HH

@@ -1,0 +1,67 @@
+#include "ml/scaler.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mct::ml
+{
+
+void
+StandardScaler::fit(const Matrix &x)
+{
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    if (n == 0)
+        mct_fatal("StandardScaler: empty design matrix");
+    mu.assign(d, 0.0);
+    sigma.assign(d, 1.0);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < d; ++c)
+            mu[c] += x(r, c);
+    for (auto &m : mu)
+        m /= static_cast<double>(n);
+    Vector ss(d, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) {
+            const double dlt = x(r, c) - mu[c];
+            ss[c] += dlt * dlt;
+        }
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+        const double sd = std::sqrt(ss[c] / static_cast<double>(n));
+        sigma[c] = sd > 1e-12 ? sd : 1.0;
+    }
+}
+
+Matrix
+StandardScaler::transform(const Matrix &x) const
+{
+    if (x.cols() != mu.size())
+        mct_fatal("StandardScaler::transform: dimension mismatch");
+    Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            out(r, c) = (x(r, c) - mu[c]) / sigma[c];
+    return out;
+}
+
+Vector
+StandardScaler::transformRow(const Vector &x) const
+{
+    if (x.size() != mu.size())
+        mct_fatal("StandardScaler::transformRow: dimension mismatch");
+    Vector out(x.size());
+    for (std::size_t c = 0; c < x.size(); ++c)
+        out[c] = (x[c] - mu[c]) / sigma[c];
+    return out;
+}
+
+Matrix
+StandardScaler::fitTransform(const Matrix &x)
+{
+    fit(x);
+    return transform(x);
+}
+
+} // namespace mct::ml

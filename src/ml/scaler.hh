@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Per-feature standardization (zero mean, unit variance), used by the
+ * lasso coordinate descent and by the regression models. The paper's
+ * "normalization" of objectives to the baseline configuration lives
+ * in the MCT layer; this is plain feature scaling.
+ */
+
+#ifndef MCT_ML_SCALER_HH
+#define MCT_ML_SCALER_HH
+
+#include "ml/linalg.hh"
+
+namespace mct::ml
+{
+
+/**
+ * Standardizes columns of a design matrix; constant columns are left
+ * centered with unit divisor so they cannot blow up.
+ */
+class StandardScaler
+{
+  public:
+    /** Learn column means and standard deviations. */
+    void fit(const Matrix &x);
+
+    /** Apply the learned transform. */
+    Matrix transform(const Matrix &x) const;
+
+    /** Transform a single row vector. */
+    Vector transformRow(const Vector &x) const;
+
+    /** fit + transform. */
+    Matrix fitTransform(const Matrix &x);
+
+    const Vector &means() const { return mu; }
+    const Vector &stddevs() const { return sigma; }
+
+  private:
+    Vector mu;
+    Vector sigma;
+};
+
+} // namespace mct::ml
+
+#endif // MCT_ML_SCALER_HH

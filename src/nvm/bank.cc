@@ -1,0 +1,5 @@
+#include "nvm/bank.hh"
+
+// Bank is a plain state record; logic lives in the controller. This
+// translation unit exists so the target has a stable archive member
+// for the class and a place for future out-of-line growth.

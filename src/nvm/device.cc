@@ -1,0 +1,150 @@
+#include "nvm/device.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+NvmDevice::NvmDevice(const NvmParams &params)
+    : p(params)
+{
+    p.validate();
+    banks.resize(p.numBanks);
+    if (p.wearLevelMode == WearLevelMode::StartGap) {
+        for (unsigned b = 0; b < p.numBanks; ++b)
+            remappers.emplace_back(p.rowsPerBank(), p.startGapPeriod);
+        rowWear = std::make_unique<RowWearTable>(
+            p.numBanks, p.rowsPerBank() + 1);
+    }
+}
+
+NvmLocation
+NvmDevice::decode(Addr addr) const
+{
+    const std::uint64_t line = (addr / lineBytes) %
+        (p.capacityBytes / lineBytes);
+    const unsigned lpr = p.linesPerRow();
+    NvmLocation loc;
+    loc.lineInRow = static_cast<unsigned>(line % lpr);
+    const std::uint64_t rowGlobal = line / lpr;
+    loc.bank = static_cast<unsigned>(rowGlobal % p.numBanks);
+    loc.row = rowGlobal / p.numBanks;
+    return loc;
+}
+
+Bank &
+NvmDevice::bank(unsigned idx)
+{
+    if (idx >= banks.size())
+        mct_panic("bank index out of range: ", idx);
+    return banks[idx];
+}
+
+const Bank &
+NvmDevice::bank(unsigned idx) const
+{
+    if (idx >= banks.size())
+        mct_panic("bank index out of range: ", idx);
+    return banks[idx];
+}
+
+void
+NvmDevice::addWear(unsigned bankIdx, std::uint64_t logicalRow,
+                   double wear)
+{
+    bank(bankIdx).wear += wear;
+    wearTotal += wear;
+    if (p.wearLevelMode != WearLevelMode::StartGap)
+        return;
+    StartGap &sg = remappers[bankIdx];
+    rowWear->add(bankIdx, sg.mapRow(logicalRow), wear);
+    const std::int64_t filled = sg.onWrite();
+    if (filled >= 0) {
+        // Gap movement copies one full row with normal writes.
+        const double copyWear = static_cast<double>(p.linesPerRow());
+        rowWear->add(bankIdx, static_cast<std::uint64_t>(filled),
+                     copyWear);
+        bank(bankIdx).wear += copyWear;
+        wearTotal += copyWear;
+    }
+}
+
+double
+NvmDevice::levelingEfficiency() const
+{
+    if (p.wearLevelMode != WearLevelMode::StartGap)
+        return 1.0;
+    return rowWear->levelingEfficiency();
+}
+
+double
+NvmDevice::maxRowWear() const
+{
+    if (p.wearLevelMode != WearLevelMode::StartGap)
+        mct_panic("maxRowWear() without Start-Gap mode");
+    return rowWear->maxRowWear();
+}
+
+const StartGap &
+NvmDevice::startGap(unsigned bankIdx) const
+{
+    if (p.wearLevelMode != WearLevelMode::StartGap)
+        mct_panic("startGap() without Start-Gap mode");
+    if (bankIdx >= remappers.size())
+        mct_panic("startGap: bank out of range");
+    return remappers[bankIdx];
+}
+
+double
+NvmDevice::maxBankWear() const
+{
+    double worst = 0.0;
+    for (const auto &b : banks)
+        worst = std::max(worst, b.wear);
+    return worst;
+}
+
+double
+NvmDevice::lifetimeYears(Tick elapsedTicks) const
+{
+    if (elapsedTicks == 0)
+        return p.maxLifetimeYears;
+    const double elapsedSec = static_cast<double>(elapsedTicks) /
+        static_cast<double>(tickSec);
+    double years;
+    if (p.wearLevelMode == WearLevelMode::StartGap) {
+        // Explicit leveling: the device dies when its most-worn
+        // physical row does; no assumed-efficiency credit.
+        const double worstRow = rowWear->maxRowWear();
+        if (worstRow <= 0.0)
+            return p.maxLifetimeYears;
+        years = p.rowWearCapacity() / (worstRow / elapsedSec) /
+                secondsPerYear;
+    } else {
+        const double worst = maxBankWear();
+        if (worst <= 0.0)
+            return p.maxLifetimeYears;
+        years = p.bankWearCapacity() / (worst / elapsedSec) /
+                secondsPerYear;
+    }
+    return std::min(years, p.maxLifetimeYears);
+}
+
+void
+NvmDevice::reset()
+{
+    for (auto &b : banks)
+        b = Bank();
+    wearTotal = 0.0;
+    if (p.wearLevelMode == WearLevelMode::StartGap) {
+        remappers.clear();
+        for (unsigned b = 0; b < p.numBanks; ++b)
+            remappers.emplace_back(p.rowsPerBank(), p.startGapPeriod);
+        rowWear = std::make_unique<RowWearTable>(
+            p.numBanks, p.rowsPerBank() + 1);
+    }
+}
+
+} // namespace mct

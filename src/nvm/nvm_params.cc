@@ -1,0 +1,25 @@
+#include "nvm/nvm_params.hh"
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+void
+NvmParams::validate() const
+{
+    if (numBanks == 0)
+        mct_fatal("NvmParams: numBanks must be positive");
+    if (rowBytes % lineBytes != 0)
+        mct_fatal("NvmParams: rowBytes must be a multiple of the line");
+    if (capacityBytes % (static_cast<std::uint64_t>(numBanks) * rowBytes))
+        mct_fatal("NvmParams: capacity not divisible into bank rows");
+    if (enduranceBase <= 0.0)
+        mct_fatal("NvmParams: enduranceBase must be positive");
+    if (wearLevelEff <= 0.0 || wearLevelEff > 1.0)
+        mct_fatal("NvmParams: wearLevelEff must be in (0, 1]");
+    if (tWPBase == 0)
+        mct_fatal("NvmParams: tWPBase must be positive");
+}
+
+} // namespace mct

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Parameters of the simulated ReRAM main memory (paper Table 9).
+ *
+ * The write-latency-vs-endurance tradeoff follows the Mellow Writes
+ * law adopted by the paper: a write issued with latency ratio r takes
+ * tWP = 150 * r ns and the cell endurance improves quadratically to
+ * 8e6 * r^2 writes. Equivalently, in "fast-write-equivalent" wear
+ * units, a ratio-r write costs 1 / r^2 of a nominal write.
+ */
+
+#ifndef MCT_NVM_NVM_PARAMS_HH
+#define MCT_NVM_NVM_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mct
+{
+
+/** How the device levels wear across its cells. */
+enum class WearLevelMode
+{
+    /** Table 9's assumption: an effective scheme reaching
+     *  wearLevelEff of ideal; wear is tracked per bank. */
+    AssumedEfficiency,
+
+    /** Explicit Start-Gap remapping at row granularity with
+     *  measured (not assumed) leveling. */
+    StartGap,
+};
+
+/**
+ * Geometry, timing, and endurance parameters of the NVM main memory.
+ * Defaults reproduce Table 9 (single-channel, 4 GB, 16 banks).
+ */
+struct NvmParams
+{
+    /** Total capacity in bytes (default 4 GB). */
+    std::uint64_t capacityBytes = 4ULL << 30;
+
+    /** Number of banks (Table 9: 16). */
+    unsigned numBanks = 16;
+
+    /** Row buffer size in bytes (Table 9: 1 KB). */
+    unsigned rowBytes = 1024;
+
+    /** Row activate latency: 48 mem cycles = 120 ns. */
+    Tick tRCD = 120 * tickNs;
+
+    /** Column access latency: 1 mem cycle = 2.5 ns. */
+    Tick tCAS = 2500; // 2.5 ns in ps
+
+    /** 64 B burst over a 64-bit bus at 400 MHz: 8 beats = 20 ns. */
+    Tick tBURST = 20 * tickNs;
+
+    /** Four-activate window (Table 9: tFAW = 50 ns). */
+    Tick tFAW = 50 * tickNs;
+
+    /** Nominal (ratio 1.0) write pulse latency: 150 ns. */
+    Tick tWPBase = 150 * tickNs;
+
+    /** Cell endurance at ratio 1.0 (Table 9: 8e6 writes). */
+    double enduranceBase = 8e6;
+
+    /**
+     * Efficiency of the assumed bank-granularity wear-leveling scheme
+     * (Table 9: e.g. Start-Gap achieving 95% average lifetime).
+     */
+    double wearLevelEff = 0.95;
+
+    /** Reported lifetimes are capped here to keep statistics finite. */
+    double maxLifetimeYears = 1000.0;
+
+    /** Wear-leveling model (see WearLevelMode). */
+    WearLevelMode wearLevelMode = WearLevelMode::AssumedEfficiency;
+
+    /**
+     * Write-latency-vs-retention trade-off (Table 1): short-retention
+     * writes complete in retentionRatio of the nominal pulse but the
+     * written row must be refreshed (scrubbed) within retentionTime.
+     * The real constant is seconds; it is scaled to simulated-run
+     * lengths like every other time constant in this repo.
+     */
+    double retentionRatio = 0.6;
+    Tick retentionTime = 2 * tickMs;
+
+    /**
+     * Read-latency-vs-disturbance trade-off (Table 1): fast reads
+     * activate in tRCDFast but disturb the row; after
+     * disturbThreshold fast reads since the last write the row needs
+     * a scrub write.
+     */
+    Tick tRCDFast = 60 * tickNs;
+    unsigned disturbThreshold = 64;
+
+    /** Start-Gap: writes between gap movements. */
+    std::uint64_t startGapPeriod = 100;
+
+    /** Wear capacity of one row (used by the Start-Gap mode, which
+     *  levels explicitly and therefore takes no efficiency credit). */
+    double
+    rowWearCapacity() const
+    {
+        return static_cast<double>(linesPerRow()) * enduranceBase;
+    }
+
+    /** Cache lines per row buffer. */
+    unsigned linesPerRow() const { return rowBytes / lineBytes; }
+
+    /** Cache lines per bank. */
+    std::uint64_t
+    linesPerBank() const
+    {
+        return capacityBytes / lineBytes / numBanks;
+    }
+
+    /** Rows per bank. */
+    std::uint64_t
+    rowsPerBank() const
+    {
+        return linesPerBank() / linesPerRow();
+    }
+
+    /**
+     * Total fast-write-equivalent wear a bank can absorb before the
+     * memory is considered worn out, including leveling efficiency.
+     */
+    double
+    bankWearCapacity() const
+    {
+        return static_cast<double>(linesPerBank()) * enduranceBase *
+               wearLevelEff;
+    }
+
+    /** Write pulse duration for a given latency ratio. */
+    Tick
+    writePulse(double ratio) const
+    {
+        return static_cast<Tick>(static_cast<double>(tWPBase) * ratio);
+    }
+
+    /** Fast-write-equivalent wear of one write at the given ratio. */
+    static double
+    wearOfWrite(double ratio)
+    {
+        return 1.0 / (ratio * ratio);
+    }
+
+    /** Abort with mct_fatal if the parameters are inconsistent. */
+    void validate() const;
+};
+
+} // namespace mct
+
+#endif // MCT_NVM_NVM_PARAMS_HH

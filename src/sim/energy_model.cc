@@ -1,0 +1,3 @@
+#include "sim/energy_model.hh"
+
+// Header-only logic; this translation unit anchors the target.

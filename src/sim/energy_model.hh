@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytic system energy model standing in for McPAT + NVSim
+ * (paper Section 6.1). Captures the terms the paper's energy results
+ * hinge on: static/leakage power grows with runtime, core dynamic
+ * energy tracks retired instructions, NVM dynamic energy tracks reads
+ * and (power-scaled) writes, and cancelled writes waste energy.
+ */
+
+#ifndef MCT_SIM_ENERGY_MODEL_HH
+#define MCT_SIM_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace mct
+{
+
+/** Energy model coefficients (values inspired by McPAT/NVSim scale). */
+struct EnergyParams
+{
+    /** Core static + uncore leakage power per core (W). */
+    double coreStaticW = 5.0;
+
+    /** Core dynamic energy per retired instruction (J). */
+    double corePerInstJ = 1.5e-9;
+
+    /** NVM array + peripheral static power (W). */
+    double memStaticW = 0.4;
+
+    /** Energy per 64 B NVM read (J). */
+    double readJ = 2.0e-9;
+
+    /**
+     * Energy of a ratio-1.0 line write (J). The controller accumulates
+     * sum(r^exp) per write, so slow writes cost slightly less energy
+     * each while stretching runtime.
+     */
+    double writeBaseJ = 8.0e-9;
+};
+
+/**
+ * Computes Joules for an execution window.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params) : p(params) {}
+
+    /**
+     * @param elapsedTicks Window wall-clock length.
+     * @param instructions Instructions retired in the window.
+     * @param reads Completed NVM reads.
+     * @param writeEnergyUnits Controller-accumulated sum of r^exp over
+     *        write activity (including cancelled fractions).
+     * @param nCores Number of active cores.
+     */
+    double
+    energyJ(Tick elapsedTicks, InstCount instructions,
+            std::uint64_t reads, double writeEnergyUnits,
+            unsigned nCores = 1) const
+    {
+        const double sec = static_cast<double>(elapsedTicks) /
+                           static_cast<double>(tickSec);
+        double e = sec * (p.coreStaticW * nCores + p.memStaticW);
+        e += p.corePerInstJ * static_cast<double>(instructions);
+        e += p.readJ * static_cast<double>(reads);
+        e += p.writeBaseJ * writeEnergyUnits;
+        return e;
+    }
+
+    const EnergyParams &params() const { return p; }
+
+  private:
+    EnergyParams p;
+};
+
+} // namespace mct
+
+#endif // MCT_SIM_ENERGY_MODEL_HH

@@ -1,0 +1,17 @@
+#include "sim/evaluator.hh"
+
+namespace mct
+{
+
+Metrics
+evaluateConfig(const std::string &app, const MellowConfig &cfg,
+               const EvalParams &ep)
+{
+    System sys(app, ep.sys, cfg);
+    sys.run(ep.warmupInsts);
+    const SysSnapshot start = sys.snapshot();
+    sys.run(ep.measureInsts);
+    return sys.metricsSince(start);
+}
+
+} // namespace mct

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * One-shot configuration evaluation: build a fresh system, warm it
+ * up, measure a window, return the three objectives. This is the unit
+ * of work behind the brute-force "ideal policy" sweep (the paper's
+ * 300,000 computing hours, feasible here because the substrate is a
+ * fast synthetic simulator).
+ */
+
+#ifndef MCT_SIM_EVALUATOR_HH
+#define MCT_SIM_EVALUATOR_HH
+
+#include <string>
+
+#include "sim/system.hh"
+
+namespace mct
+{
+
+/** Run lengths and machine description for evaluations. */
+struct EvalParams
+{
+    SystemParams sys;
+
+    /** Warm-up instructions (paper: 6 B, scaled down). */
+    InstCount warmupInsts = 200 * 1000;
+
+    /** Measured instructions (paper: 2 B, scaled down). */
+    InstCount measureInsts = 1000 * 1000;
+};
+
+/** Evaluate one configuration on one application. */
+Metrics evaluateConfig(const std::string &app, const MellowConfig &cfg,
+                       const EvalParams &ep);
+
+} // namespace mct
+
+#endif // MCT_SIM_EVALUATOR_HH

@@ -1,0 +1,135 @@
+#include "sim/multicore.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace mct
+{
+
+MultiCoreSystem::MultiCoreSystem(const std::vector<std::string> &apps,
+                                 const MultiCoreParams &params,
+                                 const MellowConfig &config)
+    : p(params), energy_(params.base.energy)
+{
+    if (apps.size() != p.nCores)
+        mct_fatal("MultiCoreSystem: ", p.nCores, " cores but ",
+                  apps.size(), " applications");
+    dev_ = std::make_unique<NvmDevice>(p.base.nvm);
+    ctrl_ = std::make_unique<MemController>(*dev_, p.base.memctrl,
+                                            config);
+    router_ = std::make_unique<CompletionRouter>(*ctrl_);
+    sharedL3_ = std::make_shared<Cache>(p.base.caches.l3);
+
+    const Addr slice = p.base.nvm.capacityBytes / p.nCores;
+    for (unsigned i = 0; i < p.nCores; ++i) {
+        auto wl = makeWorkload(apps[i], p.base.seed + i);
+        wl->setAddrBase(static_cast<Addr>(i) * slice);
+        wls_.push_back(std::move(wl));
+        hiers_.push_back(std::make_unique<CacheHierarchy>(
+            p.base.caches, sharedL3_));
+        cores_.push_back(std::make_unique<Core>(
+            i, p.base.core, *wls_.back(), *hiers_.back(), *ctrl_,
+            *router_));
+    }
+}
+
+void
+MultiCoreSystem::run(InstCount instsPerCore)
+{
+    std::vector<InstCount> targets(p.nCores);
+    for (unsigned i = 0; i < p.nCores; ++i)
+        targets[i] = cores_[i]->retired() + instsPerCore;
+
+    while (true) {
+        // Advance the laggard core so the shared controller sees
+        // near-monotonic submission times.
+        Core *next = nullptr;
+        for (unsigned i = 0; i < p.nCores; ++i) {
+            if (cores_[i]->retired() >= targets[i])
+                continue;
+            if (!next || cores_[i]->now() < next->now())
+                next = cores_[i].get();
+        }
+        if (!next)
+            break;
+        const unsigned i = next->id();
+        const InstCount left = targets[i] - next->retired();
+        next->run(std::min(left, p.quantum));
+    }
+    ctrl_->advance(now());
+}
+
+void
+MultiCoreSystem::setConfig(const MellowConfig &config)
+{
+    ctrl_->setConfig(config, ctrl_->now());
+}
+
+MultiSnapshot
+MultiCoreSystem::snapshot() const
+{
+    MultiSnapshot s;
+    for (const auto &core : cores_) {
+        s.cores.push_back(core->stats());
+        s.coreTimes.push_back(core->now());
+    }
+    s.ctrl = ctrl_->stats();
+    for (unsigned b = 0; b < dev_->numBanks(); ++b)
+        s.bankWear.push_back(dev_->bank(b).wear);
+    return s;
+}
+
+MultiMetrics
+MultiCoreSystem::metricsBetween(const MultiSnapshot &from,
+                                const MultiSnapshot &to) const
+{
+    MultiMetrics m;
+    Tick maxElapsed = 0;
+    InstCount insts = 0;
+    for (unsigned i = 0; i < p.nCores; ++i) {
+        const Tick elapsed = to.coreTimes[i] - from.coreTimes[i];
+        maxElapsed = std::max(maxElapsed, elapsed);
+        const CoreStats dc = to.cores[i].delta(from.cores[i]);
+        insts += dc.instructions;
+        double ipc = 0.0;
+        if (elapsed > 0) {
+            ipc = static_cast<double>(dc.instructions) /
+                  (static_cast<double>(elapsed) /
+                   static_cast<double>(cpuCyclePs));
+        }
+        m.coreIpc.push_back(ipc);
+    }
+    m.geomeanIpc = geomean(m.coreIpc);
+    m.lifetimeYears = windowLifetimeYears(p.base.nvm, from.bankWear,
+                                          to.bankWear, maxElapsed);
+    const CtrlStats dc = to.ctrl.delta(from.ctrl);
+    const double joules = energy_.energyJ(maxElapsed, insts,
+                                          dc.readsCompleted,
+                                          dc.writeEnergyUnits,
+                                          p.nCores);
+    if (insts > 0)
+        m.energyJ = joules * 1e6 / static_cast<double>(insts);
+    return m;
+}
+
+InstCount
+MultiCoreSystem::retired() const
+{
+    InstCount total = 0;
+    for (const auto &core : cores_)
+        total += core->retired();
+    return total;
+}
+
+Tick
+MultiCoreSystem::now() const
+{
+    Tick latest = 0;
+    for (const auto &core : cores_)
+        latest = std::max(latest, core->now());
+    return latest;
+}
+
+} // namespace mct

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The 4-core system of Section 6.2.5: private L1/L2 per core, a
+ * shared 8 MB L3, and an 8 GB, 32-bank resistive main memory behind
+ * one controller. Cores are interleaved in small instruction quanta,
+ * always advancing the core with the earliest clock, so the shared
+ * controller observes near-monotonic request times.
+ */
+
+#ifndef MCT_SIM_MULTICORE_HH
+#define MCT_SIM_MULTICORE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "memctrl/controller.hh"
+#include "nvm/device.hh"
+#include "sim/system.hh"
+
+namespace mct
+{
+
+/** Multi-core machine parameters (Section 6.2.5 defaults). */
+struct MultiCoreParams
+{
+    SystemParams base;
+    unsigned nCores = 4;
+    InstCount quantum = 2000;
+
+    MultiCoreParams()
+    {
+        base.nvm.capacityBytes = 8ULL << 30;
+        base.nvm.numBanks = 32;
+        base.caches.l3 = CacheParams{"L3", 8 * 1024 * 1024, 16};
+    }
+};
+
+/** Multi-core snapshot: per-core counters plus shared-memory state. */
+struct MultiSnapshot
+{
+    std::vector<CoreStats> cores;
+    std::vector<Tick> coreTimes;
+    CtrlStats ctrl;
+    std::vector<double> bankWear;
+};
+
+/** Window results for the multi-core machine. */
+struct MultiMetrics
+{
+    /** Per-core IPC over the window. */
+    std::vector<double> coreIpc;
+
+    /** Geometric mean of the per-core IPCs. */
+    double geomeanIpc = 0.0;
+
+    /** Shared-memory lifetime (min over banks). */
+    double lifetimeYears = 0.0;
+
+    /** Total system energy over the window. */
+    double energyJ = 0.0;
+};
+
+/**
+ * Owns the cores, per-core workloads/hierarchies, and the shared
+ * controller; schedules cores oldest-clock-first.
+ */
+class MultiCoreSystem
+{
+  public:
+    MultiCoreSystem(const std::vector<std::string> &apps,
+                    const MultiCoreParams &params,
+                    const MellowConfig &config);
+
+    /** Run until every core retires @p instsPerCore more insts. */
+    void run(InstCount instsPerCore);
+
+    /** Switch the shared controller's configuration. */
+    void setConfig(const MellowConfig &config);
+
+    /** Active configuration. */
+    const MellowConfig &config() const { return ctrl_->config(); }
+
+    MultiSnapshot snapshot() const;
+
+    MultiMetrics metricsBetween(const MultiSnapshot &from,
+                                const MultiSnapshot &to) const;
+
+    /** Aggregate instructions retired across cores. */
+    InstCount retired() const;
+
+    /** Latest core clock. */
+    Tick now() const;
+
+    MemController &controller() { return *ctrl_; }
+    const MultiCoreParams &params() const { return p; }
+    unsigned nCores() const { return p.nCores; }
+    Core &core(unsigned i) { return *cores_[i]; }
+
+  private:
+    MultiCoreParams p;
+    EnergyModel energy_;
+    std::unique_ptr<NvmDevice> dev_;
+    std::unique_ptr<MemController> ctrl_;
+    std::unique_ptr<CompletionRouter> router_;
+    std::shared_ptr<Cache> sharedL3_;
+    std::vector<std::unique_ptr<Workload>> wls_;
+    std::vector<std::unique_ptr<CacheHierarchy>> hiers_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace mct
+
+#endif // MCT_SIM_MULTICORE_HH

@@ -1,0 +1,151 @@
+#include "sim/stats_report.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mct
+{
+
+void
+StatsReport::add(const std::string &path, double value,
+                 const std::string &annotation)
+{
+    std::ostringstream os;
+    os << std::setprecision(6) << value;
+    rows.push_back({path, os.str(), annotation});
+}
+
+void
+StatsReport::add(const std::string &path, std::uint64_t value,
+                 const std::string &annotation)
+{
+    rows.push_back({path, std::to_string(value), annotation});
+}
+
+void
+StatsReport::print(std::ostream &os) const
+{
+    std::size_t pathW = 0, valueW = 0;
+    for (const auto &r : rows) {
+        pathW = std::max(pathW, r.path.size());
+        valueW = std::max(valueW, r.value.size());
+    }
+    for (const auto &r : rows) {
+        os << std::left << std::setw(static_cast<int>(pathW) + 2)
+           << r.path << std::right
+           << std::setw(static_cast<int>(valueW)) << r.value;
+        if (!r.annotation.empty())
+            os << "  # " << r.annotation;
+        os << '\n';
+    }
+}
+
+namespace
+{
+
+void
+addCache(StatsReport &rep, const std::string &path, const Cache &c)
+{
+    const CacheStats &s = c.stats();
+    rep.add(path + ".accesses", s.accesses);
+    rep.add(path + ".hits", s.hits);
+    const double hr = s.accesses
+        ? static_cast<double>(s.hits) /
+              static_cast<double>(s.accesses)
+        : 0.0;
+    rep.add(path + ".hit_rate", hr);
+    rep.add(path + ".evictions", s.evictions);
+    rep.add(path + ".dirty_evictions", s.dirtyEvictions);
+    rep.add(path + ".eager_cleaned", s.eagerCleaned,
+            "lines cleaned by eager mellow writebacks");
+    rep.add(path + ".rewrites", s.rewrites,
+            "eagerly-cleaned lines dirtied again");
+}
+
+} // namespace
+
+StatsReport
+collectStats(const System &sys)
+{
+    StatsReport rep;
+
+    const CoreStats &core = sys.core().stats();
+    rep.add("core.instructions", core.instructions);
+    rep.add("core.ipc", sys.core().ipc());
+    rep.add("core.mem_ops", core.memOps);
+    rep.add("core.l1_hits", core.l1Hits);
+    rep.add("core.l2_hits", core.l2Hits);
+    rep.add("core.l3_hits", core.l3Hits);
+    rep.add("core.nvm_reads", core.memReads);
+    rep.add("core.nvm_writebacks", core.memWrites);
+    rep.add("core.eager_submitted", core.eagerSubmitted);
+    rep.add("core.mem_stall_ticks", core.memStallTicks);
+    rep.add("core.wb_stall_ticks", core.wbStallTicks);
+
+    const System &s = sys;
+    addCache(rep, "cache.l1d", s.caches().l1d());
+    addCache(rep, "cache.l2", s.caches().l2c());
+    addCache(rep, "cache.llc", s.caches().llc());
+
+    const CtrlStats &ctrl = s.controller().stats();
+    rep.add("memctrl.reads_completed", ctrl.readsCompleted);
+    rep.add("memctrl.row_hits", ctrl.rowHits);
+    const double rowHitRate = ctrl.readsCompleted
+        ? static_cast<double>(ctrl.rowHits) /
+              static_cast<double>(ctrl.readsCompleted)
+        : 0.0;
+    rep.add("memctrl.row_hit_rate", rowHitRate);
+    rep.add("memctrl.avg_read_latency_ns",
+            ctrl.avgReadLatency() / static_cast<double>(tickNs));
+    rep.add("memctrl.writes_completed", ctrl.writesCompleted);
+    rep.add("memctrl.fast_writes", ctrl.fastWrites);
+    rep.add("memctrl.slow_writes", ctrl.slowWrites);
+    rep.add("memctrl.quota_writes", ctrl.quotaWrites,
+            "forced 4x writes in restricted slices");
+    rep.add("memctrl.eager_writes", ctrl.eagerWrites);
+    rep.add("memctrl.scrub_writes", ctrl.scrubWrites,
+            "retention / disturbance refreshes");
+    rep.add("memctrl.cancellations", ctrl.cancellations);
+    rep.add("memctrl.paused_writes", ctrl.pausedWrites);
+    rep.add("memctrl.readq_rejects", ctrl.readQRejects);
+    rep.add("memctrl.writeq_rejects", ctrl.writeQRejects);
+    rep.add("memctrl.eagerq_rejects", ctrl.eagerQRejects);
+    rep.add("memctrl.wear_added", ctrl.wearAdded,
+            "fast-write-equivalent line writes");
+    rep.add("memctrl.quota.restricted_slices",
+            s.controller().wearQuota().restrictedSlices());
+
+    const NvmDevice &dev = s.device();
+    const double busySec = static_cast<double>(ctrl.bankBusyTicks) /
+                           static_cast<double>(tickSec);
+    const double elapsedSec = static_cast<double>(s.now()) /
+                              static_cast<double>(tickSec);
+    rep.add("nvm.total_wear", dev.totalWear());
+    rep.add("nvm.max_bank_wear", dev.maxBankWear());
+    const double util = elapsedSec > 0.0
+        ? busySec / (elapsedSec * dev.numBanks())
+        : 0.0;
+    rep.add("nvm.bank_utilization", util,
+            "busy ticks / (elapsed * banks)");
+    for (unsigned b = 0; b < dev.numBanks(); ++b) {
+        const Bank &bank = dev.bank(b);
+        std::ostringstream path;
+        path << "nvm.bank" << std::setw(2) << std::setfill('0') << b;
+        rep.add(path.str() + ".reads", bank.reads);
+        rep.add(path.str() + ".writes", bank.writes);
+        rep.add(path.str() + ".wear", bank.wear);
+    }
+
+    rep.add("objective.ipc", sys.core().ipc());
+    rep.add("objective.lifetime_years", dev.lifetimeYears(s.now()));
+    return rep;
+}
+
+void
+dumpStats(const System &sys, std::ostream &os)
+{
+    collectStats(sys).print(os);
+}
+
+} // namespace mct

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hierarchical plain-text statistics dump of a simulated system, in
+ * the spirit of gem5's stats.txt: every component reports its
+ * counters under a dotted path, with derived rates alongside the raw
+ * values. Useful for debugging workload calibrations and for
+ * downstream users validating their own configurations.
+ */
+
+#ifndef MCT_SIM_STATS_REPORT_HH
+#define MCT_SIM_STATS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+
+namespace mct
+{
+
+/**
+ * Collects (path, value, annotation) rows and renders them aligned.
+ */
+class StatsReport
+{
+  public:
+    /** Append one scalar statistic. */
+    void add(const std::string &path, double value,
+             const std::string &annotation = "");
+
+    /** Append an integer statistic. */
+    void add(const std::string &path, std::uint64_t value,
+             const std::string &annotation = "");
+
+    /** Render all rows, gem5-style (path, value, # annotation). */
+    void print(std::ostream &os) const;
+
+    /** Number of rows collected. */
+    std::size_t size() const { return rows.size(); }
+
+  private:
+    struct Row
+    {
+        std::string path;
+        std::string value;
+        std::string annotation;
+    };
+    std::vector<Row> rows;
+};
+
+/**
+ * Build the full report of a system at its current state: core,
+ * cache levels, memory controller, wear quota, and per-bank device
+ * statistics, plus the three derived objectives.
+ */
+StatsReport collectStats(const System &sys);
+
+/** Convenience: collect and print to the stream. */
+void dumpStats(const System &sys, std::ostream &os);
+
+} // namespace mct
+
+#endif // MCT_SIM_STATS_REPORT_HH

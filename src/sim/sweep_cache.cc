@@ -1,0 +1,151 @@
+#include "sim/sweep_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/logging.hh"
+
+namespace mct
+{
+
+std::string
+configKey(const MellowConfig &cfg)
+{
+    std::ostringstream os;
+    os << "ba";
+    if (cfg.bankAware)
+        os << cfg.bankAwareThreshold;
+    else
+        os << "-";
+    os << "_ew";
+    if (cfg.eagerWritebacks)
+        os << cfg.eagerThreshold;
+    else
+        os << "-";
+    os << "_wq";
+    if (cfg.wearQuota) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.1f", cfg.wearQuotaTarget);
+        os << buf;
+    } else {
+        os << "-";
+    }
+    char lat[32];
+    std::snprintf(lat, sizeof(lat), "_f%.1f_s", cfg.fastLatency);
+    os << lat;
+    if (cfg.usesSlowWrites()) {
+        std::snprintf(lat, sizeof(lat), "%.1f", cfg.slowLatency);
+        os << lat;
+    } else {
+        os << "-";
+    }
+    os << "_c" << (cfg.fastCancellation ? "F" : "")
+       << (cfg.usesSlowWrites() && cfg.slowCancellation ? "S" : "");
+    if (cfg.pauseInsteadOfCancel)
+        os << "_P"; // extension: write pausing
+    if (cfg.shortRetentionWrites)
+        os << "_R"; // extension: short-retention writes
+    if (cfg.fastDisturbingReads)
+        os << "_D"; // extension: fast disturbing reads
+    return os.str();
+}
+
+SweepCache::SweepCache(const EvalParams &evalParams, std::string csvPath)
+    : ep(evalParams), path(std::move(csvPath))
+{
+    load();
+}
+
+SweepCache::~SweepCache()
+{
+    save();
+}
+
+std::string
+SweepCache::defaultPath()
+{
+    if (const char *env = std::getenv("MCT_SWEEP_CACHE"))
+        return env;
+    return "mct_sweep_cache.csv";
+}
+
+void
+SweepCache::load()
+{
+    if (path.empty())
+        return;
+    CsvFile csv;
+    if (!csv.load(path))
+        return;
+    for (const auto &row : csv.data()) {
+        if (row.size() != 5)
+            continue;
+        Metrics m;
+        m.ipc = CsvFile::asDouble(row[2]);
+        m.lifetimeYears = CsvFile::asDouble(row[3]);
+        m.energyJ = CsvFile::asDouble(row[4]);
+        table[row[0] + "|" + row[1]] = m;
+    }
+    mct_inform("SweepCache: loaded ", table.size(), " entries from ",
+               path);
+}
+
+void
+SweepCache::save()
+{
+    if (path.empty() || unsaved == 0)
+        return;
+    CsvFile csv;
+    for (const auto &[key, m] : table) {
+        const auto bar = key.find('|');
+        std::ostringstream ipc, life, en;
+        ipc.precision(17);
+        life.precision(17);
+        en.precision(17);
+        ipc << m.ipc;
+        life << m.lifetimeYears;
+        en << m.energyJ;
+        csv.row({key.substr(0, bar), key.substr(bar + 1), ipc.str(),
+                 life.str(), en.str()});
+    }
+    if (!csv.save(path))
+        mct_warn("SweepCache: could not write ", path);
+    else
+        unsaved = 0;
+}
+
+Metrics
+SweepCache::get(const std::string &app, const MellowConfig &cfg)
+{
+    const std::string key = app + "|" + configKey(cfg);
+    const auto it = table.find(key);
+    if (it != table.end())
+        return it->second;
+    const Metrics m = evaluateConfig(app, cfg, ep);
+    table[key] = m;
+    ++nMisses;
+    if (++unsaved >= 500)
+        save();
+    return m;
+}
+
+std::vector<Metrics>
+SweepCache::getAll(const std::string &app,
+                   const std::vector<MellowConfig> &cfgs, bool progress)
+{
+    std::vector<Metrics> out;
+    out.reserve(cfgs.size());
+    std::size_t done = 0;
+    for (const auto &cfg : cfgs) {
+        out.push_back(get(app, cfg));
+        if (progress && (++done % 500 == 0)) {
+            std::fprintf(stderr, "  sweep %s: %zu/%zu\n", app.c_str(),
+                         done, cfgs.size());
+        }
+    }
+    return out;
+}
+
+} // namespace mct

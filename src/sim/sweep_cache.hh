@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Memoized configuration-space sweeps.
+ *
+ * Every table and figure of the evaluation reuses the same artifact:
+ * the objectives of (application, configuration) pairs. The cache
+ * memoizes evaluations in memory and optionally persists them to a
+ * CSV file so successive bench binaries share one brute-force sweep.
+ */
+
+#ifndef MCT_SIM_SWEEP_CACHE_HH
+#define MCT_SIM_SWEEP_CACHE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/evaluator.hh"
+
+namespace mct
+{
+
+/** Canonical, parse-stable text key of a configuration. */
+std::string configKey(const MellowConfig &cfg);
+
+/**
+ * Evaluation memoizer with CSV persistence.
+ */
+class SweepCache
+{
+  public:
+    /**
+     * @param ep Evaluation parameters (identical for all entries; the
+     *        cache file is only valid for one EvalParams set, which
+     *        the default bench setup guarantees).
+     * @param path CSV backing file; empty for in-memory only.
+     */
+    explicit SweepCache(const EvalParams &ep, std::string path = "");
+
+    ~SweepCache();
+
+    /** Evaluate (memoized). */
+    Metrics get(const std::string &app, const MellowConfig &cfg);
+
+    /** Evaluate many configurations, reporting progress. */
+    std::vector<Metrics> getAll(const std::string &app,
+                                const std::vector<MellowConfig> &cfgs,
+                                bool progress = false);
+
+    /** Entries currently cached. */
+    std::size_t size() const { return table.size(); }
+
+    /** Evaluations actually executed (cache misses). */
+    std::size_t misses() const { return nMisses; }
+
+    /** Persist now (no-op for in-memory caches). */
+    void save();
+
+    const EvalParams &evalParams() const { return ep; }
+
+    /** Default on-disk location, overridable via MCT_SWEEP_CACHE. */
+    static std::string defaultPath();
+
+  private:
+    EvalParams ep;
+    std::string path;
+    std::unordered_map<std::string, Metrics> table;
+    std::size_t nMisses = 0;
+    std::size_t unsaved = 0;
+
+    void load();
+};
+
+} // namespace mct
+
+#endif // MCT_SIM_SWEEP_CACHE_HH

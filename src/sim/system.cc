@@ -1,0 +1,115 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+System::System(const std::string &workloadName,
+               const SystemParams &params, const MellowConfig &config)
+    : System(makeWorkload(workloadName, params.seed), params, config)
+{
+}
+
+System::System(std::unique_ptr<Workload> workload,
+               const SystemParams &params, const MellowConfig &config)
+    : p(params), energy_(params.energy), wl_(std::move(workload))
+{
+    if (!wl_)
+        mct_fatal("System: null workload");
+    wire(config);
+}
+
+void
+System::wire(const MellowConfig &config)
+{
+    dev_ = std::make_unique<NvmDevice>(p.nvm);
+    ctrl_ = std::make_unique<MemController>(*dev_, p.memctrl, config);
+    hier_ = std::make_unique<CacheHierarchy>(p.caches);
+    router_ = std::make_unique<CompletionRouter>(*ctrl_);
+    core_ = std::make_unique<Core>(0, p.core, *wl_, *hier_, *ctrl_,
+                                   *router_);
+}
+
+void
+System::run(InstCount insts)
+{
+    core_->run(insts);
+    // Let in-flight memory work that already fits inside the elapsed
+    // window complete so snapshot deltas line up with CPU time.
+    ctrl_->advance(core_->now());
+}
+
+void
+System::setConfig(const MellowConfig &config)
+{
+    ctrl_->setConfig(config, core_->now());
+}
+
+SysSnapshot
+System::snapshot() const
+{
+    SysSnapshot s;
+    s.core = core_->stats();
+    s.ctrl = ctrl_->stats();
+    s.time = core_->now();
+    s.instructions = core_->retired();
+    s.bankWear.reserve(dev_->numBanks());
+    for (unsigned b = 0; b < dev_->numBanks(); ++b)
+        s.bankWear.push_back(dev_->bank(b).wear);
+    return s;
+}
+
+double
+windowLifetimeYears(const NvmParams &nvm,
+                    const std::vector<double> &wearFrom,
+                    const std::vector<double> &wearTo, Tick elapsed)
+{
+    if (elapsed == 0 || wearTo.size() != wearFrom.size())
+        return nvm.maxLifetimeYears;
+    double worstRate = 0.0;
+    const double sec = static_cast<double>(elapsed) /
+                       static_cast<double>(tickSec);
+    for (std::size_t b = 0; b < wearTo.size(); ++b) {
+        const double dw = wearTo[b] - wearFrom[b];
+        worstRate = std::max(worstRate, dw / sec);
+    }
+    if (worstRate <= 0.0)
+        return nvm.maxLifetimeYears;
+    const double years =
+        nvm.bankWearCapacity() / worstRate / secondsPerYear;
+    return std::min(years, nvm.maxLifetimeYears);
+}
+
+Metrics
+System::metricsBetween(const SysSnapshot &from,
+                       const SysSnapshot &to) const
+{
+    Metrics m;
+    const Tick elapsed = to.time - from.time;
+    const InstCount insts = to.instructions - from.instructions;
+    if (elapsed > 0) {
+        const double cycles = static_cast<double>(elapsed) /
+                              static_cast<double>(cpuCyclePs);
+        m.ipc = static_cast<double>(insts) / cycles;
+    }
+    m.lifetimeYears =
+        windowLifetimeYears(p.nvm, from.bankWear, to.bankWear, elapsed);
+    const CtrlStats dc = to.ctrl.delta(from.ctrl);
+    const double joules = energy_.energyJ(elapsed, insts,
+                                          dc.readsCompleted,
+                                          dc.writeEnergyUnits, 1);
+    if (insts > 0)
+        m.energyJ = joules * 1e6 / static_cast<double>(insts);
+    return m;
+}
+
+Metrics
+System::metricsSince(const SysSnapshot &from) const
+{
+    return metricsBetween(from, snapshot());
+}
+
+} // namespace mct

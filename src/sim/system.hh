@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The single-core simulated system: one workload-driven core, a
+ * three-level cache hierarchy, the Mellow-Writes memory controller,
+ * and the NVM device (Tables 8 and 9). Exposes snapshot-based window
+ * metrics (IPC, lifetime, energy) and live configuration switching,
+ * which is what the MCT runtime needs.
+ */
+
+#ifndef MCT_SIM_SYSTEM_HH
+#define MCT_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "cpu/core.hh"
+#include "memctrl/controller.hh"
+#include "nvm/device.hh"
+#include "sim/energy_model.hh"
+#include "workloads/workload.hh"
+
+namespace mct
+{
+
+/** All tunables of the simulated machine. */
+struct SystemParams
+{
+    NvmParams nvm;
+    MemCtrlParams memctrl;
+    HierarchyParams caches;
+    CoreParams core;
+    EnergyParams energy;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * The three optimization objectives (paper Section 4.1.2). Energy is
+ * reported per million instructions (an intensive measure) so windows
+ * of different lengths compare meaningfully; for the fixed-length
+ * evaluation windows of the benches this is simply total energy
+ * rescaled.
+ */
+struct Metrics
+{
+    double ipc = 0.0;
+    double lifetimeYears = 0.0;
+    double energyJ = 0.0; ///< Joules per 1M instructions
+};
+
+/** A point-in-time capture used to compute window metrics. */
+struct SysSnapshot
+{
+    CoreStats core;
+    CtrlStats ctrl;
+    Tick time = 0;
+    InstCount instructions = 0;
+    std::vector<double> bankWear;
+};
+
+/**
+ * Owns and wires all components of the single-core machine.
+ */
+class System
+{
+  public:
+    /** Build the system around a named application model. */
+    System(const std::string &workloadName, const SystemParams &params,
+           const MellowConfig &config);
+
+    /** Build the system around a caller-supplied workload. */
+    System(std::unique_ptr<Workload> workload,
+           const SystemParams &params, const MellowConfig &config);
+
+    /** Run at least @p insts further instructions. */
+    void run(InstCount insts);
+
+    /** Switch the active Mellow-Writes configuration immediately. */
+    void setConfig(const MellowConfig &config);
+
+    /** Active configuration. */
+    const MellowConfig &config() const { return ctrl_->config(); }
+
+    /** Capture current counters. */
+    SysSnapshot snapshot() const;
+
+    /** Objectives over the window between two snapshots. */
+    Metrics metricsBetween(const SysSnapshot &from,
+                           const SysSnapshot &to) const;
+
+    /** Objectives since a snapshot, at the current instant. */
+    Metrics metricsSince(const SysSnapshot &from) const;
+
+    /** Components, exposed for tests and the MCT runtime. */
+    Core &core() { return *core_; }
+    const Core &core() const { return *core_; }
+    MemController &controller() { return *ctrl_; }
+    const MemController &controller() const { return *ctrl_; }
+    NvmDevice &device() { return *dev_; }
+    const NvmDevice &device() const { return *dev_; }
+    CacheHierarchy &caches() { return *hier_; }
+    const CacheHierarchy &caches() const { return *hier_; }
+    Workload &workload() { return *wl_; }
+    const SystemParams &params() const { return p; }
+    const EnergyModel &energyModel() const { return energy_; }
+
+    /** Total instructions retired. */
+    InstCount retired() const { return core_->retired(); }
+
+    /** Current time (core clock). */
+    Tick now() const { return core_->now(); }
+
+  private:
+    SystemParams p;
+    EnergyModel energy_;
+    std::unique_ptr<Workload> wl_;
+    std::unique_ptr<NvmDevice> dev_;
+    std::unique_ptr<MemController> ctrl_;
+    std::unique_ptr<CacheHierarchy> hier_;
+    std::unique_ptr<CompletionRouter> router_;
+    std::unique_ptr<Core> core_;
+
+    void wire(const MellowConfig &config);
+};
+
+/** Lifetime of a wear window (helper shared with the multicore sim). */
+double windowLifetimeYears(const NvmParams &nvm,
+                           const std::vector<double> &wearFrom,
+                           const std::vector<double> &wearTo,
+                           Tick elapsed);
+
+} // namespace mct
+
+#endif // MCT_SIM_SYSTEM_HH

@@ -1,0 +1,32 @@
+#include "workloads/mixes.hh"
+
+#include "common/logging.hh"
+
+namespace mct
+{
+
+const std::vector<MixSpec> &
+multiProgramMixes()
+{
+    static const std::vector<MixSpec> mixes = {
+        {"mix1", {"lbm", "libquantum", "stream", "ocean"}},
+        {"mix2", {"leslie3d", "bwaves", "stream", "ocean"}},
+        {"mix3", {"GemsFDTD", "milc", "zeusmp", "bwaves"}},
+        {"mix4", {"lbm", "leslie3d", "zeusmp", "GemsFDTD"}},
+        {"mix5", {"GemsFDTD", "milc", "bwaves", "libquantum"}},
+        {"mix6", {"libquantum", "bwaves", "stream", "ocean"}},
+    };
+    return mixes;
+}
+
+const MixSpec &
+mixByName(const std::string &name)
+{
+    for (const auto &mix : multiProgramMixes()) {
+        if (mix.name == name)
+            return mix;
+    }
+    mct_fatal("unknown mix '", name, "'");
+}
+
+} // namespace mct

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The six multi-program workloads of Table 11.
+ */
+
+#ifndef MCT_WORKLOADS_MIXES_HH
+#define MCT_WORKLOADS_MIXES_HH
+
+#include <string>
+#include <vector>
+
+namespace mct
+{
+
+/** A named 4-program mix. */
+struct MixSpec
+{
+    std::string name;
+    std::vector<std::string> apps;
+};
+
+/** Table 11: mix1..mix6. */
+const std::vector<MixSpec> &multiProgramMixes();
+
+/** Look up a mix by name (fatal if unknown). */
+const MixSpec &mixByName(const std::string &name);
+
+} // namespace mct
+
+#endif // MCT_WORKLOADS_MIXES_HH

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache and the three-level
+ * hierarchy: LRU behavior, dirty writebacks, victim address
+ * reconstruction, the stack-position hit histogram, the "useless
+ * positions" rule, and eager-candidate collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+
+namespace mct
+{
+namespace
+{
+
+/** A tiny direct-mapped-ish cache: 4 sets x 2 ways of 64 B lines. */
+CacheParams
+tinyParams()
+{
+    return CacheParams{"tiny", 4 * 2 * 64, 2};
+}
+
+/** Address for (set, tag) in the tiny cache. */
+Addr
+tinyAddr(std::uint64_t set, std::uint64_t tag)
+{
+    return (tag * 4 + set) * 64;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(tinyParams());
+    Victim v;
+    EXPECT_FALSE(c.access(tinyAddr(0, 0), false, v));
+    EXPECT_TRUE(c.access(tinyAddr(0, 0), false, v));
+    EXPECT_EQ(c.stats().accesses, 2u);
+    EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(Cache, EvictsLeastRecentlyUsed)
+{
+    Cache c(tinyParams());
+    Victim v;
+    c.access(tinyAddr(0, 1), false, v); // way A
+    c.access(tinyAddr(0, 2), false, v); // way B
+    c.access(tinyAddr(0, 1), false, v); // touch A
+    c.access(tinyAddr(0, 3), false, v); // evicts B (LRU)
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, tinyAddr(0, 2));
+    EXPECT_TRUE(c.contains(tinyAddr(0, 1)));
+    EXPECT_FALSE(c.contains(tinyAddr(0, 2)));
+}
+
+TEST(Cache, VictimAddressReconstruction)
+{
+    Cache c(tinyParams());
+    Victim v;
+    for (std::uint64_t tag = 0; tag < 3; ++tag)
+        c.access(tinyAddr(2, tag), true, v);
+    EXPECT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(v.addr, tinyAddr(2, 0));
+}
+
+TEST(Cache, WritesMakeLinesDirty)
+{
+    Cache c(tinyParams());
+    Victim v;
+    c.access(tinyAddr(1, 0), true, v);
+    EXPECT_TRUE(c.isDirty(tinyAddr(1, 0)));
+    c.access(tinyAddr(1, 1), false, v);
+    EXPECT_FALSE(c.isDirty(tinyAddr(1, 1)));
+}
+
+TEST(Cache, DirtyEvictionCounted)
+{
+    Cache c(tinyParams());
+    Victim v;
+    c.access(tinyAddr(0, 0), true, v);
+    c.access(tinyAddr(0, 1), false, v);
+    c.access(tinyAddr(0, 2), false, v); // evicts dirty tag 0
+    EXPECT_EQ(c.stats().dirtyEvictions, 1u);
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(Cache, WritebackMarksExistingLineDirty)
+{
+    Cache c(tinyParams());
+    Victim v;
+    c.access(tinyAddr(0, 0), false, v);
+    c.writeback(tinyAddr(0, 0), v);
+    EXPECT_FALSE(v.valid);
+    EXPECT_TRUE(c.isDirty(tinyAddr(0, 0)));
+}
+
+TEST(Cache, WritebackAllocatesNearLruEnd)
+{
+    Cache c(tinyParams());
+    Victim v;
+    c.access(tinyAddr(0, 1), false, v);
+    c.access(tinyAddr(0, 2), false, v);
+    // Writeback-allocate tag 3: set full, evicts LRU (tag 1).
+    c.writeback(tinyAddr(0, 3), v);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, tinyAddr(0, 1));
+    // The allocated line is itself next in line for eviction.
+    c.access(tinyAddr(0, 4), false, v);
+    EXPECT_TRUE(v.valid);
+    EXPECT_EQ(v.addr, tinyAddr(0, 3));
+    EXPECT_TRUE(v.dirty);
+}
+
+TEST(Cache, HistogramTracksStackPositions)
+{
+    Cache c(tinyParams());
+    Victim v;
+    c.access(tinyAddr(0, 0), false, v);
+    c.access(tinyAddr(0, 1), false, v);
+    c.access(tinyAddr(0, 1), false, v); // MRU hit -> position 0
+    c.access(tinyAddr(0, 0), false, v); // LRU hit -> position 1
+    EXPECT_EQ(c.positionHits()[0], 1u);
+    EXPECT_EQ(c.positionHits()[1], 1u);
+}
+
+class UselessPositions : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(UselessPositions, ThresholdControlsDeadRegion)
+{
+    // 8-way cache with a constructed hit profile: almost all hits at
+    // MRU, a trickle at the LRU end.
+    Cache c(CacheParams{"u", 8 * 64 * 4, 8});
+    Victim v;
+    // Fill one set with 8 lines.
+    for (std::uint64_t t = 0; t < 8; ++t)
+        c.access((t * 4) * 64, false, v);
+    // 96 MRU hits.
+    for (int i = 0; i < 96; ++i)
+        c.access((7 * 4) * 64, false, v);
+    const int thr = GetParam();
+    const unsigned dead = c.uselessPositions(thr);
+    // All positions except MRU received ~1 hit each (from the fill
+    // pattern's promotion chain); the dead region must shrink as the
+    // threshold grows (1/thr gets stricter).
+    EXPECT_LE(dead, 7u);
+    if (thr >= 32) {
+        EXPECT_LE(dead, c.uselessPositions(4));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, UselessPositions,
+                         ::testing::Values(4, 8, 16, 32));
+
+TEST(Cache, UselessPositionsMonotoneInThreshold)
+{
+    Cache c(CacheParams{"u", 8 * 64 * 16, 8});
+    Victim v;
+    // Mixed traffic over a few sets.
+    for (std::uint64_t i = 0; i < 4000; ++i)
+        c.access(((i * 37) % 512) * 64, i % 3 == 0, v);
+    unsigned prev = 8;
+    for (int thr : {4, 8, 16, 32}) {
+        const unsigned dead = c.uselessPositions(thr);
+        EXPECT_LE(dead, prev); // stricter budget, smaller region
+        prev = dead;
+    }
+}
+
+TEST(Cache, NoHitsMeansNoDeadRegion)
+{
+    Cache c(tinyParams());
+    EXPECT_EQ(c.uselessPositions(4), 0u);
+}
+
+TEST(Cache, EagerCandidatesAreDirtyLruLines)
+{
+    Cache c(CacheParams{"e", 8 * 64 * 4, 8});
+    Victim v;
+    // One set: 8 lines, first 4 dirty; heavy MRU hits so the LRU end
+    // is dead under threshold 4.
+    for (std::uint64_t t = 0; t < 8; ++t)
+        c.access(t * 4 * 64, t < 4, v);
+    for (int i = 0; i < 200; ++i)
+        c.access(7 * 4 * 64, false, v);
+
+    std::vector<Addr> out;
+    const unsigned n = c.collectEagerCandidates(4, 16, out);
+    EXPECT_EQ(n, out.size());
+    EXPECT_GT(n, 0u);
+    for (Addr a : out) {
+        EXPECT_TRUE(c.contains(a));
+        EXPECT_FALSE(c.isDirty(a)); // cleaned on collection
+    }
+    EXPECT_EQ(c.stats().eagerCleaned, n);
+}
+
+TEST(Cache, RewriteAfterEagerCleanCounted)
+{
+    Cache c(CacheParams{"e", 8 * 64 * 4, 8});
+    Victim v;
+    for (std::uint64_t t = 0; t < 8; ++t)
+        c.access(t * 4 * 64, true, v);
+    for (int i = 0; i < 200; ++i)
+        c.access(7 * 4 * 64, false, v);
+    std::vector<Addr> out;
+    ASSERT_GT(c.collectEagerCandidates(4, 4, out), 0u);
+    const Addr victim = out[0];
+    c.access(victim, true, v); // re-dirty
+    EXPECT_EQ(c.stats().rewrites, 1u);
+    EXPECT_TRUE(c.isDirty(victim));
+}
+
+TEST(Cache, ResetClearsState)
+{
+    Cache c(tinyParams());
+    Victim v;
+    c.access(0, true, v);
+    c.reset();
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(Hierarchy, MissesAllLevelsOnColdAccess)
+{
+    CacheHierarchy h{HierarchyParams{}};
+    AccessOutcome out;
+    h.access(0x1234000, false, out);
+    EXPECT_EQ(out.hitLevel, 0);
+    EXPECT_TRUE(out.writebacks.empty());
+}
+
+TEST(Hierarchy, SecondAccessHitsL1)
+{
+    CacheHierarchy h{HierarchyParams{}};
+    AccessOutcome out;
+    h.access(0x1234000, false, out);
+    h.access(0x1234000, false, out);
+    EXPECT_EQ(out.hitLevel, 1);
+}
+
+TEST(Hierarchy, L1EvictionLeavesLineInL2)
+{
+    HierarchyParams hp;
+    CacheHierarchy h(hp);
+    AccessOutcome out;
+    const Addr target = 0;
+    h.access(target, false, out);
+    // Evict target from L1: walk many conflicting lines. L1 32 KB
+    // 4-way => 128 sets; addresses with the same set index conflict.
+    for (int i = 1; i <= 16; ++i)
+        h.access(target + static_cast<Addr>(i) * 128 * 64, false, out);
+    EXPECT_FALSE(h.l1d().contains(target));
+    h.access(target, false, out);
+    EXPECT_GE(out.hitLevel, 2); // L2 or L3, not memory
+    EXPECT_NE(out.hitLevel, 0);
+}
+
+TEST(Hierarchy, DirtyDataFlowsDownToMemory)
+{
+    // Use a small hierarchy so evictions happen quickly.
+    HierarchyParams hp;
+    hp.l1 = CacheParams{"L1", 2 * 1024, 2};
+    hp.l2 = CacheParams{"L2", 4 * 1024, 2};
+    hp.l3 = CacheParams{"L3", 8 * 1024, 2};
+    CacheHierarchy h(hp);
+    AccessOutcome out;
+    std::size_t memWritebacks = 0;
+    // Stream writes over 64 KB: far beyond every level.
+    for (Addr a = 0; a < 64 * 1024; a += 64) {
+        h.access(a, true, out);
+        memWritebacks += out.writebacks.size();
+    }
+    EXPECT_GT(memWritebacks, 100u);
+}
+
+TEST(Hierarchy, SharedL3SeesBothCores)
+{
+    HierarchyParams hp;
+    auto shared = std::make_shared<Cache>(hp.l3);
+    CacheHierarchy a(hp, shared), b(hp, shared);
+    AccessOutcome out;
+    a.access(0x5000, false, out);
+    EXPECT_EQ(out.hitLevel, 0);
+    // Core b misses privately but hits the shared L3.
+    b.access(0x5000, false, out);
+    EXPECT_EQ(out.hitLevel, 3);
+}
+
+TEST(Hierarchy, ResetInvalidatesEverything)
+{
+    CacheHierarchy h{HierarchyParams{}};
+    AccessOutcome out;
+    h.access(0x42000, true, out);
+    h.reset();
+    h.access(0x42000, false, out);
+    EXPECT_EQ(out.hitLevel, 0);
+}
+
+TEST(Hierarchy, Table8Geometry)
+{
+    HierarchyParams hp;
+    EXPECT_EQ(hp.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(hp.l1.ways, 4u);
+    EXPECT_EQ(hp.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(hp.l2.ways, 8u);
+    EXPECT_EQ(hp.l3.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(hp.l3.ways, 16u);
+}
+
+} // namespace
+} // namespace mct

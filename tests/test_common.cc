@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit tests for the common utilities: statistics accumulators, the
+ * sliding window behind the phase detector, Welch's t score, the
+ * deterministic RNG, table formatting, and CSV round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace mct
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, MeanVarianceMinMax)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, ResetClearsEverything)
+{
+    RunningStat s;
+    s.push(1.0);
+    s.push(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceIsZero)
+{
+    RunningStat s;
+    s.push(42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SlidingWindow, EvictsOldestWhenFull)
+{
+    SlidingWindow w(3);
+    w.push(1.0);
+    w.push(2.0);
+    w.push(3.0);
+    EXPECT_TRUE(w.full());
+    EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+    w.push(10.0); // evicts 1.0
+    EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+    EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(SlidingWindow, RecentMeanAndVariance)
+{
+    SlidingWindow w(10);
+    for (double v : {1.0, 1.0, 1.0, 5.0, 5.0})
+        w.push(v);
+    EXPECT_DOUBLE_EQ(w.recentMean(2), 5.0);
+    EXPECT_DOUBLE_EQ(w.recentVariance(2), 0.0);
+    EXPECT_NEAR(w.recentMean(5), 13.0 / 5.0, 1e-12);
+}
+
+TEST(SlidingWindow, VarianceMatchesDirectComputation)
+{
+    SlidingWindow w(100);
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 50; ++i) {
+        const double v = rng.uniform(0, 10);
+        xs.push_back(v);
+        w.push(v);
+    }
+    double mu = 0.0;
+    for (double v : xs)
+        mu += v;
+    mu /= xs.size();
+    double ss = 0.0;
+    for (double v : xs)
+        ss += (v - mu) * (v - mu);
+    EXPECT_NEAR(w.variance(), ss / (xs.size() - 1), 1e-9);
+}
+
+TEST(SlidingWindow, ClearResets)
+{
+    SlidingWindow w(4);
+    w.push(3.0);
+    w.clear();
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+}
+
+TEST(Stats, GeomeanOfEqualValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+}
+
+TEST(Stats, GeomeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(WelchT, IdenticalSamplesScoreZero)
+{
+    EXPECT_DOUBLE_EQ(welchTScore(5.0, 1.0, 10, 5.0, 1.0, 100), 0.0);
+}
+
+TEST(WelchT, LargerShiftLargerScore)
+{
+    const double s1 = welchTScore(5.0, 1.0, 10, 6.0, 1.0, 100);
+    const double s2 = welchTScore(5.0, 1.0, 10, 9.0, 1.0, 100);
+    EXPECT_GT(s2, s1);
+    EXPECT_GT(s1, 0.0);
+}
+
+TEST(WelchT, ZeroVarianceDifferentMeansSaturates)
+{
+    EXPECT_GT(welchTScore(1.0, 0.0, 10, 2.0, 0.0, 10), 1e6);
+}
+
+TEST(WelchT, EmptySampleScoresZero)
+{
+    EXPECT_DOUBLE_EQ(welchTScore(1.0, 1.0, 0, 2.0, 1.0, 10), 0.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        sawLo |= v == 3;
+        sawHi |= v == 5;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard)
+{
+    Rng rng(13);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i)
+        s.push(rng.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.05);
+    EXPECT_NEAR(s.variance(), 1.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(17);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i)
+        s.push(rng.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 4.0, 0.2);
+}
+
+TEST(Rng, FlipProbability)
+{
+    Rng rng(19);
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += rng.flip(0.25);
+    EXPECT_NEAR(heads / 10000.0, 0.25, 0.03);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    TextTable t;
+    t.header({"a", "bbbb"});
+    t.row({"xxxxx", "y"});
+    t.row({"1", "2"});
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xxxxx"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, FmtHelpers)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtBool(true), "True");
+    EXPECT_EQ(fmtBool(false), "False");
+    EXPECT_EQ(fmtOrNa(false, 3.5), "N/A");
+    EXPECT_EQ(fmtOrNa(true, 3.5, 1), "3.5");
+}
+
+TEST(Csv, RoundTrip)
+{
+    CsvFile out;
+    out.row({"app", "key", "1.5"});
+    out.numericRow({1.0, 2.5, 3.25});
+    const std::string path = "/tmp/mct_test_csv.csv";
+    ASSERT_TRUE(out.save(path));
+
+    CsvFile in;
+    ASSERT_TRUE(in.load(path));
+    ASSERT_EQ(in.data().size(), 2u);
+    EXPECT_EQ(in.data()[0][0], "app");
+    EXPECT_DOUBLE_EQ(CsvFile::asDouble(in.data()[1][1]), 2.5);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, LoadMissingFileFails)
+{
+    CsvFile in;
+    EXPECT_FALSE(in.load("/tmp/definitely_missing_mct_file.csv"));
+}
+
+TEST(Types, UnitRelations)
+{
+    EXPECT_EQ(tickSec, 1000 * tickMs);
+    EXPECT_EQ(tickMs, 1000 * tickUs);
+    EXPECT_EQ(tickUs, 1000 * tickNs);
+    // 2 GHz CPU, 400 MHz memory.
+    EXPECT_EQ(tickSec / cpuCyclePs, 2000000000ull);
+    EXPECT_EQ(tickSec / memCyclePs, 400000000ull);
+}
+
+} // namespace
+} // namespace mct

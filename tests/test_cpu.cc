@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the core timing model: exact run lengths, IPC
+ * bounds, the bounded-MLP stall model, dependent-load serialization,
+ * writeback backpressure, and eager-candidate pumping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/core.hh"
+
+namespace mct
+{
+namespace
+{
+
+/** A rig wiring one core to a private hierarchy and controller. */
+struct CpuRig
+{
+    NvmDevice dev;
+    MemController ctrl;
+    CacheHierarchy hier;
+    CompletionRouter router;
+    std::unique_ptr<Workload> wl;
+    std::unique_ptr<Core> core;
+
+    explicit CpuRig(std::unique_ptr<Workload> workload,
+                    const MellowConfig &cfg = defaultConfig(),
+                    const CoreParams &cp = CoreParams{})
+        : dev(NvmParams{}), ctrl(dev, MemCtrlParams{}, cfg),
+          hier(HierarchyParams{}), router(ctrl), wl(std::move(workload))
+    {
+        core = std::make_unique<Core>(0, cp, *wl, hier, ctrl, router);
+    }
+};
+
+std::unique_ptr<Workload>
+mk(const PatternSpec &pt, unsigned mlp = 8, std::uint64_t seed = 3)
+{
+    WorkloadTraits tr{"test", mlp};
+    return std::make_unique<PatternWorkload>(
+        tr, std::vector<PhaseSpec>{{100000000, pt}}, seed);
+}
+
+PatternSpec
+lightSpec()
+{
+    PatternSpec pt;
+    pt.streamFrac = 1.0;
+    pt.numStreams = 1;
+    pt.streamBytes = 1 << 16; // fits in L1/L2: mostly cache hits
+    pt.wsBytes = 1 << 16;
+    pt.stride = 8;
+    pt.writeFrac = 0.1;
+    pt.memIntensity = 0.1;
+    return pt;
+}
+
+PatternSpec
+heavySpec()
+{
+    PatternSpec pt;
+    pt.streamFrac = 0.0;
+    pt.numStreams = 0;
+    pt.wsBytes = 256ULL << 20; // far beyond the LLC
+    pt.writeFrac = 0.3;
+    pt.memIntensity = 0.3;
+    pt.depProb = 0.0;
+    return pt;
+}
+
+TEST(Core, RunsAtLeastRequestedInstructions)
+{
+    CpuRig rig(mk(lightSpec()));
+    rig.core->run(50000);
+    EXPECT_GE(rig.core->retired(), 50000u);
+    // Exactness: overshoot bounded by one memory instruction.
+    EXPECT_LE(rig.core->retired(), 50001u);
+}
+
+TEST(Core, TimeAdvancesMonotonically)
+{
+    CpuRig rig(mk(lightSpec()));
+    Tick last = 0;
+    for (int i = 0; i < 20; ++i) {
+        rig.core->run(1000);
+        EXPECT_GE(rig.core->now(), last);
+        last = rig.core->now();
+    }
+    EXPECT_GT(last, 0u);
+}
+
+TEST(Core, CacheResidentWorkloadNearIssueWidth)
+{
+    CpuRig rig(mk(lightSpec()));
+    rig.core->run(200000);
+    // Nearly all hits: IPC should approach the 8-wide issue limit.
+    EXPECT_GT(rig.core->ipc(), 3.0);
+    EXPECT_LE(rig.core->ipc(), 8.0);
+}
+
+TEST(Core, MemoryBoundWorkloadFarBelowIssueWidth)
+{
+    CpuRig rig(mk(heavySpec()));
+    rig.core->run(200000);
+    EXPECT_LT(rig.core->ipc(), 1.5);
+    EXPECT_GT(rig.core->stats().memReads, 1000u);
+}
+
+TEST(Core, DependentLoadsHurtIpc)
+{
+    PatternSpec dep = heavySpec();
+    dep.depProb = 1.0;
+    CpuRig parallel(mk(heavySpec(), 16));
+    CpuRig serial(mk(dep, 16, 3));
+    parallel.core->run(150000);
+    serial.core->run(150000);
+    EXPECT_LT(serial.core->ipc(), 0.6 * parallel.core->ipc());
+}
+
+TEST(Core, HigherMlpHelpsBandwidthBoundCode)
+{
+    CpuRig narrow(mk(heavySpec(), 2));
+    CpuRig wide(mk(heavySpec(), 24));
+    narrow.core->run(150000);
+    wide.core->run(150000);
+    EXPECT_GT(wide.core->ipc(), 1.2 * narrow.core->ipc());
+}
+
+TEST(Core, SlowWritesReduceIpcUnderWritePressure)
+{
+    PatternSpec pt = heavySpec();
+    pt.writeFrac = 0.5;
+    MellowConfig slow;
+    slow.fastLatency = 4.0;
+    CpuRig fast(mk(pt));
+    CpuRig slowed(mk(pt), slow);
+    fast.core->run(150000);
+    slowed.core->run(150000);
+    EXPECT_GT(fast.core->ipc(), slowed.core->ipc());
+}
+
+TEST(Core, WritebacksReachController)
+{
+    PatternSpec pt = heavySpec();
+    pt.writeFrac = 0.5;
+    CpuRig rig(mk(pt));
+    rig.core->run(200000);
+    EXPECT_GT(rig.core->stats().memWrites, 500u);
+    rig.ctrl.advance(rig.ctrl.nextEventTick());
+    EXPECT_GT(rig.ctrl.stats().writesCompleted, 0u);
+}
+
+TEST(Core, EagerCandidatesPumpedWhenEnabled)
+{
+    PatternSpec pt = heavySpec();
+    pt.writeFrac = 0.5;
+    pt.wsBytes = 8ULL << 20; // some LLC residency for dirty lines
+    pt.reuseFrac = 0.5;
+    pt.hotBytes = 1 << 20;
+    MellowConfig cfg;
+    cfg.eagerWritebacks = true;
+    cfg.eagerThreshold = 4;
+    cfg.fastLatency = 1.0;
+    cfg.slowLatency = 2.0;
+    CpuRig rig(mk(pt), cfg);
+    rig.core->run(400000);
+    EXPECT_GT(rig.core->stats().eagerSubmitted, 0u);
+}
+
+TEST(Core, NoEagerTrafficWhenDisabled)
+{
+    PatternSpec pt = heavySpec();
+    pt.writeFrac = 0.5;
+    CpuRig rig(mk(pt)); // default config: eager off
+    rig.core->run(200000);
+    EXPECT_EQ(rig.core->stats().eagerSubmitted, 0u);
+}
+
+TEST(Core, DeterministicAcrossRuns)
+{
+    CpuRig a(mk(heavySpec(), 8, 42));
+    CpuRig b(mk(heavySpec(), 8, 42));
+    a.core->run(100000);
+    b.core->run(100000);
+    EXPECT_EQ(a.core->now(), b.core->now());
+    EXPECT_EQ(a.core->stats().memReads, b.core->stats().memReads);
+    EXPECT_EQ(a.ctrl.stats().writesCompleted,
+              b.ctrl.stats().writesCompleted);
+}
+
+TEST(Core, StatsDeltaWindows)
+{
+    CpuRig rig(mk(heavySpec()));
+    rig.core->run(50000);
+    const CoreStats snap = rig.core->stats();
+    rig.core->run(50000);
+    const CoreStats d = rig.core->stats().delta(snap);
+    EXPECT_GE(d.instructions, 50000u);
+    EXPECT_LE(d.instructions, 50001u);
+    EXPECT_GT(d.memOps, 0u);
+}
+
+TEST(Router, RoutesByCoreIdBits)
+{
+    // Two cores share one controller; completions must go home.
+    NvmDevice dev{NvmParams{}};
+    MemController ctrl(dev, MemCtrlParams{}, defaultConfig());
+    CompletionRouter router(ctrl);
+    CacheHierarchy h0{HierarchyParams{}}, h1{HierarchyParams{}};
+    auto w0 = mk(heavySpec(), 8, 1), w1 = mk(heavySpec(), 8, 2);
+    Core c0(0, CoreParams{}, *w0, h0, ctrl, router);
+    Core c1(1, CoreParams{}, *w1, h1, ctrl, router);
+    c0.run(20000);
+    c1.run(20000);
+    EXPECT_GT(c0.stats().memReads, 0u);
+    EXPECT_GT(c1.stats().memReads, 0u);
+    // If completions crossed cores, the waits would deadlock before
+    // reaching this point; additionally both clocks moved.
+    EXPECT_GT(c0.now(), 0u);
+    EXPECT_GT(c1.now(), 0u);
+}
+
+} // namespace
+} // namespace mct

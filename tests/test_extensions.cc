@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the extension subsystems beyond the paper's enumerated
+ * space: Start-Gap wear leveling (the scheme Table 9 assumes), write
+ * pausing (the cancellation alternative from Section 2's citations),
+ * and the remaining Table 1 trade-offs — short-retention writes and
+ * fast disturbing reads, both serviced by forced scrub writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memctrl/controller.hh"
+#include "nvm/start_gap.hh"
+#include "sim/evaluator.hh"
+#include "common/rng.hh"
+#include "sim/sweep_cache.hh"
+
+namespace mct
+{
+namespace
+{
+
+Addr
+addrForBank(const NvmDevice &dev, unsigned bank, unsigned row = 0)
+{
+    const std::uint64_t lpr = dev.params().linesPerRow();
+    const std::uint64_t line =
+        (static_cast<std::uint64_t>(row) * dev.numBanks() + bank) * lpr;
+    return line * lineBytes;
+}
+
+void
+drainAll(MemController &ctrl)
+{
+    while (!ctrl.idle()) {
+        const Tick next = ctrl.nextEventTick();
+        ASSERT_NE(next, MemController::noEvent);
+        ctrl.advance(next == ctrl.now() ? next + 1 : next);
+    }
+}
+
+TEST(StartGapUnit, MappingIsInjective)
+{
+    StartGap sg(16, 4);
+    for (int step = 0; step < 200; ++step) {
+        std::set<std::uint64_t> imgs;
+        for (std::uint64_t r = 0; r < 16; ++r) {
+            const std::uint64_t p = sg.mapRow(r);
+            EXPECT_LE(p, 16u); // 17 physical rows: 0..16
+            imgs.insert(p);
+        }
+        EXPECT_EQ(imgs.size(), 16u);
+        sg.onWrite();
+    }
+}
+
+TEST(StartGapUnit, GapMovesEveryPeriodWrites)
+{
+    StartGap sg(8, 10);
+    for (int i = 0; i < 9; ++i)
+        EXPECT_LT(sg.onWrite(), 0);
+    EXPECT_GE(sg.onWrite(), 0); // 10th write moves the gap
+    EXPECT_EQ(sg.gapMoves(), 1u);
+}
+
+TEST(StartGapUnit, RotationVisitsEveryPhysicalRow)
+{
+    // With enough writes, logical row 0 must occupy many distinct
+    // physical rows (the leveling action).
+    StartGap sg(8, 1); // gap moves on every write
+    std::set<std::uint64_t> placements;
+    for (int i = 0; i < 200; ++i) {
+        placements.insert(sg.mapRow(0));
+        sg.onWrite();
+    }
+    EXPECT_GE(placements.size(), 8u);
+}
+
+TEST(StartGapUnit, WrapIncrementsStart)
+{
+    StartGap sg(4, 1);
+    // 4 moves bring the gap 4->0; the 5th wraps with a start bump.
+    for (int i = 0; i < 5; ++i)
+        sg.onWrite();
+    EXPECT_EQ(sg.rotations(), 1u);
+}
+
+TEST(RowWear, TracksWorstAndEfficiency)
+{
+    RowWearTable t(2, 10);
+    t.add(0, 1, 4.0);
+    t.add(0, 2, 2.0);
+    t.add(1, 3, 2.0);
+    EXPECT_DOUBLE_EQ(t.maxRowWear(), 4.0);
+    EXPECT_DOUBLE_EQ(t.total(), 8.0);
+    // Average over touched rows = 8/3; efficiency = avg/worst.
+    EXPECT_NEAR(t.levelingEfficiency(), (8.0 / 3.0) / 4.0, 1e-12);
+}
+
+/** Small-geometry device so rotations complete within a test: 16
+ *  banks x 64 rows x 1 KB. Start-Gap levels over full rotations
+ *  (rows+1 gap movements), i.e. over device-lifetime write counts at
+ *  real geometry. */
+NvmParams
+smallStartGapParams(std::uint64_t gapPeriod)
+{
+    NvmParams p;
+    p.capacityBytes = 16ull * 64 * 1024;
+    p.wearLevelMode = WearLevelMode::StartGap;
+    p.startGapPeriod = gapPeriod;
+    return p;
+}
+
+TEST(StartGapDevice, LevelsSkewedWrites)
+{
+    // Hammer a single logical row; over tens of rotations Start-Gap
+    // must spread the wear far below the single-row bound.
+    NvmDevice dev(smallStartGapParams(8));
+    for (int i = 0; i < 20000; ++i)
+        dev.addWear(0, 5, 1.0);
+    const double years = dev.lifetimeYears(tickSec);
+    const double singleRowYears =
+        dev.params().rowWearCapacity() / 20000.0 / secondsPerYear;
+    EXPECT_GT(years, 5.0 * singleRowYears);
+    EXPECT_GT(dev.levelingEfficiency(), 0.2);
+}
+
+TEST(StartGapDevice, UniformWritesStayEfficient)
+{
+    NvmDevice dev(smallStartGapParams(16));
+    Rng rng(3);
+    for (int i = 0; i < 50000; ++i)
+        dev.addWear(0, rng.below(64), 1.0);
+    EXPECT_GT(dev.levelingEfficiency(), 0.3);
+}
+
+TEST(StartGapDevice, GapCopiesAreChargedAsWear)
+{
+    NvmDevice dev(smallStartGapParams(10));
+    for (int i = 0; i < 100; ++i)
+        dev.addWear(0, 1, 1.0);
+    // 10 gap moves x 16-line row copies on top of the 100 writes.
+    EXPECT_NEAR(dev.totalWear(), 100.0 + 10.0 * 16.0, 1e-6);
+}
+
+TEST(Pausing, WriteCompletesWithSingleWearCharge)
+{
+    MellowConfig cfg;
+    cfg.bankAware = true;
+    cfg.bankAwareThreshold = 4;
+    cfg.fastLatency = 1.0;
+    cfg.slowLatency = 4.0;
+    cfg.slowCancellation = true;
+    cfg.pauseInsteadOfCancel = true;
+    NvmDevice dev{NvmParams{}};
+    MemController ctrl(dev, MemCtrlParams{}, cfg);
+
+    ASSERT_TRUE(ctrl.submitWrite(addrForBank(dev, 0, 0), 0));
+    // Interrupt mid-pulse with a read.
+    ASSERT_TRUE(
+        ctrl.submitRead(addrForBank(dev, 0, 1), 100 * tickNs, 1));
+    drainAll(ctrl);
+    EXPECT_EQ(ctrl.stats().pausedWrites, 1u);
+    EXPECT_EQ(ctrl.stats().cancellations, 0u);
+    EXPECT_EQ(ctrl.stats().writesCompleted, 1u);
+    // Pausing preserves work: total wear is exactly one slow write.
+    EXPECT_NEAR(ctrl.stats().wearAdded, NvmParams::wearOfWrite(4.0),
+                1e-9);
+}
+
+TEST(Pausing, ReadStillServedPromptly)
+{
+    MellowConfig cfg;
+    cfg.bankAware = true;
+    cfg.bankAwareThreshold = 4;
+    cfg.slowLatency = 4.0;
+    cfg.slowCancellation = true;
+    cfg.pauseInsteadOfCancel = true;
+    NvmDevice dev{NvmParams{}};
+    MemController ctrl(dev, MemCtrlParams{}, cfg);
+    const NvmParams &np = dev.params();
+
+    ASSERT_TRUE(ctrl.submitWrite(addrForBank(dev, 0, 0), 0));
+    ASSERT_TRUE(
+        ctrl.submitRead(addrForBank(dev, 0, 1), 100 * tickNs, 1));
+    drainAll(ctrl);
+    const Tick readDone = ctrl.completedReads()[0].second;
+    EXPECT_EQ(readDone,
+              100 * tickNs + np.tRCD + np.tCAS + np.tBURST);
+}
+
+TEST(Pausing, LessWearThanCancellationSameScenario)
+{
+    auto runScenario = [](bool pause) {
+        MellowConfig cfg;
+        cfg.bankAware = true;
+        cfg.bankAwareThreshold = 4;
+        cfg.slowLatency = 4.0;
+        cfg.slowCancellation = true;
+        cfg.pauseInsteadOfCancel = pause;
+        NvmDevice dev{NvmParams{}};
+        MemController ctrl(dev, MemCtrlParams{}, cfg);
+        Tick t = 0;
+        for (unsigned i = 0; i < 20; ++i) {
+            ctrl.submitWrite(addrForBank(dev, 0, 2 * i), t);
+            t += 100 * tickNs;
+            ctrl.submitRead(addrForBank(dev, 0, 2 * i + 1), t, i);
+            t += 700 * tickNs;
+        }
+        while (!ctrl.idle())
+            ctrl.advance(ctrl.nextEventTick());
+        return ctrl.stats().wearAdded;
+    };
+    EXPECT_LT(runScenario(true), runScenario(false));
+}
+
+TEST(Retention, ShortWritesTriggerScrubs)
+{
+    MellowConfig cfg;
+    cfg.shortRetentionWrites = true;
+    NvmParams np;
+    np.retentionTime = 100 * tickUs;
+    NvmDevice dev(np);
+    MemController ctrl(dev, MemCtrlParams{}, cfg);
+
+    for (unsigned i = 0; i < 8; ++i)
+        ctrl.submitWrite(addrForBank(dev, i % 4, i / 4), 0);
+    drainAll(ctrl);
+    const auto writesBefore = ctrl.stats().writesCompleted;
+    EXPECT_EQ(ctrl.stats().scrubWrites, 0u);
+    // Jump past the retention deadline: scrubs must be issued.
+    ctrl.advance(ctrl.now() + 2 * np.retentionTime);
+    drainAll(ctrl);
+    EXPECT_EQ(ctrl.stats().scrubWrites, 8u);
+    EXPECT_EQ(ctrl.stats().writesCompleted, writesBefore + 8);
+}
+
+TEST(Retention, ShortWritesAreFaster)
+{
+    NvmDevice dev{NvmParams{}};
+    MellowConfig normal;
+    MellowConfig shortRet = normal;
+    shortRet.shortRetentionWrites = true;
+
+    MemController a(dev, MemCtrlParams{}, normal);
+    a.submitWrite(addrForBank(dev, 0, 0), 0);
+    drainAll(a);
+    const Tick normalDone = a.now();
+
+    NvmDevice dev2{NvmParams{}};
+    MemController b(dev2, MemCtrlParams{}, shortRet);
+    b.submitWrite(addrForBank(dev2, 0, 0), 0);
+    drainAll(b);
+    EXPECT_LT(b.now(), normalDone);
+}
+
+TEST(Disturbance, FastReadsScrubAtThreshold)
+{
+    MellowConfig cfg;
+    cfg.fastDisturbingReads = true;
+    NvmParams np;
+    np.disturbThreshold = 8;
+    NvmDevice dev(np);
+    MemController ctrl(dev, MemCtrlParams{}, cfg);
+
+    Tick t = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        ASSERT_TRUE(ctrl.submitRead(addrForBank(dev, 0, 0), t, i));
+        while (!ctrl.idle())
+            ctrl.advance(ctrl.nextEventTick());
+        t = ctrl.now() + tickUs;
+    }
+    drainAll(ctrl);
+    EXPECT_EQ(ctrl.stats().scrubWrites, 1u);
+}
+
+TEST(Disturbance, WriteResetsTheCounter)
+{
+    MellowConfig cfg;
+    cfg.fastDisturbingReads = true;
+    NvmParams np;
+    np.disturbThreshold = 8;
+    NvmDevice dev(np);
+    MemController ctrl(dev, MemCtrlParams{}, cfg);
+
+    Tick t = 0;
+    for (unsigned i = 0; i < 6; ++i) {
+        ctrl.submitRead(addrForBank(dev, 0, 0), t, i);
+        while (!ctrl.idle())
+            ctrl.advance(ctrl.nextEventTick());
+        t = ctrl.now() + tickUs;
+    }
+    // A write restores the row before the threshold.
+    ctrl.submitWrite(addrForBank(dev, 0, 0), t);
+    drainAll(ctrl);
+    t = ctrl.now() + tickUs;
+    for (unsigned i = 0; i < 6; ++i) {
+        ctrl.submitRead(addrForBank(dev, 0, 0), t, 100 + i);
+        while (!ctrl.idle())
+            ctrl.advance(ctrl.nextEventTick());
+        t = ctrl.now() + tickUs;
+    }
+    EXPECT_EQ(ctrl.stats().scrubWrites, 0u);
+}
+
+TEST(Disturbance, FastReadsReduceActivateLatency)
+{
+    NvmParams np;
+    NvmDevice dev(np);
+    MellowConfig fast;
+    fast.fastDisturbingReads = true;
+    MemController ctrl(dev, MemCtrlParams{}, fast);
+    ctrl.submitRead(addrForBank(dev, 0, 0), 0, 1);
+    drainAll(ctrl);
+    EXPECT_EQ(ctrl.completedReads()[0].second,
+              np.tRCDFast + np.tCAS + np.tBURST);
+}
+
+TEST(ExtensionsEndToEnd, Table1TradeoffDirections)
+{
+    // Measured directions must match Table 1's qualitative claims on
+    // a write-heavy workload.
+    EvalParams ep;
+    ep.warmupInsts = 200000;
+    ep.measureInsts = 600000;
+    const Metrics base = evaluateConfig("lbm", defaultConfig(), ep);
+
+    MellowConfig retention = defaultConfig();
+    retention.shortRetentionWrites = true;
+    const Metrics ret = evaluateConfig("lbm", retention, ep);
+    // Short-retention writes: performance up, lifetime down.
+    EXPECT_GT(ret.ipc, base.ipc * 0.98);
+    EXPECT_LT(ret.lifetimeYears, base.lifetimeYears);
+
+    MellowConfig fastRead = defaultConfig();
+    fastRead.fastDisturbingReads = true;
+    const Metrics fr = evaluateConfig("lbm", fastRead, ep);
+    // Fast disturbing reads: performance up, lifetime down.
+    EXPECT_GT(fr.ipc, base.ipc);
+    EXPECT_LT(fr.lifetimeYears, base.lifetimeYears);
+}
+
+TEST(ExtensionsEndToEnd, ConfigKeysDistinguishExtensions)
+{
+    MellowConfig a = defaultConfig();
+    MellowConfig b = a;
+    b.pauseInsteadOfCancel = true;
+    MellowConfig c = a;
+    c.shortRetentionWrites = true;
+    MellowConfig d = a;
+    d.fastDisturbingReads = true;
+    std::set<std::string> keys = {configKey(a), configKey(b),
+                                  configKey(c), configKey(d)};
+    EXPECT_EQ(keys.size(), 4u);
+}
+
+} // namespace
+} // namespace mct

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the NVM device model: geometry, address decoding,
+ * the write-latency-vs-endurance law, wear bookkeeping, and lifetime
+ * computation under the cyclic-execution assumption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nvm/device.hh"
+
+namespace mct
+{
+namespace
+{
+
+TEST(NvmParams, Table9Defaults)
+{
+    NvmParams p;
+    EXPECT_EQ(p.numBanks, 16u);
+    EXPECT_EQ(p.capacityBytes, 4ULL << 30);
+    EXPECT_EQ(p.rowBytes, 1024u);
+    EXPECT_EQ(p.tRCD, 120 * tickNs);
+    EXPECT_EQ(p.tCAS, Tick{2500});
+    EXPECT_EQ(p.tWPBase, 150 * tickNs);
+    EXPECT_DOUBLE_EQ(p.enduranceBase, 8e6);
+    EXPECT_DOUBLE_EQ(p.wearLevelEff, 0.95);
+    EXPECT_NO_FATAL_FAILURE(p.validate());
+}
+
+TEST(NvmParams, DerivedGeometry)
+{
+    NvmParams p;
+    EXPECT_EQ(p.linesPerRow(), 16u);                  // 1 KB / 64 B
+    EXPECT_EQ(p.linesPerBank(), (4ULL << 30) / 64 / 16);
+    EXPECT_EQ(p.rowsPerBank(), p.linesPerBank() / 16);
+}
+
+TEST(NvmParams, WritePulseScalesLinearly)
+{
+    NvmParams p;
+    EXPECT_EQ(p.writePulse(1.0), 150 * tickNs);
+    EXPECT_EQ(p.writePulse(2.0), 300 * tickNs);
+    EXPECT_EQ(p.writePulse(4.0), 600 * tickNs);
+}
+
+TEST(NvmParams, WearQuadraticInRatio)
+{
+    // Endurance = 8e6 r^2, so normalized wear per write is 1/r^2.
+    EXPECT_DOUBLE_EQ(NvmParams::wearOfWrite(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(NvmParams::wearOfWrite(2.0), 0.25);
+    EXPECT_DOUBLE_EQ(NvmParams::wearOfWrite(4.0), 0.0625);
+}
+
+TEST(NvmParams, BankWearCapacityIncludesLeveling)
+{
+    NvmParams p;
+    EXPECT_DOUBLE_EQ(p.bankWearCapacity(),
+                     static_cast<double>(p.linesPerBank()) * 8e6 * 0.95);
+}
+
+class DecodeTest : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(DecodeTest, RoundTripWithinGeometry)
+{
+    NvmDevice dev(NvmParams{});
+    const NvmLocation loc = dev.decode(GetParam());
+    EXPECT_LT(loc.bank, 16u);
+    EXPECT_LT(loc.lineInRow, 16u);
+    EXPECT_LT(loc.row, dev.params().rowsPerBank());
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, DecodeTest,
+                         ::testing::Values(0ull, 64ull, 1024ull,
+                                           4096ull, 1ull << 20,
+                                           (4ull << 30) - 64,
+                                           (4ull << 30) + 128,
+                                           0xdeadbeefc0ull));
+
+TEST(NvmDevice, ConsecutiveLinesShareRowThenSwitchBank)
+{
+    NvmDevice dev{NvmParams{}};
+    // Lines 0..15 live in the same row of the same bank (stream
+    // locality); line 16 moves to the next bank (wear spreading).
+    const NvmLocation first = dev.decode(0);
+    for (unsigned i = 1; i < 16; ++i) {
+        const NvmLocation loc = dev.decode(i * 64ull);
+        EXPECT_EQ(loc.bank, first.bank);
+        EXPECT_EQ(loc.row, first.row);
+        EXPECT_EQ(loc.lineInRow, i);
+    }
+    const NvmLocation next = dev.decode(16 * 64ull);
+    EXPECT_EQ(next.bank, (first.bank + 1) % 16);
+}
+
+TEST(NvmDevice, SequentialRowsCoverAllBanks)
+{
+    NvmDevice dev{NvmParams{}};
+    std::set<unsigned> banks;
+    for (unsigned r = 0; r < 16; ++r)
+        banks.insert(dev.decode(r * 1024ull).bank);
+    EXPECT_EQ(banks.size(), 16u);
+}
+
+TEST(NvmDevice, AddressesWrapAtCapacity)
+{
+    NvmDevice dev{NvmParams{}};
+    const NvmLocation a = dev.decode(64);
+    const NvmLocation b = dev.decode((4ULL << 30) + 64);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.lineInRow, b.lineInRow);
+}
+
+TEST(NvmDevice, WearAccumulatesAndTotals)
+{
+    NvmDevice dev{NvmParams{}};
+    dev.addWear(0, 0, 1.5);
+    dev.addWear(0, 0, 0.5);
+    dev.addWear(3, 0, 4.0);
+    EXPECT_DOUBLE_EQ(dev.bank(0).wear, 2.0);
+    EXPECT_DOUBLE_EQ(dev.bank(3).wear, 4.0);
+    EXPECT_DOUBLE_EQ(dev.totalWear(), 6.0);
+    EXPECT_DOUBLE_EQ(dev.maxBankWear(), 4.0);
+}
+
+TEST(NvmDevice, LifetimeUsesWorstBank)
+{
+    NvmParams p;
+    NvmDevice dev(p);
+    // One bank wears twice as fast: lifetime halves. Wear values are
+    // large enough to stay below the 1000-year reporting cap.
+    dev.addWear(0, 0, 1e7);
+    const double l1 = dev.lifetimeYears(tickSec);
+    dev.reset();
+    dev.addWear(0, 0, 2e7);
+    const double l2 = dev.lifetimeYears(tickSec);
+    EXPECT_NEAR(l1 / l2, 2.0, 1e-9);
+}
+
+TEST(NvmDevice, LifetimeFormula)
+{
+    NvmParams p;
+    NvmDevice dev(p);
+    dev.addWear(5, 0, 1e6); // 1e6 fast-equivalent writes in one second
+    const double expect =
+        p.bankWearCapacity() / 1e6 / secondsPerYear;
+    EXPECT_NEAR(dev.lifetimeYears(tickSec), expect, expect * 1e-9);
+}
+
+TEST(NvmDevice, NoWearMeansMaxLifetime)
+{
+    NvmDevice dev{NvmParams{}};
+    EXPECT_DOUBLE_EQ(dev.lifetimeYears(tickSec),
+                     dev.params().maxLifetimeYears);
+}
+
+TEST(NvmDevice, LifetimeIsCapped)
+{
+    NvmDevice dev{NvmParams{}};
+    dev.addWear(0, 0, 1e-9);
+    EXPECT_DOUBLE_EQ(dev.lifetimeYears(tickSec),
+                     dev.params().maxLifetimeYears);
+}
+
+TEST(NvmDevice, ResetClearsWearAndState)
+{
+    NvmDevice dev{NvmParams{}};
+    dev.addWear(2, 0, 5.0);
+    dev.bank(2).openRow = 7;
+    dev.reset();
+    EXPECT_DOUBLE_EQ(dev.totalWear(), 0.0);
+    EXPECT_EQ(dev.bank(2).openRow, -1);
+}
+
+TEST(NvmDevice, SlowerWritesExtendLifetimeQuadratically)
+{
+    // Same write count at 2x latency must yield 4x lifetime.
+    NvmParams p;
+    NvmDevice fast(p), slow(p);
+    for (int i = 0; i < 100; ++i) {
+        fast.addWear(0, 0, 1e5 * NvmParams::wearOfWrite(1.0));
+        slow.addWear(0, 0, 1e5 * NvmParams::wearOfWrite(2.0));
+    }
+    const double lf = fast.lifetimeYears(tickSec);
+    const double ls = slow.lifetimeYears(tickSec);
+    EXPECT_NEAR(ls / lf, 4.0, 1e-9);
+}
+
+TEST(Bank, QuiesceKeepsWear)
+{
+    Bank b;
+    b.wear = 3.0;
+    b.writing = true;
+    b.openRow = 12;
+    b.quiesce();
+    EXPECT_FALSE(b.writing);
+    EXPECT_EQ(b.openRow, -1);
+    EXPECT_DOUBLE_EQ(b.wear, 3.0);
+}
+
+} // namespace
+} // namespace mct

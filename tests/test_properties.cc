@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Randomized property tests: the controller and the full system are
+ * driven with randomized traffic / configurations, and structural
+ * invariants are asserted. Parameterized over seeds so each instance
+ * explores a different trajectory (deterministically).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mct/config_space.hh"
+#include "sim/sweep_cache.hh"
+#include "sim/multicore.hh"
+#include "sim/system.hh"
+#include "workloads/mixes.hh"
+
+namespace mct
+{
+namespace
+{
+
+class ControllerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ControllerFuzz, RandomTrafficPreservesInvariants)
+{
+    Rng rng(GetParam());
+    // Random (valid) configuration from the full space.
+    const auto space = enumerateSpace();
+    const MellowConfig cfg = space[rng.below(space.size())];
+    NvmDevice dev{NvmParams{}};
+    MemController ctrl(dev, MemCtrlParams{}, cfg);
+
+    Tick t = 0;
+    std::uint64_t submittedReads = 0, submittedWrites = 0;
+    std::uint64_t acceptedReads = 0, acceptedWrites = 0;
+    std::uint64_t id = 0;
+    for (int i = 0; i < 4000; ++i) {
+        t += rng.below(400) * tickNs;
+        const Addr addr = rng.below(1 << 20) * lineBytes;
+        if (rng.flip(0.6)) {
+            ++submittedReads;
+            acceptedReads += ctrl.submitRead(addr, t, ++id);
+        } else {
+            ++submittedWrites;
+            acceptedWrites += ctrl.submitWrite(addr, t);
+        }
+        // Queue occupancies never exceed capacity plus the single
+        // transient re-queue slot per bank.
+        EXPECT_LE(ctrl.readQSize(), 64u);
+        EXPECT_LE(ctrl.writeQSize(),
+                  64u + dev.numBanks()); // cancel re-queues + scrubs
+        EXPECT_LE(ctrl.eagerQSize(), 32u + dev.numBanks());
+    }
+    // Drain everything: the controller must reach idle.
+    int guard = 2000000;
+    while (!ctrl.idle() && guard-- > 0) {
+        const Tick next = ctrl.nextEventTick();
+        ASSERT_NE(next, MemController::noEvent);
+        ctrl.advance(next == ctrl.now() ? next + 1 : next);
+    }
+    ASSERT_TRUE(ctrl.idle()) << "controller failed to drain";
+
+    // Conservation: every accepted request completed exactly once.
+    EXPECT_EQ(ctrl.stats().readsCompleted, acceptedReads);
+    EXPECT_EQ(ctrl.stats().writesCompleted, acceptedWrites);
+    EXPECT_EQ(ctrl.completedReads().size(), acceptedReads);
+
+    // Wear is consistent: every completed write wears at least the
+    // slowest-write amount and at most fast-write wear per attempt
+    // (cancellations add partial attempts on top).
+    const double minWear = acceptedWrites * NvmParams::wearOfWrite(4.0);
+    EXPECT_GE(ctrl.stats().wearAdded, minWear - 1e-9);
+    EXPECT_DOUBLE_EQ(ctrl.stats().wearAdded, dev.totalWear());
+
+    // Write classification partitions completions.
+    EXPECT_EQ(ctrl.stats().fastWrites + ctrl.stats().slowWrites +
+                  ctrl.stats().quotaWrites,
+              ctrl.stats().writesCompleted);
+
+    // Time accounting: busy ticks cannot exceed elapsed * banks.
+    EXPECT_LE(ctrl.stats().bankBusyTicks,
+              ctrl.now() * dev.numBanks());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class SystemFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SystemFuzz, RandomConfigSwitchingStaysSane)
+{
+    Rng rng(GetParam());
+    const auto space = enumerateSpace();
+    SystemParams sp;
+    sp.seed = GetParam();
+    const auto &apps = workloadNames();
+    System sys(apps[rng.below(apps.size())], sp,
+               staticBaselineConfig());
+    sys.run(50000);
+
+    Tick lastTime = sys.now();
+    InstCount lastInsts = sys.retired();
+    for (int i = 0; i < 12; ++i) {
+        sys.setConfig(space[rng.below(space.size())]);
+        const SysSnapshot s0 = sys.snapshot();
+        sys.run(10000);
+        const Metrics m = sys.metricsSince(s0);
+        // Objectives stay physical under any configuration switch.
+        EXPECT_GT(m.ipc, 0.0);
+        EXPECT_LE(m.ipc, 8.0);
+        EXPECT_GT(m.energyJ, 0.0);
+        EXPECT_GT(m.lifetimeYears, 0.0);
+        EXPECT_LE(m.lifetimeYears, sp.nvm.maxLifetimeYears);
+        // Time and instructions advance monotonically.
+        EXPECT_GT(sys.now(), lastTime);
+        EXPECT_GT(sys.retired(), lastInsts);
+        lastTime = sys.now();
+        lastInsts = sys.retired();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class EnduranceLaw : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(EnduranceLaw, WearMatchesQuadraticLawEndToEnd)
+{
+    // Run the same workload with one uniform write latency; total
+    // wear must equal completed writes times 1/r^2 (no cancellation,
+    // no techniques).
+    const double r = GetParam();
+    EvalParams ep;
+    ep.warmupInsts = 50000;
+    ep.measureInsts = 150000;
+    MellowConfig cfg;
+    cfg.fastLatency = r;
+    SystemParams sp = ep.sys;
+    System sys("milc", sp, cfg);
+    sys.run(ep.warmupInsts + ep.measureInsts);
+    sys.controller().advance(sys.now() + tickMs); // settle queues
+    const auto &st = sys.controller().stats();
+    ASSERT_GT(st.writesCompleted, 0u);
+    EXPECT_NEAR(st.wearAdded,
+                st.writesCompleted * NvmParams::wearOfWrite(r),
+                1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, EnduranceLaw,
+                         ::testing::Values(1.0, 1.5, 2.5, 4.0));
+
+class MultiCoreFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MultiCoreFuzz, RandomConfigSwitchingStaysSane)
+{
+    Rng rng(GetParam());
+    const auto &mixes = multiProgramMixes();
+    const MixSpec &mix = mixes[rng.below(mixes.size())];
+    const auto space = enumerateSpace();
+    MultiCoreParams mp;
+    mp.base.seed = GetParam();
+    MultiCoreSystem sys(mix.apps, mp, staticBaselineConfig());
+    sys.run(30000);
+
+    for (int i = 0; i < 6; ++i) {
+        sys.setConfig(space[rng.below(space.size())]);
+        const MultiSnapshot s0 = sys.snapshot();
+        sys.run(8000);
+        const MultiMetrics m = sys.metricsBetween(s0, sys.snapshot());
+        ASSERT_EQ(m.coreIpc.size(), 4u);
+        for (double ipc : m.coreIpc) {
+            EXPECT_GT(ipc, 0.0);
+            EXPECT_LE(ipc, 8.0);
+        }
+        EXPECT_GT(m.energyJ, 0.0);
+        EXPECT_GT(m.lifetimeYears, 0.0);
+    }
+    // Write classification partitions completions on the shared
+    // controller as well.
+    EXPECT_EQ(sys.controller().stats().fastWrites +
+                  sys.controller().stats().slowWrites +
+                  sys.controller().stats().quotaWrites,
+              sys.controller().stats().writesCompleted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiCoreFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(SweepDeterminism, IdenticalEvaluationsByteForByte)
+{
+    EvalParams ep;
+    ep.warmupInsts = 60000;
+    ep.measureInsts = 120000;
+    for (const char *app : {"lbm", "gups"}) {
+        const Metrics a =
+            evaluateConfig(app, staticBaselineConfig(), ep);
+        const Metrics b =
+            evaluateConfig(app, staticBaselineConfig(), ep);
+        EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+        EXPECT_DOUBLE_EQ(a.lifetimeYears, b.lifetimeYears);
+        EXPECT_DOUBLE_EQ(a.energyJ, b.energyJ);
+    }
+}
+
+} // namespace
+} // namespace mct

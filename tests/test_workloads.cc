@@ -1,0 +1,340 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload models: determinism, address
+ * bounds, write fractions, burst modulation, phase cycling, rmw
+ * pairing, and the application registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <sstream>
+
+#include "sim/system.hh"
+#include "workloads/mixes.hh"
+#include "workloads/trace.hh"
+#include "workloads/workload.hh"
+
+namespace mct
+{
+namespace
+{
+
+PatternSpec
+simpleSpec()
+{
+    PatternSpec pt;
+    pt.streamFrac = 0.5;
+    pt.numStreams = 2;
+    pt.streamBytes = 1 << 20;
+    pt.wsBytes = 4 << 20;
+    pt.writeFrac = 0.3;
+    pt.memIntensity = 0.2;
+    return pt;
+}
+
+TEST(PatternWorkload, DeterministicForSameSeed)
+{
+    WorkloadTraits tr{"t", 8};
+    PatternWorkload a(tr, {{100000, simpleSpec()}}, 5);
+    PatternWorkload b(tr, {{100000, simpleSpec()}}, 5);
+    WorkloadOp oa, ob;
+    for (int i = 0; i < 5000; ++i) {
+        a.next(oa);
+        b.next(ob);
+        EXPECT_EQ(oa.addr, ob.addr);
+        EXPECT_EQ(oa.gap, ob.gap);
+        EXPECT_EQ(oa.isWrite, ob.isWrite);
+    }
+}
+
+TEST(PatternWorkload, ResetRestartsStream)
+{
+    WorkloadTraits tr{"t", 8};
+    PatternWorkload w(tr, {{100000, simpleSpec()}}, 5);
+    WorkloadOp first;
+    w.next(first);
+    for (int i = 0; i < 100; ++i)
+        w.next(first);
+    w.reset(5);
+    WorkloadOp again;
+    w.next(again);
+    PatternWorkload fresh(tr, {{100000, simpleSpec()}}, 5);
+    WorkloadOp ref;
+    fresh.next(ref);
+    EXPECT_EQ(again.addr, ref.addr);
+}
+
+TEST(PatternWorkload, AddressesLineAlignedAndBounded)
+{
+    WorkloadTraits tr{"t", 8};
+    PatternSpec pt = simpleSpec();
+    PatternWorkload w(tr, {{100000, pt}}, 7);
+    WorkloadOp op;
+    for (int i = 0; i < 10000; ++i) {
+        w.next(op);
+        EXPECT_EQ(op.addr % lineBytes, 0u);
+        // Streams span numStreams regions; random spans wsBytes.
+        EXPECT_LT(op.addr,
+                  std::max<std::uint64_t>(
+                      pt.wsBytes,
+                      pt.numStreams * pt.streamBytes));
+    }
+}
+
+TEST(PatternWorkload, AddrBaseOffsetsEverything)
+{
+    WorkloadTraits tr{"t", 8};
+    PatternWorkload w(tr, {{100000, simpleSpec()}}, 7);
+    const Addr base = 1ULL << 33;
+    w.setAddrBase(base);
+    WorkloadOp op;
+    for (int i = 0; i < 1000; ++i) {
+        w.next(op);
+        EXPECT_GE(op.addr, base);
+    }
+}
+
+TEST(PatternWorkload, WriteFractionRoughlyHonored)
+{
+    WorkloadTraits tr{"t", 8};
+    PatternSpec pt = simpleSpec();
+    pt.writeFrac = 0.4;
+    PatternWorkload w(tr, {{10000000, pt}}, 11);
+    WorkloadOp op;
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        w.next(op);
+        writes += op.isWrite;
+    }
+    EXPECT_NEAR(writes / double(n), 0.4, 0.03);
+}
+
+TEST(PatternWorkload, GapMatchesIntensity)
+{
+    WorkloadTraits tr{"t", 8};
+    PatternSpec pt = simpleSpec();
+    pt.memIntensity = 0.25; // one mem op per 4 instructions
+    pt.burstDuty = 1.0;
+    PatternWorkload w(tr, {{100000000, pt}}, 13);
+    WorkloadOp op;
+    double totalInsts = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        w.next(op);
+        totalInsts += op.gap + 1;
+    }
+    EXPECT_NEAR(n / totalInsts, 0.25, 0.02);
+}
+
+TEST(PatternWorkload, BurstsModulateIntensity)
+{
+    WorkloadTraits tr{"t", 8};
+    PatternSpec pt = simpleSpec();
+    pt.memIntensity = 0.3;
+    pt.burstDuty = 0.5;
+    pt.burstPeriod = 50000;
+    pt.idleScale = 0.05;
+    PatternWorkload w(tr, {{1000000000, pt}}, 17);
+    // Count ops falling in first vs second half of each period.
+    WorkloadOp op;
+    std::uint64_t insts = 0;
+    std::uint64_t burstOps = 0, idleOps = 0;
+    for (int i = 0; i < 30000; ++i) {
+        w.next(op);
+        insts += op.gap + 1;
+        if (insts % pt.burstPeriod <
+            static_cast<std::uint64_t>(pt.burstDuty * pt.burstPeriod))
+            ++burstOps;
+        else
+            ++idleOps;
+    }
+    EXPECT_GT(burstOps, 4 * idleOps);
+}
+
+TEST(PatternWorkload, PhasesCycle)
+{
+    WorkloadTraits tr{"t", 8};
+    PatternSpec a = simpleSpec(), b = simpleSpec();
+    b.writeFrac = 0.9;
+    PatternWorkload w(tr, {{5000, a}, {5000, b}}, 19);
+    WorkloadOp op;
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 20000; ++i) {
+        w.next(op);
+        seen.insert(w.currentPhase());
+    }
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(PatternWorkload, RmwPairsReadThenWriteSameAddress)
+{
+    WorkloadTraits tr{"gups-like", 2};
+    PatternSpec pt = simpleSpec();
+    pt.rmw = true;
+    pt.streamFrac = 0.0;
+    pt.numStreams = 0;
+    PatternWorkload w(tr, {{1000000, pt}}, 23);
+    WorkloadOp op;
+    for (int i = 0; i < 1000; ++i) {
+        w.next(op);
+        ASSERT_FALSE(op.isWrite);
+        ASSERT_TRUE(op.dependent);
+        const Addr read = op.addr;
+        w.next(op);
+        ASSERT_TRUE(op.isWrite);
+        ASSERT_EQ(op.addr, read);
+        ASSERT_EQ(op.gap, 0u);
+    }
+}
+
+TEST(Registry, AllTenApplicationsExist)
+{
+    const auto &names = workloadNames();
+    ASSERT_EQ(names.size(), 10u);
+    for (const auto &n : names) {
+        EXPECT_TRUE(isWorkloadName(n));
+        auto w = makeWorkload(n, 1);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->traits().name, n);
+        EXPECT_GE(w->traits().mlp, 1u);
+        WorkloadOp op;
+        for (int i = 0; i < 100; ++i)
+            w->next(op);
+    }
+}
+
+TEST(Registry, PaperApplicationSet)
+{
+    const auto &names = workloadNames();
+    const std::set<std::string> expect = {
+        "lbm", "leslie3d", "zeusmp", "GemsFDTD", "milc",
+        "bwaves", "libquantum", "ocean", "gups", "stream"};
+    EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+              expect);
+}
+
+TEST(Registry, UnknownNameIsNotAWorkload)
+{
+    EXPECT_FALSE(isWorkloadName("mcf"));
+}
+
+TEST(Registry, OceanHasMultiplePhases)
+{
+    auto w = makeWorkload("ocean", 3);
+    WorkloadOp op;
+    auto *pw = dynamic_cast<PatternWorkload *>(w.get());
+    ASSERT_NE(pw, nullptr);
+    std::set<std::size_t> phases;
+    for (int i = 0; i < 600000; ++i) {
+        w->next(op);
+        phases.insert(pw->currentPhase());
+    }
+    EXPECT_GE(phases.size(), 3u);
+}
+
+TEST(Mixes, Table11Definitions)
+{
+    const auto &mixes = multiProgramMixes();
+    ASSERT_EQ(mixes.size(), 6u);
+    for (const auto &mix : mixes) {
+        EXPECT_EQ(mix.apps.size(), 4u);
+        for (const auto &app : mix.apps)
+            EXPECT_TRUE(isWorkloadName(app));
+    }
+    EXPECT_EQ(mixByName("mix1").apps[0], "lbm");
+    EXPECT_EQ(mixByName("mix4").apps[3], "GemsFDTD");
+}
+
+TEST(Trace, ParseRoundTrip)
+{
+    std::istringstream in(
+        "# a comment\n"
+        "3 R 0x1000\n"
+        "0 W 4096\n"
+        "10 R 0x2040 D\n"
+        "\n"
+        "2 w 0x80\n");
+    const auto ops = TraceWorkload::parse(in);
+    ASSERT_EQ(ops.size(), 4u);
+    EXPECT_EQ(ops[0].gap, 3u);
+    EXPECT_FALSE(ops[0].isWrite);
+    EXPECT_EQ(ops[0].addr, 0x1000u);
+    EXPECT_TRUE(ops[1].isWrite);
+    EXPECT_EQ(ops[1].addr, 4096u);
+    EXPECT_TRUE(ops[2].dependent);
+    EXPECT_TRUE(ops[3].isWrite);
+
+    std::ostringstream out;
+    TraceWorkload::write(out, ops);
+    std::istringstream in2(out.str());
+    const auto ops2 = TraceWorkload::parse(in2);
+    ASSERT_EQ(ops2.size(), ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        EXPECT_EQ(ops2[i].gap, ops[i].gap);
+        EXPECT_EQ(ops2[i].addr, ops[i].addr);
+        EXPECT_EQ(ops2[i].isWrite, ops[i].isWrite);
+        EXPECT_EQ(ops2[i].dependent, ops[i].dependent);
+    }
+}
+
+TEST(Trace, LoopsForever)
+{
+    std::vector<WorkloadOp> ops = {
+        {1, false, 0x40, false},
+        {2, true, 0x80, false},
+    };
+    TraceWorkload w("t", ops, 8);
+    WorkloadOp op;
+    for (int i = 0; i < 10; ++i)
+        w.next(op);
+    EXPECT_EQ(w.loops(), 5u);
+    // Fifth loop ended exactly; the next op is the first record.
+    w.next(op);
+    EXPECT_EQ(op.addr, 0x40u);
+}
+
+TEST(Trace, AddrBaseApplied)
+{
+    std::vector<WorkloadOp> ops = {{0, false, 0x40, false}};
+    TraceWorkload w("t", ops, 8);
+    w.setAddrBase(1ULL << 30);
+    WorkloadOp op;
+    w.next(op);
+    EXPECT_EQ(op.addr, (1ULL << 30) + 0x40);
+}
+
+TEST(Trace, CaptureFromSyntheticModel)
+{
+    auto src = makeWorkload("milc", 5);
+    const auto ops = captureTrace(*src, 500);
+    ASSERT_EQ(ops.size(), 500u);
+    TraceWorkload replay("milc-cap", ops, src->traits().mlp);
+    // Replay reproduces the captured stream exactly.
+    auto src2 = makeWorkload("milc", 5);
+    WorkloadOp a, b;
+    for (int i = 0; i < 500; ++i) {
+        src2->next(a);
+        replay.next(b);
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.gap, b.gap);
+        EXPECT_EQ(a.isWrite, b.isWrite);
+    }
+}
+
+TEST(Trace, DrivesAFullSystem)
+{
+    auto src = makeWorkload("bwaves", 9);
+    auto trace = std::make_unique<TraceWorkload>(
+        "bwaves-trace", captureTrace(*src, 20000), 16);
+    SystemParams sp;
+    System sys(std::move(trace), sp, defaultConfig());
+    sys.run(100000);
+    EXPECT_GT(sys.core().ipc(), 0.0);
+    EXPECT_GT(sys.controller().stats().readsCompleted, 0u);
+}
+
+} // namespace
+} // namespace mct

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * mct_sim: command-line driver for the simulator and the MCT runtime.
+ *
+ * Modes:
+ *   mct_sim eval --app lbm [config flags]           one configuration
+ *   mct_sim mct  --app lbm [--target 8] [--model gbt|qlasso]
+ *                                                   the adaptive runtime
+ *   mct_sim sweep --app lbm [--space full|noquota] [--csv out.csv]
+ *                                                   brute-force sweep
+ *   mct_sim trace --app lbm --ops 100000 --out lbm.trace
+ *                                                   capture a trace
+ *   mct_sim eval --trace lbm.trace [config flags]   replay a trace
+ *   mct_sim eval --app lbm --stats                  full stats dump
+ *   mct_sim list                                    applications & mixes
+ *
+ * Config flags for eval:
+ *   --fast R --slow R --bank N --eager N --quota Y
+ *   --cancel none|slow|both --pause --retention --fastreads
+ *   --startgap
+ *
+ * Common flags: --warmup N --measure N --seed N
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <fstream>
+#include <iostream>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+#include "mct/config.hh"
+#include "mct/config_space.hh"
+#include "mct/controller.hh"
+#include "sim/stats_report.hh"
+#include "sim/sweep_cache.hh"
+#include "workloads/mixes.hh"
+#include "workloads/trace.hh"
+
+namespace
+{
+
+using namespace mct;
+
+struct Args
+{
+    std::string mode;
+    std::map<std::string, std::string> kv;
+    std::vector<std::string> flags;
+
+    bool has(const std::string &f) const
+    {
+        for (const auto &x : flags)
+            if (x == f)
+                return true;
+        return kv.count(f) > 0;
+    }
+
+    std::string
+    get(const std::string &k, const std::string &dflt) const
+    {
+        const auto it = kv.find(k);
+        return it == kv.end() ? dflt : it->second;
+    }
+
+    double
+    getD(const std::string &k, double dflt) const
+    {
+        const auto it = kv.find(k);
+        return it == kv.end() ? dflt : std::atof(it->second.c_str());
+    }
+
+    long long
+    getI(const std::string &k, long long dflt) const
+    {
+        const auto it = kv.find(k);
+        return it == kv.end() ? dflt : std::atoll(it->second.c_str());
+    }
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args args;
+    if (argc > 1)
+        args.mode = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "unexpected argument '%s'\n",
+                         a.c_str());
+            std::exit(2);
+        }
+        a = a.substr(2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+            args.kv[a] = argv[++i];
+        else
+            args.flags.push_back(a);
+    }
+    return args;
+}
+
+MellowConfig
+configFromArgs(const Args &args)
+{
+    MellowConfig cfg;
+    cfg.fastLatency = args.getD("fast", 1.0);
+    if (args.has("slow")) {
+        cfg.slowLatency = args.getD("slow", 3.0);
+    }
+    if (args.has("bank")) {
+        cfg.bankAware = true;
+        cfg.bankAwareThreshold =
+            static_cast<int>(args.getI("bank", 1));
+    }
+    if (args.has("eager")) {
+        cfg.eagerWritebacks = true;
+        cfg.eagerThreshold = static_cast<int>(args.getI("eager", 4));
+    }
+    if (args.has("quota")) {
+        cfg.wearQuota = true;
+        cfg.wearQuotaTarget = args.getD("quota", 8.0);
+    }
+    const std::string cancel = args.get("cancel", "none");
+    if (cancel == "slow") {
+        cfg.slowCancellation = true;
+    } else if (cancel == "both") {
+        cfg.fastCancellation = true;
+        cfg.slowCancellation = true;
+    } else if (cancel != "none") {
+        std::fprintf(stderr, "--cancel must be none|slow|both\n");
+        std::exit(2);
+    }
+    if (!cfg.usesSlowWrites())
+        cfg.slowLatency = cfg.fastLatency;
+    cfg.pauseInsteadOfCancel = args.has("pause");
+    cfg.shortRetentionWrites = args.has("retention");
+    cfg.fastDisturbingReads = args.has("fastreads");
+    if (!cfg.valid()) {
+        std::fprintf(stderr, "invalid configuration: %s\n",
+                     toString(cfg).c_str());
+        std::exit(2);
+    }
+    return cfg;
+}
+
+EvalParams
+evalFromArgs(const Args &args)
+{
+    EvalParams ep;
+    ep.warmupInsts = static_cast<InstCount>(
+        args.getI("warmup", static_cast<long long>(ep.warmupInsts)));
+    ep.measureInsts = static_cast<InstCount>(
+        args.getI("measure", static_cast<long long>(ep.measureInsts)));
+    ep.sys.seed = static_cast<std::uint64_t>(args.getI("seed", 1));
+    if (args.has("startgap"))
+        ep.sys.nvm.wearLevelMode = WearLevelMode::StartGap;
+    return ep;
+}
+
+void
+printMetrics(const Metrics &m)
+{
+    std::printf("IPC            %.4f\n", m.ipc);
+    std::printf("lifetime       %.3f years\n", m.lifetimeYears);
+    std::printf("energy         %.5f J per Minst\n", m.energyJ);
+}
+
+int
+cmdList()
+{
+    std::printf("applications:\n");
+    for (const auto &name : workloadNames())
+        std::printf("  %s\n", name.c_str());
+    std::printf("mixes (Table 11):\n");
+    for (const auto &mix : multiProgramMixes()) {
+        std::printf("  %s:", mix.name.c_str());
+        for (const auto &a : mix.apps)
+            std::printf(" %s", a.c_str());
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdEval(const Args &args)
+{
+    const MellowConfig cfg = configFromArgs(args);
+    const EvalParams ep = evalFromArgs(args);
+
+    // --trace FILE replays a recorded trace instead of a model.
+    if (args.has("trace")) {
+        const std::string path = args.get("trace", "");
+        auto wl = TraceWorkload::fromFile(
+            path, static_cast<unsigned>(args.getI("mlp", 16)));
+        System sys(std::move(wl), ep.sys, cfg);
+        sys.run(ep.warmupInsts);
+        const SysSnapshot s0 = sys.snapshot();
+        sys.run(ep.measureInsts);
+        std::printf("trace          %s\n", path.c_str());
+        std::printf("config         %s\n", toString(cfg).c_str());
+        printMetrics(sys.metricsSince(s0));
+        return 0;
+    }
+
+    const std::string app = args.get("app", "lbm");
+    if (!isWorkloadName(app)) {
+        std::fprintf(stderr, "unknown app '%s' (try: mct_sim list)\n",
+                     app.c_str());
+        return 2;
+    }
+    std::printf("app            %s\n", app.c_str());
+    std::printf("config         %s\n", toString(cfg).c_str());
+    if (args.has("stats")) {
+        // Full gem5-style statistics dump instead of the summary.
+        SystemParams sp = ep.sys;
+        System sys(app, sp, cfg);
+        sys.run(ep.warmupInsts + ep.measureInsts);
+        dumpStats(sys, std::cout);
+        return 0;
+    }
+    printMetrics(evaluateConfig(app, cfg, ep));
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    const std::string app = args.get("app", "lbm");
+    if (!isWorkloadName(app)) {
+        std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
+        return 2;
+    }
+    const std::size_t count = static_cast<std::size_t>(
+        args.getI("ops", 100 * 1000));
+    const std::string out = args.get("out", app + ".trace");
+    auto wl = makeWorkload(
+        app, static_cast<std::uint64_t>(args.getI("seed", 1)));
+    const auto ops = captureTrace(*wl, count);
+    std::ofstream os(out);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", out.c_str());
+        return 1;
+    }
+    TraceWorkload::write(os, ops);
+    std::printf("captured %zu operations of %s into %s\n", count,
+                app.c_str(), out.c_str());
+    return 0;
+}
+
+int
+cmdMct(const Args &args)
+{
+    const std::string app = args.get("app", "lbm");
+    if (!isWorkloadName(app)) {
+        std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
+        return 2;
+    }
+    const EvalParams ep = evalFromArgs(args);
+    SystemParams sp = ep.sys;
+    System sys(app, sp, staticBaselineConfig());
+    sys.run(ep.warmupInsts);
+
+    MctParams mp;
+    mp.objective.minLifetimeYears = args.getD("target", 8.0);
+    const std::string model = args.get("model", "gbt");
+    if (model == "gbt")
+        mp.predictor = PredictorKind::GradientBoosting;
+    else if (model == "qlasso")
+        mp.predictor = PredictorKind::QuadraticLasso;
+    else {
+        std::fprintf(stderr, "--model must be gbt|qlasso\n");
+        return 2;
+    }
+    MctController ctl(sys, mp);
+    const SysSnapshot before = sys.snapshot();
+    ctl.runFor(static_cast<InstCount>(
+        args.getI("insts", 4 * 1000 * 1000)));
+    std::printf("app            %s (target %.1f years, %s)\n",
+                app.c_str(), mp.objective.minLifetimeYears,
+                model.c_str());
+    std::printf("decisions      %zu (resamplings %llu, "
+                "fallbacks %llu)\n",
+                ctl.decisions().size(),
+                static_cast<unsigned long long>(ctl.resamplings()),
+                static_cast<unsigned long long>(ctl.fallbacks()));
+    std::printf("chosen         %s\n",
+                toString(ctl.currentConfig()).c_str());
+    printMetrics(sys.metricsSince(before));
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    const std::string app = args.get("app", "lbm");
+    if (!isWorkloadName(app)) {
+        std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
+        return 2;
+    }
+    const std::string spaceName = args.get("space", "noquota");
+    const auto space = spaceName == "full" ? enumerateSpace()
+                                           : enumerateNoQuotaSpace();
+    const EvalParams ep = evalFromArgs(args);
+    SweepCache cache(ep, SweepCache::defaultPath());
+    std::fprintf(stderr, "sweeping %zu configurations on %s...\n",
+                 space.size(), app.c_str());
+    const auto metrics = cache.getAll(app, space, true);
+    cache.save();
+
+    CsvFile out;
+    out.row({"config", "ipc", "lifetime_years", "joules_per_minst"});
+    for (std::size_t i = 0; i < space.size(); ++i) {
+        out.row({configKey(space[i]), fmt(metrics[i].ipc, 6),
+                 fmt(metrics[i].lifetimeYears, 6),
+                 fmt(metrics[i].energyJ, 8)});
+    }
+    const std::string csv = args.get("csv", app + "_sweep.csv");
+    if (!out.save(csv)) {
+        std::fprintf(stderr, "cannot write %s\n", csv.c_str());
+        return 1;
+    }
+    std::printf("wrote %zu rows to %s\n", space.size(), csv.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parse(argc, argv);
+    if (args.mode == "list")
+        return cmdList();
+    if (args.mode == "eval")
+        return cmdEval(args);
+    if (args.mode == "mct")
+        return cmdMct(args);
+    if (args.mode == "sweep")
+        return cmdSweep(args);
+    if (args.mode == "trace")
+        return cmdTrace(args);
+    std::fprintf(stderr,
+                 "usage: mct_sim <eval|mct|sweep|trace|list> [flags]\n"
+                 "see the header comment of tools/mct_sim.cc\n");
+    return 2;
+}
