@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mct.dir/bench/bench_ablation_mct.cc.o"
+  "CMakeFiles/bench_ablation_mct.dir/bench/bench_ablation_mct.cc.o.d"
+  "bench/bench_ablation_mct"
+  "bench/bench_ablation_mct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_multiprogram.dir/bench/bench_fig10_multiprogram.cc.o"
+  "CMakeFiles/bench_fig10_multiprogram.dir/bench/bench_fig10_multiprogram.cc.o.d"
+  "bench/bench_fig10_multiprogram"
+  "bench/bench_fig10_multiprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

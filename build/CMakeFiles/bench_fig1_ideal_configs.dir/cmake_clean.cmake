@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_ideal_configs.dir/bench/bench_fig1_ideal_configs.cc.o"
+  "CMakeFiles/bench_fig1_ideal_configs.dir/bench/bench_fig1_ideal_configs.cc.o.d"
+  "bench/bench_fig1_ideal_configs"
+  "bench/bench_fig1_ideal_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ideal_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

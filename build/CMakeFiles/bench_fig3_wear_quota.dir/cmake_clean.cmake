@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_wear_quota.dir/bench/bench_fig3_wear_quota.cc.o"
+  "CMakeFiles/bench_fig3_wear_quota.dir/bench/bench_fig3_wear_quota.cc.o.d"
+  "bench/bench_fig3_wear_quota"
+  "bench/bench_fig3_wear_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_wear_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mct_main.dir/bench/bench_fig7_mct_main.cc.o"
+  "CMakeFiles/bench_fig7_mct_main.dir/bench/bench_fig7_mct_main.cc.o.d"
+  "bench/bench_fig7_mct_main"
+  "bench/bench_fig7_mct_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mct_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

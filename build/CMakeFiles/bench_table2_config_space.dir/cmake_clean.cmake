@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_config_space.dir/bench/bench_table2_config_space.cc.o"
+  "CMakeFiles/bench_table2_config_space.dir/bench/bench_table2_config_space.cc.o.d"
+  "bench/bench_table2_config_space"
+  "bench/bench_table2_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lifetime_constraints.dir/bench/bench_table4_lifetime_constraints.cc.o"
+  "CMakeFiles/bench_table4_lifetime_constraints.dir/bench/bench_table4_lifetime_constraints.cc.o.d"
+  "bench/bench_table4_lifetime_constraints"
+  "bench/bench_table4_lifetime_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lifetime_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_effective_features.dir/bench/bench_table6_effective_features.cc.o"
+  "CMakeFiles/bench_table6_effective_features.dir/bench/bench_table6_effective_features.cc.o.d"
+  "bench/bench_table6_effective_features"
+  "bench/bench_table6_effective_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_effective_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_tuning.dir/datacenter_tuning.cc.o"
+  "CMakeFiles/datacenter_tuning.dir/datacenter_tuning.cc.o.d"
+  "datacenter_tuning"
+  "datacenter_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

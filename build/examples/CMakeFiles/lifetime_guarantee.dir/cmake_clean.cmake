@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_guarantee.dir/lifetime_guarantee.cc.o"
+  "CMakeFiles/lifetime_guarantee.dir/lifetime_guarantee.cc.o.d"
+  "lifetime_guarantee"
+  "lifetime_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

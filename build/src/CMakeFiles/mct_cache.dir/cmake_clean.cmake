@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/mct_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/mct_cache.dir/cache/hierarchy.cc.o"
+  "CMakeFiles/mct_cache.dir/cache/hierarchy.cc.o.d"
+  "libmct_cache.a"
+  "libmct_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

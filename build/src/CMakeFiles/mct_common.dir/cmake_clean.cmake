@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_common.dir/common/csv.cc.o"
+  "CMakeFiles/mct_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/mct_common.dir/common/logging.cc.o"
+  "CMakeFiles/mct_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/mct_common.dir/common/stats.cc.o"
+  "CMakeFiles/mct_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/mct_common.dir/common/table.cc.o"
+  "CMakeFiles/mct_common.dir/common/table.cc.o.d"
+  "libmct_common.a"
+  "libmct_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mct/config.cc" "src/CMakeFiles/mct_core.dir/mct/config.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/config.cc.o.d"
+  "/root/repo/src/mct/config_space.cc" "src/CMakeFiles/mct_core.dir/mct/config_space.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/config_space.cc.o.d"
+  "/root/repo/src/mct/controller.cc" "src/CMakeFiles/mct_core.dir/mct/controller.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/controller.cc.o.d"
+  "/root/repo/src/mct/cyclic_sampler.cc" "src/CMakeFiles/mct_core.dir/mct/cyclic_sampler.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/cyclic_sampler.cc.o.d"
+  "/root/repo/src/mct/feature_compressor.cc" "src/CMakeFiles/mct_core.dir/mct/feature_compressor.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/feature_compressor.cc.o.d"
+  "/root/repo/src/mct/feature_selection.cc" "src/CMakeFiles/mct_core.dir/mct/feature_selection.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/feature_selection.cc.o.d"
+  "/root/repo/src/mct/multicore_controller.cc" "src/CMakeFiles/mct_core.dir/mct/multicore_controller.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/multicore_controller.cc.o.d"
+  "/root/repo/src/mct/optimizer.cc" "src/CMakeFiles/mct_core.dir/mct/optimizer.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/optimizer.cc.o.d"
+  "/root/repo/src/mct/phase_detector.cc" "src/CMakeFiles/mct_core.dir/mct/phase_detector.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/phase_detector.cc.o.d"
+  "/root/repo/src/mct/predictors.cc" "src/CMakeFiles/mct_core.dir/mct/predictors.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/predictors.cc.o.d"
+  "/root/repo/src/mct/samplers.cc" "src/CMakeFiles/mct_core.dir/mct/samplers.cc.o" "gcc" "src/CMakeFiles/mct_core.dir/mct/samplers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mct_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_core.dir/mct/config.cc.o"
+  "CMakeFiles/mct_core.dir/mct/config.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/config_space.cc.o"
+  "CMakeFiles/mct_core.dir/mct/config_space.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/controller.cc.o"
+  "CMakeFiles/mct_core.dir/mct/controller.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/cyclic_sampler.cc.o"
+  "CMakeFiles/mct_core.dir/mct/cyclic_sampler.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/feature_compressor.cc.o"
+  "CMakeFiles/mct_core.dir/mct/feature_compressor.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/feature_selection.cc.o"
+  "CMakeFiles/mct_core.dir/mct/feature_selection.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/multicore_controller.cc.o"
+  "CMakeFiles/mct_core.dir/mct/multicore_controller.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/optimizer.cc.o"
+  "CMakeFiles/mct_core.dir/mct/optimizer.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/phase_detector.cc.o"
+  "CMakeFiles/mct_core.dir/mct/phase_detector.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/predictors.cc.o"
+  "CMakeFiles/mct_core.dir/mct/predictors.cc.o.d"
+  "CMakeFiles/mct_core.dir/mct/samplers.cc.o"
+  "CMakeFiles/mct_core.dir/mct/samplers.cc.o.d"
+  "libmct_core.a"
+  "libmct_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_cpu.dir/cpu/core.cc.o"
+  "CMakeFiles/mct_cpu.dir/cpu/core.cc.o.d"
+  "libmct_cpu.a"
+  "libmct_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

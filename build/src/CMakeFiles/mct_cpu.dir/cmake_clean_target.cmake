@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmct_cpu.a"
+)

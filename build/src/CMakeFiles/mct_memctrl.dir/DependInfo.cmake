@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memctrl/controller.cc" "src/CMakeFiles/mct_memctrl.dir/memctrl/controller.cc.o" "gcc" "src/CMakeFiles/mct_memctrl.dir/memctrl/controller.cc.o.d"
+  "/root/repo/src/memctrl/request.cc" "src/CMakeFiles/mct_memctrl.dir/memctrl/request.cc.o" "gcc" "src/CMakeFiles/mct_memctrl.dir/memctrl/request.cc.o.d"
+  "/root/repo/src/memctrl/wear_quota.cc" "src/CMakeFiles/mct_memctrl.dir/memctrl/wear_quota.cc.o" "gcc" "src/CMakeFiles/mct_memctrl.dir/memctrl/wear_quota.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mct_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

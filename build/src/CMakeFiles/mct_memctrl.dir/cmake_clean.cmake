@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_memctrl.dir/memctrl/controller.cc.o"
+  "CMakeFiles/mct_memctrl.dir/memctrl/controller.cc.o.d"
+  "CMakeFiles/mct_memctrl.dir/memctrl/request.cc.o"
+  "CMakeFiles/mct_memctrl.dir/memctrl/request.cc.o.d"
+  "CMakeFiles/mct_memctrl.dir/memctrl/wear_quota.cc.o"
+  "CMakeFiles/mct_memctrl.dir/memctrl/wear_quota.cc.o.d"
+  "libmct_memctrl.a"
+  "libmct_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

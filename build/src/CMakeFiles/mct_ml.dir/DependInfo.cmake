@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/gradient_boosting.cc" "src/CMakeFiles/mct_ml.dir/ml/gradient_boosting.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/hierarchical_bayes.cc" "src/CMakeFiles/mct_ml.dir/ml/hierarchical_bayes.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/hierarchical_bayes.cc.o.d"
+  "/root/repo/src/ml/lasso.cc" "src/CMakeFiles/mct_ml.dir/ml/lasso.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/lasso.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/CMakeFiles/mct_ml.dir/ml/linalg.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/linalg.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/CMakeFiles/mct_ml.dir/ml/linear_regression.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/linear_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/CMakeFiles/mct_ml.dir/ml/metrics.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/metrics.cc.o.d"
+  "/root/repo/src/ml/offline_predictor.cc" "src/CMakeFiles/mct_ml.dir/ml/offline_predictor.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/offline_predictor.cc.o.d"
+  "/root/repo/src/ml/quadratic_features.cc" "src/CMakeFiles/mct_ml.dir/ml/quadratic_features.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/quadratic_features.cc.o.d"
+  "/root/repo/src/ml/regression_tree.cc" "src/CMakeFiles/mct_ml.dir/ml/regression_tree.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/regression_tree.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/CMakeFiles/mct_ml.dir/ml/scaler.cc.o" "gcc" "src/CMakeFiles/mct_ml.dir/ml/scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

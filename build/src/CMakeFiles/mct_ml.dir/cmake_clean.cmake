@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_ml.dir/ml/gradient_boosting.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/gradient_boosting.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/hierarchical_bayes.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/hierarchical_bayes.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/lasso.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/lasso.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/linalg.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/linalg.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/linear_regression.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/linear_regression.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/metrics.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/offline_predictor.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/offline_predictor.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/quadratic_features.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/quadratic_features.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/regression_tree.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/regression_tree.cc.o.d"
+  "CMakeFiles/mct_ml.dir/ml/scaler.cc.o"
+  "CMakeFiles/mct_ml.dir/ml/scaler.cc.o.d"
+  "libmct_ml.a"
+  "libmct_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

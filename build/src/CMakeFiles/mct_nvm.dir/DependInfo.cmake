@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/bank.cc" "src/CMakeFiles/mct_nvm.dir/nvm/bank.cc.o" "gcc" "src/CMakeFiles/mct_nvm.dir/nvm/bank.cc.o.d"
+  "/root/repo/src/nvm/device.cc" "src/CMakeFiles/mct_nvm.dir/nvm/device.cc.o" "gcc" "src/CMakeFiles/mct_nvm.dir/nvm/device.cc.o.d"
+  "/root/repo/src/nvm/nvm_params.cc" "src/CMakeFiles/mct_nvm.dir/nvm/nvm_params.cc.o" "gcc" "src/CMakeFiles/mct_nvm.dir/nvm/nvm_params.cc.o.d"
+  "/root/repo/src/nvm/start_gap.cc" "src/CMakeFiles/mct_nvm.dir/nvm/start_gap.cc.o" "gcc" "src/CMakeFiles/mct_nvm.dir/nvm/start_gap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

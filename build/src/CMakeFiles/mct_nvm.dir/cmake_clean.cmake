@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_nvm.dir/nvm/bank.cc.o"
+  "CMakeFiles/mct_nvm.dir/nvm/bank.cc.o.d"
+  "CMakeFiles/mct_nvm.dir/nvm/device.cc.o"
+  "CMakeFiles/mct_nvm.dir/nvm/device.cc.o.d"
+  "CMakeFiles/mct_nvm.dir/nvm/nvm_params.cc.o"
+  "CMakeFiles/mct_nvm.dir/nvm/nvm_params.cc.o.d"
+  "CMakeFiles/mct_nvm.dir/nvm/start_gap.cc.o"
+  "CMakeFiles/mct_nvm.dir/nvm/start_gap.cc.o.d"
+  "libmct_nvm.a"
+  "libmct_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/energy_model.cc" "src/CMakeFiles/mct_sim.dir/sim/energy_model.cc.o" "gcc" "src/CMakeFiles/mct_sim.dir/sim/energy_model.cc.o.d"
+  "/root/repo/src/sim/evaluator.cc" "src/CMakeFiles/mct_sim.dir/sim/evaluator.cc.o" "gcc" "src/CMakeFiles/mct_sim.dir/sim/evaluator.cc.o.d"
+  "/root/repo/src/sim/multicore.cc" "src/CMakeFiles/mct_sim.dir/sim/multicore.cc.o" "gcc" "src/CMakeFiles/mct_sim.dir/sim/multicore.cc.o.d"
+  "/root/repo/src/sim/stats_report.cc" "src/CMakeFiles/mct_sim.dir/sim/stats_report.cc.o" "gcc" "src/CMakeFiles/mct_sim.dir/sim/stats_report.cc.o.d"
+  "/root/repo/src/sim/sweep_cache.cc" "src/CMakeFiles/mct_sim.dir/sim/sweep_cache.cc.o" "gcc" "src/CMakeFiles/mct_sim.dir/sim/sweep_cache.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/mct_sim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/mct_sim.dir/sim/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mct_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_sim.dir/sim/energy_model.cc.o"
+  "CMakeFiles/mct_sim.dir/sim/energy_model.cc.o.d"
+  "CMakeFiles/mct_sim.dir/sim/evaluator.cc.o"
+  "CMakeFiles/mct_sim.dir/sim/evaluator.cc.o.d"
+  "CMakeFiles/mct_sim.dir/sim/multicore.cc.o"
+  "CMakeFiles/mct_sim.dir/sim/multicore.cc.o.d"
+  "CMakeFiles/mct_sim.dir/sim/stats_report.cc.o"
+  "CMakeFiles/mct_sim.dir/sim/stats_report.cc.o.d"
+  "CMakeFiles/mct_sim.dir/sim/sweep_cache.cc.o"
+  "CMakeFiles/mct_sim.dir/sim/sweep_cache.cc.o.d"
+  "CMakeFiles/mct_sim.dir/sim/system.cc.o"
+  "CMakeFiles/mct_sim.dir/sim/system.cc.o.d"
+  "libmct_sim.a"
+  "libmct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/mixes.cc" "src/CMakeFiles/mct_workloads.dir/workloads/mixes.cc.o" "gcc" "src/CMakeFiles/mct_workloads.dir/workloads/mixes.cc.o.d"
+  "/root/repo/src/workloads/spec_models.cc" "src/CMakeFiles/mct_workloads.dir/workloads/spec_models.cc.o" "gcc" "src/CMakeFiles/mct_workloads.dir/workloads/spec_models.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/mct_workloads.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/mct_workloads.dir/workloads/trace.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/mct_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/mct_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_workloads.dir/workloads/mixes.cc.o"
+  "CMakeFiles/mct_workloads.dir/workloads/mixes.cc.o.d"
+  "CMakeFiles/mct_workloads.dir/workloads/spec_models.cc.o"
+  "CMakeFiles/mct_workloads.dir/workloads/spec_models.cc.o.d"
+  "CMakeFiles/mct_workloads.dir/workloads/trace.cc.o"
+  "CMakeFiles/mct_workloads.dir/workloads/trace.cc.o.d"
+  "CMakeFiles/mct_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/mct_workloads.dir/workloads/workload.cc.o.d"
+  "libmct_workloads.a"
+  "libmct_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mct_sim.cc" "tools/CMakeFiles/mct_sim_cli.dir/mct_sim.cc.o" "gcc" "tools/CMakeFiles/mct_sim_cli.dir/mct_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mct_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mct_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_sim_cli.dir/mct_sim.cc.o"
+  "CMakeFiles/mct_sim_cli.dir/mct_sim.cc.o.d"
+  "mct_sim"
+  "mct_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

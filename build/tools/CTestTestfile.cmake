@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/mct_sim" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_eval "/root/repo/build/tools/mct_sim" "eval" "--app" "zeusmp" "--warmup" "30000" "--measure" "60000")
+set_tests_properties(cli_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace_roundtrip "sh" "-c" "/root/repo/build/tools/mct_sim trace --app milc --ops 5000 --out /root/repo/build/milc_smoke.trace && /root/repo/build/tools/mct_sim eval --trace /root/repo/build/milc_smoke.trace --warmup 20000 --measure 40000")
+set_tests_properties(cli_trace_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
