@@ -10,9 +10,12 @@
 #define MCT_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/instrument.hh"
 #include "common/table.hh"
 #include "mct/config_space.hh"
 #include "mct/controller.hh"
@@ -21,6 +24,33 @@
 
 namespace mct::bench
 {
+
+/**
+ * Per-process wall-clock stage profiler shared by the bench binaries
+ * (trace replay vs. sampling vs. fit vs. optimize, Fig 9 context).
+ * When the MCT_BENCH_PROFILE environment variable names a file, the
+ * accumulated stage timings are dumped there as JSON at exit.
+ */
+inline WallProfiler &
+profiler()
+{
+    static WallProfiler p;
+    static const bool dumpAtExit = [] {
+        if (!std::getenv("MCT_BENCH_PROFILE"))
+            return false;
+        std::atexit(+[] {
+            const char *path = std::getenv("MCT_BENCH_PROFILE");
+            if (!path)
+                return;
+            std::ofstream os(path);
+            if (os)
+                profiler().writeJson(os);
+        });
+        return true;
+    }();
+    (void)dumpAtExit;
+    return p;
+}
 
 /** Standard evaluation run lengths (every bench must agree so the
  *  sweep cache stays coherent). */
@@ -42,6 +72,7 @@ inline std::vector<Metrics>
 sweep(SweepCache &cache, const std::string &app,
       const std::vector<MellowConfig> &space)
 {
+    WallProfiler::Scope scope(&profiler(), "sweep");
     return cache.getAll(app, space, true);
 }
 
@@ -114,11 +145,15 @@ runMct(SweepCache &cache, const std::string &app, PredictorKind kind,
 {
     SystemParams sp;
     System sys(app, sp, staticBaselineConfig());
-    sys.run(standardEvalParams().warmupInsts);
+    {
+        WallProfiler::Scope scope(&profiler(), "replay");
+        sys.run(standardEvalParams().warmupInsts);
+    }
 
     MctParams mp;
     mp.predictor = kind;
     mp.objective.minLifetimeYears = lifetimeTarget;
+    mp.profiler = &profiler();
     // Scaled-run substitution (MctParams::steadyMeasure): sample
     // objectives come from steady-state evaluations of the same 77
     // configurations, standing in for the paper's long (1B-insn)

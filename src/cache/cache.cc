@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/instrument.hh"
 #include "common/logging.hh"
 
 namespace mct
@@ -255,6 +256,27 @@ Cache::reset()
     scanCursor = 0;
     sinceDecay = 0;
     st = CacheStats{};
+}
+
+void
+Cache::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    const CacheStats *s = &st;
+    reg.addCounter(prefix + ".accesses", [s] { return s->accesses; });
+    reg.addCounter(prefix + ".hits", [s] { return s->hits; });
+    reg.addGauge(prefix + ".hit_rate", [s] {
+        return s->accesses ? static_cast<double>(s->hits) /
+                                 static_cast<double>(s->accesses)
+                           : 0.0;
+    });
+    reg.addCounter(prefix + ".evictions", [s] { return s->evictions; });
+    reg.addCounter(prefix + ".dirty_evictions",
+                   [s] { return s->dirtyEvictions; });
+    reg.addCounter(prefix + ".eager_cleaned",
+                   [s] { return s->eagerCleaned; },
+                   "lines cleaned by eager mellow writebacks");
+    reg.addCounter(prefix + ".rewrites", [s] { return s->rewrites; },
+                   "eagerly-cleaned lines dirtied again");
 }
 
 } // namespace mct

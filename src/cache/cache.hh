@@ -21,6 +21,8 @@
 namespace mct
 {
 
+class StatRegistry;
+
 /** Geometry of one cache level. */
 struct CacheParams
 {
@@ -103,6 +105,14 @@ class Cache
 
     /** Cumulative statistics. */
     const CacheStats &stats() const { return st; }
+
+    /**
+     * Register this cache's counters under @p prefix (dotted path,
+     * e.g. "cache.l1d"). The registry reads the live counters through
+     * closures; the access hot path is untouched.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Geometry. */
     const CacheParams &params() const { return p; }

@@ -76,4 +76,13 @@ CacheHierarchy::reset()
     l3->reset();
 }
 
+void
+CacheHierarchy::registerStats(StatRegistry &reg,
+                              const std::string &prefix) const
+{
+    l1.registerStats(reg, prefix + ".l1d");
+    l2.registerStats(reg, prefix + ".l2");
+    l3->registerStats(reg, prefix + ".llc");
+}
+
 } // namespace mct

@@ -72,6 +72,11 @@ class CacheHierarchy
     /** Invalidate all levels (L3 too, shared or not). */
     void reset();
 
+    /** Register all levels' counters under @p prefix ("cache" gives
+     *  cache.l1d.*, cache.l2.*, cache.llc.*). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     Cache l1;
     Cache l2;

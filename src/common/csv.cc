@@ -29,6 +29,28 @@ CsvFile::numericRow(const std::vector<double> &cells)
     rowsData.push_back(std::move(out));
 }
 
+namespace
+{
+
+/** Quote a cell RFC-4180 style when its content requires it. */
+void
+writeCell(std::ostream &os, const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+        os << cell;
+        return;
+    }
+    os << '"';
+    for (char c : cell) {
+        if (c == '"')
+            os << '"';
+        os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
 bool
 CsvFile::save(const std::string &path) const
 {
@@ -39,7 +61,7 @@ CsvFile::save(const std::string &path) const
         for (std::size_t i = 0; i < r.size(); ++i) {
             if (i)
                 os << ',';
-            os << r[i];
+            writeCell(os, r[i]);
         }
         os << '\n';
     }
@@ -53,15 +75,57 @@ CsvFile::load(const std::string &path)
     if (!is)
         return false;
     rowsData.clear();
-    std::string line;
-    while (std::getline(is, line)) {
-        if (line.empty())
+
+    // Character-level parser: a quoted cell may span physical lines,
+    // so rows end at newlines *outside* quotes only.
+    std::vector<std::string> cells;
+    std::string cell;
+    bool inQuotes = false;
+    bool cellStarted = false; // row has content (even an empty cell)
+    char c;
+    while (is.get(c)) {
+        if (inQuotes) {
+            if (c == '"') {
+                if (is.peek() == '"') {
+                    is.get(c);
+                    cell += '"';
+                } else {
+                    inQuotes = false;
+                }
+            } else {
+                cell += c;
+            }
             continue;
-        std::vector<std::string> cells;
-        std::string cell;
-        std::istringstream ls(line);
-        while (std::getline(ls, cell, ','))
-            cells.push_back(cell);
+        }
+        switch (c) {
+          case '"':
+            inQuotes = true;
+            cellStarted = true;
+            break;
+          case ',':
+            cells.push_back(std::move(cell));
+            cell.clear();
+            cellStarted = true;
+            break;
+          case '\r':
+            break; // swallow CR of CRLF endings
+          case '\n':
+            if (cellStarted || !cell.empty()) {
+                cells.push_back(std::move(cell));
+                rowsData.push_back(std::move(cells));
+            }
+            cells.clear();
+            cell.clear();
+            cellStarted = false;
+            break;
+          default:
+            cell += c;
+            cellStarted = true;
+            break;
+        }
+    }
+    if (cellStarted || !cell.empty()) { // file without trailing newline
+        cells.push_back(std::move(cell));
         rowsData.push_back(std::move(cells));
     }
     return true;

@@ -15,8 +15,11 @@ namespace mct
 
 /**
  * Row-oriented CSV document. Cells are stored as strings; numeric
- * helpers parse on access. No quoting support: our data never contains
- * commas or newlines inside cells.
+ * helpers parse on access. Cells containing commas, double quotes,
+ * newlines, or carriage returns are quoted RFC-4180 style on save
+ * (embedded quotes double), and load() parses quoted cells back —
+ * including quoted cells spanning physical lines — so any cell
+ * content round-trips.
  */
 class CsvFile
 {

@@ -1,0 +1,474 @@
+#include "common/instrument.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace mct
+{
+
+// --------------------------------------------------------------------
+// LogHistogram
+// --------------------------------------------------------------------
+
+void
+LogHistogram::record(double v)
+{
+    std::size_t idx = 0;
+    if (v >= 1.0) {
+        idx = 1 + static_cast<std::size_t>(std::floor(std::log2(v)));
+        idx = std::min(idx, numBuckets - 1);
+    }
+    ++buckets_[idx];
+    ++n;
+    total += std::max(v, 0.0);
+}
+
+double
+LogHistogram::bucketLow(std::size_t i)
+{
+    return i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i - 1));
+}
+
+void
+LogHistogram::reset()
+{
+    buckets_.fill(0);
+    n = 0;
+    total = 0.0;
+}
+
+// --------------------------------------------------------------------
+// StatRegistry
+// --------------------------------------------------------------------
+
+StatRegistry::Entry &
+StatRegistry::insert(const std::string &path, const std::string &desc)
+{
+    auto [it, isNew] = entries.try_emplace(path);
+    if (isNew)
+        order.push_back(path);
+    it->second = Entry{};
+    it->second.desc = desc;
+    return it->second;
+}
+
+void
+StatRegistry::addCounter(const std::string &path, CounterFn fn,
+                         const std::string &desc)
+{
+    Entry &e = insert(path, desc);
+    e.kind = StatKind::Counter;
+    e.counter = std::move(fn);
+}
+
+void
+StatRegistry::addGauge(const std::string &path, GaugeFn fn,
+                       const std::string &desc)
+{
+    Entry &e = insert(path, desc);
+    e.kind = StatKind::Gauge;
+    e.gauge = std::move(fn);
+}
+
+std::uint64_t &
+StatRegistry::addCounterCell(const std::string &path,
+                             const std::string &desc)
+{
+    Entry &e = insert(path, desc);
+    e.kind = StatKind::Counter;
+    e.cell = std::make_unique<std::uint64_t>(0);
+    std::uint64_t *cell = e.cell.get();
+    e.counter = [cell] { return *cell; };
+    return *cell;
+}
+
+LogHistogram &
+StatRegistry::addHistogram(const std::string &path,
+                           const std::string &desc)
+{
+    Entry &e = insert(path, desc);
+    e.kind = StatKind::Histogram;
+    e.hist = std::make_unique<LogHistogram>();
+    return *e.hist;
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return entries.count(path) > 0;
+}
+
+std::string
+StatRegistry::description(const std::string &path) const
+{
+    const auto it = entries.find(path);
+    return it == entries.end() ? std::string() : it->second.desc;
+}
+
+std::vector<std::string>
+StatRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &[path, e] : entries)
+        out.push_back(path);
+    return out;
+}
+
+double
+StatRegistry::value(const std::string &path) const
+{
+    const auto it = entries.find(path);
+    if (it == entries.end())
+        return 0.0;
+    const Entry &e = it->second;
+    switch (e.kind) {
+      case StatKind::Counter:
+        return static_cast<double>(e.counter());
+      case StatKind::Gauge:
+        return e.gauge();
+      case StatKind::Histogram:
+        return e.hist->sum();
+    }
+    return 0.0;
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot snap;
+    for (const auto &[path, e] : entries) {
+        StatValue v;
+        v.kind = e.kind;
+        switch (e.kind) {
+          case StatKind::Counter:
+            v.num = static_cast<double>(e.counter());
+            break;
+          case StatKind::Gauge:
+            v.num = e.gauge();
+            break;
+          case StatKind::Histogram: {
+            v.num = e.hist->sum();
+            v.count = e.hist->count();
+            const auto &b = e.hist->buckets();
+            std::size_t last = b.size();
+            while (last > 0 && b[last - 1] == 0)
+                --last;
+            v.buckets.assign(b.begin(), b.begin() + last);
+            break;
+          }
+        }
+        snap.emplace(path, std::move(v));
+    }
+    return snap;
+}
+
+StatSnapshot
+StatRegistry::delta(const StatSnapshot &from, const StatSnapshot &to)
+{
+    StatSnapshot out;
+    for (const auto &[path, newer] : to) {
+        StatValue d = newer;
+        const auto it = from.find(path);
+        if (it != from.end() && newer.kind != StatKind::Gauge) {
+            const StatValue &older = it->second;
+            d.num -= older.num;
+            d.count -= older.count;
+            for (std::size_t i = 0;
+                 i < d.buckets.size() && i < older.buckets.size(); ++i)
+                d.buckets[i] -= older.buckets[i];
+            while (!d.buckets.empty() && d.buckets.back() == 0)
+                d.buckets.pop_back();
+        }
+        out.emplace(path, std::move(d));
+    }
+    return out;
+}
+
+void
+writeSnapshotJson(std::ostream &os, const StatSnapshot &snap)
+{
+    JsonWriter w(os);
+    writeSnapshot(w, snap);
+}
+
+void
+writeSnapshot(JsonWriter &w, const StatSnapshot &snap)
+{
+    w.beginObject();
+    for (const auto &[path, v] : snap) {
+        if (v.kind == StatKind::Histogram) {
+            w.key(path).beginObject();
+            w.kv("count", v.count);
+            w.kv("sum", v.num);
+            w.kv("mean",
+                 v.count ? v.num / static_cast<double>(v.count) : 0.0);
+            w.key("buckets").beginArray();
+            for (std::size_t i = 0; i < v.buckets.size(); ++i) {
+                if (v.buckets[i] == 0)
+                    continue;
+                w.beginArray()
+                    .value(LogHistogram::bucketLow(i))
+                    .value(v.buckets[i])
+                    .endArray();
+            }
+            w.endArray();
+            w.endObject();
+        } else {
+            w.kv(path, v.num);
+        }
+    }
+    w.endObject();
+}
+
+// --------------------------------------------------------------------
+// EventTrace
+// --------------------------------------------------------------------
+
+const char *
+toString(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::PhaseChange:
+        return "phase_change";
+      case TraceEventType::SamplingRoundStart:
+        return "sampling_round_start";
+      case TraceEventType::SamplingRoundEnd:
+        return "sampling_round_end";
+      case TraceEventType::PredictionMade:
+        return "prediction_made";
+      case TraceEventType::ConfigApplied:
+        return "config_applied";
+      case TraceEventType::QuotaThrottle:
+        return "quota_throttle";
+      case TraceEventType::HealthCheckPass:
+        return "health_check_pass";
+      case TraceEventType::HealthCheckFallback:
+        return "health_check_fallback";
+      case TraceEventType::WritebackBurst:
+        return "writeback_burst";
+    }
+    return "unknown";
+}
+
+std::array<const char *, 3>
+traceArgNames(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::PhaseChange:
+        return {"score", "windows", "workload_mean"};
+      case TraceEventType::SamplingRoundStart:
+        return {"round", "samples", "unit_insts"};
+      case TraceEventType::SamplingRoundEnd:
+        return {"round", "insts_used", "baseline_ipc"};
+      case TraceEventType::PredictionMade:
+        return {"pred_ipc", "pred_lifetime_years", "feasible"};
+      case TraceEventType::ConfigApplied:
+        return {"slow_latency", "wear_quota", "cancellation"};
+      case TraceEventType::QuotaThrottle:
+        return {"restricted", "restricted_slices", "budget_rate"};
+      case TraceEventType::HealthCheckPass:
+        return {"chosen_ipc", "baseline_ipc", "bad_checks"};
+      case TraceEventType::HealthCheckFallback:
+        return {"chosen_ipc", "baseline_ipc", "fallbacks"};
+      case TraceEventType::WritebackBurst:
+        return {"active", "writeq_level", "drains"};
+    }
+    return {"a0", "a1", "a2"};
+}
+
+void
+EventTrace::enable(std::size_t capacity)
+{
+    if (capacity == 0)
+        mct_fatal("EventTrace::enable requires a nonzero capacity");
+    ring.assign(capacity, TraceEvent{});
+    cap = capacity;
+    head = 0;
+    held = 0;
+    total = 0;
+}
+
+void
+EventTrace::disable()
+{
+    ring.clear();
+    ring.shrink_to_fit();
+    cap = 0;
+    head = 0;
+    held = 0;
+    total = 0;
+}
+
+void
+EventTrace::push(TraceEventType type, double a0, double a1, double a2)
+{
+    TraceEvent &e = ring[head];
+    e.type = type;
+    e.inst = clock ? *clock : 0;
+    e.args = {a0, a1, a2};
+    head = head + 1 == cap ? 0 : head + 1;
+    held = std::min(held + 1, cap);
+    ++total;
+}
+
+std::vector<TraceEvent>
+EventTrace::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(held);
+    // Oldest event sits at head when the ring has wrapped.
+    const std::size_t start = held == cap ? head : 0;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(ring[(start + i) % (cap ? cap : 1)]);
+    return out;
+}
+
+std::array<std::uint64_t, numTraceEventTypes>
+EventTrace::countsByType() const
+{
+    std::array<std::uint64_t, numTraceEventTypes> counts{};
+    const std::size_t start = held == cap ? head : 0;
+    for (std::size_t i = 0; i < held; ++i) {
+        const TraceEvent &e = ring[(start + i) % (cap ? cap : 1)];
+        ++counts[static_cast<std::size_t>(e.type)];
+    }
+    return counts;
+}
+
+void
+EventTrace::clear()
+{
+    head = 0;
+    held = 0;
+    total = 0;
+}
+
+void
+EventTrace::writeJsonl(std::ostream &os) const
+{
+    for (const TraceEvent &e : events()) {
+        JsonWriter w(os);
+        const auto names = traceArgNames(e.type);
+        w.beginObject();
+        w.kv("ev", toString(e.type));
+        w.kv("inst", static_cast<std::uint64_t>(e.inst));
+        for (std::size_t a = 0; a < names.size(); ++a)
+            w.kv(names[a], e.args[a]);
+        w.endObject();
+        os << '\n';
+    }
+}
+
+void
+EventTrace::writeChromeTrace(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+    for (const TraceEvent &e : events()) {
+        const auto names = traceArgNames(e.type);
+        w.beginObject();
+        const char *ph = "i";
+        const char *name = toString(e.type);
+        if (e.type == TraceEventType::SamplingRoundStart) {
+            ph = "B";
+            name = "sampling_round";
+        } else if (e.type == TraceEventType::SamplingRoundEnd) {
+            ph = "E";
+            name = "sampling_round";
+        }
+        w.kv("name", name);
+        w.kv("ph", ph);
+        // ts nominally holds microseconds; we put the instruction
+        // count there so the viewer's time axis reads instructions.
+        w.kv("ts", static_cast<std::uint64_t>(e.inst));
+        w.kv("pid", 0);
+        w.kv("tid", 0);
+        if (ph[0] == 'i')
+            w.kv("s", "g"); // global-scope instant marker
+        w.key("args").beginObject();
+        for (std::size_t a = 0; a < names.size(); ++a)
+            w.kv(names[a], e.args[a]);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+// --------------------------------------------------------------------
+// WallProfiler
+// --------------------------------------------------------------------
+
+void
+WallProfiler::begin(const std::string &stage)
+{
+    auto [it, isNew] = cells.try_emplace(stage);
+    if (isNew)
+        order.push_back(stage);
+    Cell &c = it->second;
+    if (c.open)
+        mct_panic("WallProfiler stage '", stage, "' begun twice");
+    c.open = true;
+    c.start = std::chrono::steady_clock::now();
+}
+
+void
+WallProfiler::end(const std::string &stage)
+{
+    const auto it = cells.find(stage);
+    if (it == cells.end() || !it->second.open)
+        mct_panic("WallProfiler stage '", stage, "' ended but not begun");
+    Cell &c = it->second;
+    c.open = false;
+    ++c.calls;
+    c.seconds += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - c.start)
+                     .count();
+}
+
+std::vector<WallProfiler::Stage>
+WallProfiler::stages() const
+{
+    std::vector<Stage> out;
+    out.reserve(order.size());
+    for (const std::string &name : order) {
+        const Cell &c = cells.at(name);
+        out.push_back({name, c.seconds, c.calls});
+    }
+    return out;
+}
+
+double
+WallProfiler::seconds(const std::string &stage) const
+{
+    const auto it = cells.find(stage);
+    return it == cells.end() ? 0.0 : it->second.seconds;
+}
+
+void
+WallProfiler::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("stages").beginArray();
+    for (const Stage &s : stages()) {
+        w.beginObject();
+        w.kv("name", s.name);
+        w.kv("seconds", s.seconds);
+        w.kv("calls", s.calls);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace mct

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Unified instrumentation layer: the stat registry, the structured
+ * event trace, and the wall-clock stage profiler.
+ *
+ * Every simulated component (core, caches, memory controller, NVM
+ * device, MCT runtime) registers its counters under a dotted path in
+ * a StatRegistry owned by the System. Registration stores cheap
+ * closures over the component's existing counters, so the simulated
+ * hot paths pay nothing: values are read only when a snapshot is
+ * taken, which callers may do at any instruction boundary. Snapshots
+ * subtract component-wise, giving delta windows for periodic dumps.
+ *
+ * The EventTrace is a preallocated ring buffer of small typed records
+ * (phase change, sampling round, prediction, config switch, quota
+ * throttle, health check, writeback burst) timestamped with the
+ * *instruction* clock — never wall time — so traces are exactly
+ * reproducible across runs. When the trace is disabled (the default)
+ * record() is a single branch and no memory is touched. Traces
+ * serialize to JSONL (one event object per line, jq-friendly) and to
+ * the Chrome trace-event format loadable in chrome://tracing / Perfetto.
+ *
+ * WallProfiler is the only knowingly non-deterministic piece: it
+ * accumulates real elapsed time per named stage for the bench
+ * harnesses' self-profiling, and is never fed into simulated state.
+ */
+
+#ifndef MCT_COMMON_INSTRUMENT_HH
+#define MCT_COMMON_INSTRUMENT_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mct
+{
+
+/** What a registered statistic measures. */
+enum class StatKind
+{
+    Counter,  ///< monotonic count; deltas subtract
+    Gauge,    ///< instantaneous level; deltas keep the newer value
+    Histogram ///< log2-bucketed distribution; deltas subtract buckets
+};
+
+/**
+ * Power-of-two-bucketed histogram of non-negative observations.
+ * Bucket 0 holds values below 1; bucket i >= 1 holds [2^(i-1), 2^i).
+ * Recording is allocation-free.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr std::size_t numBuckets = 64;
+
+    /** Record one observation (negatives clamp to bucket 0). */
+    void record(double v);
+
+    /** Observations recorded. */
+    std::uint64_t count() const { return n; }
+
+    /** Sum of all observations. */
+    double sum() const { return total; }
+
+    /** Mean observation (0 when empty). */
+    double mean() const
+    {
+        return n ? total / static_cast<double>(n) : 0.0;
+    }
+
+    /** Raw bucket counts. */
+    const std::array<std::uint64_t, numBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Inclusive lower bound of bucket @p i. */
+    static double bucketLow(std::size_t i);
+
+    /** Forget everything. */
+    void reset();
+
+  private:
+    std::array<std::uint64_t, numBuckets> buckets_{};
+    std::uint64_t n = 0;
+    double total = 0.0;
+};
+
+/** One stat's value as captured by a snapshot. */
+struct StatValue
+{
+    StatKind kind = StatKind::Gauge;
+
+    /** Counter/gauge value; for histograms, the sum. */
+    double num = 0.0;
+
+    /** Histogram observation count (0 otherwise). */
+    std::uint64_t count = 0;
+
+    /** Histogram buckets, trimmed of trailing zeros (empty otherwise). */
+    std::vector<std::uint64_t> buckets;
+};
+
+/** A full registry capture, keyed by dotted path (sorted, so every
+ *  serialization of the same snapshot is byte-identical). */
+using StatSnapshot = std::map<std::string, StatValue>;
+
+/**
+ * Registry of named statistics. Components register closures over
+ * their existing counters (or request registry-owned cells); queries
+ * evaluate the closures on demand. Re-registering a path replaces the
+ * previous entry — components that are reconstructed against the same
+ * System (e.g. successive MctControllers in a bench) simply take the
+ * path over.
+ */
+class StatRegistry
+{
+  public:
+    using CounterFn = std::function<std::uint64_t()>;
+    using GaugeFn = std::function<double()>;
+
+    /** Register a counter read through @p fn. */
+    void addCounter(const std::string &path, CounterFn fn,
+                    const std::string &desc = "");
+
+    /** Register a gauge read through @p fn. */
+    void addGauge(const std::string &path, GaugeFn fn,
+                  const std::string &desc = "");
+
+    /**
+     * Register a registry-owned counter cell and return a reference
+     * the component increments directly. The cell's address is stable
+     * for the registry's lifetime.
+     */
+    std::uint64_t &addCounterCell(const std::string &path,
+                                  const std::string &desc = "");
+
+    /** Register a registry-owned histogram and return it (stable). */
+    LogHistogram &addHistogram(const std::string &path,
+                               const std::string &desc = "");
+
+    /** True when @p path is registered. */
+    bool has(const std::string &path) const;
+
+    /** Number of registered stats. */
+    std::size_t size() const { return order.size(); }
+
+    /** Description of a registered stat ("" when absent). */
+    std::string description(const std::string &path) const;
+
+    /** All registered paths, sorted. */
+    std::vector<std::string> paths() const;
+
+    /** Evaluate one stat now (0 when absent; histograms: the sum). */
+    double value(const std::string &path) const;
+
+    /** Capture every registered stat. */
+    StatSnapshot snapshot() const;
+
+    /**
+     * Component-wise difference of two snapshots of the same
+     * registry: counters and histograms subtract, gauges keep the
+     * @p to value. Paths only in @p to appear unchanged.
+     */
+    static StatSnapshot delta(const StatSnapshot &from,
+                              const StatSnapshot &to);
+
+  private:
+    struct Entry
+    {
+        StatKind kind = StatKind::Gauge;
+        CounterFn counter;
+        GaugeFn gauge;
+        std::unique_ptr<std::uint64_t> cell;
+        std::unique_ptr<LogHistogram> hist;
+        std::string desc;
+    };
+
+    std::map<std::string, Entry> entries;
+    std::vector<std::string> order; // registration order (for paths())
+
+    Entry &insert(const std::string &path, const std::string &desc);
+};
+
+class JsonWriter;
+
+/**
+ * Write a snapshot as one flat JSON object: scalar stats map to
+ * numbers, histograms to {"count","sum","mean","buckets":[[lo,n]..]}.
+ */
+void writeSnapshotJson(std::ostream &os, const StatSnapshot &snap);
+
+/** Same, emitted through an in-progress JsonWriter (for embedding
+ *  snapshots inside a larger document). */
+void writeSnapshot(JsonWriter &w, const StatSnapshot &snap);
+
+/** Typed events recorded by the runtime layers. */
+enum class TraceEventType : std::uint8_t
+{
+    PhaseChange,        ///< phase detector declared a new phase
+    SamplingRoundStart, ///< a cyclic sampling period began
+    SamplingRoundEnd,   ///< the sampling period finished
+    PredictionMade,     ///< predictor + optimizer chose a config
+    ConfigApplied,      ///< a configuration was applied to the system
+    QuotaThrottle,      ///< wear quota entered/left a restricted slice
+    HealthCheckPass,    ///< health check kept the chosen config
+    HealthCheckFallback,///< health check fell back to the baseline
+    WritebackBurst,     ///< write-drain burst started/stopped
+};
+
+/** Number of distinct TraceEventType values. */
+constexpr std::size_t numTraceEventTypes = 9;
+
+/** Stable snake_case name of an event type (JSONL "ev" field). */
+const char *toString(TraceEventType type);
+
+/** Per-type names of the three numeric event arguments. */
+std::array<const char *, 3> traceArgNames(TraceEventType type);
+
+/** One ring-buffer record. POD; no strings, no allocation. */
+struct TraceEvent
+{
+    TraceEventType type = TraceEventType::PhaseChange;
+
+    /** Instruction clock at the record (deterministic timestamp). */
+    InstCount inst = 0;
+
+    /** Event arguments; meaning per type (see traceArgNames). */
+    std::array<double, 3> args{};
+};
+
+/**
+ * Fixed-capacity ring buffer of TraceEvents. Disabled (capacity 0)
+ * until enable() preallocates storage; record() on a disabled trace
+ * is a single predictable branch.
+ */
+class EventTrace
+{
+  public:
+    EventTrace() = default;
+
+    /** Allocate @p capacity slots and start recording. */
+    void enable(std::size_t capacity);
+
+    /** Stop recording and release storage. */
+    void disable();
+
+    /** True when recording. */
+    bool enabled() const { return cap != 0; }
+
+    /**
+     * Point the instruction clock at a live counter (the core's
+     * retired-instruction count). Events recorded with no clock get
+     * timestamp 0.
+     */
+    void setClock(const InstCount *instClock) { clock = instClock; }
+
+    /** Record one event (no-op when disabled). */
+    void
+    record(TraceEventType type, double a0 = 0.0, double a1 = 0.0,
+           double a2 = 0.0)
+    {
+        if (cap == 0)
+            return;
+        push(type, a0, a1, a2);
+    }
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const { return held; }
+
+    /** Events ever recorded. */
+    std::uint64_t recorded() const { return total; }
+
+    /** Events overwritten by ring wraparound. */
+    std::uint64_t dropped() const { return total - held; }
+
+    /** Buffer capacity (0 when disabled). */
+    std::size_t capacity() const { return cap; }
+
+    /** Held events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** Count of held events per type. */
+    std::array<std::uint64_t, numTraceEventTypes> countsByType() const;
+
+    /** Forget held events (capacity and clock are kept). */
+    void clear();
+
+    /** One JSON object per line: {"ev","inst",<named args>}. */
+    void writeJsonl(std::ostream &os) const;
+
+    /**
+     * Chrome trace-event JSON ({"traceEvents":[...]}). Sampling
+     * rounds become B/E duration pairs; everything else instant
+     * events. The "ts" field carries the instruction count (the
+     * viewer's microseconds axis reads as instructions).
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    std::vector<TraceEvent> ring;
+    std::size_t cap = 0;
+    std::size_t head = 0; ///< next slot to write
+    std::size_t held = 0;
+    std::uint64_t total = 0;
+    const InstCount *clock = nullptr;
+
+    void push(TraceEventType type, double a0, double a1, double a2);
+};
+
+/**
+ * Wall-clock profiler for the bench harness: accumulates real elapsed
+ * seconds per named stage (trace replay, sampling, fit, optimize...).
+ * Stages may nest and repeat; begin/end pairs per name must balance.
+ */
+class WallProfiler
+{
+  public:
+    /** Start (or resume) a stage. */
+    void begin(const std::string &stage);
+
+    /** Stop a stage and accumulate its elapsed time. */
+    void end(const std::string &stage);
+
+    /** RAII stage guard. */
+    class Scope
+    {
+      public:
+        Scope(WallProfiler *profiler, const char *stage)
+            : p(profiler), name(stage)
+        {
+            if (p)
+                p->begin(name);
+        }
+        ~Scope()
+        {
+            if (p)
+                p->end(name);
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        WallProfiler *p;
+        const char *name;
+    };
+
+    struct Stage
+    {
+        std::string name;
+        double seconds = 0.0;
+        std::uint64_t calls = 0;
+    };
+
+    /** All stages, in first-use order. */
+    std::vector<Stage> stages() const;
+
+    /** Accumulated seconds of one stage (0 when absent). */
+    double seconds(const std::string &stage) const;
+
+    /** {"stages":[{"name","seconds","calls"}...]} */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    struct Cell
+    {
+        double seconds = 0.0;
+        std::uint64_t calls = 0;
+        std::chrono::steady_clock::time_point start{};
+        bool open = false;
+    };
+
+    std::map<std::string, Cell> cells;
+    std::vector<std::string> order;
+};
+
+} // namespace mct
+
+#endif // MCT_COMMON_INSTRUMENT_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal JSON emission helpers for the machine-readable telemetry
+ * surfaces (stats snapshots, event traces, bench self-profiles). Only
+ * writing is supported — the simulator never consumes JSON — and the
+ * output is deterministic: keys are emitted in the order given and
+ * doubles use a fixed shortest-round-trip format.
+ */
+
+#ifndef MCT_COMMON_JSON_HH
+#define MCT_COMMON_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace mct
+{
+
+/** Escape a string for inclusion inside JSON double quotes. */
+std::string jsonEscape(const std::string &s);
+
+/** Format a double as a JSON number (no NaN/Inf: those become 0). */
+std::string jsonNumber(double v);
+
+/**
+ * Streaming writer for a nesting of JSON objects and arrays. The
+ * caller supplies structure through begin/end calls; the writer
+ * inserts commas and key quoting. No pretty-printing beyond newlines
+ * between top-level members (jq handles the rest).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : out(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Start a keyed member inside an object (value follows). */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** Shorthand: key followed by a scalar value. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    std::ostream &out;
+    /** Whether a comma is owed before the next element, per depth. */
+    std::string pending; // stack of '0'/'1' flags, one char per depth
+    bool afterKey = false;
+
+    void separate();
+};
+
+} // namespace mct
+
+#endif // MCT_COMMON_JSON_HH

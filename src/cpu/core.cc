@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/instrument.hh"
 #include "common/logging.hh"
 
 namespace mct
@@ -237,6 +238,28 @@ Core::maybeCollectEager()
             break;
         ++st.eagerSubmitted;
     }
+}
+
+void
+Core::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    const CoreStats *s = &st;
+    reg.addCounter(prefix + ".instructions",
+                   [s] { return s->instructions; });
+    reg.addGauge(prefix + ".ipc", [this] { return ipc(); });
+    reg.addCounter(prefix + ".mem_ops", [s] { return s->memOps; });
+    reg.addCounter(prefix + ".l1_hits", [s] { return s->l1Hits; });
+    reg.addCounter(prefix + ".l2_hits", [s] { return s->l2Hits; });
+    reg.addCounter(prefix + ".l3_hits", [s] { return s->l3Hits; });
+    reg.addCounter(prefix + ".nvm_reads", [s] { return s->memReads; });
+    reg.addCounter(prefix + ".nvm_writebacks",
+                   [s] { return s->memWrites; });
+    reg.addCounter(prefix + ".eager_submitted",
+                   [s] { return s->eagerSubmitted; });
+    reg.addCounter(prefix + ".mem_stall_ticks",
+                   [s] { return s->memStallTicks; });
+    reg.addCounter(prefix + ".wb_stall_ticks",
+                   [s] { return s->wbStallTicks; });
 }
 
 } // namespace mct

@@ -127,6 +127,10 @@ class Core
     /** IPC over the whole run so far. */
     double ipc() const;
 
+    /** Register this core's counters under @p prefix (e.g. "cpu"). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
     /** Completion callback used by the CompletionRouter. */
     void onReadComplete(std::uint64_t id, Tick tick);
 

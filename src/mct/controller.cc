@@ -27,7 +27,61 @@ MctController::MctController(System &system, const MctParams &params)
     samples_ = featureBasedSamples(p.seed, p.spaceOpts);
     sampleIdx_ = indicesInSpace(space_, samples_);
     current = p.baseline;
+    registerStats();
     sys.setConfig(current);
+}
+
+void
+MctController::registerStats()
+{
+    StatRegistry &reg = sys.statRegistry();
+    reg.addCounter("mct.decisions",
+                   [this] { return history.size(); },
+                   "prediction/selection rounds completed");
+    reg.addCounter("mct.resamplings", [this] { return nResamplings; },
+                   "phase-triggered re-sampling rounds");
+    reg.addCounter("mct.health_checks",
+                   [this] { return nHealthChecks; });
+    reg.addCounter("mct.fallbacks", [this] { return nFallbacks; },
+                   "health-check fallbacks to the baseline");
+    reg.addGauge("mct.phase.last_score",
+                 [this] { return det.lastScore(); });
+    reg.addCounter("mct.phase.phases_detected",
+                   [this] { return det.phasesDetected(); });
+    reg.addGauge("mct.phase.windows_in_phase", [this] {
+        return static_cast<double>(det.windowsInPhase());
+    });
+    reg.addGauge("mct.phase.history_mean",
+                 [this] { return det.historyMean(); });
+    reg.addCounter("mct.sampling.insts",
+                   [this] { return samplingAcc.insts; },
+                   "instructions charged to sampling periods (Fig 9)");
+    reg.addCounter("mct.testing.insts",
+                   [this] { return testingAcc.insts; },
+                   "instructions under chosen configurations (Fig 9)");
+    reg.addGauge("mct.baseline.ipc",
+                 [this] { return baseMetrics.ipc; });
+    reg.addGauge("mct.baseline.lifetime_years",
+                 [this] { return baseMetrics.lifetimeYears; });
+    reg.addGauge("mct.baseline.energy_j",
+                 [this] { return baseMetrics.energyJ; });
+    reg.addGauge("mct.current.slow_latency",
+                 [this] { return current.slowLatency; });
+    reg.addGauge("mct.current.wear_quota",
+                 [this] { return current.wearQuota ? 1.0 : 0.0; });
+    reg.addGauge("mct.current.is_baseline", [this] {
+        return current == p.baseline ? 1.0 : 0.0;
+    });
+    reg.addGauge("mct.last_decision.feasible", [this] {
+        return history.empty() ? 1.0
+                               : (history.back().feasible ? 1.0 : 0.0);
+    });
+    reg.addGauge("mct.last_decision.pred_ipc", [this] {
+        return history.empty() ? 0.0 : history.back().predicted.ipc;
+    });
+    samplingHist = &reg.addHistogram(
+        "mct.sampling.period_insts",
+        "instructions consumed by each sampling period");
 }
 
 Metrics
@@ -53,6 +107,14 @@ MctController::sampleAndChoose()
     // sample unit is normalized against an adjacent anchor unit that
     // saw the same burst state.
     CyclicSampler sampler(sys, p.sampling);
+    EventTrace &trace = sys.eventTrace();
+    const double round = static_cast<double>(history.size());
+    trace.record(TraceEventType::SamplingRoundStart, round,
+                 static_cast<double>(samples_.size()),
+                 static_cast<double>(p.sampling.unitInsts));
+    const InstCount samplingStart = sys.retired();
+    if (p.profiler)
+        p.profiler->begin("sampling");
     std::vector<Metrics> sampled;
     std::vector<Metrics> pairBase;
     if (!p.steadyMeasure || p.liveSamplingOverhead) {
@@ -82,6 +144,14 @@ MctController::sampleAndChoose()
         for (const auto &cfg : samples_)
             sampled.push_back(p.steadyMeasure(cfg));
     }
+    if (p.profiler)
+        p.profiler->end("sampling");
+    if (samplingHist)
+        samplingHist->record(
+            static_cast<double>(sys.retired() - samplingStart));
+    trace.record(TraceEventType::SamplingRoundEnd, round,
+                 static_cast<double>(sys.retired() - samplingStart),
+                 baseMetrics.ipc);
 
     // Train one predictor per objective on baseline-normalized data.
     TrainData data;
@@ -97,12 +167,16 @@ MctController::sampleAndChoose()
         yEnergy[i] = ratio(sampled[i].energyJ, pairBase[i].energyJ);
     }
 
+    if (p.profiler)
+        p.profiler->begin("fit");
     data.sampleY = yIpc;
     const ml::Vector predIpc = predictAllConfigs(p.predictor, data);
     data.sampleY = yLife;
     const ml::Vector predLife = predictAllConfigs(p.predictor, data);
     data.sampleY = yEnergy;
     const ml::Vector predEnergy = predictAllConfigs(p.predictor, data);
+    if (p.profiler)
+        p.profiler->end("fit");
 
     // De-normalize back to absolute objectives (Section 4.4: multiply
     // by the periodically re-measured baseline).
@@ -115,7 +189,11 @@ MctController::sampleAndChoose()
     }
     Decision decision;
     decision.atInstruction = sys.retired();
+    if (p.profiler)
+        p.profiler->begin("optimize");
     int idx = chooseOptimal(predicted, p.objective);
+    if (p.profiler)
+        p.profiler->end("optimize");
     if (idx >= 0 && p.steadyMeasure) {
         // With steady measurements available, the Section 5.4
         // never-worse-than-baseline guarantee is enforced at
@@ -146,6 +224,9 @@ MctController::sampleAndChoose()
     }
     if (!decision.config.valid())
         mct_panic("MctController selected an invalid configuration");
+    trace.record(TraceEventType::PredictionMade, decision.predicted.ipc,
+                 decision.predicted.lifetimeYears,
+                 decision.feasible ? 1.0 : 0.0);
 
     // Let the reconfiguration transient pass before the fixup quota
     // arms (see MctParams::stabilizeInsts).
@@ -181,6 +262,10 @@ MctController::runMonitoredWindow(InstCount insts)
         static_cast<double>(dc.memReads + dc.memWrites);
     if (det.push(workload)) {
         ++nResamplings;
+        sys.eventTrace().record(
+            TraceEventType::PhaseChange, det.lastScore(),
+            static_cast<double>(det.windowsInPhase()),
+            det.historyMean());
         state = State::NeedSampling;
         return;
     }
@@ -225,6 +310,12 @@ MctController::healthCheck()
     sys.setConfig(chosenCfg);
     const Metrics chosenNow = chosenW.metrics(sys);
     baseMetrics = baseW.metrics(sys); // refresh the normalization
+    ++nHealthChecks;
+
+    HealthRecord rec;
+    rec.atInstruction = sys.retired();
+    rec.chosenIpc = chosenNow.ipc;
+    rec.baselineIpc = baseMetrics.ipc;
 
     // Never (persistently) worse than the baseline (Section 5.4).
     // Both the guard band and the two-strikes rule exist because a
@@ -237,6 +328,7 @@ MctController::healthCheck()
         current != p.baseline) {
         if (++consecutiveBadChecks >= 2) {
             ++nFallbacks;
+            rec.fellBack = true;
             current = p.baseline;
             sys.setConfig(current);
             consecutiveBadChecks = 0;
@@ -244,6 +336,13 @@ MctController::healthCheck()
     } else {
         consecutiveBadChecks = 0;
     }
+    healthLog.push_back(rec);
+    sys.eventTrace().record(
+        rec.fellBack ? TraceEventType::HealthCheckFallback
+                     : TraceEventType::HealthCheckPass,
+        rec.chosenIpc, rec.baselineIpc,
+        rec.fellBack ? static_cast<double>(nFallbacks)
+                     : static_cast<double>(consecutiveBadChecks));
 }
 
 void

@@ -83,6 +83,14 @@ struct MctParams
      *  so the sampling overhead (Fig 9) stays accounted. */
     bool liveSamplingOverhead = true;
 
+    /**
+     * Optional wall-clock stage profiler (bench self-profiling). When
+     * set, the controller charges its sampling / fit / optimize
+     * stages so harness-level timings become attributable. Never
+     * feeds back into simulated state.
+     */
+    WallProfiler *profiler = nullptr;
+
     std::uint64_t seed = 42;
 };
 
@@ -93,6 +101,15 @@ struct Decision
     Metrics predicted;
     bool feasible = true; // lifetime floor satisfiable per prediction
     InstCount atInstruction = 0;
+};
+
+/** One health check's outcome, kept for inspection. */
+struct HealthRecord
+{
+    InstCount atInstruction = 0;
+    double chosenIpc = 0.0;
+    double baselineIpc = 0.0;
+    bool fellBack = false;
 };
 
 /**
@@ -111,6 +128,12 @@ class MctController
 
     /** All selection rounds so far. */
     const std::vector<Decision> &decisions() const { return history; }
+
+    /** All health checks so far (empty under steadyMeasure). */
+    const std::vector<HealthRecord> &healthHistory() const
+    {
+        return healthLog;
+    }
 
     /** Aggregate cost of all sampling periods (Fig 9). */
     const WindowAccum &samplingAccum() const { return samplingAcc; }
@@ -149,12 +172,21 @@ class MctController
     MellowConfig current;
     Metrics baseMetrics;
     std::vector<Decision> history;
+    std::vector<HealthRecord> healthLog;
     WindowAccum samplingAcc;
     WindowAccum testingAcc;
     InstCount sinceHealthCheck = 0;
     unsigned consecutiveBadChecks = 0;
     std::uint64_t nResamplings = 0;
     std::uint64_t nFallbacks = 0;
+    std::uint64_t nHealthChecks = 0;
+
+    /** Histogram of instructions consumed per sampling period
+     *  (lives in the system's registry as mct.sampling.period_insts). */
+    LogHistogram *samplingHist = nullptr;
+
+    /** Register mct.* stats in the managed system's registry. */
+    void registerStats();
 
     /** Measure the baseline configuration for @p insts. */
     Metrics measureBaseline(InstCount insts, WindowAccum &acc);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/instrument.hh"
 #include "common/logging.hh"
 
 namespace mct
@@ -597,10 +598,20 @@ MemController::activateConstrainedStart(Tick t)
 void
 MemController::updateDrain()
 {
-    if (!drainActive && writeCount >= p.drainHigh)
+    if (!drainActive && writeCount >= p.drainHigh) {
         drainActive = true;
-    else if (drainActive && writeCount <= p.drainLow)
+        ++nDrains;
+        if (trace)
+            trace->record(TraceEventType::WritebackBurst, 1.0,
+                          static_cast<double>(writeCount),
+                          static_cast<double>(nDrains));
+    } else if (drainActive && writeCount <= p.drainLow) {
         drainActive = false;
+        if (trace)
+            trace->record(TraceEventType::WritebackBurst, 0.0,
+                          static_cast<double>(writeCount),
+                          static_cast<double>(nDrains));
+    }
 }
 
 void
@@ -666,6 +677,71 @@ MemController::accountWrite(const Request &req, double fraction,
     dev.addWear(req.bank, req.row, wear);
     st.wearAdded += wear;
     st.writeEnergyUnits += fraction * std::pow(ratio, p.writeEnergyExp);
+}
+
+void
+MemController::attachTrace(EventTrace *t)
+{
+    trace = t;
+    quota.attachTrace(t);
+}
+
+void
+MemController::registerStats(StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    const CtrlStats *s = &st;
+    reg.addCounter(prefix + ".reads_completed",
+                   [s] { return s->readsCompleted; });
+    reg.addCounter(prefix + ".row_hits", [s] { return s->rowHits; });
+    reg.addGauge(prefix + ".row_hit_rate", [s] {
+        return s->readsCompleted
+                   ? static_cast<double>(s->rowHits) /
+                         static_cast<double>(s->readsCompleted)
+                   : 0.0;
+    });
+    reg.addGauge(prefix + ".avg_read_latency_ns", [s] {
+        return s->avgReadLatency() / static_cast<double>(tickNs);
+    });
+    reg.addCounter(prefix + ".writes_completed",
+                   [s] { return s->writesCompleted; });
+    reg.addCounter(prefix + ".fast_writes",
+                   [s] { return s->fastWrites; });
+    reg.addCounter(prefix + ".slow_writes",
+                   [s] { return s->slowWrites; });
+    reg.addCounter(prefix + ".quota_writes",
+                   [s] { return s->quotaWrites; },
+                   "forced 4x writes in restricted slices");
+    reg.addCounter(prefix + ".eager_writes",
+                   [s] { return s->eagerWrites; });
+    reg.addCounter(prefix + ".scrub_writes",
+                   [s] { return s->scrubWrites; },
+                   "retention / disturbance refreshes");
+    reg.addCounter(prefix + ".cancellations",
+                   [s] { return s->cancellations; });
+    reg.addCounter(prefix + ".paused_writes",
+                   [s] { return s->pausedWrites; });
+    reg.addCounter(prefix + ".readq_rejects",
+                   [s] { return s->readQRejects; });
+    reg.addCounter(prefix + ".writeq_rejects",
+                   [s] { return s->writeQRejects; });
+    reg.addCounter(prefix + ".eagerq_rejects",
+                   [s] { return s->eagerQRejects; });
+    reg.addGauge(prefix + ".wear_added", [s] { return s->wearAdded; },
+                 "fast-write-equivalent line writes");
+    reg.addCounter(prefix + ".bank_busy_ticks",
+                   [s] { return s->bankBusyTicks; });
+    reg.addCounter(prefix + ".drain_bursts", [this] { return nDrains; },
+                   "write-drain bursts entered");
+    reg.addGauge(prefix + ".readq_level",
+                 [this] { return static_cast<double>(readCount); });
+    reg.addGauge(prefix + ".writeq_level",
+                 [this] { return static_cast<double>(writeCount); });
+    reg.addGauge(prefix + ".eagerq_level",
+                 [this] { return static_cast<double>(eagerCount); });
+    reg.addGauge(prefix + ".draining",
+                 [this] { return drainActive ? 1.0 : 0.0; });
+    quota.registerStats(reg, prefix + ".quota");
 }
 
 } // namespace mct

@@ -32,6 +32,9 @@
 namespace mct
 {
 
+class EventTrace;
+class StatRegistry;
+
 /** Tunables of the controller itself (Table 9 defaults). */
 struct MemCtrlParams
 {
@@ -169,6 +172,21 @@ class MemController
     /** Cumulative statistics. */
     const CtrlStats &stats() const { return st; }
 
+    /**
+     * Register the controller's counters (and the wear quota's) under
+     * @p prefix (e.g. "memctrl"). Closure-based: the request path
+     * stays untouched.
+     */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
+    /**
+     * Record queue/quota transition events (writeback bursts, quota
+     * throttling) into @p t; null detaches. Transitions are rare, so
+     * the issue path pays one pointer test per drain flip at most.
+     */
+    void attachTrace(EventTrace *t);
+
     /** The wear-quota state machine (read-only, for tests/benches). */
     const WearQuota &wearQuota() const { return quota; }
 
@@ -244,6 +262,8 @@ class MemController
     std::deque<Tick> recentActivates; // tFAW window
     std::uint64_t nextWriteId = 1ULL << 62;
     CtrlStats st;
+    EventTrace *trace = nullptr;
+    std::uint64_t nDrains = 0;
 
     /** Finalize every in-flight op with finish <= t, oldest first. */
     void completeUpTo(Tick t);

@@ -1,5 +1,6 @@
 #include "memctrl/wear_quota.hh"
 
+#include "common/instrument.hh"
 #include "common/logging.hh"
 
 namespace mct
@@ -48,7 +49,27 @@ WearQuota::update(Tick now, double currentWear)
     const bool over = used > allowed;
     if (over && !isRestricted)
         ++nRestricted;
+    if (trace && over != isRestricted)
+        trace->record(TraceEventType::QuotaThrottle, over ? 1.0 : 0.0,
+                      static_cast<double>(nRestricted), ratePerSec);
     isRestricted = over;
+}
+
+void
+WearQuota::registerStats(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".enabled",
+                 [this] { return isEnabled ? 1.0 : 0.0; });
+    reg.addGauge(prefix + ".restricted",
+                 [this] { return isRestricted ? 1.0 : 0.0; },
+                 "currently inside a restricted (4x-write) slice");
+    reg.addCounter(prefix + ".restricted_slices",
+                   [this] { return nRestricted; },
+                   "restricted slices entered since arming");
+    reg.addGauge(prefix + ".budget_rate",
+                 [this] { return ratePerSec; },
+                 "allowed wear per second for the lifetime target");
 }
 
 } // namespace mct

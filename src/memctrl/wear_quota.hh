@@ -13,10 +13,15 @@
 #ifndef MCT_MEMCTRL_WEAR_QUOTA_HH
 #define MCT_MEMCTRL_WEAR_QUOTA_HH
 
+#include <string>
+
 #include "common/types.hh"
 
 namespace mct
 {
+
+class EventTrace;
+class StatRegistry;
 
 /**
  * Tracks the per-slice wear budget and the restricted/unrestricted
@@ -63,6 +68,14 @@ class WearQuota
     /** Allowed wear per second for the configured target. */
     double budgetRate() const { return ratePerSec; }
 
+    /** Record restricted/unrestricted transitions into @p t (may be
+     *  null to detach). */
+    void attachTrace(EventTrace *t) { trace = t; }
+
+    /** Register quota state under @p prefix (e.g. "memctrl.quota"). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
+
   private:
     Tick slice;
     double capacity;
@@ -73,6 +86,7 @@ class WearQuota
     Tick sliceStart = 0;
     double ratePerSec = 0.0;
     std::uint64_t nRestricted = 0;
+    EventTrace *trace = nullptr;
 };
 
 } // namespace mct

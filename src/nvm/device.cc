@@ -1,7 +1,9 @@
 #include "nvm/device.hh"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "common/instrument.hh"
 #include "common/logging.hh"
 
 namespace mct
@@ -144,6 +146,29 @@ NvmDevice::reset()
             remappers.emplace_back(p.rowsPerBank(), p.startGapPeriod);
         rowWear = std::make_unique<RowWearTable>(
             p.numBanks, p.rowsPerBank() + 1);
+    }
+}
+
+void
+NvmDevice::registerStats(StatRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addGauge(prefix + ".total_wear", [this] { return wearTotal; },
+                 "fast-write-equivalent line writes, all banks");
+    reg.addGauge(prefix + ".max_bank_wear",
+                 [this] { return maxBankWear(); });
+    reg.addGauge(prefix + ".leveling_efficiency",
+                 [this] { return levelingEfficiency(); });
+    for (unsigned b = 0; b < p.numBanks; ++b) {
+        char suffix[16];
+        std::snprintf(suffix, sizeof(suffix), ".bank%02u", b);
+        const std::string bankPath = prefix + suffix;
+        const Bank *bank = &banks[b];
+        reg.addCounter(bankPath + ".reads",
+                       [bank] { return bank->reads; });
+        reg.addCounter(bankPath + ".writes",
+                       [bank] { return bank->writes; });
+        reg.addGauge(bankPath + ".wear", [bank] { return bank->wear; });
     }
 }
 

@@ -19,6 +19,8 @@
 namespace mct
 {
 
+class StatRegistry;
+
 /** Decoded physical location of a cache-line address. */
 struct NvmLocation
 {
@@ -82,6 +84,11 @@ class NvmDevice
 
     /** Reset transient bank state and wear counters. */
     void reset();
+
+    /** Register device and per-bank counters under @p prefix
+     *  (e.g. "nvm" gives nvm.total_wear, nvm.bank00.reads, ...). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix) const;
 
     /** Measured Start-Gap leveling efficiency (1.0 under the
      *  assumed-efficiency mode, which levels by definition). */

@@ -31,6 +31,32 @@ System::wire(const MellowConfig &config)
     router_ = std::make_unique<CompletionRouter>(*ctrl_);
     core_ = std::make_unique<Core>(0, p.core, *wl_, *hier_, *ctrl_,
                                    *router_);
+    trace_.setClock(&core_->stats().instructions);
+    ctrl_->attachTrace(&trace_);
+    registerAllStats();
+}
+
+void
+System::registerAllStats()
+{
+    core_->registerStats(reg_, "cpu.core0");
+    hier_->registerStats(reg_, "cache");
+    ctrl_->registerStats(reg_, "memctrl");
+    dev_->registerStats(reg_, "nvm");
+    reg_.addGauge("sim.seconds", [this] {
+        return static_cast<double>(now()) /
+               static_cast<double>(tickSec);
+    });
+    reg_.addCounter("sim.instructions", [this] { return retired(); });
+    reg_.addGauge("sim.objective.ipc", [this] { return core_->ipc(); });
+    reg_.addGauge("sim.objective.lifetime_years",
+                  [this] { return dev_->lifetimeYears(now()); });
+    reg_.addGauge("sim.trace.recorded", [this] {
+        return static_cast<double>(trace_.recorded());
+    });
+    reg_.addGauge("sim.trace.dropped", [this] {
+        return static_cast<double>(trace_.dropped());
+    });
 }
 
 void
@@ -45,6 +71,11 @@ System::run(InstCount insts)
 void
 System::setConfig(const MellowConfig &config)
 {
+    trace_.record(TraceEventType::ConfigApplied, config.slowLatency,
+                  config.wearQuota ? 1.0 : 0.0,
+                  (config.fastCancellation ? 2.0
+                   : config.slowCancellation ? 1.0
+                                             : 0.0));
     ctrl_->setConfig(config, core_->now());
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/instrument.hh"
 #include "cpu/core.hh"
 #include "memctrl/controller.hh"
 #include "nvm/device.hh"
@@ -111,9 +112,28 @@ class System
     /** Current time (core clock). */
     Tick now() const { return core_->now(); }
 
+    /**
+     * The system-wide stat registry. Every component's counters are
+     * registered under dotted paths (cpu.*, cache.*, memctrl.*,
+     * nvm.*, sim.*) at construction; snapshot() may be called at any
+     * instruction boundary and snapshots subtract for delta windows.
+     */
+    StatRegistry &statRegistry() { return reg_; }
+    const StatRegistry &statRegistry() const { return reg_; }
+
+    /**
+     * The system-wide event trace. Disabled (zero-cost) until
+     * eventTrace().enable(capacity); its instruction clock follows
+     * this system's core.
+     */
+    EventTrace &eventTrace() { return trace_; }
+    const EventTrace &eventTrace() const { return trace_; }
+
   private:
     SystemParams p;
     EnergyModel energy_;
+    StatRegistry reg_;
+    EventTrace trace_;
     std::unique_ptr<Workload> wl_;
     std::unique_ptr<NvmDevice> dev_;
     std::unique_ptr<MemController> ctrl_;
@@ -122,6 +142,9 @@ class System
     std::unique_ptr<Core> core_;
 
     void wire(const MellowConfig &config);
+
+    /** Register every component under its layer's dotted prefix. */
+    void registerAllStats();
 };
 
 /** Lifetime of a wear window (helper shared with the multicore sim). */

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "common/csv.hh"
@@ -278,6 +279,47 @@ TEST(Csv, LoadMissingFileFails)
 {
     CsvFile in;
     EXPECT_FALSE(in.load("/tmp/definitely_missing_mct_file.csv"));
+}
+
+TEST(Csv, QuotedCellsRoundTrip)
+{
+    CsvFile out;
+    out.row({"plain", "with,comma", "with \"quotes\""});
+    out.row({"multi\nline", "", "trailing space "});
+    out.row({"crlf\r\ncell", "comma,and\nnewline", "\"\""});
+    const std::string path = "/tmp/mct_test_csv_quoted.csv";
+    ASSERT_TRUE(out.save(path));
+
+    CsvFile in;
+    ASSERT_TRUE(in.load(path));
+    ASSERT_EQ(in.data().size(), out.data().size());
+    for (std::size_t r = 0; r < out.data().size(); ++r) {
+        ASSERT_EQ(in.data()[r].size(), out.data()[r].size())
+            << "row " << r;
+        for (std::size_t c = 0; c < out.data()[r].size(); ++c)
+            EXPECT_EQ(in.data()[r][c], out.data()[r][c])
+                << "row " << r << " col " << c;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Csv, QuotedFieldsOnDiskParse)
+{
+    const std::string path = "/tmp/mct_test_csv_ondisk.csv";
+    {
+        std::ofstream os(path);
+        os << "a,\"b,c\",\"say \"\"hi\"\"\"\n";
+        os << "\"line\nbreak\",d\n";
+    }
+    CsvFile in;
+    ASSERT_TRUE(in.load(path));
+    ASSERT_EQ(in.data().size(), 2u);
+    ASSERT_EQ(in.data()[0].size(), 3u);
+    EXPECT_EQ(in.data()[0][1], "b,c");
+    EXPECT_EQ(in.data()[0][2], "say \"hi\"");
+    ASSERT_EQ(in.data()[1].size(), 2u);
+    EXPECT_EQ(in.data()[1][0], "line\nbreak");
+    std::remove(path.c_str());
 }
 
 TEST(Types, UnitRelations)

@@ -107,10 +107,12 @@ TEST(ConfigSpace, AllConfigurationsValidAndUnique)
 TEST(ConfigSpace, ConstraintsHold)
 {
     for (const auto &cfg : enumerateSpace()) {
-        if (cfg.usesSlowWrites())
+        if (cfg.usesSlowWrites()) {
             EXPECT_GT(cfg.slowLatency, cfg.fastLatency);
-        if (cfg.fastCancellation && cfg.usesSlowWrites())
+        }
+        if (cfg.fastCancellation && cfg.usesSlowWrites()) {
             EXPECT_TRUE(cfg.slowCancellation);
+        }
     }
 }
 

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Tests for the unified instrumentation layer: StatRegistry snapshots
+ * and deltas, LogHistogram bucketing, the EventTrace ring buffer and
+ * its JSONL / Chrome serializations, System and MctController
+ * integration, the WallProfiler, and StatsReport::print alignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/instrument.hh"
+#include "mct/controller.hh"
+#include "sim/stats_report.hh"
+#include "sim/system.hh"
+
+namespace mct
+{
+namespace
+{
+
+// --------------------------------------------------------------------
+// LogHistogram
+// --------------------------------------------------------------------
+
+TEST(LogHistogram, BucketBoundaries)
+{
+    LogHistogram h;
+    h.record(0.0);   // bucket 0
+    h.record(0.5);   // bucket 0
+    h.record(1.0);   // bucket 1: [1, 2)
+    h.record(1.99);  // bucket 1
+    h.record(2.0);   // bucket 2: [2, 4)
+    h.record(1024);  // bucket 11: [1024, 2048)
+    h.record(-3.0);  // negatives clamp into bucket 0
+
+    EXPECT_EQ(h.buckets()[0], 3u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[11], 1u);
+    EXPECT_EQ(h.count(), 7u);
+    // The negative observation contributes 0 to the sum.
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0 + 0.5 + 1.0 + 1.99 + 2.0 + 1024.0);
+
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLow(1), 1.0);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLow(11), 1024.0);
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// --------------------------------------------------------------------
+// StatRegistry
+// --------------------------------------------------------------------
+
+TEST(StatRegistry, RegistrationAndQuery)
+{
+    StatRegistry reg;
+    std::uint64_t hits = 0;
+    reg.addCounter("cache.hits", [&] { return hits; }, "cache hits");
+    reg.addGauge("cache.rate", [&] { return hits * 0.5; });
+    std::uint64_t &cell = reg.addCounterCell("cpu.retired");
+    LogHistogram &hist = reg.addHistogram("mem.latency");
+
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_TRUE(reg.has("cache.hits"));
+    EXPECT_FALSE(reg.has("cache.misses"));
+    EXPECT_EQ(reg.description("cache.hits"), "cache hits");
+    EXPECT_EQ(reg.description("cache.rate"), "");
+
+    hits = 10;
+    cell = 7;
+    hist.record(4.0);
+    hist.record(8.0);
+    EXPECT_DOUBLE_EQ(reg.value("cache.hits"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.value("cache.rate"), 5.0);
+    EXPECT_DOUBLE_EQ(reg.value("cpu.retired"), 7.0);
+    EXPECT_DOUBLE_EQ(reg.value("mem.latency"), 12.0); // the sum
+    EXPECT_DOUBLE_EQ(reg.value("no.such.stat"), 0.0);
+}
+
+TEST(StatRegistry, ReRegisteringReplacesEntry)
+{
+    StatRegistry reg;
+    reg.addCounter("x", [] { return std::uint64_t(1); });
+    reg.addCounter("x", [] { return std::uint64_t(2); });
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_DOUBLE_EQ(reg.value("x"), 2.0);
+}
+
+TEST(StatRegistry, SnapshotAndDelta)
+{
+    StatRegistry reg;
+    std::uint64_t ctr = 100;
+    double level = 1.0;
+    reg.addCounter("c", [&] { return ctr; });
+    reg.addGauge("g", [&] { return level; });
+    LogHistogram &h = reg.addHistogram("h");
+    h.record(3.0);
+
+    const StatSnapshot s0 = reg.snapshot();
+    ctr = 150;
+    level = 9.0;
+    h.record(5.0);
+    const StatSnapshot s1 = reg.snapshot();
+
+    const StatSnapshot d = StatRegistry::delta(s0, s1);
+    ASSERT_EQ(d.size(), 3u);
+    // Counters and histograms subtract; gauges keep the newer value.
+    EXPECT_DOUBLE_EQ(d.at("c").num, 50.0);
+    EXPECT_DOUBLE_EQ(d.at("g").num, 9.0);
+    EXPECT_DOUBLE_EQ(d.at("h").num, 5.0);
+    EXPECT_EQ(d.at("h").count, 1u);
+    // Only the second observation's bucket remains. 5.0 lands in
+    // bucket 3 ([4, 8)); 3.0's bucket 2 subtracts away.
+    ASSERT_EQ(d.at("h").buckets.size(), 4u);
+    EXPECT_EQ(d.at("h").buckets[2], 0u);
+    EXPECT_EQ(d.at("h").buckets[3], 1u);
+}
+
+TEST(StatRegistry, SnapshotJsonIsSortedAndParseable)
+{
+    StatRegistry reg;
+    reg.addCounter("b.two", [] { return std::uint64_t(2); });
+    reg.addCounter("a.one", [] { return std::uint64_t(1); });
+    std::ostringstream os;
+    writeSnapshotJson(os, reg.snapshot());
+    EXPECT_EQ(os.str(), "{\"a.one\":1,\"b.two\":2}");
+}
+
+// --------------------------------------------------------------------
+// EventTrace
+// --------------------------------------------------------------------
+
+TEST(EventTrace, DisabledRecordIsNoOp)
+{
+    EventTrace t;
+    EXPECT_FALSE(t.enabled());
+    t.record(TraceEventType::PhaseChange, 1.0);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(EventTrace, RingWraparound)
+{
+    EventTrace t;
+    t.enable(4);
+    for (int i = 0; i < 10; ++i)
+        t.record(TraceEventType::ConfigApplied,
+                 static_cast<double>(i));
+
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.recorded(), 10u);
+    EXPECT_EQ(t.dropped(), 6u);
+
+    // Only the newest four events survive, oldest first.
+    const auto evs = t.events();
+    ASSERT_EQ(evs.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(evs[i].args[0], static_cast<double>(6 + i));
+
+    const auto counts = t.countsByType();
+    EXPECT_EQ(counts[static_cast<std::size_t>(
+                  TraceEventType::ConfigApplied)],
+              4u);
+
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.capacity(), 4u); // capacity survives clear()
+}
+
+TEST(EventTrace, InstructionClock)
+{
+    EventTrace t;
+    t.enable(8);
+    InstCount now = 0;
+    t.setClock(&now);
+    t.record(TraceEventType::PhaseChange);
+    now = 12345;
+    t.record(TraceEventType::PhaseChange);
+    const auto evs = t.events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].inst, 0u);
+    EXPECT_EQ(evs[1].inst, 12345u);
+}
+
+TEST(EventTrace, JsonlGolden)
+{
+    EventTrace t;
+    t.enable(8);
+    InstCount now = 500;
+    t.setClock(&now);
+    t.record(TraceEventType::QuotaThrottle, 1.0, 3.0, 0.25);
+    now = 900;
+    t.record(TraceEventType::HealthCheckPass, 0.5, 0.4, 0.0);
+
+    std::ostringstream os;
+    t.writeJsonl(os);
+    EXPECT_EQ(os.str(),
+              "{\"ev\":\"quota_throttle\",\"inst\":500,"
+              "\"restricted\":1,\"restricted_slices\":3,"
+              "\"budget_rate\":0.25}\n"
+              "{\"ev\":\"health_check_pass\",\"inst\":900,"
+              "\"chosen_ipc\":0.5,\"baseline_ipc\":0.4,"
+              "\"bad_checks\":0}\n");
+}
+
+TEST(EventTrace, ChromeTraceGolden)
+{
+    EventTrace t;
+    t.enable(8);
+    InstCount now = 100;
+    t.setClock(&now);
+    t.record(TraceEventType::SamplingRoundStart, 1.0, 77.0, 1000.0);
+    now = 300;
+    t.record(TraceEventType::SamplingRoundEnd, 1.0, 200.0, 0.5);
+
+    std::ostringstream os;
+    t.writeChromeTrace(os);
+    EXPECT_EQ(
+        os.str(),
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        "{\"name\":\"sampling_round\",\"ph\":\"B\",\"ts\":100,"
+        "\"pid\":0,\"tid\":0,\"args\":{\"round\":1,\"samples\":77,"
+        "\"unit_insts\":1000}},"
+        "{\"name\":\"sampling_round\",\"ph\":\"E\",\"ts\":300,"
+        "\"pid\":0,\"tid\":0,\"args\":{\"round\":1,"
+        "\"insts_used\":200,\"baseline_ipc\":0.5}}]}\n");
+}
+
+TEST(EventTrace, EveryTypeHasNameAndArgNames)
+{
+    for (std::size_t i = 0; i < numTraceEventTypes; ++i) {
+        const auto type = static_cast<TraceEventType>(i);
+        EXPECT_STRNE(toString(type), "unknown");
+        for (const char *arg : traceArgNames(type))
+            EXPECT_STRNE(arg, "");
+    }
+}
+
+// --------------------------------------------------------------------
+// System integration
+// --------------------------------------------------------------------
+
+TEST(SystemStats, ComponentsRegisterUnderDottedPaths)
+{
+    SystemParams sp;
+    System sys("lbm", sp, staticBaselineConfig());
+    const StatRegistry &reg = sys.statRegistry();
+
+    for (const char *path :
+         {"cpu.core0.instructions", "cpu.core0.ipc",
+          "cache.l1d.accesses", "cache.l2.hits", "cache.llc.hit_rate",
+          "memctrl.reads_completed", "memctrl.quota.enabled",
+          "nvm.total_wear", "nvm.bank00.writes", "sim.instructions",
+          "sim.objective.ipc", "sim.objective.lifetime_years"}) {
+        EXPECT_TRUE(reg.has(path)) << path;
+    }
+}
+
+TEST(SystemStats, CountersGrowWithExecution)
+{
+    SystemParams sp;
+    System sys("lbm", sp, staticBaselineConfig());
+    const StatSnapshot s0 = sys.statRegistry().snapshot();
+    sys.run(400 * 1000);
+    const StatSnapshot s1 = sys.statRegistry().snapshot();
+
+    const StatSnapshot d = StatRegistry::delta(s0, s1);
+    EXPECT_DOUBLE_EQ(d.at("cpu.core0.instructions").num,
+                     400 * 1000.0);
+    EXPECT_GT(d.at("cache.l1d.accesses").num, 0.0);
+    EXPECT_GT(d.at("memctrl.reads_completed").num, 0.0);
+    EXPECT_GT(d.at("nvm.total_wear").num, 0.0);
+}
+
+TEST(SystemStats, TraceRecordsConfigAndDrainEvents)
+{
+    SystemParams sp;
+    System sys("lbm", sp, staticBaselineConfig());
+    sys.eventTrace().enable(1024);
+    MellowConfig cfg = staticBaselineConfig();
+    cfg.slowLatency = 3.0;
+    sys.setConfig(cfg);
+    sys.run(50 * 1000);
+
+    const auto counts = sys.eventTrace().countsByType();
+    EXPECT_GE(counts[static_cast<std::size_t>(
+                  TraceEventType::ConfigApplied)],
+              1u);
+    // Timestamps are instruction counts: monotone and bounded by the
+    // retired-instruction clock.
+    for (const TraceEvent &e : sys.eventTrace().events())
+        EXPECT_LE(e.inst, sys.retired());
+}
+
+TEST(SystemStats, TraceDeterministicAcrossRuns)
+{
+    auto run = [] {
+        SystemParams sp;
+        System sys("milc", sp, staticBaselineConfig());
+        sys.eventTrace().enable(4096);
+        sys.run(100 * 1000);
+        std::ostringstream os;
+        sys.eventTrace().writeJsonl(os);
+        return os.str();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(MctStats, ControllerRegistersAndTraces)
+{
+    SystemParams sp;
+    System sys("lbm", sp, staticBaselineConfig());
+    sys.eventTrace().enable(64 * 1024);
+    sys.run(100 * 1000);
+
+    MctParams mp;
+    MctController ctl(sys, mp);
+    const StatRegistry &reg = sys.statRegistry();
+    for (const char *path :
+         {"mct.decisions", "mct.resamplings", "mct.health_checks",
+          "mct.fallbacks", "mct.baseline.ipc",
+          "mct.current.is_baseline", "mct.sampling.period_insts"}) {
+        EXPECT_TRUE(reg.has(path)) << path;
+    }
+
+    ctl.runFor(1500 * 1000);
+    EXPECT_DOUBLE_EQ(reg.value("mct.decisions"),
+                     static_cast<double>(ctl.decisions().size()));
+    EXPECT_GE(reg.value("mct.decisions"), 1.0);
+    EXPECT_GT(reg.value("mct.sampling.insts"), 0.0);
+
+    const auto counts = sys.eventTrace().countsByType();
+    const auto n = [&](TraceEventType t) {
+        return counts[static_cast<std::size_t>(t)];
+    };
+    EXPECT_GE(n(TraceEventType::SamplingRoundStart), 1u);
+    EXPECT_GE(n(TraceEventType::SamplingRoundEnd), 1u);
+    EXPECT_GE(n(TraceEventType::PredictionMade), 1u);
+    EXPECT_GE(n(TraceEventType::ConfigApplied), 1u);
+}
+
+// --------------------------------------------------------------------
+// WallProfiler
+// --------------------------------------------------------------------
+
+TEST(WallProfiler, AccumulatesStages)
+{
+    WallProfiler p;
+    p.begin("fit");
+    p.end("fit");
+    {
+        WallProfiler::Scope scope(&p, "fit");
+    }
+    {
+        WallProfiler::Scope scope(&p, "optimize");
+    }
+
+    const auto stages = p.stages();
+    ASSERT_EQ(stages.size(), 2u);
+    EXPECT_EQ(stages[0].name, "fit"); // first-use order
+    EXPECT_EQ(stages[0].calls, 2u);
+    EXPECT_EQ(stages[1].name, "optimize");
+    EXPECT_GE(p.seconds("fit"), 0.0);
+    EXPECT_DOUBLE_EQ(p.seconds("absent"), 0.0);
+
+    std::ostringstream os;
+    p.writeJson(os);
+    EXPECT_NE(os.str().find("\"stages\":["), std::string::npos);
+    EXPECT_NE(os.str().find("\"name\":\"fit\""), std::string::npos);
+}
+
+TEST(WallProfiler, NullScopeIsSafe)
+{
+    WallProfiler::Scope scope(nullptr, "anything");
+}
+
+// --------------------------------------------------------------------
+// StatsReport::print alignment
+// --------------------------------------------------------------------
+
+TEST(StatsReport, PrintAlignsColumns)
+{
+    StatsReport r;
+    r.add("cpu.ipc", 1.5);
+    r.add("memctrl.reads", std::uint64_t(42), "completed");
+    r.add("x", std::uint64_t(123456));
+    ASSERT_EQ(r.size(), 3u);
+
+    std::ostringstream os;
+    r.print(os);
+    // Paths left-justify to the longest path plus two; values
+    // right-justify to the widest value; annotations follow "  # ".
+    EXPECT_EQ(os.str(), "cpu.ipc           1.5\n"
+                        "memctrl.reads      42  # completed\n"
+                        "x              123456\n");
+}
+
+} // namespace
+} // namespace mct

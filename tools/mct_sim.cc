@@ -20,8 +20,23 @@
  *   --startgap
  *
  * Common flags: --warmup N --measure N --seed N
+ *
+ * Telemetry flags (eval and mct modes):
+ *   --stats-json FILE    machine-readable stats document (final
+ *                        snapshot, periodic deltas, decision and
+ *                        health-check history, event counts)
+ *   --stats-every N      dump a delta snapshot every N instructions
+ *                        into the stats document's "periodic" array
+ *   --trace-out FILE     structured event trace as JSONL
+ *   --trace-chrome FILE  the same trace in Chrome trace-event format
+ *                        (load in chrome://tracing or Perfetto)
+ *   --trace-cap N        event ring-buffer capacity (default 65536)
+ *
+ * Malformed numeric flag values are fatal errors, never silent zeros.
  */
 
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +48,9 @@
 #include <iostream>
 
 #include "common/csv.hh"
+#include "common/instrument.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "mct/config.hh"
 #include "mct/config_space.hh"
@@ -72,14 +90,30 @@ struct Args
     getD(const std::string &k, double dflt) const
     {
         const auto it = kv.find(k);
-        return it == kv.end() ? dflt : std::atof(it->second.c_str());
+        if (it == kv.end())
+            return dflt;
+        const std::string &s = it->second;
+        double v = 0.0;
+        const auto [end, ec] =
+            std::from_chars(s.data(), s.data() + s.size(), v);
+        if (ec != std::errc() || end != s.data() + s.size())
+            mct_fatal("--", k, " expects a number, got '", s, "'");
+        return v;
     }
 
     long long
     getI(const std::string &k, long long dflt) const
     {
         const auto it = kv.find(k);
-        return it == kv.end() ? dflt : std::atoll(it->second.c_str());
+        if (it == kv.end())
+            return dflt;
+        const std::string &s = it->second;
+        long long v = 0;
+        const auto [end, ec] =
+            std::from_chars(s.data(), s.data() + s.size(), v);
+        if (ec != std::errc() || end != s.data() + s.size())
+            mct_fatal("--", k, " expects an integer, got '", s, "'");
+        return v;
     }
 };
 
@@ -171,6 +205,206 @@ printMetrics(const Metrics &m)
     std::printf("energy         %.5f J per Minst\n", m.energyJ);
 }
 
+/** Telemetry destinations parsed from the common flags. */
+struct Telemetry
+{
+    std::string statsJson;   ///< --stats-json FILE
+    std::string traceOut;    ///< --trace-out FILE (JSONL)
+    std::string traceChrome; ///< --trace-chrome FILE
+    InstCount statsEvery = 0;
+    std::size_t traceCap = 64 * 1024;
+
+    /** Any surface requested at all? */
+    bool
+    any() const
+    {
+        return !statsJson.empty() || !traceOut.empty() ||
+               !traceChrome.empty() || statsEvery > 0;
+    }
+
+    /** Should the event ring buffer record? */
+    bool
+    wantsTrace() const
+    {
+        return !statsJson.empty() || !traceOut.empty() ||
+               !traceChrome.empty();
+    }
+};
+
+Telemetry
+telemetryFromArgs(const Args &args)
+{
+    Telemetry t;
+    t.statsJson = args.get("stats-json", "");
+    t.traceOut = args.get("trace-out", "");
+    t.traceChrome = args.get("trace-chrome", "");
+    t.statsEvery =
+        static_cast<InstCount>(args.getI("stats-every", 0));
+    const long long cap = args.getI("trace-cap", 64 * 1024);
+    if (cap <= 0)
+        mct_fatal("--trace-cap must be positive");
+    t.traceCap = static_cast<std::size_t>(cap);
+    return t;
+}
+
+/** One periodic delta record collected during the run. */
+struct PeriodicDelta
+{
+    InstCount inst = 0;
+    StatSnapshot delta;
+};
+
+/**
+ * Drive @p step in chunks of @p t.statsEvery instructions (one chunk
+ * of @p total when disabled), capturing a registry delta snapshot per
+ * chunk. Without --stats-json the deltas stream to stdout as JSONL so
+ * --stats-every is useful on its own.
+ */
+template <typename StepFn>
+std::vector<PeriodicDelta>
+runWithPeriodicStats(System &sys, InstCount total, const Telemetry &t,
+                     StepFn step)
+{
+    std::vector<PeriodicDelta> out;
+    if (t.statsEvery == 0) {
+        step(total);
+        return out;
+    }
+    const InstCount target = sys.retired() + total;
+    StatSnapshot prev = sys.statRegistry().snapshot();
+    while (sys.retired() < target) {
+        step(std::min<InstCount>(t.statsEvery,
+                                 target - sys.retired()));
+        StatSnapshot cur = sys.statRegistry().snapshot();
+        PeriodicDelta pd;
+        pd.inst = sys.retired();
+        pd.delta = StatRegistry::delta(prev, cur);
+        prev = std::move(cur);
+        if (t.statsJson.empty()) {
+            JsonWriter w(std::cout);
+            w.beginObject();
+            w.kv("inst", static_cast<std::uint64_t>(pd.inst));
+            w.key("delta");
+            writeSnapshot(w, pd.delta);
+            w.endObject();
+            std::cout << '\n';
+        } else {
+            out.push_back(std::move(pd));
+        }
+    }
+    return out;
+}
+
+/** Write the machine-readable stats document (--stats-json). */
+bool
+writeStatsDoc(const Telemetry &t, const std::string &mode,
+              const std::string &app, const System &sys,
+              const MctController *ctl,
+              const std::vector<PeriodicDelta> &periodic)
+{
+    std::ofstream os(t.statsJson);
+    if (!os)
+        return false;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "mct-stats-v1");
+    w.kv("mode", mode);
+    w.kv("app", app);
+    w.kv("config", configKey(sys.config()));
+    w.key("final");
+    writeSnapshot(w, sys.statRegistry().snapshot());
+    w.key("periodic").beginArray();
+    for (const PeriodicDelta &pd : periodic) {
+        w.beginObject();
+        w.kv("inst", static_cast<std::uint64_t>(pd.inst));
+        w.key("delta");
+        writeSnapshot(w, pd.delta);
+        w.endObject();
+    }
+    w.endArray();
+    if (ctl) {
+        w.key("decisions").beginArray();
+        for (const Decision &d : ctl->decisions()) {
+            w.beginObject();
+            w.kv("inst",
+                 static_cast<std::uint64_t>(d.atInstruction));
+            w.kv("config", configKey(d.config));
+            w.kv("feasible", d.feasible);
+            w.kv("pred_ipc", d.predicted.ipc);
+            w.kv("pred_lifetime_years", d.predicted.lifetimeYears);
+            w.kv("pred_energy_j", d.predicted.energyJ);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("health_checks").beginArray();
+        for (const HealthRecord &h : ctl->healthHistory()) {
+            w.beginObject();
+            w.kv("inst",
+                 static_cast<std::uint64_t>(h.atInstruction));
+            w.kv("chosen_ipc", h.chosenIpc);
+            w.kv("baseline_ipc", h.baselineIpc);
+            w.kv("fell_back", h.fellBack);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    const EventTrace &trace = sys.eventTrace();
+    w.key("events").beginObject();
+    const auto counts = trace.countsByType();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i])
+            w.kv(toString(static_cast<TraceEventType>(i)), counts[i]);
+    }
+    w.endObject();
+    w.kv("events_recorded", trace.recorded());
+    w.kv("events_dropped", trace.dropped());
+    w.endObject();
+    os << '\n';
+    return static_cast<bool>(os);
+}
+
+/** Write all requested telemetry surfaces; 0 on success. */
+int
+finishTelemetry(const Telemetry &t, const std::string &mode,
+                const std::string &app, const System &sys,
+                const MctController *ctl,
+                const std::vector<PeriodicDelta> &periodic)
+{
+    if (!t.statsJson.empty()) {
+        if (!writeStatsDoc(t, mode, app, sys, ctl, periodic)) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.statsJson.c_str());
+            return 1;
+        }
+        std::printf("stats-json     %s\n", t.statsJson.c_str());
+    }
+    const EventTrace &trace = sys.eventTrace();
+    if (!t.traceOut.empty()) {
+        std::ofstream os(t.traceOut);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.traceOut.c_str());
+            return 1;
+        }
+        trace.writeJsonl(os);
+        std::printf("trace-out      %s (%llu events, %llu dropped)\n",
+                    t.traceOut.c_str(),
+                    static_cast<unsigned long long>(trace.size()),
+                    static_cast<unsigned long long>(trace.dropped()));
+    }
+    if (!t.traceChrome.empty()) {
+        std::ofstream os(t.traceChrome);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.traceChrome.c_str());
+            return 1;
+        }
+        trace.writeChromeTrace(os);
+        std::printf("trace-chrome   %s\n", t.traceChrome.c_str());
+    }
+    return 0;
+}
+
 int
 cmdList()
 {
@@ -224,6 +458,21 @@ cmdEval(const Args &args)
         dumpStats(sys, std::cout);
         return 0;
     }
+    const Telemetry tel = telemetryFromArgs(args);
+    if (tel.any()) {
+        SystemParams sp = ep.sys;
+        System sys(app, sp, cfg);
+        if (tel.wantsTrace())
+            sys.eventTrace().enable(tel.traceCap);
+        sys.run(ep.warmupInsts);
+        const SysSnapshot s0 = sys.snapshot();
+        const auto periodic = runWithPeriodicStats(
+            sys, ep.measureInsts, tel,
+            [&](InstCount n) { sys.run(n); });
+        printMetrics(sys.metricsSince(s0));
+        return finishTelemetry(tel, "eval", app, sys, nullptr,
+                               periodic);
+    }
     printMetrics(evaluateConfig(app, cfg, ep));
     return 0;
 }
@@ -262,8 +511,11 @@ cmdMct(const Args &args)
         return 2;
     }
     const EvalParams ep = evalFromArgs(args);
+    const Telemetry tel = telemetryFromArgs(args);
     SystemParams sp = ep.sys;
     System sys(app, sp, staticBaselineConfig());
+    if (tel.wantsTrace())
+        sys.eventTrace().enable(tel.traceCap);
     sys.run(ep.warmupInsts);
 
     MctParams mp;
@@ -279,8 +531,10 @@ cmdMct(const Args &args)
     }
     MctController ctl(sys, mp);
     const SysSnapshot before = sys.snapshot();
-    ctl.runFor(static_cast<InstCount>(
-        args.getI("insts", 4 * 1000 * 1000)));
+    const auto periodic = runWithPeriodicStats(
+        sys,
+        static_cast<InstCount>(args.getI("insts", 4 * 1000 * 1000)),
+        tel, [&](InstCount n) { ctl.runFor(n); });
     std::printf("app            %s (target %.1f years, %s)\n",
                 app.c_str(), mp.objective.minLifetimeYears,
                 model.c_str());
@@ -292,6 +546,8 @@ cmdMct(const Args &args)
     std::printf("chosen         %s\n",
                 toString(ctl.currentConfig()).c_str());
     printMetrics(sys.metricsSince(before));
+    if (tel.any())
+        return finishTelemetry(tel, "mct", app, sys, &ctl, periodic);
     return 0;
 }
 
