@@ -27,3 +27,4 @@ mct_add_bench(bench_fig9_sampling_overhead)
 mct_add_bench(bench_fig10_multiprogram)
 mct_add_bench(bench_ablation_mct)
 mct_add_bench(bench_micro_perf)
+mct_add_bench(bench_faults)

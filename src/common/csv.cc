@@ -141,4 +141,19 @@ CsvFile::asDouble(const std::string &cell)
     return v;
 }
 
+bool
+CsvFile::tryDouble(const std::string &cell, double &out)
+{
+    char *end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str())
+        return false;
+    while (*end == ' ' || *end == '\t')
+        ++end;
+    if (*end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
 } // namespace mct

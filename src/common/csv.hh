@@ -45,6 +45,15 @@ class CsvFile
     /** Parse a cell as double (fatal on malformed input). */
     static double asDouble(const std::string &cell);
 
+    /**
+     * Parse a cell as double without aborting. Requires the whole
+     * cell (modulo surrounding whitespace) to be numeric; returns
+     * false and leaves @p out untouched on malformed input. Callers
+     * on recoverable paths (sweep-cache load) use this to skip
+     * corrupt rows instead of dying.
+     */
+    static bool tryDouble(const std::string &cell, double &out);
+
   private:
     std::vector<std::vector<std::string>> rowsData;
 };

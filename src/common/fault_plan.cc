@@ -1,0 +1,281 @@
+#include "common/fault_plan.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace mct
+{
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::LatencyDrift:     return "latency_drift";
+      case FaultKind::BankDegrade:      return "bank_degrade";
+      case FaultKind::CounterCorrupt:   return "counter_corrupt";
+      case FaultKind::PredictorGarbage: return "predictor_garbage";
+      case FaultKind::SweepCacheCorrupt:return "sweep_corrupt";
+      case FaultKind::WearClockSkew:    return "clock_skew";
+    }
+    return "?";
+}
+
+bool
+FaultPlan::has(FaultKind kind) const
+{
+    for (const auto &s : specs)
+        if (s.kind == kind)
+            return true;
+    return false;
+}
+
+std::string
+FaultPlan::summary() const
+{
+    std::ostringstream out;
+    bool firstSpec = true;
+    for (const auto &s : specs) {
+        if (!firstSpec)
+            out << ';';
+        firstSpec = false;
+        out << toString(s.kind);
+        if (s.startInst != 0 || s.durationInsts != 0) {
+            out << '@' << s.startInst;
+            if (s.durationInsts != 0)
+                out << '+' << s.durationInsts;
+        }
+        std::vector<std::string> kvs;
+        if (s.magnitude != FaultSpec().magnitude)
+            kvs.push_back("mag=" + jsonNumber(s.magnitude));
+        if (s.prob != FaultSpec().prob)
+            kvs.push_back("prob=" + jsonNumber(s.prob));
+        if (s.bank != FaultSpec().bank)
+            kvs.push_back("bank=" + std::to_string(s.bank));
+        for (std::size_t i = 0; i < kvs.size(); ++i)
+            out << (i == 0 ? ':' : ',') << kvs[i];
+    }
+    return out.str();
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+kindFromString(const std::string &name, FaultKind &out)
+{
+    for (std::size_t i = 0; i < numFaultKinds; ++i) {
+        const auto kind = static_cast<FaultKind>(i);
+        if (name == toString(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Parse a double with full-token consumption; false on junk. */
+bool
+parseNumber(const std::string &tok, double &out)
+{
+    if (tok.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size())
+        return false;
+    out = v;
+    return true;
+}
+
+/** Instruction count with optional k/m/g suffix ("500k", "1.5m"). */
+bool
+parseInsts(std::string tok, InstCount &out)
+{
+    double scale = 1.0;
+    if (!tok.empty()) {
+        switch (std::tolower(static_cast<unsigned char>(tok.back()))) {
+          case 'k': scale = 1e3; tok.pop_back(); break;
+          case 'm': scale = 1e6; tok.pop_back(); break;
+          case 'g': scale = 1e9; tok.pop_back(); break;
+        }
+    }
+    double v = 0.0;
+    if (!parseNumber(tok, v) || !std::isfinite(v) || v < 0)
+        return false;
+    out = static_cast<InstCount>(v * scale);
+    return true;
+}
+
+/** Parse one spec segment; returns an error string, empty on success. */
+std::string
+parseSpec(const std::string &segment, FaultSpec &spec)
+{
+    std::string head = segment;
+    std::string params;
+    if (const auto colon = segment.find(':'); colon != std::string::npos) {
+        head = segment.substr(0, colon);
+        params = segment.substr(colon + 1);
+    }
+
+    std::string kindTok = head;
+    std::string window;
+    if (const auto at = head.find('@'); at != std::string::npos) {
+        kindTok = head.substr(0, at);
+        window = head.substr(at + 1);
+    }
+
+    kindTok = trim(kindTok);
+    if (!kindFromString(kindTok, spec.kind))
+        return "unknown fault kind '" + kindTok + "'";
+
+    if (const auto at = head.find('@'); at != std::string::npos) {
+        std::string startTok = trim(window);
+        std::string durTok;
+        if (const auto plus = window.find('+'); plus != std::string::npos) {
+            startTok = trim(window.substr(0, plus));
+            durTok = trim(window.substr(plus + 1));
+        }
+        if (!parseInsts(startTok, spec.startInst))
+            return "bad start instruction '" + startTok + "'";
+        if (!durTok.empty() && !parseInsts(durTok, spec.durationInsts))
+            return "bad duration '" + durTok + "'";
+    }
+
+    std::stringstream kvStream(params);
+    std::string kv;
+    while (std::getline(kvStream, kv, ',')) {
+        kv = trim(kv);
+        if (kv.empty())
+            continue;
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos)
+            return "parameter '" + kv + "' is not key=value";
+        const std::string key = trim(kv.substr(0, eq));
+        const std::string val = trim(kv.substr(eq + 1));
+        double num = 0.0;
+        if (!parseNumber(val, num))
+            return "bad value '" + val + "' for '" + key + "'";
+        if (key == "mag") {
+            if (!std::isfinite(num) || num <= 0)
+                return "mag must be finite and > 0, got '" + val + "'";
+            spec.magnitude = num;
+        } else if (key == "prob") {
+            if (!(num >= 0.0 && num <= 1.0))
+                return "prob must be in [0, 1], got '" + val + "'";
+            spec.prob = num;
+        } else if (key == "bank") {
+            if (num != std::floor(num) || num < -1)
+                return "bank must be an integer >= -1, got '" + val + "'";
+            spec.bank = static_cast<int>(num);
+        } else {
+            return "unknown parameter '" + key + "'";
+        }
+    }
+    return "";
+}
+
+struct BuiltinPlan
+{
+    const char *name;
+    const char *text;
+};
+
+/**
+ * The built-in scenarios CI exercises. Windows are sized for a few
+ * million instructions of simulation: faults arm after the controller
+ * has started working and clear before the run ends, so recovery is
+ * observable.
+ */
+const BuiltinPlan builtinPlans[] = {
+    {"drift", "latency_drift@300k+900k:mag=3"},
+    {"degrade", "bank_degrade@200k+1200k:mag=4,bank=1"},
+    {"counters", "counter_corrupt@0+1800k:prob=0.25,mag=1e6"},
+    {"garbage", "predictor_garbage@0+1800k:prob=0.5,mag=50"},
+    {"skew", "clock_skew@250k+900k:mag=8"},
+    {"corrupt-cache", "sweep_corrupt"},
+    {"storm",
+     "latency_drift@200k+600k:mag=2.5;"
+     "bank_degrade@400k+800k:mag=3,bank=0;"
+     "counter_corrupt@100k+1400k:prob=0.2,mag=1e9;"
+     "predictor_garbage@300k+1200k:prob=0.35,mag=40;"
+     "clock_skew@500k+700k:mag=6;"
+     "sweep_corrupt"},
+};
+
+} // namespace
+
+const std::vector<std::string> &
+builtinFaultPlanNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &p : builtinPlans)
+            v.push_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+std::string
+builtinFaultPlanText(const std::string &name)
+{
+    for (const auto &p : builtinPlans)
+        if (name == p.name)
+            return p.text;
+    return "";
+}
+
+FaultPlanParse
+parseFaultPlan(const std::string &text)
+{
+    FaultPlanParse result;
+
+    std::string body = trim(text);
+    if (const auto builtin = builtinFaultPlanText(body); !builtin.empty())
+        body = builtin;
+
+    if (body.empty()) {
+        result.error = "empty fault plan";
+        return result;
+    }
+
+    std::stringstream segments(body);
+    std::string segment;
+    while (std::getline(segments, segment, ';')) {
+        segment = trim(segment);
+        if (segment.empty())
+            continue;
+        FaultSpec spec;
+        if (const auto err = parseSpec(segment, spec); !err.empty()) {
+            result.error = err;
+            result.plan.specs.clear();
+            return result;
+        }
+        result.plan.specs.push_back(spec);
+    }
+
+    if (result.plan.specs.empty()) {
+        result.error = "fault plan has no specs";
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace mct

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Declarative fault plans for the fault-injection harness.
+ *
+ * A plan is an ordered list of FaultSpec entries, each describing one
+ * fault class, the instruction window in which it is armed, and
+ * per-kind parameters (magnitude, firing probability, target bank).
+ * Plans are parsed from a compact grammar:
+ *
+ *     spec ( ';' spec )*
+ *     spec := kind [ '@' start [ '+' duration ] ]
+ *                  [ ':' key '=' value ( ',' key '=' value )* ]
+ *
+ * where instruction counts accept k/m/g suffixes (1e3/1e6/1e9), e.g.
+ *
+ *     latency_drift@500k+1m:mag=3;clock_skew@2m:mag=8
+ *
+ * Parsing never aborts: errors come back as a typed result so callers
+ * (CLI, tests) can degrade to an empty plan or report the problem.
+ * A handful of named built-in plans ("drift", "storm", ...) cover the
+ * common scenarios and are what CI exercises.
+ */
+
+#ifndef MCT_COMMON_FAULT_PLAN_HH
+#define MCT_COMMON_FAULT_PLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mct
+{
+
+/** The fault classes the injector knows how to produce. */
+enum class FaultKind
+{
+    /** Scale every bank's read/write latency (aging, thermal drift). */
+    LatencyDrift,
+
+    /** One bank (or all) gets slower *and* wears faster. */
+    BankDegrade,
+
+    /** Sampled window metrics return NaN/Inf/outlier values. */
+    CounterCorrupt,
+
+    /** Predictor outputs are replaced with garbage ratios. */
+    PredictorGarbage,
+
+    /** The on-disk sweep cache is truncated/scrambled before load. */
+    SweepCacheCorrupt,
+
+    /** The wear-quota governor sees a skewed clock. */
+    WearClockSkew,
+};
+
+/** Number of FaultKind values (keep in sync with the enum). */
+constexpr std::size_t numFaultKinds = 6;
+
+/** Grammar name of a fault kind ("latency_drift", ...). */
+const char *toString(FaultKind kind);
+
+/** One armed fault: a kind, an instruction window, and parameters. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::LatencyDrift;
+
+    /** First instruction at which the fault is armed. */
+    InstCount startInst = 0;
+
+    /** Armed window length; 0 means "until the end of the run". */
+    InstCount durationInsts = 0;
+
+    /**
+     * Per-opportunity firing probability for stochastic kinds
+     * (CounterCorrupt, PredictorGarbage). Window kinds ignore it.
+     */
+    double prob = 1.0;
+
+    /**
+     * Kind-specific magnitude: latency/wear multiplier for
+     * LatencyDrift/BankDegrade, outlier scale for CounterCorrupt,
+     * garbage ratio scale for PredictorGarbage, clock multiplier for
+     * WearClockSkew.
+     */
+    double magnitude = 2.0;
+
+    /** Target bank for BankDegrade; -1 targets every bank. */
+    int bank = -1;
+
+    /** Whether the fault is armed at the given instruction count. */
+    bool
+    activeAt(InstCount inst) const
+    {
+        if (inst < startInst)
+            return false;
+        return durationInsts == 0 || inst < startInst + durationInsts;
+    }
+};
+
+/** An ordered collection of fault specs. */
+struct FaultPlan
+{
+    std::vector<FaultSpec> specs;
+
+    bool empty() const { return specs.empty(); }
+
+    /** True when any spec (active or not) has the given kind. */
+    bool has(FaultKind kind) const;
+
+    /** Round-trippable grammar string describing the plan. */
+    std::string summary() const;
+};
+
+/** Typed parse result; @c ok is false iff @c error is non-empty. */
+struct FaultPlanParse
+{
+    bool ok = false;
+    FaultPlan plan;
+    std::string error;
+};
+
+/**
+ * Parse @p text as either a built-in plan name or the spec grammar.
+ * Never aborts; malformed input yields ok=false plus a message naming
+ * the offending token.
+ */
+FaultPlanParse parseFaultPlan(const std::string &text);
+
+/** Names of the built-in plans, in presentation order. */
+const std::vector<std::string> &builtinFaultPlanNames();
+
+/** Grammar text of a built-in plan; empty string if unknown. */
+std::string builtinFaultPlanText(const std::string &name);
+
+} // namespace mct
+
+#endif // MCT_COMMON_FAULT_PLAN_HH

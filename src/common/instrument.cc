@@ -251,6 +251,10 @@ toString(TraceEventType type)
         return "health_check_fallback";
       case TraceEventType::WritebackBurst:
         return "writeback_burst";
+      case TraceEventType::FaultInjected:
+        return "fault_injected";
+      case TraceEventType::RecoveryAction:
+        return "recovery_action";
     }
     return "unknown";
 }
@@ -277,6 +281,10 @@ traceArgNames(TraceEventType type)
         return {"chosen_ipc", "baseline_ipc", "fallbacks"};
       case TraceEventType::WritebackBurst:
         return {"active", "writeq_level", "drains"};
+      case TraceEventType::FaultInjected:
+        return {"kind", "active", "magnitude"};
+      case TraceEventType::RecoveryAction:
+        return {"step", "ladder_level", "detail"};
     }
     return {"a0", "a1", "a2"};
 }

@@ -214,10 +214,12 @@ enum class TraceEventType : std::uint8_t
     HealthCheckPass,    ///< health check kept the chosen config
     HealthCheckFallback,///< health check fell back to the baseline
     WritebackBurst,     ///< write-drain burst started/stopped
+    FaultInjected,      ///< a fault-plan spec armed or cleared
+    RecoveryAction,     ///< the MCT runtime took a degradation step
 };
 
 /** Number of distinct TraceEventType values. */
-constexpr std::size_t numTraceEventTypes = 9;
+constexpr std::size_t numTraceEventTypes = 11;
 
 /** Stable snake_case name of an event type (JSONL "ev" field). */
 const char *toString(TraceEventType type);

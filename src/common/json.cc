@@ -44,11 +44,33 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+namespace
+{
+
+/** Process-wide tally of NaN/Inf values that reached the emitter. */
+std::uint64_t nonfiniteEmitted = 0;
+
+} // namespace
+
+std::uint64_t
+jsonNonfiniteCount()
+{
+    return nonfiniteEmitted;
+}
+
+void
+resetJsonNonfiniteCount()
+{
+    nonfiniteEmitted = 0;
+}
+
 std::string
 jsonNumber(double v)
 {
-    if (!std::isfinite(v))
-        return "0";
+    if (!std::isfinite(v)) {
+        ++nonfiniteEmitted;
+        return "null";
+    }
     // Integers small enough to be exact print without a fraction so
     // counters stay integral in the output.
     if (v == std::floor(v) && std::fabs(v) < 1e15) {

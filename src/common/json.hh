@@ -20,8 +20,18 @@ namespace mct
 /** Escape a string for inclusion inside JSON double quotes. */
 std::string jsonEscape(const std::string &s);
 
-/** Format a double as a JSON number (no NaN/Inf: those become 0). */
+/**
+ * Format a double as a JSON number. NaN/Inf have no JSON spelling and
+ * become the literal `null`; each occurrence bumps the process-wide
+ * counter below so corrupted telemetry is visible rather than masked.
+ */
 std::string jsonNumber(double v);
+
+/** Non-finite values encountered by jsonNumber since the last reset. */
+std::uint64_t jsonNonfiniteCount();
+
+/** Reset the non-finite counter (tests and fresh runs). */
+void resetJsonNonfiniteCount();
 
 /**
  * Streaming writer for a nesting of JSON objects and arrays. The

@@ -1,9 +1,11 @@
 #include "mct/controller.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 #include "mct/samplers.hh"
+#include "sim/fault_injector.hh"
 
 namespace mct
 {
@@ -79,6 +81,39 @@ MctController::registerStats()
     reg.addGauge("mct.last_decision.pred_ipc", [this] {
         return history.empty() ? 0.0 : history.back().predicted.ipc;
     });
+    reg.addCounter("mct.recovery.quarantined_samples",
+                   [this] { return nQuarantined; },
+                   "corrupt sample windows replaced by their anchor");
+    reg.addCounter("mct.recovery.rejected_predictions",
+                   [this] { return nPredRejected; },
+                   "space configs whose predictions failed sanity bounds");
+    reg.addCounter("mct.recovery.corrupted_predictions",
+                   [this] { return nPredCorrupted; },
+                   "prediction values scrambled by the fault injector");
+    reg.addCounter("mct.recovery.retry_rounds",
+                   [this] { return nRetryRounds; },
+                   "prediction rounds rejected and re-sampled");
+    reg.addCounter("mct.recovery.baseline_repairs",
+                   [this] { return nBaseRepairs; },
+                   "corrupt baseline measurements repaired");
+    reg.addCounter("mct.recovery.resample_escalations",
+                   [this] { return nResampleEscalations; },
+                   "health-check ladder level-2 escalations");
+    reg.addCounter("mct.recovery.emergency_clamps",
+                   [this] { return nEmergency; },
+                   "lifetime-floor emergency clamp engagements");
+    reg.addCounter("mct.recovery.reengagements",
+                   [this] { return nReengage; },
+                   "optimizer re-engagements after cooldown/clamp");
+    reg.addGauge("mct.recovery.ladder_level", [this] {
+        return static_cast<double>(ladder);
+    });
+    reg.addGauge("mct.recovery.in_cooldown", [this] {
+        return cooldownActive ? 1.0 : 0.0;
+    });
+    reg.addGauge("mct.recovery.emergency_active", [this] {
+        return emergencyOn ? 1.0 : 0.0;
+    });
     samplingHist = &reg.addHistogram(
         "mct.sampling.period_insts",
         "instructions consumed by each sampling period");
@@ -99,8 +134,155 @@ MctController::measureBaseline(InstCount insts, WindowAccum &acc)
     return w.metrics(sys);
 }
 
+bool
+MctController::saneMetrics(const Metrics &m)
+{
+    return std::isfinite(m.ipc) && m.ipc > 0.0 &&
+           std::isfinite(m.lifetimeYears) && m.lifetimeYears > 0.0 &&
+           std::isfinite(m.energyJ) && m.energyJ >= 0.0;
+}
+
+Metrics
+MctController::fallbackBaseline() const
+{
+    if (haveGoodBase)
+        return lastGoodBase;
+    // No sane measurement has ever been seen (pathological start):
+    // synthesize a conservative anchor that keeps every ratio finite.
+    Metrics m;
+    m.ipc = 1.0;
+    m.lifetimeYears = p.objective.minLifetimeYears;
+    m.energyJ = 1.0;
+    return m;
+}
+
+void
+MctController::traceRecovery(RecoveryStep step, double detail)
+{
+    sys.eventTrace().record(TraceEventType::RecoveryAction,
+                            static_cast<double>(step),
+                            static_cast<double>(ladder), detail);
+}
+
+void
+MctController::sanitizeSamples(std::vector<Metrics> &sampled,
+                               std::vector<Metrics> &pairBase)
+{
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
+        const bool badAnchor = !saneMetrics(pairBase[i]);
+        const bool badSample = !saneMetrics(sampled[i]);
+        if (!badAnchor && !badSample)
+            continue;
+        // Quarantine: a corrupt pair contributes the neutral ratio
+        // 1.0 instead of feeding NaN/Inf/outliers into the fit.
+        if (badAnchor)
+            pairBase[i] = fallbackBaseline();
+        if (badSample)
+            sampled[i] = pairBase[i];
+        ++nQuarantined;
+        traceRecovery(RecoveryStep::QuarantineSample,
+                      static_cast<double>(i));
+    }
+}
+
+ml::Vector
+MctController::predictObjective(TrainData &data, const ml::Vector &y,
+                                const char *objective)
+{
+    data.sampleY = y;
+    ml::Vector pred = p.predictOverride
+        ? p.predictOverride(data, objective)
+        : predictAllConfigs(p.predictor, data);
+    if (pred.size() != space_.size())
+        mct_panic("predictor returned ", pred.size(),
+                  " predictions for a space of ", space_.size());
+    if (FaultInjector *inj = sys.faultInjector())
+        nPredCorrupted += inj->corruptPredictions(pred);
+    return pred;
+}
+
+MellowConfig
+MctController::safestConfig() const
+{
+    // Baseline techniques at the slowest (least wearing) latencies
+    // with the quota pinned to the floor: the configuration of last
+    // resort when measured wear outruns the lifetime constraint.
+    MellowConfig c = p.baseline;
+    c.fastLatency = 4.0;
+    c.slowLatency = 4.0;
+    c.fastCancellation = false;
+    c.slowCancellation = true;
+    c.wearQuota = true;
+    c.wearQuotaTarget =
+        std::clamp(p.objective.minLifetimeYears, 4.0, 10.0);
+    return c;
+}
+
+void
+MctController::enterCooldown()
+{
+    if (!p.recovery.enabled || p.recovery.cooldownInsts == 0)
+        return;
+    cooldownActive = true;
+    cooldownUntil = sys.retired() + p.recovery.cooldownInsts;
+}
+
 void
 MctController::sampleAndChoose()
+{
+    Decision decision;
+    bool chose = false;
+    const unsigned rounds =
+        p.recovery.enabled ? p.recovery.maxSampleRetries + 1 : 1;
+    for (unsigned attempt = 0; attempt < rounds; ++attempt) {
+        if (attempt > 0) {
+            // Backoff under the baseline before re-sampling so a
+            // transient corruption source can clear.
+            ++nRetryRounds;
+            traceRecovery(RecoveryStep::RoundRetry,
+                          static_cast<double>(attempt));
+            if (p.recovery.retryBackoffInsts > 0)
+                measureBaseline(p.recovery.retryBackoffInsts,
+                                samplingAcc);
+        }
+        if (samplingRound(decision)) {
+            chose = true;
+            break;
+        }
+    }
+    if (!chose) {
+        // Every attempt produced garbage predictions: run the
+        // baseline (whose quota enforces the floor by construction)
+        // and only re-engage the optimizer after a cooldown.
+        decision.atInstruction = sys.retired();
+        decision.config = p.baseline;
+        decision.predicted = baseMetrics;
+        decision.feasible = false;
+        traceRecovery(RecoveryStep::Fallback, 1.0);
+        enterCooldown();
+    } else if (p.stabilizeInsts > 0) {
+        // Let the reconfiguration transient pass before the fixup
+        // quota arms (see MctParams::stabilizeInsts).
+        MellowConfig grace = decision.config;
+        grace.wearQuota = false;
+        sys.setConfig(grace);
+        const SysSnapshot g0 = sys.snapshot();
+        sys.run(p.stabilizeInsts);
+        samplingAcc.add(g0, sys.snapshot());
+    }
+    current = decision.config;
+    sys.setConfig(current);
+    history.push_back(decision);
+    det.reset();
+    sinceHealthCheck = 0;
+    // The sampling period's wear is overhead, not the chosen
+    // configuration's doing: restart the emergency projection.
+    wearTrail.clear();
+    state = State::Running;
+}
+
+bool
+MctController::samplingRound(Decision &decision)
 {
     // Cyclic fine-grained sampling over the 77 feature-based samples
     // with a paired baseline anchor (Section 4.4 normalization): each
@@ -153,6 +335,20 @@ MctController::sampleAndChoose()
                  static_cast<double>(sys.retired() - samplingStart),
                  baseMetrics.ipc);
 
+    if (p.recovery.enabled) {
+        // Corrupt counters must not poison the normalization anchor
+        // or the training set (CounterCorrupt survival).
+        if (!saneMetrics(baseMetrics)) {
+            ++nBaseRepairs;
+            baseMetrics = fallbackBaseline();
+            traceRecovery(RecoveryStep::BaselineRepair);
+        } else {
+            lastGoodBase = baseMetrics;
+            haveGoodBase = true;
+        }
+        sanitizeSamples(sampled, pairBase);
+    }
+
     // Train one predictor per objective on baseline-normalized data.
     TrainData data;
     data.space = &space_;
@@ -169,25 +365,53 @@ MctController::sampleAndChoose()
 
     if (p.profiler)
         p.profiler->begin("fit");
-    data.sampleY = yIpc;
-    const ml::Vector predIpc = predictAllConfigs(p.predictor, data);
-    data.sampleY = yLife;
-    const ml::Vector predLife = predictAllConfigs(p.predictor, data);
-    data.sampleY = yEnergy;
-    const ml::Vector predEnergy = predictAllConfigs(p.predictor, data);
+    const ml::Vector predIpc = predictObjective(data, yIpc, "ipc");
+    const ml::Vector predLife =
+        predictObjective(data, yLife, "lifetime");
+    const ml::Vector predEnergy =
+        predictObjective(data, yEnergy, "energy");
     if (p.profiler)
         p.profiler->end("fit");
+
+    // Prediction sanity bounds: a ratio outside [min, max] (or
+    // non-finite) is garbage, not insight. Individually bad configs
+    // are excluded from optimization; a mostly-bad round is rejected
+    // outright so the caller can retry.
+    std::vector<bool> badCfg;
+    if (p.recovery.enabled) {
+        badCfg.assign(space_.size(), false);
+        const auto saneRatio = [this](double r) {
+            return std::isfinite(r) && r >= p.recovery.minPredRatio &&
+                   r <= p.recovery.maxPredRatio;
+        };
+        std::size_t nBad = 0;
+        for (std::size_t i = 0; i < space_.size(); ++i) {
+            if (saneRatio(predIpc[i]) && saneRatio(predLife[i]) &&
+                saneRatio(predEnergy[i]))
+                continue;
+            badCfg[i] = true;
+            ++nBad;
+        }
+        nPredRejected += nBad;
+        if (static_cast<double>(nBad) >
+            p.recovery.maxRejectFraction *
+                static_cast<double>(space_.size())) {
+            return false;
+        }
+    }
 
     // De-normalize back to absolute objectives (Section 4.4: multiply
     // by the periodically re-measured baseline).
     std::vector<Metrics> predicted(space_.size());
     for (std::size_t i = 0; i < space_.size(); ++i) {
+        if (!badCfg.empty() && badCfg[i])
+            continue; // zero metrics: never feasible, never chosen
         predicted[i].ipc = predIpc[i] * baseMetrics.ipc;
         predicted[i].lifetimeYears =
             predLife[i] * baseMetrics.lifetimeYears;
         predicted[i].energyJ = predEnergy[i] * baseMetrics.energyJ;
     }
-    Decision decision;
+    decision = Decision{};
     decision.atInstruction = sys.retired();
     if (p.profiler)
         p.profiler->begin("optimize");
@@ -227,24 +451,7 @@ MctController::sampleAndChoose()
     trace.record(TraceEventType::PredictionMade, decision.predicted.ipc,
                  decision.predicted.lifetimeYears,
                  decision.feasible ? 1.0 : 0.0);
-
-    // Let the reconfiguration transient pass before the fixup quota
-    // arms (see MctParams::stabilizeInsts).
-    if (p.stabilizeInsts > 0) {
-        MellowConfig grace = decision.config;
-        grace.wearQuota = false;
-        sys.setConfig(grace);
-        const SysSnapshot g0 = sys.snapshot();
-        sys.run(p.stabilizeInsts);
-        samplingAcc.add(g0, sys.snapshot());
-    }
-    current = decision.config;
-    sys.setConfig(current);
-    history.push_back(decision);
-    det.reset();
-    sinceHealthCheck = 0;
-    consecutiveBadChecks = 0;
-    state = State::Running;
+    return true;
 }
 
 void
@@ -254,6 +461,9 @@ MctController::runMonitoredWindow(InstCount insts)
     sys.run(insts);
     const SysSnapshot after = sys.snapshot();
     testingAcc.add(before, after);
+    noteWearWindow(after);
+    if (emergencyOn)
+        return; // the clamp just engaged; runFor takes over
 
     // Memory workload for the phase detector: demand reads plus
     // writebacks observed by existing performance counters.
@@ -267,6 +477,7 @@ MctController::runMonitoredWindow(InstCount insts)
             static_cast<double>(det.windowsInPhase()),
             det.historyMean());
         state = State::NeedSampling;
+        ladder = 0; // a new phase starts the ladder over
         return;
     }
 
@@ -318,23 +529,37 @@ MctController::healthCheck()
     rec.baselineIpc = baseMetrics.ipc;
 
     // Never (persistently) worse than the baseline (Section 5.4).
-    // Both the guard band and the two-strikes rule exist because a
-    // single check is still burst-window noise at this scale. With a
-    // steady measurement source the guarantee was already enforced at
+    // The guard band exists because a single check is still
+    // burst-window noise at this scale; repeated bad checks climb an
+    // explicit escalation ladder: 1 = keep the config and re-check,
+    // 2 = force a fresh sampling round, 3 = fall back to the baseline
+    // and cool down before the optimizer is re-engaged. With a steady
+    // measurement source the guarantee was already enforced at
     // selection time, and window noise could only undo a verified
     // choice.
     if (!p.steadyMeasure &&
         chosenNow.ipc < 0.9 * baseMetrics.ipc &&
         current != p.baseline) {
-        if (++consecutiveBadChecks >= 2) {
+        ++ladder;
+        rec.ladder = ladder;
+        if (ladder == 1) {
+            traceRecovery(RecoveryStep::RetryStrike, chosenNow.ipc);
+        } else if (ladder == 2) {
+            ++nResampleEscalations;
+            traceRecovery(RecoveryStep::ResampleEscalation,
+                          chosenNow.ipc);
+            state = State::NeedSampling;
+        } else {
             ++nFallbacks;
             rec.fellBack = true;
             current = p.baseline;
             sys.setConfig(current);
-            consecutiveBadChecks = 0;
+            traceRecovery(RecoveryStep::Fallback, chosenNow.ipc);
+            enterCooldown();
+            ladder = 0;
         }
     } else {
-        consecutiveBadChecks = 0;
+        ladder = 0;
     }
     healthLog.push_back(rec);
     sys.eventTrace().record(
@@ -342,7 +567,78 @@ MctController::healthCheck()
                      : TraceEventType::HealthCheckPass,
         rec.chosenIpc, rec.baselineIpc,
         rec.fellBack ? static_cast<double>(nFallbacks)
-                     : static_cast<double>(consecutiveBadChecks));
+                     : static_cast<double>(rec.ladder));
+}
+
+void
+MctController::runCooldownWindow(InstCount insts)
+{
+    // Baseline-only window while the optimizer is benched after a
+    // fallback: no phase detection, no health checks, just progress.
+    const SysSnapshot before = sys.snapshot();
+    sys.run(insts);
+    const SysSnapshot after = sys.snapshot();
+    testingAcc.add(before, after);
+    noteWearWindow(after);
+}
+
+void
+MctController::runEmergencyWindow(InstCount insts)
+{
+    // Safest-configuration window while the lifetime clamp holds: the
+    // only exit is the wear projection recovering past the release
+    // threshold (checked by noteWearWindow).
+    const SysSnapshot before = sys.snapshot();
+    sys.run(insts);
+    const SysSnapshot after = sys.snapshot();
+    testingAcc.add(before, after);
+    noteWearWindow(after);
+}
+
+void
+MctController::noteWearWindow(const SysSnapshot &after)
+{
+    if (!p.recovery.enabled || p.recovery.emergencyWindowInsts == 0)
+        return;
+    wearTrail.push_back(after);
+    // Keep just enough trail to span the projection window.
+    while (wearTrail.size() > 2 &&
+           wearTrail[1].instructions + p.recovery.emergencyWindowInsts <=
+               after.instructions) {
+        wearTrail.pop_front();
+    }
+    const SysSnapshot &front = wearTrail.front();
+    const InstCount span = after.instructions - front.instructions;
+    if (span < p.recovery.emergencyWindowInsts / 2)
+        return; // not enough evidence yet
+    const double projected = windowLifetimeYears(
+        sys.params().nvm, front.bankWear, after.bankWear,
+        after.time - front.time);
+    // Scaled-down windows measure lifetimes far below the absolute
+    // floor even on healthy runs, so the clamp references whichever is
+    // lower: the floor, or what the baseline itself achieves here.
+    const double floor = haveGoodBase
+        ? std::min(p.objective.minLifetimeYears,
+                   lastGoodBase.lifetimeYears)
+        : p.objective.minLifetimeYears;
+    if (!emergencyOn &&
+        projected < p.recovery.emergencyMargin * floor) {
+        // Measured wear is outrunning the constraint no matter what
+        // the quota believes (e.g. its clock is skewed): clamp to the
+        // safest configuration until the projection recovers.
+        ++nEmergency;
+        emergencyOn = true;
+        current = safestConfig();
+        sys.setConfig(current);
+        traceRecovery(RecoveryStep::EmergencyClampOn, projected);
+    } else if (emergencyOn &&
+               projected > p.recovery.emergencyRelease * floor) {
+        emergencyOn = false;
+        ++nReengage;
+        state = State::NeedSampling;
+        wearTrail.clear();
+        traceRecovery(RecoveryStep::EmergencyClampOff, projected);
+    }
 }
 
 void
@@ -350,13 +646,28 @@ MctController::runFor(InstCount insts)
 {
     const InstCount target = sys.retired() + insts;
     while (sys.retired() < target) {
+        const InstCount remaining = target - sys.retired();
+        const InstCount window =
+            std::min<InstCount>(remaining, p.phaseWindowInsts);
+        if (emergencyOn) {
+            runEmergencyWindow(window);
+            continue;
+        }
+        if (cooldownActive) {
+            if (sys.retired() < cooldownUntil) {
+                runCooldownWindow(window);
+                continue;
+            }
+            cooldownActive = false;
+            ++nReengage;
+            state = State::NeedSampling;
+            traceRecovery(RecoveryStep::Reengage);
+        }
         if (state == State::NeedSampling) {
             sampleAndChoose();
             continue;
         }
-        const InstCount remaining = target - sys.retired();
-        runMonitoredWindow(
-            std::min<InstCount>(remaining, p.phaseWindowInsts));
+        runMonitoredWindow(window);
     }
 }
 

@@ -12,6 +12,7 @@
 #ifndef MCT_MCT_CONTROLLER_HH
 #define MCT_MCT_CONTROLLER_HH
 
+#include <deque>
 #include <functional>
 #include <vector>
 
@@ -24,6 +25,71 @@
 
 namespace mct
 {
+
+/**
+ * Graceful-degradation knobs (see docs/robustness.md). The defaults
+ * keep the happy path byte-identical: sanitization only rewrites
+ * values that are already non-finite or absurd, and the emergency
+ * clamp only engages when the measured wear rate genuinely breaks the
+ * lifetime floor.
+ */
+struct RecoveryParams
+{
+    /** Master switch for sanitization, retries, and the clamp. */
+    bool enabled = true;
+
+    /** Sanity bounds on predicted objective *ratios* (a config
+     *  predicted <1% or >100x of baseline is garbage, not insight —
+     *  legitimate lifetime ratios in this space reach ~16x, and
+     *  scaled-down windows add noise on top). */
+    double minPredRatio = 0.01;
+    double maxPredRatio = 100.0;
+
+    /** Reject the whole prediction round when more than this fraction
+     *  of the space fails the sanity bounds. */
+    double maxRejectFraction = 0.5;
+
+    /** Rejected rounds are retried at most this many times... */
+    unsigned maxSampleRetries = 2;
+
+    /** ...after running the baseline this long between attempts
+     *  (backoff: transient corruption gets a chance to clear). */
+    InstCount retryBackoffInsts = 20 * 1000;
+
+    /** Baseline cooldown after a fallback before the optimizer is
+     *  re-engaged. */
+    InstCount cooldownInsts = 400 * 1000;
+
+    /** Trailing wear window for the emergency lifetime projection. */
+    InstCount emergencyWindowInsts = 400 * 1000;
+
+    /**
+     * Clamp to the safest config when the projected lifetime falls
+     * below margin * ref; release above release * ref, where ref is
+     * min(lifetime floor, last good baseline lifetime) — scaled-down
+     * windows measure lifetimes far below the absolute floor even on
+     * healthy runs. The margins leave a wide band between healthy
+     * operation (projected ~ baseline) and a cheated quota (projected
+     * near zero, e.g. under a skewed quota clock).
+     */
+    double emergencyMargin = 0.25;
+    double emergencyRelease = 0.4;
+};
+
+/** The degradation steps recorded as RecoveryAction trace events and
+ *  mct.recovery.* counters. */
+enum class RecoveryStep
+{
+    QuarantineSample = 0,   ///< corrupt sample replaced by its anchor
+    BaselineRepair = 1,     ///< corrupt baseline replaced by last good
+    RoundRetry = 2,         ///< prediction round rejected, re-sampling
+    RetryStrike = 3,        ///< ladder 1: bad check, keep and re-check
+    ResampleEscalation = 4, ///< ladder 2: bad check, force re-sampling
+    Fallback = 5,           ///< ladder 3: back to baseline + cooldown
+    Reengage = 6,           ///< cooldown expired, optimizer re-engaged
+    EmergencyClampOn = 7,   ///< lifetime floor broken: safest config
+    EmergencyClampOff = 8,  ///< wear rate recovered, leaving the clamp
+};
 
 /** Runtime parameters (defaults follow the paper's ratios, scaled). */
 struct MctParams
@@ -91,6 +157,18 @@ struct MctParams
      */
     WallProfiler *profiler = nullptr;
 
+    /** Graceful-degradation behavior (see RecoveryParams). */
+    RecoveryParams recovery{};
+
+    /**
+     * Test hook: replace predictAllConfigs with a stub. Called once
+     * per objective ("ipc", "lifetime", "energy") with the trained
+     * data; must return one ratio per space configuration. Used to
+     * force mispredictions in fallback tests.
+     */
+    std::function<ml::Vector(const TrainData &, const char *objective)>
+        predictOverride;
+
     std::uint64_t seed = 42;
 };
 
@@ -110,6 +188,9 @@ struct HealthRecord
     double chosenIpc = 0.0;
     double baselineIpc = 0.0;
     bool fellBack = false;
+
+    /** Escalation-ladder level after this check (0 = healthy). */
+    unsigned ladder = 0;
 };
 
 /**
@@ -159,6 +240,38 @@ class MctController
     /** Most recent absolute baseline measurements. */
     const Metrics &baselineMetrics() const { return baseMetrics; }
 
+    // --- graceful-degradation observability (tests/benches) ---
+
+    /** Corrupt samples replaced by their paired anchor. */
+    std::uint64_t quarantinedSamples() const { return nQuarantined; }
+
+    /** Space configs whose predictions failed the sanity bounds. */
+    std::uint64_t rejectedPredictions() const { return nPredRejected; }
+
+    /** Whole prediction rounds rejected and retried. */
+    std::uint64_t retryRounds() const { return nRetryRounds; }
+
+    /** Corrupt baseline measurements repaired from the last good one. */
+    std::uint64_t baselineRepairs() const { return nBaseRepairs; }
+
+    /** Times the emergency wear clamp engaged. */
+    std::uint64_t emergencyClamps() const { return nEmergency; }
+
+    /** Times the optimizer was re-engaged after cooldown/clamp. */
+    std::uint64_t reengagements() const { return nReengage; }
+
+    /** True while the emergency clamp holds the safest config. */
+    bool emergencyEngaged() const { return emergencyOn; }
+
+    /** True during the post-fallback baseline cooldown. */
+    bool inCooldown() const { return cooldownActive; }
+
+    /** Current escalation-ladder level (0 = healthy). */
+    unsigned ladderLevel() const { return ladder; }
+
+    /** The clamp target: baseline knobs at the slowest latencies. */
+    MellowConfig safestConfig() const;
+
   private:
     System &sys;
     MctParams p;
@@ -176,10 +289,26 @@ class MctController
     WindowAccum samplingAcc;
     WindowAccum testingAcc;
     InstCount sinceHealthCheck = 0;
-    unsigned consecutiveBadChecks = 0;
     std::uint64_t nResamplings = 0;
     std::uint64_t nFallbacks = 0;
     std::uint64_t nHealthChecks = 0;
+
+    // Graceful-degradation state (see docs/robustness.md).
+    unsigned ladder = 0;
+    bool cooldownActive = false;
+    InstCount cooldownUntil = 0;
+    bool emergencyOn = false;
+    Metrics lastGoodBase;
+    bool haveGoodBase = false;
+    std::deque<SysSnapshot> wearTrail;
+    std::uint64_t nQuarantined = 0;
+    std::uint64_t nPredRejected = 0;
+    std::uint64_t nPredCorrupted = 0;
+    std::uint64_t nRetryRounds = 0;
+    std::uint64_t nBaseRepairs = 0;
+    std::uint64_t nResampleEscalations = 0;
+    std::uint64_t nEmergency = 0;
+    std::uint64_t nReengage = 0;
 
     /** Histogram of instructions consumed per sampling period
      *  (lives in the system's registry as mct.sampling.period_insts). */
@@ -191,14 +320,54 @@ class MctController
     /** Measure the baseline configuration for @p insts. */
     Metrics measureBaseline(InstCount insts, WindowAccum &acc);
 
-    /** Full sampling + prediction + selection round. */
+    /** Full sampling + prediction + selection round (with bounded
+     *  reject -> resample retries under RecoveryParams). */
     void sampleAndChoose();
+
+    /**
+     * One sampling + prediction attempt. Returns false when the
+     * prediction round failed the sanity bounds and should be
+     * retried; on success fills @p decision (fixup applied).
+     */
+    bool samplingRound(Decision &decision);
 
     /** One monitored execution window of the chosen configuration. */
     void runMonitoredWindow(InstCount insts);
 
-    /** Health check: re-measure baseline, maybe fall back. */
+    /** One window under the post-fallback baseline cooldown. */
+    void runCooldownWindow(InstCount insts);
+
+    /** One window under the emergency wear clamp. */
+    void runEmergencyWindow(InstCount insts);
+
+    /** Health check: re-measure baseline, climb the escalation
+     *  ladder (retry -> resample -> fallback + cooldown). */
     void healthCheck();
+
+    /** True when every field of @p m is finite and plausible. */
+    static bool saneMetrics(const Metrics &m);
+
+    /** Last known-good baseline, or a conservative synthetic one. */
+    Metrics fallbackBaseline() const;
+
+    /** Quarantine corrupt sample/anchor pairs (neutral ratio 1). */
+    void sanitizeSamples(std::vector<Metrics> &sampled,
+                         std::vector<Metrics> &pairBase);
+
+    /** Run one predictor objective (honoring predictOverride and the
+     *  fault injector's garbage hook). */
+    ml::Vector predictObjective(TrainData &data, const ml::Vector &y,
+                                const char *objective);
+
+    /** Record a RecoveryAction trace event. */
+    void traceRecovery(RecoveryStep step, double detail = 0.0);
+
+    /** Start the post-fallback baseline cooldown. */
+    void enterCooldown();
+
+    /** Track the trailing wear window; engage/release the emergency
+     *  clamp when the projected lifetime crosses the floor. */
+    void noteWearWindow(const SysSnapshot &after);
 };
 
 } // namespace mct

@@ -5,6 +5,25 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "sim/fault_injector.hh"
+
+namespace
+{
+
+/**
+ * Counter corruption (FaultKind::CounterCorrupt) strikes where raw
+ * counters become objectives: the reduced Metrics of each measured
+ * window. The controller's sanitization layer is responsible for
+ * surviving whatever comes back.
+ */
+void
+maybeCorrupt(mct::System &sys, mct::Metrics &m)
+{
+    if (mct::FaultInjector *inj = sys.faultInjector())
+        inj->corruptMetrics(m);
+}
+
+} // namespace
 
 namespace mct
 {
@@ -99,9 +118,12 @@ CyclicSampler::runPaired(const MellowConfig &anchor,
 
     PairedResult res;
     res.anchor = anchorAll.metrics(sys);
+    maybeCorrupt(sys, res.anchor);
     for (std::size_t i = 0; i < samples.size(); ++i) {
         res.sample.push_back(sampleAcc[i].metrics(sys));
         res.pairedAnchor.push_back(anchorAcc[i].metrics(sys));
+        maybeCorrupt(sys, res.sample.back());
+        maybeCorrupt(sys, res.pairedAnchor.back());
     }
     return res;
 }
@@ -157,8 +179,10 @@ CyclicSampler::run(const std::vector<MellowConfig> &samples)
 
     std::vector<Metrics> out;
     out.reserve(samples.size());
-    for (const auto &acc : accums)
+    for (const auto &acc : accums) {
         out.push_back(acc.metrics(sys));
+        maybeCorrupt(sys, out.back());
+    }
     return out;
 }
 

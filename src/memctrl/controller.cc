@@ -396,6 +396,13 @@ MemController::issueRead(const Request &req, Tick t)
     }
     if (cfg.fastDisturbingReads)
         recordDisturb(req.bank, req.row);
+    if (bank.latencyFactor != 1.0) {
+        // Fault-injected degradation: the array is slower than the
+        // timing parameters claim.
+        lat = std::max<Tick>(
+            1, static_cast<Tick>(static_cast<double>(lat) *
+                                 bank.latencyFactor));
+    }
     const Tick finishAt = start + lat + dev.params().tBURST;
     InFlight &fl = inflight[req.bank];
     fl.valid = true;
@@ -451,6 +458,11 @@ MemController::issueWrite(const Request &req, Tick t, bool fromEager)
     if (shortRetention) {
         pulse = static_cast<Tick>(static_cast<double>(pulse) *
                                   dev.params().retentionRatio);
+    }
+    if (bank.latencyFactor != 1.0) {
+        pulse = std::max<Tick>(
+            1, static_cast<Tick>(static_cast<double>(pulse) *
+                                 bank.latencyFactor));
     }
     const Tick finishAt = start + pulse + dev.params().tBURST;
     InFlight &fl = inflight[req.bank];

@@ -190,6 +190,10 @@ class MemController
     /** The wear-quota state machine (read-only, for tests/benches). */
     const WearQuota &wearQuota() const { return quota; }
 
+    /** Fault-injection hook: skew the wear quota's perceived clock
+     *  (forwarded to WearQuota::setClockSkew; 1.0 restores honesty). */
+    void setQuotaClockSkew(double factor) { quota.setClockSkew(factor); }
+
     /** Number of queued demand reads. */
     std::size_t readQSize() const { return readCount; }
 

@@ -1,5 +1,8 @@
 #include "memctrl/wear_quota.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/instrument.hh"
 #include "common/logging.hh"
 
@@ -16,14 +19,26 @@ WearQuota::WearQuota(Tick sliceTicks, double totalWearCapacity)
 }
 
 void
+WearQuota::setClockSkew(double factor)
+{
+    if (!std::isfinite(factor) || factor <= 0.0)
+        factor = 1.0;
+    skew = std::min(std::max(factor, 0.01), 100.0);
+}
+
+void
 WearQuota::configure(bool enabled, double targetYears, Tick now,
                      double currentWear)
 {
     isEnabled = enabled;
     isRestricted = false;
     armTick = now;
-    armWear = currentWear;
+    // A non-finite device total would poison every later budget
+    // comparison; arm from zero instead.
+    armWear = std::isfinite(currentWear) ? currentWear : 0.0;
     sliceStart = now;
+    lastUsedWear = 0.0;
+    lastAllowedWear = 0.0;
     if (enabled) {
         if (targetYears <= 0.0)
             mct_fatal("WearQuota: target lifetime must be positive");
@@ -36,16 +51,23 @@ WearQuota::configure(bool enabled, double targetYears, Tick now,
 void
 WearQuota::update(Tick now, double currentWear)
 {
-    if (!isEnabled || now < sliceStart + slice)
+    if (!isEnabled || now < sliceStart || now < sliceStart + slice)
         return;
     // We only re-evaluate at slice boundaries; catch up in whole
     // slices (arithmetically, so long idle gaps stay O(1)).
     sliceStart += ((now - sliceStart) / slice) * slice;
     const double elapsedSec =
         static_cast<double>(sliceStart - armTick) /
-        static_cast<double>(tickSec);
+        static_cast<double>(tickSec) * skew;
     const double allowed = ratePerSec * elapsedSec;
-    const double used = currentWear - armWear;
+    // Wear is monotonic and sampled after arming, so used is
+    // non-negative on an honest device; clamp defensively so a
+    // corrupted total can never grant unbounded budget.
+    const double used = std::isfinite(currentWear)
+        ? std::max(currentWear - armWear, 0.0)
+        : lastUsedWear;
+    lastUsedWear = used;
+    lastAllowedWear = allowed;
     const bool over = used > allowed;
     if (over && !isRestricted)
         ++nRestricted;
@@ -70,6 +92,13 @@ WearQuota::registerStats(StatRegistry &reg,
     reg.addGauge(prefix + ".budget_rate",
                  [this] { return ratePerSec; },
                  "allowed wear per second for the lifetime target");
+    reg.addGauge(prefix + ".used", [this] { return lastUsedWear; },
+                 "wear counted against the budget at the last update");
+    reg.addGauge(prefix + ".allowed",
+                 [this] { return lastAllowedWear; },
+                 "cumulative wear budget at the last update");
+    reg.addGauge(prefix + ".clock_skew", [this] { return skew; },
+                 "fault-injected clock multiplier (1 = honest)");
 }
 
 } // namespace mct

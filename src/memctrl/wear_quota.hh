@@ -68,6 +68,23 @@ class WearQuota
     /** Allowed wear per second for the configured target. */
     double budgetRate() const { return ratePerSec; }
 
+    /** Wear counted against the budget at the last update. */
+    double lastUsed() const { return lastUsedWear; }
+
+    /** Cumulative budget at the last update. */
+    double lastAllowed() const { return lastAllowedWear; }
+
+    /**
+     * Fault-injection hook: multiply the quota's perceived elapsed
+     * time by @p factor (clamped to [0.01, 100]; non-finite restores
+     * 1.0). A skewed clock inflates or starves the budget — the MCT
+     * runtime's emergency clamp must catch the resulting overdraw.
+     */
+    void setClockSkew(double factor);
+
+    /** Current clock-skew factor (1.0 = honest clock). */
+    double clockSkew() const { return skew; }
+
     /** Record restricted/unrestricted transitions into @p t (may be
      *  null to detach). */
     void attachTrace(EventTrace *t) { trace = t; }
@@ -86,6 +103,9 @@ class WearQuota
     Tick sliceStart = 0;
     double ratePerSec = 0.0;
     std::uint64_t nRestricted = 0;
+    double skew = 1.0;
+    double lastUsedWear = 0.0;
+    double lastAllowedWear = 0.0;
     EventTrace *trace = nullptr;
 };
 

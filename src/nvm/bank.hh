@@ -51,6 +51,17 @@ class Bank
     /** Ticks this bank has spent busy (for utilization/energy). */
     Tick busyTicks = 0;
 
+    /**
+     * Degradation multiplier applied to this bank's operation
+     * latencies (aging/thermal drift; 1.0 = healthy). Set only by the
+     * fault-injection harness via NvmDevice::setBankDegradation.
+     */
+    double latencyFactor = 1.0;
+
+    /** Degradation multiplier applied to wear charged to this bank
+     *  (weak cells wear faster; 1.0 = healthy). */
+    double wearFactor = 1.0;
+
     /** Forget transient state but keep wear (used on config switch). */
     void
     quiesce()

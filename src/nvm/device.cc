@@ -1,6 +1,7 @@
 #include "nvm/device.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/instrument.hh"
@@ -53,9 +54,44 @@ NvmDevice::bank(unsigned idx) const
 }
 
 void
+NvmDevice::setBankDegradation(int bankIdx, double latencyFactor,
+                              double wearFactor)
+{
+    auto clamp = [](double f) {
+        if (!(f > 0.0) || !std::isfinite(f))
+            return 1.0;
+        return std::min(std::max(f, 0.1), 100.0);
+    };
+    const double latF = clamp(latencyFactor);
+    const double wearF = clamp(wearFactor);
+    if (bankIdx < 0) {
+        for (auto &b : banks) {
+            b.latencyFactor = latF;
+            b.wearFactor = wearF;
+        }
+        return;
+    }
+    if (static_cast<std::size_t>(bankIdx) >= banks.size())
+        return; // plans may target banks a smaller device lacks
+    banks[bankIdx].latencyFactor = latF;
+    banks[bankIdx].wearFactor = wearF;
+}
+
+void
+NvmDevice::clearDegradation()
+{
+    for (auto &b : banks) {
+        b.latencyFactor = 1.0;
+        b.wearFactor = 1.0;
+    }
+}
+
+void
 NvmDevice::addWear(unsigned bankIdx, std::uint64_t logicalRow,
                    double wear)
 {
+    // Degraded cells wear faster than the controller's nominal model.
+    wear *= bank(bankIdx).wearFactor;
     bank(bankIdx).wear += wear;
     wearTotal += wear;
     if (p.wearLevelMode != WearLevelMode::StartGap)

@@ -67,6 +67,18 @@ class NvmDevice
      */
     void addWear(unsigned bank, std::uint64_t logicalRow, double wear);
 
+    /**
+     * Fault-injection hook: set a bank's degradation multipliers
+     * (latency and wear; 1.0 = healthy). @p bank of -1 targets every
+     * bank. Values are clamped to a sane range so a corrupt plan
+     * cannot freeze the simulation.
+     */
+    void setBankDegradation(int bank, double latencyFactor,
+                            double wearFactor);
+
+    /** Clear all degradation multipliers back to healthy. */
+    void clearDegradation();
+
     /** Total wear across all banks (O(1), maintained by addWear). */
     double totalWear() const { return wearTotal; }
 

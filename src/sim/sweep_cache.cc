@@ -1,10 +1,12 @@
 #include "sim/sweep_cache.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 #include "common/csv.hh"
+#include "common/instrument.hh"
 #include "common/logging.hh"
 
 namespace mct
@@ -80,13 +82,27 @@ SweepCache::load()
     if (!csv.load(path))
         return;
     for (const auto &row : csv.data()) {
-        if (row.size() != 5)
+        // A truncated or corrupted file must not abort the run: skip
+        // rows that fail to parse and let misses recompute them.
+        if (row.size() != 5) {
+            ++nRecovered;
             continue;
+        }
         Metrics m;
-        m.ipc = CsvFile::asDouble(row[2]);
-        m.lifetimeYears = CsvFile::asDouble(row[3]);
-        m.energyJ = CsvFile::asDouble(row[4]);
+        if (!CsvFile::tryDouble(row[2], m.ipc) ||
+            !CsvFile::tryDouble(row[3], m.lifetimeYears) ||
+            !CsvFile::tryDouble(row[4], m.energyJ) ||
+            !std::isfinite(m.ipc) || !std::isfinite(m.lifetimeYears) ||
+            !std::isfinite(m.energyJ)) {
+            ++nRecovered;
+            continue;
+        }
         table[row[0] + "|" + row[1]] = m;
+    }
+    if (nRecovered) {
+        mct_warn("SweepCache: skipped ", nRecovered,
+                 " corrupt row(s) in ", path,
+                 "; they will be recomputed on demand");
     }
     mct_inform("SweepCache: loaded ", table.size(), " entries from ",
                path);
@@ -129,6 +145,15 @@ SweepCache::get(const std::string &app, const MellowConfig &cfg)
     if (++unsaved >= 500)
         save();
     return m;
+}
+
+void
+SweepCache::registerStats(StatRegistry &reg,
+                          const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".recovered_loads",
+                   [this] { return std::uint64_t(nRecovered); },
+                   "corrupt cache rows skipped and recomputed");
 }
 
 std::vector<Metrics>

@@ -20,6 +20,8 @@
 namespace mct
 {
 
+class StatRegistry;
+
 /** Canonical, parse-stable text key of a configuration. */
 std::string configKey(const MellowConfig &cfg);
 
@@ -53,6 +55,14 @@ class SweepCache
     /** Evaluations actually executed (cache misses). */
     std::size_t misses() const { return nMisses; }
 
+    /**
+     * Rows of the backing file that were malformed (wrong arity,
+     * non-numeric, or non-finite) and skipped at load. Skipped
+     * entries simply re-evaluate on demand, so a truncated or
+     * corrupted cache degrades to recomputation instead of aborting.
+     */
+    std::size_t recoveredLoads() const { return nRecovered; }
+
     /** Persist now (no-op for in-memory caches). */
     void save();
 
@@ -61,12 +71,17 @@ class SweepCache
     /** Default on-disk location, overridable via MCT_SWEEP_CACHE. */
     static std::string defaultPath();
 
+    /** Register the recovery counter (fault.recovered_loads). */
+    void registerStats(StatRegistry &reg,
+                       const std::string &prefix = "fault") const;
+
   private:
     EvalParams ep;
     std::string path;
     std::unordered_map<std::string, Metrics> table;
     std::size_t nMisses = 0;
     std::size_t unsaved = 0;
+    std::size_t nRecovered = 0;
 
     void load();
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "sim/fault_injector.hh"
 
 namespace mct
 {
@@ -57,11 +59,27 @@ System::registerAllStats()
     reg_.addGauge("sim.trace.dropped", [this] {
         return static_cast<double>(trace_.dropped());
     });
+    reg_.addCounter("stats.nonfinite", [] { return jsonNonfiniteCount(); },
+                    "NaN/Inf values that reached a JSON emitter");
+}
+
+void
+System::attachFaultInjector(FaultInjector *f)
+{
+    faults_ = f;
+    if (!faults_)
+        return;
+    faults_->setClock(&core_->stats().instructions);
+    faults_->attachTrace(&trace_);
+    faults_->registerStats(reg_);
+    faults_->poll(*this); // apply faults armed from instruction 0
 }
 
 void
 System::run(InstCount insts)
 {
+    if (faults_)
+        faults_->poll(*this);
     core_->run(insts);
     // Let in-flight memory work that already fits inside the elapsed
     // window complete so snapshot deltas line up with CPU time.

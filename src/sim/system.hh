@@ -25,6 +25,8 @@
 namespace mct
 {
 
+class FaultInjector;
+
 /** All tunables of the simulated machine. */
 struct SystemParams
 {
@@ -129,6 +131,18 @@ class System
     EventTrace &eventTrace() { return trace_; }
     const EventTrace &eventTrace() const { return trace_; }
 
+    /**
+     * Attach (or detach with null) a fault injector. The injector is
+     * wired to this system's instruction clock, event trace, and stat
+     * registry, polled once immediately, and then re-polled at every
+     * run() boundary. Caller keeps ownership and must outlive the
+     * attachment.
+     */
+    void attachFaultInjector(FaultInjector *f);
+
+    /** The attached injector, or null (the default). */
+    FaultInjector *faultInjector() const { return faults_; }
+
   private:
     SystemParams p;
     EnergyModel energy_;
@@ -140,6 +154,7 @@ class System
     std::unique_ptr<CacheHierarchy> hier_;
     std::unique_ptr<CompletionRouter> router_;
     std::unique_ptr<Core> core_;
+    FaultInjector *faults_ = nullptr;
 
     void wire(const MellowConfig &config);
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "memctrl/controller.hh"
 
@@ -97,6 +98,108 @@ TEST(WearQuotaUnit, BudgetRateScalesWithTarget)
     a.configure(true, 4.0, 0, 0.0);
     b.configure(true, 8.0, 0, 0.0);
     EXPECT_NEAR(a.budgetRate() / b.budgetRate(), 2.0, 1e-12);
+}
+
+TEST(WearQuotaUnit, IdleGapCatchesUpInWholeSlices)
+{
+    // A long idle gap must advance the slice clock to the last whole
+    // boundary (not to `now`), so the budget is computed at slice
+    // granularity and mid-slice updates change nothing.
+    WearQuota q(tickMs, 1e6);
+    q.configure(true, 8.0, 0, 0.0);
+    const Tick gap = 1000 * tickMs + tickMs / 2; // 1000.5 slices
+    q.update(gap, 0.0);
+    const double allowedAtBoundary =
+        q.budgetRate() * (1000.0 * static_cast<double>(tickMs) /
+                          static_cast<double>(tickSec));
+    EXPECT_NEAR(q.lastAllowed(), allowedAtBoundary,
+                1e-12 * allowedAtBoundary);
+    // Still inside slice 1000: another update must not re-evaluate.
+    q.update(gap + tickMs / 4, 1e9);
+    EXPECT_NEAR(q.lastAllowed(), allowedAtBoundary,
+                1e-12 * allowedAtBoundary);
+    EXPECT_FALSE(q.restricted());
+}
+
+TEST(WearQuotaUnit, ReconfigureMidRunReArmsCleanly)
+{
+    WearQuota q(tickMs, 1e6);
+    q.configure(true, 8.0, 0, 0.0);
+    q.update(2 * tickMs, 100.0);
+    ASSERT_TRUE(q.restricted());
+    // Re-arm mid-run at the current wear level: restriction clears,
+    // counters reset, and the old 100 units are never counted again.
+    q.configure(true, 8.0, 2 * tickMs, 100.0);
+    EXPECT_FALSE(q.restricted());
+    EXPECT_DOUBLE_EQ(q.lastUsed(), 0.0);
+    EXPECT_DOUBLE_EQ(q.lastAllowed(), 0.0);
+    q.update(4 * tickMs, 100.0); // no new wear since re-arm
+    EXPECT_FALSE(q.restricted());
+    EXPECT_DOUBLE_EQ(q.lastUsed(), 0.0);
+}
+
+TEST(WearQuotaUnit, UsedWearNeverGoesNegative)
+{
+    // A corrupted (shrinking) device total must clamp to zero used
+    // wear, never grant unbounded budget via a negative balance.
+    WearQuota q(tickMs, 1e6);
+    q.configure(true, 8.0, 0, 50.0);
+    q.update(2 * tickMs, 10.0); // "less wear than at arming"
+    EXPECT_DOUBLE_EQ(q.lastUsed(), 0.0);
+    EXPECT_FALSE(q.restricted());
+}
+
+TEST(WearQuotaUnit, NonFiniteWearHoldsLastGoodReading)
+{
+    WearQuota q(tickMs, 1e6);
+    q.configure(true, 8.0, 0, 0.0);
+    q.update(2 * tickMs, 100.0);
+    ASSERT_TRUE(q.restricted());
+    const double used = q.lastUsed();
+    q.update(4 * tickMs, std::nan(""));
+    EXPECT_DOUBLE_EQ(q.lastUsed(), used); // held, not poisoned
+    q.update(6 * tickMs,
+             std::numeric_limits<double>::infinity());
+    EXPECT_DOUBLE_EQ(q.lastUsed(), used);
+    EXPECT_TRUE(std::isfinite(q.lastAllowed()));
+}
+
+TEST(WearQuotaUnit, NonFiniteWearAtArmingIsDiscarded)
+{
+    WearQuota q(tickMs, 1e6);
+    q.configure(true, 8.0, 0, std::nan(""));
+    q.update(2 * tickMs, 100.0); // counted from 0, not from NaN
+    EXPECT_DOUBLE_EQ(q.lastUsed(), 100.0);
+    EXPECT_TRUE(q.restricted());
+}
+
+TEST(WearQuotaUnit, ClockSkewClampsAndRestores)
+{
+    WearQuota q(tickMs, 1e6);
+    q.setClockSkew(1e9);
+    EXPECT_DOUBLE_EQ(q.clockSkew(), 100.0);
+    q.setClockSkew(1e-9);
+    EXPECT_DOUBLE_EQ(q.clockSkew(), 0.01);
+    q.setClockSkew(std::nan(""));
+    EXPECT_DOUBLE_EQ(q.clockSkew(), 1.0);
+    q.setClockSkew(-3.0);
+    EXPECT_DOUBLE_EQ(q.clockSkew(), 1.0);
+}
+
+TEST(WearQuotaUnit, SkewedClockInflatesBudget)
+{
+    // A fast-running quota clock (skew > 1) inflates the perceived
+    // budget: wear that restricts an honest quota passes a skewed one.
+    WearQuota honest(tickMs, 1e6), skewed(tickMs, 1e6);
+    honest.configure(true, 8.0, 0, 0.0);
+    skewed.configure(true, 8.0, 0, 0.0);
+    skewed.setClockSkew(100.0);
+    const Tick at = static_cast<Tick>(2000) * tickSec;
+    const double wear = honest.budgetRate() * 2100.0; // > honest budget
+    honest.update(at, wear);
+    skewed.update(at, wear);
+    EXPECT_TRUE(honest.restricted());
+    EXPECT_FALSE(skewed.restricted());
 }
 
 TEST(MemController, ReadCompletesWithActivateLatency)

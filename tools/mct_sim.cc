@@ -32,7 +32,15 @@
  *                        (load in chrome://tracing or Perfetto)
  *   --trace-cap N        event ring-buffer capacity (default 65536)
  *
+ * Fault injection (eval, mct and sweep modes; docs/robustness.md):
+ *   --faults PLAN        a built-in plan name (drift, degrade,
+ *                        counters, garbage, skew, corrupt-cache,
+ *                        storm) or a spec string like
+ *                        "latency_drift@500k+1m:mag=3;clock_skew@2m"
+ *   --fault-seed N       rng seed for stochastic faults (default 1)
+ *
  * Malformed numeric flag values are fatal errors, never silent zeros.
+ * A malformed --faults plan prints the parse error and exits 2.
  */
 
 #include <algorithm>
@@ -48,6 +56,7 @@
 #include <iostream>
 
 #include "common/csv.hh"
+#include "common/fault_plan.hh"
 #include "common/instrument.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -55,6 +64,7 @@
 #include "mct/config.hh"
 #include "mct/config_space.hh"
 #include "mct/controller.hh"
+#include "sim/fault_injector.hh"
 #include "sim/stats_report.hh"
 #include "sim/sweep_cache.hh"
 #include "workloads/mixes.hh"
@@ -245,6 +255,86 @@ telemetryFromArgs(const Args &args)
         mct_fatal("--trace-cap must be positive");
     t.traceCap = static_cast<std::size_t>(cap);
     return t;
+}
+
+/**
+ * Run in fixed-size chunks so the fault injector (polled at run()
+ * boundaries) observes window transitions that would otherwise open
+ * and close inside one long run call.
+ */
+void
+runChunked(System &sys, InstCount insts)
+{
+    constexpr InstCount chunk = 50 * 1000;
+    while (insts > 0) {
+        const InstCount step = std::min(insts, chunk);
+        sys.run(step);
+        insts -= step;
+    }
+}
+
+/** Fault-injection request parsed from --faults / --fault-seed. */
+struct FaultArgs
+{
+    FaultPlan plan;
+    std::uint64_t seed = 1;
+
+    bool any() const { return !plan.empty(); }
+};
+
+FaultArgs
+faultsFromArgs(const Args &args)
+{
+    FaultArgs f;
+    f.seed = static_cast<std::uint64_t>(args.getI("fault-seed", 1));
+    const std::string spec = args.get("faults", "");
+    if (spec.empty())
+        return f;
+    const FaultPlanParse parsed = parseFaultPlan(spec);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "--faults: %s\n", parsed.error.c_str());
+        std::fprintf(stderr, "built-in plans:");
+        for (const std::string &n : builtinFaultPlanNames())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+    }
+    f.plan = parsed.plan;
+    return f;
+}
+
+/** Human summary of what the injector did and how the run coped. */
+void
+printFaultSummary(const FaultInjector &inj, const MctController *ctl)
+{
+    std::printf("faults         %s\n", inj.plan().summary().c_str());
+    std::printf("injected       %llu total (",
+                static_cast<unsigned long long>(inj.injectedTotal()));
+    bool first = true;
+    for (std::size_t k = 0; k < numFaultKinds; ++k) {
+        const auto kind = static_cast<FaultKind>(k);
+        if (inj.injected(kind) == 0)
+            continue;
+        std::printf("%s%s %llu", first ? "" : ", ", toString(kind),
+                    static_cast<unsigned long long>(inj.injected(kind)));
+        first = false;
+    }
+    std::printf("%s)\n", first ? "none" : "");
+    if (ctl) {
+        std::printf("recovery       quarantined %llu, rejected %llu, "
+                    "retries %llu, fallbacks %llu, clamps %llu, "
+                    "reengaged %llu\n",
+                    static_cast<unsigned long long>(
+                        ctl->quarantinedSamples()),
+                    static_cast<unsigned long long>(
+                        ctl->rejectedPredictions()),
+                    static_cast<unsigned long long>(ctl->retryRounds()),
+                    static_cast<unsigned long long>(ctl->fallbacks()),
+                    static_cast<unsigned long long>(
+                        ctl->emergencyClamps()),
+                    static_cast<unsigned long long>(
+                        ctl->reengagements()));
+    }
 }
 
 /** One periodic delta record collected during the run. */
@@ -459,17 +549,32 @@ cmdEval(const Args &args)
         return 0;
     }
     const Telemetry tel = telemetryFromArgs(args);
-    if (tel.any()) {
+    const FaultArgs faults = faultsFromArgs(args);
+    if (tel.any() || faults.any()) {
+        // Faults need a live System to inject into, so a fault plan
+        // forces the instrumented path even without telemetry flags.
         SystemParams sp = ep.sys;
         System sys(app, sp, cfg);
+        FaultInjector inj(faults.plan, faults.seed);
+        if (faults.any())
+            sys.attachFaultInjector(&inj);
         if (tel.wantsTrace())
             sys.eventTrace().enable(tel.traceCap);
-        sys.run(ep.warmupInsts);
+        if (faults.any())
+            runChunked(sys, ep.warmupInsts);
+        else
+            sys.run(ep.warmupInsts);
         const SysSnapshot s0 = sys.snapshot();
         const auto periodic = runWithPeriodicStats(
-            sys, ep.measureInsts, tel,
-            [&](InstCount n) { sys.run(n); });
+            sys, ep.measureInsts, tel, [&](InstCount n) {
+                if (faults.any())
+                    runChunked(sys, n);
+                else
+                    sys.run(n);
+            });
         printMetrics(sys.metricsSince(s0));
+        if (faults.any())
+            printFaultSummary(inj, nullptr);
         return finishTelemetry(tel, "eval", app, sys, nullptr,
                                periodic);
     }
@@ -512,8 +617,12 @@ cmdMct(const Args &args)
     }
     const EvalParams ep = evalFromArgs(args);
     const Telemetry tel = telemetryFromArgs(args);
+    const FaultArgs faults = faultsFromArgs(args);
     SystemParams sp = ep.sys;
     System sys(app, sp, staticBaselineConfig());
+    FaultInjector inj(faults.plan, faults.seed);
+    if (faults.any())
+        sys.attachFaultInjector(&inj);
     if (tel.wantsTrace())
         sys.eventTrace().enable(tel.traceCap);
     sys.run(ep.warmupInsts);
@@ -546,6 +655,8 @@ cmdMct(const Args &args)
     std::printf("chosen         %s\n",
                 toString(ctl.currentConfig()).c_str());
     printMetrics(sys.metricsSince(before));
+    if (faults.any())
+        printFaultSummary(inj, &ctl);
     if (tel.any())
         return finishTelemetry(tel, "mct", app, sys, &ctl, periodic);
     return 0;
@@ -563,7 +674,19 @@ cmdSweep(const Args &args)
     const auto space = spaceName == "full" ? enumerateSpace()
                                            : enumerateNoQuotaSpace();
     const EvalParams ep = evalFromArgs(args);
+    const FaultArgs faults = faultsFromArgs(args);
+    FaultInjector inj(faults.plan, faults.seed);
+    if (inj.wantsSweepCorruption()) {
+        // Chaos drill: scramble the persisted cache before the load so
+        // the recover-and-recompute path runs under real conditions.
+        inj.corruptCsvFile(SweepCache::defaultPath());
+    }
     SweepCache cache(ep, SweepCache::defaultPath());
+    if (faults.any() && cache.recoveredLoads() > 0) {
+        std::fprintf(stderr,
+                     "sweep cache: recovered from %zu corrupt row(s)\n",
+                     cache.recoveredLoads());
+    }
     std::fprintf(stderr, "sweeping %zu configurations on %s...\n",
                  space.size(), app.c_str());
     const auto metrics = cache.getAll(app, space, true);
