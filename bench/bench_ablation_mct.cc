@@ -11,6 +11,8 @@
  *     leveling efficiency validates Table 9's 95% assumption.
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "common/stats.hh"
 
@@ -72,7 +74,7 @@ main()
                    fmt(with.lifetimeYears, 2), okWithout ? "met" : "VIOLATED",
                    okWith ? "met" : "VIOLATED"});
         }
-        t.print();
+        t.print(std::cout);
         std::printf("\nfloor violations: %d without fixup, %d with "
                     "(paper: the fixup is the last resort that "
                     "guarantees the target)\n",
@@ -99,7 +101,7 @@ main()
             t.row({app, fmt(c.ipc, 3), fmt(p.ipc, 3),
                    fmt(c.lifetimeYears, 2), fmt(p.lifetimeYears, 2)});
         }
-        t.print();
+        t.print(std::cout);
         std::printf("\nexpected shape: pausing preserves in-flight "
                     "work, so it keeps (or improves) lifetime at "
                     "similar IPC.\n");
@@ -172,7 +174,7 @@ main()
                    fmt(lifeSg / lifeAssumed, 3),
                    fmt(lifeSg / lifeNoLevel, 1) + "x"});
         }
-        t.print();
+        t.print(std::cout);
         std::printf("\nShape: under skew, Start-Gap recovers orders "
                     "of magnitude of lifetime versus no leveling and "
                     "lands near the assumed-efficiency model "

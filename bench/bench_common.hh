@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/instrument.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "mct/config_space.hh"
 #include "mct/controller.hh"
@@ -179,10 +180,14 @@ runMct(SweepCache &cache, const std::string &app, PredictorKind kind,
     return r;
 }
 
-/** Print a one-line banner for a bench binary. */
+/** Print a one-line banner for a bench binary. Also raises the log
+ *  level so sweep progress (reported via mct_inform) stays visible
+ *  while a cold cache populates. */
 inline void
 banner(const std::string &what)
 {
+    if (logLevel() < LogLevel::Inform)
+        setLogLevel(LogLevel::Inform);
     std::printf("==============================================="
                 "=============\n%s\n"
                 "==============================================="

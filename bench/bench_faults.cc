@@ -13,6 +13,8 @@
 
 #include <cmath>
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "common/fault_plan.hh"
 #include "sim/fault_injector.hh"
@@ -89,6 +91,6 @@ main()
                fmt(double(ctl.reengagements()), 0),
                finite && quotaOn ? "ok" : "FAIL"});
     }
-    t.print();
+    t.print(std::cout);
     return 0;
 }

@@ -16,6 +16,8 @@
 
 #include <numeric>
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "mct/samplers.hh"
 #include "common/rng.hh"
@@ -81,7 +83,7 @@ main()
             apps += (apps.empty() ? "" : ", ") + a;
         t11.row({mix.name, apps});
     }
-    t11.print();
+    t11.print(std::cout);
 
     banner("Figure 10: MCT in multi-core environments "
            "(normalized to static policy)");
@@ -117,7 +119,7 @@ main()
         normIpcMct.push_back(mct.geomeanIpc / stat.geomeanIpc);
         lives.push_back(mct.lifetime);
     }
-    t.print();
+    t.print(std::cout);
 
     std::printf("\ngeomean MCT IPC vs static: %+.2f%% "
                 "(paper: ~+20%%)\n",

@@ -9,6 +9,8 @@
 
 #include <set>
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "common/stats.hh"
 #include "mct/config.hh"
@@ -47,7 +49,7 @@ main()
         energyIdealOverBase.push_back(ideal.energyJ / base.energyJ);
         cache.save();
     }
-    t.print();
+    t.print(std::cout);
     std::printf("\ngeomean ideal/baseline IPC: %.4f  "
                 "(paper: ideal clearly above baseline on ~half the "
                 "apps)\n",
@@ -78,7 +80,7 @@ main()
         t5.row(row);
         distinct.insert(configKey(cfg));
     }
-    t5.print();
+    t5.print(std::cout);
     std::printf("\ndistinct ideal configurations across 10 apps: %zu "
                 "(paper: none of the ten share one)\n",
                 distinct.size());

@@ -12,6 +12,8 @@
  *     space include quota configurations vs when they exclude them.
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "mct/samplers.hh"
 #include "common/stats.hh"
@@ -61,7 +63,7 @@ main()
                        fmt(a.energyJ, 4), fmt(b.energyJ, 4)});
             }
         }
-        t.print();
+        t.print(std::cout);
         cache.save();
     }
 
@@ -135,7 +137,7 @@ main()
             degradation.push(accNo - accFull);
         }
     }
-    t.print();
+    t.print(std::cout);
     std::printf("\nmean accuracy degradation when including wear "
                 "quota: %.3f (paper: 0.02-0.06)\n",
                 degradation.mean());

@@ -11,6 +11,8 @@
  *      boosting gains accuracy (paper: ~3% on average).
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "mct/samplers.hh"
 #include "common/stats.hh"
@@ -61,7 +63,7 @@ main()
             onlyPrimary &= f >= 2;
         primaryCorrect += onlyPrimary;
     }
-    t.print();
+    t.print(std::cout);
     std::printf("\nmean |coef| of primary features "
                 "(fast/slow/cancel): %.3f\n",
                 primaryMag.mean());
@@ -136,7 +138,7 @@ main()
             gainSmall.push(featSmall - randSmall.mean());
         }
     }
-    t2.print();
+    t2.print(std::cout);
     std::printf("\nmean gain from feature-based sampling @77: %.3f "
                 "(paper: ~0.03)\n",
                 gain.mean());

@@ -18,6 +18,8 @@
  * energy, geomean).
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "common/stats.hh"
 #include "mct/config.hh"
@@ -84,7 +86,7 @@ main()
         qlsOverIdealEnergy.push_back(qls.chosenEvaluated.energyJ /
                                      ideal.energyJ);
     }
-    t.print();
+    t.print(std::cout);
 
     std::printf("\ngeomean summary (paper's headline numbers in "
                 "parentheses):\n");
@@ -119,6 +121,6 @@ main()
         row.insert(row.begin(), app);
         t10.row(row);
     }
-    t10.print();
+    t10.print(std::cout);
     return 0;
 }

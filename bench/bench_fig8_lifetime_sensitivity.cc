@@ -9,6 +9,8 @@
  * fixup catching lifetime overestimates.
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "mct/config.hh"
 
@@ -52,7 +54,7 @@ main()
                    fmt(ideal.energyJ, 4),
                    toString(mct.chosen)});
         }
-        t.print();
+        t.print(std::cout);
     }
 
     std::printf("\nExpected shape: ideal IPC is non-increasing in the "

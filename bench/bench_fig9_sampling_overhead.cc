@@ -12,6 +12,8 @@
  * energy.
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "common/stats.hh"
 
@@ -58,7 +60,7 @@ main()
         sampEnN.push_back(se);
         testEnN.push_back(te);
     }
-    t.print();
+    t.print(std::cout);
 
     const double gSampIpc = geomean(sampIpcN);
     const double gTestIpc = geomean(testIpcN);
@@ -85,7 +87,7 @@ main()
             (gSampEn + alpha * gTestEn) / (1.0 + alpha);
         t2.row({fmt(alpha, 0), fmt(ipc, 4), fmt(energy, 4)});
     }
-    t2.print();
+    t2.print(std::cout);
     std::printf("\npaper reference at alpha=10: +7.93%% IPC, -6.7%% "
                 "energy vs static.\n");
     return 0;

@@ -9,6 +9,8 @@
  * (Section 8 notes the framework generalizes to them).
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
 
 using namespace mct;
@@ -104,7 +106,7 @@ main()
             matches += std::string(perfDir) == row.paperPerf;
             matches += std::string(lifeDir) == row.paperLife;
         }
-        t.print();
+        t.print(std::cout);
     }
     std::printf("\ndirections matching Table 1: %d/%d\n", matches,
                 checks);

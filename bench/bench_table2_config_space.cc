@@ -8,6 +8,8 @@
 
 #include <map>
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "mct/config.hh"
 
@@ -30,7 +32,7 @@ main()
                "slow_cancellation", "slow_latency, eager_threshold"});
         t.row({"Wear Quota (wear_quota)", "true/false", "",
                "wear_quota_target"});
-        t.print();
+        t.print(std::cout);
     }
 
     banner("Table 3: Parameters of the evaluated combined technique");
@@ -46,7 +48,7 @@ main()
         t.row({"eager_threshold", "{4, 8, 16, 32}"});
         t.row({"wear_quota_target", "{8.0} years (space), "
                                     "4..10 as fixup"});
-        t.print();
+        t.print(std::cout);
     }
 
     banner("Configuration space enumeration");
@@ -75,7 +77,7 @@ main()
     t.header({"enabled techniques", "configurations"});
     for (const auto &[k, n] : byTech)
         t.row({k, std::to_string(n)});
-    t.print();
+    t.print(std::cout);
 
     // Constraint audit.
     std::size_t violations = 0;

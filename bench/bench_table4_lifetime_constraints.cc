@@ -6,6 +6,8 @@
  * toward slower writes as the lifetime floor rises.
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "mct/config.hh"
 
@@ -40,7 +42,7 @@ main()
         row.push_back(fmt(m.energyJ, 4));
         t.row(row);
     }
-    t.print();
+    t.print(std::cout);
     cache.save();
 
     std::printf("\nExpected shape (paper Table 4): higher targets "

@@ -10,6 +10,8 @@
 
 #include <set>
 
+#include <iostream>
+
 #include "bench_common.hh"
 #include "mct/feature_selection.hh"
 
@@ -52,7 +54,7 @@ main()
         t.row({app, cell});
         cache.save();
     }
-    t.print();
+    t.print(std::cout);
 
     std::printf("\nknob-pair features in the top-3 lists: %d\n",
                 pairsSeen);

@@ -1,0 +1,24 @@
+# Header self-sufficiency: every header under src/ must compile as
+# the first include of a translation unit. One tiny TU is generated
+# per header; they build into an OBJECT library that is excluded from
+# the default build and driven by the `header_self_sufficiency` ctest
+# entry (and the CI analysis job).
+file(GLOB_RECURSE MCT_CHECK_HEADERS RELATIVE ${CMAKE_SOURCE_DIR}/src
+    ${CMAKE_SOURCE_DIR}/src/*.hh)
+
+set(MCT_HC_SOURCES)
+foreach(MCT_HC_HEADER IN LISTS MCT_CHECK_HEADERS)
+    string(REPLACE "/" "__" _stem "${MCT_HC_HEADER}")
+    set(_tu ${CMAKE_BINARY_DIR}/header_check/${_stem}.cc)
+    configure_file(${CMAKE_SOURCE_DIR}/cmake/header_check_tu.cc.in
+        ${_tu} @ONLY)
+    list(APPEND MCT_HC_SOURCES ${_tu})
+endforeach()
+
+add_library(mct_header_check OBJECT EXCLUDE_FROM_ALL ${MCT_HC_SOURCES})
+target_include_directories(mct_header_check
+    PRIVATE ${CMAKE_SOURCE_DIR}/src)
+
+add_test(NAME header_self_sufficiency
+    COMMAND ${CMAKE_COMMAND} --build ${CMAKE_BINARY_DIR}
+            --target mct_header_check)

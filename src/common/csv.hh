@@ -31,10 +31,10 @@ class CsvFile
     void numericRow(const std::vector<double> &cells);
 
     /** Write the document to the given path; returns false on error. */
-    bool save(const std::string &path) const;
+    [[nodiscard]] bool save(const std::string &path) const;
 
     /** Load a document; returns false if the file cannot be read. */
-    bool load(const std::string &path);
+    [[nodiscard]] bool load(const std::string &path);
 
     /** All rows. */
     const std::vector<std::vector<std::string>> &data() const
@@ -43,7 +43,7 @@ class CsvFile
     }
 
     /** Parse a cell as double (fatal on malformed input). */
-    static double asDouble(const std::string &cell);
+    [[nodiscard]] static double asDouble(const std::string &cell);
 
     /**
      * Parse a cell as double without aborting. Requires the whole
@@ -52,7 +52,8 @@ class CsvFile
      * on recoverable paths (sweep-cache load) use this to skip
      * corrupt rows instead of dying.
      */
-    static bool tryDouble(const std::string &cell, double &out);
+    [[nodiscard]] static bool tryDouble(const std::string &cell,
+                                        double &out);
 
   private:
     std::vector<std::vector<std::string>> rowsData;

@@ -114,7 +114,7 @@ struct FaultPlan
 };
 
 /** Typed parse result; @c ok is false iff @c error is non-empty. */
-struct FaultPlanParse
+struct [[nodiscard]] FaultPlanParse
 {
     bool ok = false;
     FaultPlan plan;
@@ -126,7 +126,7 @@ struct FaultPlanParse
  * Never aborts; malformed input yields ok=false plus a message naming
  * the offending token.
  */
-FaultPlanParse parseFaultPlan(const std::string &text);
+[[nodiscard]] FaultPlanParse parseFaultPlan(const std::string &text);
 
 /** Names of the built-in plans, in presentation order. */
 const std::vector<std::string> &builtinFaultPlanNames();

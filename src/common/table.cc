@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
-#include <iostream>
+#include <ostream>
 #include <sstream>
 
 namespace mct
@@ -54,12 +54,6 @@ TextTable::print(std::ostream &os) const
     for (const auto &r : body)
         emit(r);
     os.flush();
-}
-
-void
-TextTable::print() const
-{
-    print(std::cout);
 }
 
 std::string

@@ -27,11 +27,9 @@ class TextTable
     /** Append a data row (string cells, pre-formatted). */
     void row(std::vector<std::string> cells);
 
-    /** Render to the stream. */
+    /** Render to the stream (the harness decides where output goes;
+     *  library code never writes to stdout on its own). */
     void print(std::ostream &os) const;
-
-    /** Render to stdout. */
-    void print() const;
 
     /** Number of data rows added so far. */
     std::size_t rows() const { return body.size(); }

@@ -39,6 +39,13 @@ constexpr Tick tickMs = 1000 * tickUs;
 /** One second in ticks. */
 constexpr Tick tickSec = 1000 * tickMs;
 
+/** Seconds per tick (reciprocal, so conversions multiply and stat
+ *  closures stay division-free). */
+constexpr double secPerTick = 1.0 / static_cast<double>(tickSec);
+
+/** Nanoseconds per tick (reciprocal of tickNs, same rationale). */
+constexpr double nsPerTick = 1.0 / static_cast<double>(tickNs);
+
 /** CPU clock: 2 GHz (Table 8). */
 constexpr Tick cpuCyclePs = 500;
 

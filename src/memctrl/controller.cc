@@ -713,7 +713,7 @@ MemController::registerStats(StatRegistry &reg,
                    : 0.0;
     });
     reg.addGauge(prefix + ".avg_read_latency_ns", [s] {
-        return s->avgReadLatency() / static_cast<double>(tickNs);
+        return s->avgReadLatency() * nsPerTick;
     });
     reg.addCounter(prefix + ".writes_completed",
                    [s] { return s->writesCompleted; });

@@ -70,7 +70,11 @@ SweepCache::defaultPath()
 {
     if (const char *env = std::getenv("MCT_SWEEP_CACHE"))
         return env;
+#ifdef MCT_SWEEP_CACHE_DIR
+    return std::string(MCT_SWEEP_CACHE_DIR) + "/mct_sweep_cache.csv";
+#else
     return "mct_sweep_cache.csv";
+#endif
 }
 
 void
@@ -166,8 +170,7 @@ SweepCache::getAll(const std::string &app,
     for (const auto &cfg : cfgs) {
         out.push_back(get(app, cfg));
         if (progress && (++done % 500 == 0)) {
-            std::fprintf(stderr, "  sweep %s: %zu/%zu\n", app.c_str(),
-                         done, cfgs.size());
+            mct_inform("sweep ", app, ": ", done, "/", cfgs.size());
         }
     }
     return out;

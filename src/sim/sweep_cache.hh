@@ -42,12 +42,14 @@ class SweepCache
     ~SweepCache();
 
     /** Evaluate (memoized). */
-    Metrics get(const std::string &app, const MellowConfig &cfg);
+    [[nodiscard]] Metrics get(const std::string &app,
+                              const MellowConfig &cfg);
 
     /** Evaluate many configurations, reporting progress. */
-    std::vector<Metrics> getAll(const std::string &app,
-                                const std::vector<MellowConfig> &cfgs,
-                                bool progress = false);
+    [[nodiscard]] std::vector<Metrics>
+    getAll(const std::string &app,
+           const std::vector<MellowConfig> &cfgs,
+           bool progress = false);
 
     /** Entries currently cached. */
     std::size_t size() const { return table.size(); }
@@ -68,8 +70,10 @@ class SweepCache
 
     const EvalParams &evalParams() const { return ep; }
 
-    /** Default on-disk location, overridable via MCT_SWEEP_CACHE. */
-    static std::string defaultPath();
+    /** Default on-disk location: `mct_sweep_cache.csv` in the build
+     *  tree (or the working directory when built without CMake),
+     *  overridable via the MCT_SWEEP_CACHE environment variable. */
+    [[nodiscard]] static std::string defaultPath();
 
     /** Register the recovery counter (fault.recovered_loads). */
     void registerStats(StatRegistry &reg,

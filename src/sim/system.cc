@@ -46,8 +46,7 @@ System::registerAllStats()
     ctrl_->registerStats(reg_, "memctrl");
     dev_->registerStats(reg_, "nvm");
     reg_.addGauge("sim.seconds", [this] {
-        return static_cast<double>(now()) /
-               static_cast<double>(tickSec);
+        return static_cast<double>(now()) * secPerTick;
     });
     reg_.addCounter("sim.instructions", [this] { return retired(); });
     reg_.addGauge("sim.objective.ipc", [this] { return core_->ipc(); });

@@ -1,0 +1,31 @@
+// Seeded pattern-rule violations for the mct_lint engine tests.
+// This tree is excluded from the real repository scan by the
+// `exclude tests/lint_fixtures/**` line in tools/lint/rules.txt.
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+int
+noise()
+{
+    return rand(); // det-libc-rand fires here
+}
+
+long
+wall()
+{
+    return std::chrono::steady_clock::now() // det-wall-clock fires here
+        .time_since_epoch()
+        .count();
+}
+
+void
+report(long v)
+{
+    std::cout << "value " << v << "\n"; // io-raw-stream fires here
+}
+
+// None of the following may fire: rand() and steady_clock::now() in a
+// comment, and banned tokens inside a string literal.
+const char *decoy = "call rand() or std::cerr, nothing happens";

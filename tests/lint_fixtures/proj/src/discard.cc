@@ -1,0 +1,19 @@
+// Discarded-result fixture: one bare call to parseThing (must fire)
+// and one call whose result is consumed (must not fire).
+
+struct [[nodiscard]] ParseResult
+{
+    bool ok = false;
+};
+
+ParseResult parseThing(const char *text);
+void consume(const ParseResult &r);
+
+void
+caller(const char *text)
+{
+    parseThing(text); // discarded-result fires here
+
+    const ParseResult r = parseThing(text);
+    consume(r);
+}

@@ -1,0 +1,21 @@
+// Event-contract fixture: the code knows known_event and
+// undocumented_event; docs/contract.md lists known_event and a
+// ghost_event that no longer exists.
+
+enum class TraceEventType
+{
+    Known,
+    Undocumented,
+};
+
+const char *
+toString(TraceEventType t)
+{
+    switch (t) {
+      case TraceEventType::Known:
+        return "known_event";
+      case TraceEventType::Undocumented:
+        return "undocumented_event";
+    }
+    return "?";
+}

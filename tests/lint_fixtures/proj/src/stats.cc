@@ -1,0 +1,33 @@
+// Stat-contract and nonfinite-gauge fixtures. docs/contract.md
+// documents app.documented, app.rate, app.safe_rate, and a ghost
+// stat app.ghost that no code registers.
+
+#include <cstdint>
+
+struct Counters
+{
+    std::uint64_t documented = 0;
+    std::uint64_t undocumented = 0;
+    double sum = 0;
+    double count = 0;
+};
+
+template <typename Registry>
+void
+wire(Registry &reg, Counters &c)
+{
+    reg.addCounter("app.documented", &c.documented);
+
+    // Drift: registered but absent from docs/contract.md.
+    reg.addCounter("app.undocumented", &c.undocumented);
+
+    // Duplicate literal registration.
+    reg.addCounter("app.documented", &c.documented);
+
+    // Unguarded division: count can be zero at snapshot time.
+    reg.addGauge("app.rate", [&c] { return c.sum / c.count; });
+
+    // Guarded division: must NOT fire.
+    reg.addGauge("app.safe_rate",
+                 [&c] { return c.count > 0 ? c.sum / c.count : 0.0; });
+}

@@ -1,0 +1,10 @@
+// Allowlisted by the det-wall-clock rule in the fixture rules.txt:
+// the clock below must NOT be reported.
+
+#include <chrono>
+
+long
+sanctionedWall()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// Golden-drift fixture: an embedded JSONL golden referencing one
+// event that exists (known_event) and one that does not
+// (stale_event). The stat-contract builtin scans raw test text for
+// "ev" keys, so the stale name below must be reported.
+
+const char *golden =
+    "{\"ev\":\"known_event\",\"inst\":100}\n"
+    "{\"ev\":\"stale_event\",\"inst\":200}\n";

@@ -1,0 +1,518 @@
+/**
+ * @file
+ * mct_lint builtin analyses: the instrumentation contract
+ * (stat-registry paths and event-trace types vs. documentation and
+ * test goldens), the non-finite-gauge heuristic, and the
+ * discarded-result check. These need real extraction rather than a
+ * line regex, but their scope, allowlist, and configuration still
+ * come from rules.txt.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace mct::lint
+{
+
+namespace
+{
+
+bool
+pathAllowed(const RuleSpec &rule, const std::string &path)
+{
+    bool scoped = rule.scopes.empty();
+    for (const auto &g : rule.scopes)
+        if (globMatch(g, path)) {
+            scoped = true;
+            break;
+        }
+    if (!scoped)
+        return false;
+    for (const auto &g : rule.allow)
+        if (globMatch(g, path))
+            return false;
+    return true;
+}
+
+/** Find the matching close paren for the open paren at @p open. */
+std::size_t
+closeParen(const std::string &s, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < s.size(); ++i) {
+        if (s[i] == '(')
+            ++depth;
+        else if (s[i] == ')' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/**
+ * Render the first argument of a registration call as a path
+ * pattern: string-literal pieces keep their text, every non-literal
+ * subexpression becomes a '*' hole.
+ */
+std::string
+argToPattern(const std::string &arg)
+{
+    std::string pat;
+    std::size_t i = 0;
+    while (i < arg.size()) {
+        const char c = arg[i];
+        if (std::isspace(static_cast<unsigned char>(c)) || c == '+') {
+            ++i;
+            continue;
+        }
+        if (c == '"') {
+            ++i;
+            while (i < arg.size() && arg[i] != '"') {
+                if (arg[i] == '\\' && i + 1 < arg.size())
+                    ++i;
+                pat += arg[i++];
+            }
+            ++i; // closing quote
+            continue;
+        }
+        // Non-literal chunk: consume to the next top-level '+'.
+        int depth = 0;
+        while (i < arg.size()) {
+            const char d = arg[i];
+            if (d == '(')
+                ++depth;
+            else if (d == ')')
+                --depth;
+            else if (d == '+' && depth == 0)
+                break;
+            ++i;
+        }
+        if (pat.empty() || pat.back() != '*')
+            pat += '*';
+    }
+    return pat;
+}
+
+const std::regex &
+regCallRe()
+{
+    static const std::regex re(
+        R"(\b(addCounterCell|addCounter|addGauge|addHistogram)\s*\()",
+        std::regex::optimize);
+    return re;
+}
+
+} // namespace
+
+std::vector<StatReg>
+extractStatRegs(const SourceFile &src)
+{
+    std::vector<StatReg> out;
+    const std::string &text = src.noComments;
+    auto begin = std::sregex_iterator(text.begin(), text.end(),
+                                      regCallRe());
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::smatch &m = *it;
+        const std::string fn = m[1].str();
+        const std::size_t open =
+            static_cast<std::size_t>(m.position(0)) + m.length(0) - 1;
+        const std::size_t close = closeParen(text, open);
+        if (close == std::string::npos)
+            continue;
+        // First argument: up to the first ',' at depth 1.
+        int depth = 0;
+        std::size_t argEnd = close;
+        for (std::size_t i = open; i < close; ++i) {
+            if (text[i] == '(' || text[i] == '[' || text[i] == '{')
+                ++depth;
+            else if (text[i] == ')' || text[i] == ']' || text[i] == '}')
+                --depth;
+            else if (text[i] == ',' && depth == 1) {
+                argEnd = i;
+                break;
+            }
+        }
+        StatReg reg;
+        reg.pattern =
+            argToPattern(text.substr(open + 1, argEnd - open - 1));
+        reg.file = src.path;
+        reg.line = lineOfOffset(text, static_cast<std::size_t>(
+                                          m.position(0)));
+        reg.kind = fn == "addGauge"       ? "gauge"
+                   : fn == "addHistogram" ? "histogram"
+                                          : "counter";
+        if (!reg.pattern.empty())
+            out.push_back(std::move(reg));
+    }
+    return out;
+}
+
+std::vector<std::string>
+extractEventNames(const SourceFile &src)
+{
+    std::vector<std::string> out;
+    static const std::regex re(
+        R"re(TraceEventType::\w+\s*:\s*return\s*"([a-z0-9_]+)")re",
+        std::regex::optimize);
+    const std::string &text = src.noComments;
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), re);
+         it != std::sregex_iterator(); ++it)
+        out.push_back((*it)[1].str());
+    return out;
+}
+
+namespace
+{
+
+struct DocEntry
+{
+    std::string pattern; ///< '<hole>' placeholders become '*'
+    int line = 0;
+};
+
+/** First `backticked` token of a line, if any. */
+bool
+firstBacktick(const std::string &line, std::string &out)
+{
+    const auto a = line.find('`');
+    if (a == std::string::npos)
+        return false;
+    const auto b = line.find('`', a + 1);
+    if (b == std::string::npos)
+        return false;
+    out = line.substr(a + 1, b - a - 1);
+    return !out.empty();
+}
+
+void
+extractDocSection(const std::string &text, const std::string &tag,
+                  std::vector<DocEntry> &out)
+{
+    std::istringstream is(text);
+    std::string line;
+    int n = 0;
+    bool in = false;
+    const std::string begin = "mct-lint:" + tag + ":begin";
+    const std::string end = "mct-lint:" + tag + ":end";
+    while (std::getline(is, line)) {
+        ++n;
+        if (line.find(begin) != std::string::npos) {
+            in = true;
+            continue;
+        }
+        if (line.find(end) != std::string::npos) {
+            in = false;
+            continue;
+        }
+        if (!in)
+            continue;
+        std::string name;
+        if (!firstBacktick(line, name))
+            continue;
+        DocEntry e;
+        e.pattern = std::regex_replace(name, std::regex("<[^>]*>"), "*");
+        e.line = n;
+        out.push_back(std::move(e));
+    }
+}
+
+} // namespace
+
+void
+Linter::runStatContract(const RuleSpec &rule,
+                        const std::vector<SourceFile> &files,
+                        std::vector<Finding> &out)
+{
+    stats_.clear();
+    events_.clear();
+
+    // --- extract registrations (scope/allow from rules.txt) ---
+    for (const auto &f : files) {
+        if (!pathAllowed(rule, f.path))
+            continue;
+        auto regs = extractStatRegs(f);
+        stats_.insert(stats_.end(), regs.begin(), regs.end());
+    }
+
+    // --- extract event names (precise pattern; every file) ---
+    struct EventSite
+    {
+        std::string file;
+        int line = 0;
+    };
+    std::map<std::string, EventSite> eventSites;
+    for (const auto &f : files) {
+        for (const auto &name : extractEventNames(f)) {
+            if (!eventSites.count(name)) {
+                const auto pos = f.noComments.find('"' + name + '"');
+                eventSites[name] = {f.path,
+                                    pos == std::string::npos
+                                        ? 1
+                                        : lineOfOffset(f.noComments,
+                                                       pos)};
+                events_.push_back(name);
+            }
+        }
+    }
+    std::sort(events_.begin(), events_.end());
+
+    // --- load the documentation contract ---
+    const std::string docsRel =
+        rule.docs.empty() ? "docs/observability.md" : rule.docs;
+    std::ifstream is(fs::path(root_) / docsRel, std::ios::binary);
+    if (!is) {
+        out.push_back({docsRel, 0, rule.id,
+                       "contract documentation file is missing"});
+        return;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string docText = buf.str();
+    std::vector<DocEntry> docStats, docEvents;
+    extractDocSection(docText, "stat-contract", docStats);
+    extractDocSection(docText, "event-contract", docEvents);
+
+    // --- registered but undocumented ---
+    for (const auto &reg : stats_) {
+        const bool documented =
+            std::any_of(docStats.begin(), docStats.end(),
+                        [&](const DocEntry &d) {
+                            return patternsUnify(reg.pattern,
+                                                 d.pattern);
+                        });
+        if (!documented)
+            out.push_back(
+                {reg.file, reg.line, rule.id,
+                 "stat '" + reg.pattern +
+                     "' is registered but not documented in " +
+                     docsRel});
+    }
+
+    // --- documented but gone ---
+    for (const auto &d : docStats) {
+        const bool registered =
+            std::any_of(stats_.begin(), stats_.end(),
+                        [&](const StatReg &r) {
+                            return patternsUnify(r.pattern, d.pattern);
+                        });
+        if (!registered)
+            out.push_back({docsRel, d.line, rule.id,
+                           "documented stat '" + d.pattern +
+                               "' is not registered by any code"});
+    }
+
+    // --- duplicate literal registrations ---
+    std::map<std::string, const StatReg *> literals;
+    for (const auto &reg : stats_) {
+        if (reg.pattern.find('*') != std::string::npos)
+            continue;
+        const auto [it, inserted] =
+            literals.emplace(reg.pattern, &reg);
+        if (!inserted &&
+            (it->second->file != reg.file ||
+             it->second->line != reg.line))
+            out.push_back({reg.file, reg.line, rule.id,
+                           "stat '" + reg.pattern +
+                               "' already registered at " +
+                               it->second->file + ":" +
+                               std::to_string(it->second->line)});
+    }
+
+    // --- event types vs. documentation ---
+    std::set<std::string> docEventNames;
+    for (const auto &d : docEvents)
+        docEventNames.insert(d.pattern);
+    for (const auto &name : events_) {
+        if (!docEventNames.count(name)) {
+            const auto &site = eventSites[name];
+            out.push_back({site.file, site.line, rule.id,
+                           "event type '" + name +
+                               "' is not documented in " + docsRel});
+        }
+    }
+    for (const auto &d : docEvents) {
+        if (std::find(events_.begin(), events_.end(), d.pattern) ==
+            events_.end())
+            out.push_back({docsRel, d.line, rule.id,
+                           "documented event '" + d.pattern +
+                               "' does not exist in code"});
+    }
+
+    // --- golden drift: "ev" names embedded in tests ---
+    static const std::regex goldenRe(
+        "\\\\?\"ev\\\\?\"\\s*:\\s*\\\\?\"([A-Za-z0-9_]+)",
+        std::regex::optimize);
+    if (!events_.empty()) {
+        for (const auto &f : files) {
+            if (f.path.rfind("tests/", 0) != 0)
+                continue;
+            for (auto it = std::sregex_iterator(
+                     f.raw.begin(), f.raw.end(), goldenRe);
+                 it != std::sregex_iterator(); ++it) {
+                const std::string name = (*it)[1].str();
+                if (std::find(events_.begin(), events_.end(), name) ==
+                    events_.end())
+                    out.push_back(
+                        {f.path,
+                         lineOfOffset(f.raw, static_cast<std::size_t>(
+                                                 it->position(0))),
+                         rule.id,
+                         "golden references event '" + name +
+                             "' which no longer exists"});
+            }
+        }
+    }
+}
+
+void
+Linter::runNonfiniteGauge(const RuleSpec &rule,
+                          const std::vector<SourceFile> &files,
+                          std::vector<Finding> &out) const
+{
+    static const std::regex gaugeRe(R"(\baddGauge\s*\()",
+                                    std::regex::optimize);
+    for (const auto &f : files) {
+        if (!pathAllowed(rule, f.path))
+            continue;
+        const std::string &text = f.codeOnly;
+        for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                            gaugeRe);
+             it != std::sregex_iterator(); ++it) {
+            const std::size_t open =
+                static_cast<std::size_t>(it->position(0)) +
+                it->length(0) - 1;
+            const std::size_t close = closeParen(text, open);
+            if (close == std::string::npos)
+                continue;
+            const std::string call =
+                text.substr(open, close - open + 1);
+            // Division with a non-literal denominator?
+            bool unsafeDiv = false;
+            for (std::size_t i = 0; i + 1 < call.size(); ++i) {
+                if (call[i] != '/')
+                    continue;
+                std::size_t j = i + 1;
+                while (j < call.size() &&
+                       std::isspace(
+                           static_cast<unsigned char>(call[j])))
+                    ++j;
+                if (j < call.size() &&
+                    !std::isdigit(
+                        static_cast<unsigned char>(call[j])))
+                    unsafeDiv = true;
+            }
+            if (!unsafeDiv)
+                continue;
+            const bool guarded =
+                call.find("isfinite") != std::string::npos ||
+                call.find("clamp") != std::string::npos ||
+                call.find("max(") != std::string::npos ||
+                call.find("min(") != std::string::npos ||
+                call.find('?') != std::string::npos;
+            if (!guarded)
+                out.push_back(
+                    {f.path, lineOfOffset(text, open), rule.id,
+                     rule.message.empty()
+                         ? "gauge closure divides without a "
+                           "zero/non-finite guard"
+                         : rule.message});
+        }
+    }
+}
+
+void
+Linter::runDiscardedResult(const RuleSpec &rule,
+                           const std::vector<SourceFile> &files,
+                           std::vector<Finding> &out) const
+{
+    std::vector<std::regex> res;
+    res.reserve(rule.names.size());
+    for (const auto &name : rule.names)
+        res.emplace_back(
+            "^\\s*(?:[A-Za-z_]\\w*(?:::|\\.|->))*" + name +
+                "\\s*\\(",
+            std::regex::optimize);
+    for (const auto &f : files) {
+        if (!pathAllowed(rule, f.path))
+            continue;
+        std::vector<std::string> lines;
+        std::vector<std::size_t> starts;
+        {
+            std::size_t off = 0;
+            std::istringstream is(f.codeOnly);
+            std::string l;
+            while (std::getline(is, l)) {
+                starts.push_back(off);
+                off += l.size() + 1;
+                lines.push_back(std::move(l));
+            }
+        }
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            for (std::size_t r = 0; r < res.size(); ++r) {
+                std::smatch m;
+                if (!std::regex_search(lines[i], m, res[r]))
+                    continue;
+                // A discarded call is a full statement: the
+                // matching ')' must be followed by ';'. Anything
+                // else (a '{' body — this is a definition — or a
+                // member access) means the result is used.
+                const std::size_t open =
+                    starts[i] +
+                    static_cast<std::size_t>(m.position(0)) +
+                    static_cast<std::size_t>(m.length(0)) - 1;
+                const std::size_t close =
+                    closeParen(f.codeOnly, open);
+                if (close == std::string::npos)
+                    continue;
+                std::size_t k = close + 1;
+                while (k < f.codeOnly.size() &&
+                       std::isspace(static_cast<unsigned char>(
+                           f.codeOnly[k])))
+                    ++k;
+                if (k >= f.codeOnly.size() || f.codeOnly[k] != ';')
+                    continue;
+                // Continuation of an expression? Look at how the
+                // previous non-blank line ends.
+                std::string prev;
+                for (std::size_t k = i; k-- > 0;) {
+                    const auto e =
+                        lines[k].find_last_not_of(" \t\r");
+                    if (e != std::string::npos) {
+                        prev = lines[k].substr(0, e + 1);
+                        break;
+                    }
+                }
+                bool continuation = false;
+                if (!prev.empty()) {
+                    const char c = prev.back();
+                    if (std::string("=(,&|?:+-*/<>").find(c) !=
+                        std::string::npos)
+                        continuation = true;
+                    if (prev.size() >= 6 &&
+                        prev.compare(prev.size() - 6, 6, "return") ==
+                            0)
+                        continuation = true;
+                }
+                if (continuation)
+                    continue;
+                out.push_back(
+                    {f.path, static_cast<int>(i + 1), rule.id,
+                     "result of '" + rule.names[r] +
+                         "' is discarded" +
+                         (rule.message.empty() ? ""
+                                               : "; " + rule.message)});
+            }
+        }
+    }
+}
+
+} // namespace mct::lint

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * mct_lint command-line driver.
+ *
+ *     mct_lint [--root DIR] [--rules FILE] [--dump] [ROOT...]
+ *
+ * Scans ROOT... directories (default: src bench tests) under the
+ * repository root, applies every rule in rules.txt, and prints
+ * findings as "file:line: [rule-id] message". Exits 0 when clean,
+ * 1 when findings exist, 2 on usage/configuration errors.
+ *
+ * --dump prints the extracted instrumentation contract (stat path
+ * patterns and event type names) instead of linting; it is the
+ * source of truth for the tables in docs/observability.md.
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: mct_lint [--root DIR] [--rules FILE] [--dump] "
+           "[ROOT...]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string rulesPath;
+    bool dump = false;
+    std::vector<std::string> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc)
+            root = argv[++i];
+        else if (arg == "--rules" && i + 1 < argc)
+            rulesPath = argv[++i];
+        else if (arg == "--dump")
+            dump = true;
+        else if (arg == "--help" || arg == "-h")
+            return usage();
+        else if (!arg.empty() && arg[0] == '-')
+            return usage();
+        else
+            roots.push_back(arg);
+    }
+    if (roots.empty())
+        roots = {"src", "bench", "tests"};
+    if (rulesPath.empty())
+        rulesPath =
+            (std::filesystem::path(root) / "tools/lint/rules.txt")
+                .string();
+
+    std::ifstream is(rulesPath, std::ios::binary);
+    if (!is) {
+        std::cerr << "mct_lint: cannot read rules file " << rulesPath
+                  << "\n";
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    mct::lint::RulesFile rules;
+    std::string error;
+    if (!mct::lint::parseRules(buf.str(), rules, error)) {
+        std::cerr << "mct_lint: " << rulesPath << ": " << error
+                  << "\n";
+        return 2;
+    }
+
+    mct::lint::Linter linter(std::move(rules), root);
+    const auto findings = linter.run(roots);
+
+    if (dump) {
+        std::cout << "# stat registrations (pattern  kind  site)\n";
+        for (const auto &reg : linter.statRegs())
+            std::cout << reg.pattern << "\t" << reg.kind << "\t"
+                      << reg.file << ":" << reg.line << "\n";
+        std::cout << "# event types\n";
+        for (const auto &name : linter.eventNames())
+            std::cout << name << "\n";
+        return 0;
+    }
+
+    for (const auto &f : findings)
+        std::cout << f.file << ":" << f.line << ": [" << f.rule
+                  << "] " << f.message << "\n";
+    if (findings.empty()) {
+        std::cout << "mct_lint: clean\n";
+        return 0;
+    }
+    std::cout << "mct_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+}

@@ -689,7 +689,13 @@ cmdSweep(const Args &args)
     }
     std::fprintf(stderr, "sweeping %zu configurations on %s...\n",
                  space.size(), app.c_str());
+    // Sweep progress arrives via mct_inform; make it visible for the
+    // duration of the long-running part.
+    const LogLevel prevLevel = logLevel();
+    if (prevLevel < LogLevel::Inform)
+        setLogLevel(LogLevel::Inform);
     const auto metrics = cache.getAll(app, space, true);
+    setLogLevel(prevLevel);
     cache.save();
 
     CsvFile out;
