@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/instrument.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "mct/config_space.hh"
@@ -52,6 +53,82 @@ profiler()
     (void)dumpAtExit;
     return p;
 }
+
+/**
+ * Machine-readable outcome of a bench binary. Benches record their
+ * headline numbers with metric(); when the MCT_BENCH_JSON environment
+ * variable names a file, the summary — metrics plus the WallProfiler
+ * stage timings — is written there as JSON at exit, in the BENCH_*.json
+ * shape the CI perf-smoke job archives and mct_report consumes.
+ */
+class BenchSummary
+{
+  public:
+    static BenchSummary &
+    instance()
+    {
+        static BenchSummary s;
+        return s;
+    }
+
+    /** Name the bench (once, near banner()). Arms the at-exit dump. */
+    void
+    start(const std::string &benchName)
+    {
+        name = benchName;
+        static const bool armed = [] {
+            if (!std::getenv("MCT_BENCH_JSON"))
+                return false;
+            std::atexit(+[] {
+                const char *path = std::getenv("MCT_BENCH_JSON");
+                if (!path)
+                    return;
+                std::ofstream os(path);
+                if (os)
+                    instance().writeJson(os);
+            });
+            return true;
+        }();
+        (void)armed;
+    }
+
+    /** Record one headline number (insertion order is kept). */
+    void
+    metric(const std::string &key, double value)
+    {
+        metrics.emplace_back(key, value);
+    }
+
+    void
+    writeJson(std::ostream &os) const
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("schema", "mct-bench-summary-v1");
+        w.kv("bench", name);
+        w.key("metrics").beginObject();
+        for (const auto &[k, v] : metrics)
+            w.kv(k, v);
+        w.endObject();
+        w.key("profile").beginObject();
+        w.key("stages").beginArray();
+        for (const WallProfiler::Stage &s : profiler().stages()) {
+            w.beginObject();
+            w.kv("name", s.name);
+            w.kv("seconds", s.seconds);
+            w.kv("calls", s.calls);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        w.endObject();
+        os << '\n';
+    }
+
+  private:
+    std::string name = "?";
+    std::vector<std::pair<std::string, double>> metrics;
+};
 
 /** Standard evaluation run lengths (every bench must agree so the
  *  sweep cache stays coherent). */

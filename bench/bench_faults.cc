@@ -44,6 +44,7 @@ main()
 
     banner("Robustness: live MCT runtime under built-in fault plans "
            "(" + app + ", 4M insts)");
+    BenchSummary::instance().start("bench_faults");
 
     TextTable t;
     t.header({"plan", "injected", "IPC", "life(y)", "quarant",
@@ -90,6 +91,9 @@ main()
                fmt(double(ctl.emergencyClamps()), 0),
                fmt(double(ctl.reengagements()), 0),
                finite && quotaOn ? "ok" : "FAIL"});
+        BenchSummary::instance().metric(name + ".ipc", m.ipc);
+        BenchSummary::instance().metric(name + ".lifetime_years",
+                                        m.lifetimeYears);
     }
     t.print(std::cout);
     return 0;

@@ -44,6 +44,7 @@ int
 main()
 {
     banner("Table 1 (measured): trade-offs of NVM and their impacts");
+    BenchSummary::instance().start("bench_table1_tradeoffs");
 
     MellowConfig wcOff;
     wcOff.bankAware = true;
@@ -110,6 +111,8 @@ main()
     }
     std::printf("\ndirections matching Table 1: %d/%d\n", matches,
                 checks);
+    BenchSummary::instance().metric("directions_matched", matches);
+    BenchSummary::instance().metric("directions_checked", checks);
     std::printf("(reads: 'up'/'down' relative to the same "
                 "configuration with the technique disabled)\n");
     return 0;

@@ -1,5 +1,7 @@
 #include "cache/hierarchy.hh"
 
+#include "common/instrument.hh"
+
 namespace mct
 {
 
@@ -24,8 +26,12 @@ CacheHierarchy::access(Addr addr, bool write, AccessOutcome &outcome)
     Victim v1;
     if (l1.access(addr, write, v1)) {
         outcome.hitLevel = 1;
+        if (spans)
+            spans->probe(SpanStage::L1, true);
         return;
     }
+    if (spans)
+        spans->probe(SpanStage::L1, false);
     // L1 miss: the displaced dirty line moves into L2.
     if (v1.valid && v1.dirty)
         writebackToL2(v1.addr, outcome);
@@ -33,18 +39,26 @@ CacheHierarchy::access(Addr addr, bool write, AccessOutcome &outcome)
     Victim v2;
     if (l2.access(addr, false, v2)) {
         outcome.hitLevel = 2;
+        if (spans)
+            spans->probe(SpanStage::L2, true);
         return;
     }
+    if (spans)
+        spans->probe(SpanStage::L2, false);
     if (v2.valid && v2.dirty)
         writebackToL3(v2.addr, outcome);
 
     Victim v3;
     if (l3->access(addr, false, v3)) {
         outcome.hitLevel = 3;
+        if (spans)
+            spans->probe(SpanStage::Llc, true);
         if (v3.valid && v3.dirty)
             outcome.writebacks.push_back(v3.addr);
         return;
     }
+    if (spans)
+        spans->probe(SpanStage::Llc, false);
     if (v3.valid && v3.dirty)
         outcome.writebacks.push_back(v3.addr);
     outcome.hitLevel = 0; // fill from NVM

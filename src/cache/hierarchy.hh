@@ -18,6 +18,8 @@
 namespace mct
 {
 
+class SpanTrace;
+
 /** Geometry of all levels. */
 struct HierarchyParams
 {
@@ -77,10 +79,14 @@ class CacheHierarchy
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
 
+    /** Record per-level probe marks on sampled request spans. */
+    void attachSpans(SpanTrace *t) { spans = t; }
+
   private:
     Cache l1;
     Cache l2;
     std::shared_ptr<Cache> l3;
+    SpanTrace *spans = nullptr;
 
     /** Push a dirty line down one level, cascading L3 evictions. */
     void writebackToL2(Addr addr, AccessOutcome &outcome);

@@ -33,6 +33,35 @@ LogHistogram::bucketLow(std::size_t i)
     return i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i - 1));
 }
 
+double
+LogHistogram::percentile(double p) const
+{
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Target rank in (0, n]; rank r falls in the bucket holding the
+    // r-th smallest observation, placed uniformly within its bounds.
+    const double target = p * static_cast<double>(n);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        cum += buckets_[i];
+        if (static_cast<double>(cum) >= target) {
+            const double lo = bucketLow(i);
+            const double hi =
+                i + 1 < numBuckets ? bucketLow(i + 1) : lo * 2.0;
+            const double into =
+                target - static_cast<double>(cum - buckets_[i]);
+            const double frac = std::clamp(
+                into / static_cast<double>(buckets_[i]), 0.0, 1.0);
+            return lo + (hi - lo) * frac;
+        }
+    }
+    // Unreachable when counts are consistent; fall back to the top.
+    return bucketLow(numBuckets - 1) * 2.0;
+}
+
 void
 LogHistogram::reset()
 {
@@ -255,6 +284,8 @@ toString(TraceEventType type)
         return "fault_injected";
       case TraceEventType::RecoveryAction:
         return "recovery_action";
+      case TraceEventType::SpanComplete:
+        return "span_complete";
     }
     return "unknown";
 }
@@ -285,6 +316,8 @@ traceArgNames(TraceEventType type)
         return {"kind", "active", "magnitude"};
       case TraceEventType::RecoveryAction:
         return {"step", "ladder_level", "detail"};
+      case TraceEventType::SpanComplete:
+        return {"total_ns", "hit_level", "stages"};
     }
     return {"a0", "a1", "a2"};
 }
@@ -405,6 +438,298 @@ EventTrace::writeChromeTrace(std::ostream &os) const
             w.kv(names[a], e.args[a]);
         w.endObject();
         w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+// --------------------------------------------------------------------
+// SpanTrace
+// --------------------------------------------------------------------
+
+const char *
+toString(SpanStage stage)
+{
+    switch (stage) {
+      case SpanStage::L1:
+        return "l1";
+      case SpanStage::L2:
+        return "l2";
+      case SpanStage::Llc:
+        return "llc";
+      case SpanStage::Mshr:
+        return "mshr";
+      case SpanStage::CtrlQueue:
+        return "queue";
+      case SpanStage::Bank:
+        return "bank";
+      case SpanStage::Device:
+        return "device";
+    }
+    return "unknown";
+}
+
+const char *
+spanStageTrack(SpanStage stage)
+{
+    switch (stage) {
+      case SpanStage::L1:
+        return "cache.l1";
+      case SpanStage::L2:
+        return "cache.l2";
+      case SpanStage::Llc:
+        return "cache.llc";
+      case SpanStage::Mshr:
+        return "cpu.mshr";
+      case SpanStage::CtrlQueue:
+        return "memctrl.queue";
+      case SpanStage::Bank:
+        return "memctrl.bank";
+      case SpanStage::Device:
+        return "nvm.device";
+    }
+    return "unknown";
+}
+
+void
+SpanTrace::enable(std::uint64_t sampleEvery, std::size_t capacity)
+{
+    if (sampleEvery == 0)
+        mct_fatal("SpanTrace::enable requires a nonzero sample period");
+    if (capacity == 0)
+        mct_fatal("SpanTrace::enable requires a nonzero capacity");
+    ring.assign(capacity, SpanRecord{});
+    open.clear();
+    every = sampleEvery;
+    cap = capacity;
+    head = 0;
+    held = 0;
+    total = 0;
+    curValid = false;
+}
+
+void
+SpanTrace::disable()
+{
+    ring.clear();
+    ring.shrink_to_fit();
+    open.clear();
+    every = 0;
+    cap = 0;
+    head = 0;
+    held = 0;
+    total = 0;
+    curValid = false;
+}
+
+void
+SpanTrace::begin(std::uint64_t id, Addr addr, bool isWrite, Tick now)
+{
+    if (every == 0)
+        return;
+    curValid = false;
+    if ((id & seqMask) % every != 0)
+        return;
+    OpenSpan &o = open[id];
+    o.rec = SpanRecord{};
+    o.rec.id = id;
+    o.rec.addr = addr;
+    o.rec.isWrite = isWrite;
+    o.rec.inst = clock ? *clock : 0;
+    o.rec.begin = now;
+    o.openBits = 0;
+    curId = id;
+    curValid = true;
+}
+
+void
+SpanTrace::probe(SpanStage stage, bool hit)
+{
+    if (every == 0 || !curValid)
+        return;
+    const auto it = open.find(curId);
+    if (it == open.end())
+        return;
+    OpenSpan &o = it->second;
+    const auto s = static_cast<std::size_t>(stage);
+    o.rec.enter[s] = o.rec.begin;
+    o.rec.exit[s] = o.rec.begin;
+    o.rec.present |= static_cast<std::uint8_t>(1u << s);
+    if (hit)
+        o.openBits |= static_cast<std::uint8_t>(1u << s);
+}
+
+void
+SpanTrace::stageEnter(std::uint64_t id, SpanStage stage, Tick now)
+{
+    if (every == 0)
+        return;
+    const auto it = open.find(id);
+    if (it == open.end())
+        return;
+    OpenSpan &o = it->second;
+    const auto s = static_cast<std::size_t>(stage);
+    o.rec.enter[s] = now;
+    o.rec.exit[s] = now;
+    o.rec.present |= static_cast<std::uint8_t>(1u << s);
+    o.openBits |= static_cast<std::uint8_t>(1u << s);
+}
+
+void
+SpanTrace::stageMark(std::uint64_t id, SpanStage stage, Tick from,
+                     Tick to)
+{
+    if (every == 0)
+        return;
+    const auto it = open.find(id);
+    if (it == open.end())
+        return;
+    OpenSpan &o = it->second;
+    const auto s = static_cast<std::size_t>(stage);
+    o.rec.enter[s] = from;
+    o.rec.exit[s] = to;
+    o.rec.present |= static_cast<std::uint8_t>(1u << s);
+    o.openBits &= static_cast<std::uint8_t>(~(1u << s));
+}
+
+void
+SpanTrace::end(std::uint64_t id, Tick now, int hitLevel)
+{
+    if (every == 0)
+        return;
+    const auto it = open.find(id);
+    if (it == open.end())
+        return;
+    OpenSpan &o = it->second;
+    o.rec.end = now;
+    o.rec.hitLevel = hitLevel;
+    for (std::size_t s = 0; s < numSpanStages; ++s)
+        if ((o.openBits >> s) & 1u)
+            o.rec.exit[s] = now;
+    int stages = 0;
+    for (std::size_t s = 0; s < numSpanStages; ++s) {
+        if (!((o.rec.present >> s) & 1u))
+            continue;
+        ++stages;
+        if (stageHist[s])
+            stageHist[s]->record(
+                static_cast<double>(o.rec.exit[s] - o.rec.enter[s]) *
+                nsPerTick);
+    }
+    if (totalHist)
+        totalHist->record(
+            static_cast<double>(o.rec.end - o.rec.begin) * nsPerTick);
+    if (events_)
+        events_->record(
+            TraceEventType::SpanComplete,
+            static_cast<double>(o.rec.end - o.rec.begin) * nsPerTick,
+            static_cast<double>(hitLevel), static_cast<double>(stages));
+    push(o.rec);
+    open.erase(it);
+    if (curValid && curId == id)
+        curValid = false;
+}
+
+void
+SpanTrace::push(const SpanRecord &rec)
+{
+    ring[head] = rec;
+    head = head + 1 == cap ? 0 : head + 1;
+    held = std::min(held + 1, cap);
+    ++total;
+}
+
+std::vector<SpanRecord>
+SpanTrace::spans() const
+{
+    std::vector<SpanRecord> out;
+    out.reserve(held);
+    const std::size_t start = held == cap ? head : 0;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(ring[(start + i) % (cap ? cap : 1)]);
+    return out;
+}
+
+void
+SpanTrace::clear()
+{
+    open.clear();
+    head = 0;
+    held = 0;
+    total = 0;
+    curValid = false;
+}
+
+void
+SpanTrace::writeJsonl(std::ostream &os) const
+{
+    for (const SpanRecord &r : spans()) {
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("id", r.id);
+        w.kv("addr", static_cast<std::uint64_t>(r.addr));
+        w.kv("write", static_cast<std::uint64_t>(r.isWrite ? 1 : 0));
+        w.kv("hit_level", static_cast<std::uint64_t>(r.hitLevel));
+        w.kv("inst", static_cast<std::uint64_t>(r.inst));
+        w.kv("begin_ps", static_cast<std::uint64_t>(r.begin));
+        w.kv("end_ps", static_cast<std::uint64_t>(r.end));
+        w.key("stages").beginObject();
+        for (std::size_t s = 0; s < numSpanStages; ++s) {
+            if (!((r.present >> s) & 1u))
+                continue;
+            w.key(toString(static_cast<SpanStage>(s)))
+                .beginArray()
+                .value(static_cast<std::uint64_t>(r.enter[s]))
+                .value(static_cast<std::uint64_t>(r.exit[s]))
+                .endArray();
+        }
+        w.endObject();
+        w.endObject();
+        os << '\n';
+    }
+}
+
+void
+SpanTrace::writeChromeTrace(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+    // Name one track per component so stages nest visually.
+    for (std::size_t s = 0; s < numSpanStages; ++s) {
+        w.beginObject();
+        w.kv("name", "thread_name");
+        w.kv("ph", "M");
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<std::uint64_t>(s + 1));
+        w.key("args").beginObject();
+        w.kv("name", spanStageTrack(static_cast<SpanStage>(s)));
+        w.endObject();
+        w.endObject();
+    }
+    for (const SpanRecord &r : spans()) {
+        for (std::size_t s = 0; s < numSpanStages; ++s) {
+            if (!((r.present >> s) & 1u))
+                continue;
+            w.beginObject();
+            w.kv("name", toString(static_cast<SpanStage>(s)));
+            w.kv("ph", "X");
+            // ts nominally holds microseconds; we put Ticks
+            // (picoseconds) there, as EventTrace does instructions.
+            w.kv("ts", static_cast<std::uint64_t>(r.enter[s]));
+            w.kv("dur",
+                 static_cast<std::uint64_t>(r.exit[s] - r.enter[s]));
+            w.kv("pid", 1);
+            w.kv("tid", static_cast<std::uint64_t>(s + 1));
+            w.key("args").beginObject();
+            w.kv("id", r.id);
+            w.kv("addr", static_cast<std::uint64_t>(r.addr));
+            w.kv("hit_level", static_cast<std::uint64_t>(r.hitLevel));
+            w.endObject();
+            w.endObject();
+        }
     }
     w.endArray();
     w.endObject();

@@ -20,6 +20,12 @@
  * serialize to JSONL (one event object per line, jq-friendly) and to
  * the Chrome trace-event format loadable in chrome://tracing / Perfetto.
  *
+ * SpanTrace applies the same discipline to whole requests: every Nth
+ * request id carries a per-stage span record (L1 probe through NVM
+ * device) into a fixed-capacity ring, feeding latency-attribution
+ * histograms and JSONL / Chrome trace output. Disabled, every hook is
+ * a single branch.
+ *
  * WallProfiler is the only knowingly non-deterministic piece: it
  * accumulates real elapsed time per named stage for the bench
  * harnesses' self-profiling, and is never fed into simulated state.
@@ -84,6 +90,16 @@ class LogHistogram
 
     /** Inclusive lower bound of bucket @p i. */
     static double bucketLow(std::size_t i);
+
+    /**
+     * Value at quantile @p p in [0, 1], assuming observations are
+     * uniformly distributed within each bucket: the target rank
+     * p * count() is located in its bucket and linearly interpolated
+     * between the bucket's bounds. Exact for distributions that fill
+     * buckets uniformly; within one bucket width otherwise. Returns 0
+     * when empty.
+     */
+    double percentile(double p) const;
 
     /** Forget everything. */
     void reset();
@@ -216,10 +232,11 @@ enum class TraceEventType : std::uint8_t
     WritebackBurst,     ///< write-drain burst started/stopped
     FaultInjected,      ///< a fault-plan spec armed or cleared
     RecoveryAction,     ///< the MCT runtime took a degradation step
+    SpanComplete,       ///< a sampled request-lifecycle span closed
 };
 
 /** Number of distinct TraceEventType values. */
-constexpr std::size_t numTraceEventTypes = 11;
+constexpr std::size_t numTraceEventTypes = 12;
 
 /** Stable snake_case name of an event type (JSONL "ev" field). */
 const char *toString(TraceEventType type);
@@ -316,6 +333,178 @@ class EventTrace
     const InstCount *clock = nullptr;
 
     void push(TraceEventType type, double a0, double a1, double a2);
+};
+
+/**
+ * Pipeline stages a sampled request's latency is attributed to, in
+ * the order a demand access traverses them.
+ */
+enum class SpanStage : std::uint8_t
+{
+    L1,        ///< L1 probe (instant on miss; absorbs stall on hit)
+    L2,        ///< L2 probe
+    Llc,       ///< last-level cache probe
+    Mshr,      ///< core-side miss wait (submit -> completion)
+    CtrlQueue, ///< controller bank-queue wait (arrival -> issue)
+    Bank,      ///< bank occupancy (issue -> finish, incl. burst)
+    Device,    ///< NVM array access (activate + CAS)
+};
+
+/** Number of distinct SpanStage values. */
+constexpr std::size_t numSpanStages = 7;
+
+/** Stable snake_case name of a span stage. */
+const char *toString(SpanStage stage);
+
+/** Component track a stage belongs to in the Chrome trace output. */
+const char *spanStageTrack(SpanStage stage);
+
+/**
+ * One completed (or in-flight) request-lifecycle span. POD-ish; all
+ * timestamps are simulated Ticks (picoseconds), so serialization is
+ * byte-identical across identically-seeded runs.
+ */
+struct SpanRecord
+{
+    std::uint64_t id = 0;   ///< request id (core in the top byte)
+    Addr addr = 0;
+    bool isWrite = false;
+    int hitLevel = 0;       ///< 1..3 = cache level hit, 0 = NVM
+    InstCount inst = 0;     ///< instruction clock at begin
+    Tick begin = 0;
+    Tick end = 0;
+    std::array<Tick, numSpanStages> enter{};
+    std::array<Tick, numSpanStages> exit{};
+    std::uint8_t present = 0; ///< bitmask of stages with marks
+
+    bool has(SpanStage s) const
+    {
+        return (present >> static_cast<unsigned>(s)) & 1u;
+    }
+};
+
+/**
+ * Deterministically sampled request-lifecycle spans. Every Nth
+ * request id (by its low 56-bit per-core sequence, so each core
+ * samples the same fraction regardless of its id prefix) carries a
+ * SpanRecord from the L1 probe to read completion; the cache
+ * hierarchy, core, memory controller, and NVM device contribute
+ * per-stage enter/exit marks. Completed spans land in a fixed
+ * -capacity ring (oldest overwritten, like EventTrace) and feed the
+ * optional per-stage latency histograms. Disabled (the default) every
+ * hook is a single predictable branch and no memory is touched.
+ */
+class SpanTrace
+{
+  public:
+    SpanTrace() = default;
+
+    /** Sample every @p sampleEvery-th request; ring of @p capacity. */
+    void enable(std::uint64_t sampleEvery, std::size_t capacity);
+
+    /** Stop sampling and release storage. */
+    void disable();
+
+    /** True when sampling. */
+    bool enabled() const { return every != 0; }
+
+    /** Sampling period (0 when disabled). */
+    std::uint64_t sampleEvery() const { return every; }
+
+    /** Point the instruction clock at a live counter (see EventTrace). */
+    void setClock(const InstCount *instClock) { clock = instClock; }
+
+    /** Emit a SpanComplete event into @p t whenever a span closes. */
+    void attachTrace(EventTrace *t) { events_ = t; }
+
+    /** Feed per-stage durations (ns) into @p h on span close. */
+    void setStageHistogram(SpanStage stage, LogHistogram *h)
+    {
+        stageHist[static_cast<std::size_t>(stage)] = h;
+    }
+
+    /** Feed end-to-end durations (ns) into @p h on span close. */
+    void setTotalHistogram(LogHistogram *h) { totalHist = h; }
+
+    /** True when @p id falls on the sampling grid. */
+    bool sampled(std::uint64_t id) const
+    {
+        return every != 0 && (id & seqMask) % every == 0;
+    }
+
+    /** Open a span for a demand access (no-op unless sampled). */
+    void begin(std::uint64_t id, Addr addr, bool isWrite, Tick now);
+
+    /**
+     * Record a cache probe on the span opened by the latest begin().
+     * A miss is an instant mark; a hit leaves the stage open so the
+     * exposed stall is attributed to it when end() closes the span.
+     */
+    void probe(SpanStage stage, bool hit);
+
+    /** Open @p stage at @p now; end() closes it. */
+    void stageEnter(std::uint64_t id, SpanStage stage, Tick now);
+
+    /** Record a closed [@p from, @p to] interval for @p stage. */
+    void stageMark(std::uint64_t id, SpanStage stage, Tick from,
+                   Tick to);
+
+    /** Close the span: open stages end at @p now; record + emit. */
+    void end(std::uint64_t id, Tick now, int hitLevel);
+
+    /** Completed spans currently held (<= capacity). */
+    std::size_t size() const { return held; }
+
+    /** Spans ever completed. */
+    std::uint64_t recorded() const { return total; }
+
+    /** Completed spans overwritten by ring wraparound. */
+    std::uint64_t dropped() const { return total - held; }
+
+    /** Ring capacity (0 when disabled). */
+    std::size_t capacity() const { return cap; }
+
+    /** Held spans, oldest first. */
+    std::vector<SpanRecord> spans() const;
+
+    /** Forget held spans (capacity, clock and sinks are kept). */
+    void clear();
+
+    /** One JSON object per line, integer fields only (see docs). */
+    void writeJsonl(std::ostream &os) const;
+
+    /**
+     * Chrome trace-event JSON: each stage becomes an "X" complete
+     * event on its component's named track ("ts" carries Ticks, so
+     * the viewer's microseconds axis reads picoseconds).
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    /** Low 56 bits of a request id hold the per-core sequence. */
+    static constexpr std::uint64_t seqMask = (1ULL << 56) - 1;
+
+    struct OpenSpan
+    {
+        SpanRecord rec;
+        std::uint8_t openBits = 0; ///< stages begun but not yet closed
+    };
+
+    std::vector<SpanRecord> ring;
+    std::map<std::uint64_t, OpenSpan> open;
+    std::uint64_t every = 0;
+    std::size_t cap = 0;
+    std::size_t head = 0;
+    std::size_t held = 0;
+    std::uint64_t total = 0;
+    std::uint64_t curId = 0; ///< span the latest begin() opened
+    bool curValid = false;
+    std::array<LogHistogram *, numSpanStages> stageHist{};
+    LogHistogram *totalHist = nullptr;
+    EventTrace *events_ = nullptr;
+    const InstCount *clock = nullptr;
+
+    void push(const SpanRecord &rec);
 };
 
 /**

@@ -79,6 +79,8 @@ Core::onReadComplete(std::uint64_t id, Tick tick)
 {
     outstanding.erase(id);
     lastCompletionTick = std::max(lastCompletionTick, tick);
+    if (spans)
+        spans->end(id, tick, 0);
 }
 
 InstCount
@@ -124,6 +126,11 @@ void
 Core::executeMemOp()
 {
     ++st.memOps;
+    // Every access gets an id so span sampling is keyed on a stable
+    // grid whether or not it misses (only misses submit the id).
+    const std::uint64_t id = makeReadId();
+    if (spans)
+        spans->begin(id, pendingOp.addr, pendingOp.isWrite, cpuTick);
     AccessOutcome outcome;
     hier.access(pendingOp.addr, pendingOp.isWrite, outcome);
 
@@ -148,7 +155,6 @@ Core::executeMemOp()
       default: {
         // NVM demand read (store misses fetch their line too:
         // write-allocate). Retry on a full read queue.
-        const std::uint64_t id = makeReadId();
         while (!ctrl.submitRead(pendingOp.addr, cpuTick, id, coreId)) {
             const Tick before = cpuTick;
             pumpController();
@@ -157,6 +163,8 @@ Core::executeMemOp()
         }
         ++st.memReads;
         outstanding.insert(id);
+        if (spans)
+            spans->stageEnter(id, SpanStage::Mshr, cpuTick);
         router.drain();
 
         const unsigned limit =
@@ -169,6 +177,11 @@ Core::executeMemOp()
         break;
       }
     }
+
+    // Hits close their span here (the hit stage absorbs the exposed
+    // stall); misses close when the completion is routed back.
+    if (spans && outcome.hitLevel != 0)
+        spans->end(id, cpuTick, outcome.hitLevel);
 
     if (++memOpsSinceEagerCheck >= p.eagerCheckPeriod) {
         memOpsSinceEagerCheck = 0;

@@ -134,6 +134,9 @@ class Core
     /** Completion callback used by the CompletionRouter. */
     void onReadComplete(std::uint64_t id, Tick tick);
 
+    /** Open/close request-lifecycle spans on this core's accesses. */
+    void attachSpans(SpanTrace *t) { spans = t; }
+
     /**
      * Let this core's clock catch up to @p tick without retiring
      * instructions (used by the multi-core scheduler).
@@ -149,6 +152,7 @@ class Core
     CompletionRouter &router;
     Rng rng;
 
+    SpanTrace *spans = nullptr;
     Tick cpuTick = 0;
     std::uint64_t nextReadSeq = 0;
     std::unordered_set<std::uint64_t> outstanding;

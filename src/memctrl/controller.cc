@@ -378,17 +378,11 @@ MemController::issueRead(const Request &req, Tick t)
 {
     Bank &bank = dev.bank(req.bank);
     Tick start = std::max(t, bank.busyUntil);
-    Tick lat;
     const bool hit = bank.openRow == static_cast<std::int64_t>(req.row);
     if (hit) {
-        lat = dev.params().tCAS;
         ++st.rowHits;
     } else {
         start = std::max(start, activateConstrainedStart(start));
-        const Tick activate = cfg.fastDisturbingReads
-            ? dev.params().tRCDFast
-            : dev.params().tRCD;
-        lat = activate + dev.params().tCAS;
         bank.openRow = static_cast<std::int64_t>(req.row);
         recentActivates.push_back(start);
         if (recentActivates.size() > 4)
@@ -396,14 +390,16 @@ MemController::issueRead(const Request &req, Tick t)
     }
     if (cfg.fastDisturbingReads)
         recordDisturb(req.bank, req.row);
-    if (bank.latencyFactor != 1.0) {
-        // Fault-injected degradation: the array is slower than the
-        // timing parameters claim.
-        lat = std::max<Tick>(
-            1, static_cast<Tick>(static_cast<double>(lat) *
-                                 bank.latencyFactor));
-    }
+    // The device owns (and span-attributes) the array time.
+    const Tick lat = dev.accessRead(req.bank, hit,
+                                    cfg.fastDisturbingReads, req.id,
+                                    start);
     const Tick finishAt = start + lat + dev.params().tBURST;
+    if (spans) {
+        spans->stageMark(req.id, SpanStage::CtrlQueue, req.arrival,
+                         start);
+        spans->stageMark(req.id, SpanStage::Bank, start, finishAt);
+    }
     InFlight &fl = inflight[req.bank];
     fl.valid = true;
     fl.req = req;

@@ -33,6 +33,7 @@ namespace mct
 {
 
 class EventTrace;
+class SpanTrace;
 class StatRegistry;
 
 /** Tunables of the controller itself (Table 9 defaults). */
@@ -187,6 +188,10 @@ class MemController
      */
     void attachTrace(EventTrace *t);
 
+    /** Record queue/bank stage marks on sampled request spans; null
+     *  detaches. One pointer test per issued read when detached. */
+    void attachSpans(SpanTrace *t) { spans = t; }
+
     /** The wear-quota state machine (read-only, for tests/benches). */
     const WearQuota &wearQuota() const { return quota; }
 
@@ -267,6 +272,7 @@ class MemController
     std::uint64_t nextWriteId = 1ULL << 62;
     CtrlStats st;
     EventTrace *trace = nullptr;
+    SpanTrace *spans = nullptr;
     std::uint64_t nDrains = 0;
 
     /** Finalize every in-flight op with finish <= t, oldest first. */

@@ -37,6 +37,38 @@ NvmDevice::decode(Addr addr) const
     return loc;
 }
 
+Tick
+NvmDevice::readAccessLatency(unsigned bankIdx, bool rowHit,
+                             bool fastActivate) const
+{
+    Tick lat;
+    if (rowHit) {
+        lat = p.tCAS;
+    } else {
+        const Tick activate = fastActivate ? p.tRCDFast : p.tRCD;
+        lat = activate + p.tCAS;
+    }
+    const Bank &b = bank(bankIdx);
+    if (b.latencyFactor != 1.0) {
+        // Fault-injected degradation: the array is slower than the
+        // timing parameters claim.
+        lat = std::max<Tick>(
+            1, static_cast<Tick>(static_cast<double>(lat) *
+                                 b.latencyFactor));
+    }
+    return lat;
+}
+
+Tick
+NvmDevice::accessRead(unsigned bankIdx, bool rowHit, bool fastActivate,
+                      std::uint64_t reqId, Tick start)
+{
+    const Tick lat = readAccessLatency(bankIdx, rowHit, fastActivate);
+    if (spans)
+        spans->stageMark(reqId, SpanStage::Device, start, start + lat);
+    return lat;
+}
+
 Bank &
 NvmDevice::bank(unsigned idx)
 {

@@ -20,6 +20,7 @@ namespace mct
 {
 
 class StatRegistry;
+class SpanTrace;
 
 /** Decoded physical location of a cache-line address. */
 struct NvmLocation
@@ -48,6 +49,27 @@ class NvmDevice
 
     /** Decode a byte address into bank/row/line coordinates. */
     NvmLocation decode(Addr addr) const;
+
+    /**
+     * Array access latency of a read on @p bankIdx: tCAS on a row
+     * hit, activate (tRCD or tRCDFast) + tCAS otherwise, scaled by
+     * the bank's fault-injected latencyFactor. Excludes the burst
+     * transfer, which belongs to the channel.
+     */
+    Tick readAccessLatency(unsigned bankIdx, bool rowHit,
+                           bool fastActivate) const;
+
+    /**
+     * readAccessLatency plus span bookkeeping: marks the Device stage
+     * [start, start + latency] on request @p reqId's span (if one is
+     * open). The controller owns queueing and bank occupancy; the
+     * device owns (and attributes) the array time.
+     */
+    Tick accessRead(unsigned bankIdx, bool rowHit, bool fastActivate,
+                    std::uint64_t reqId, Tick start);
+
+    /** Record Device-stage marks on sampled request spans. */
+    void attachSpans(SpanTrace *t) { spans = t; }
 
     /** Mutable access to a bank's state. */
     Bank &bank(unsigned idx);
@@ -115,6 +137,7 @@ class NvmDevice
   private:
     NvmParams p;
     std::vector<Bank> banks;
+    SpanTrace *spans = nullptr;
     double wearTotal = 0.0;
     std::vector<StartGap> remappers;           // StartGap mode
     std::unique_ptr<RowWearTable> rowWear;     // StartGap mode

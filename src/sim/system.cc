@@ -58,8 +58,51 @@ System::registerAllStats()
     reg_.addGauge("sim.trace.dropped", [this] {
         return static_cast<double>(trace_.dropped());
     });
+    reg_.addGauge("sim.spans.recorded", [this] {
+        return static_cast<double>(spans_.recorded());
+    });
+    reg_.addGauge("sim.spans.dropped", [this] {
+        return static_cast<double>(spans_.dropped());
+    });
     reg_.addCounter("stats.nonfinite", [] { return jsonNonfiniteCount(); },
                     "NaN/Inf values that reached a JSON emitter");
+
+    // Latency attribution of sampled request-lifecycle spans. The
+    // histograms are registry-owned; the span trace records into them
+    // whenever a sampled span closes (empty while spans are off).
+    const auto addLatStats =
+        [this](const std::string &stage) -> LogHistogram & {
+        LogHistogram &h = reg_.addHistogram(
+            "lat." + stage + ".ns",
+            "per-span " + stage + " time of sampled requests (ns)");
+        reg_.addGauge("lat." + stage + ".p50_ns",
+                      [&h] { return h.percentile(0.50); },
+                      "median " + stage + " span time (ns)");
+        reg_.addGauge("lat." + stage + ".p90_ns",
+                      [&h] { return h.percentile(0.90); },
+                      "90th-percentile " + stage + " span time (ns)");
+        reg_.addGauge("lat." + stage + ".p99_ns",
+                      [&h] { return h.percentile(0.99); },
+                      "99th-percentile " + stage + " span time (ns)");
+        return h;
+    };
+    for (std::size_t s = 0; s < numSpanStages; ++s) {
+        const auto stage = static_cast<SpanStage>(s);
+        spans_.setStageHistogram(stage, &addLatStats(toString(stage)));
+    }
+    spans_.setTotalHistogram(&addLatStats("total"));
+}
+
+void
+System::enableSpans(std::uint64_t sampleEvery, std::size_t capacity)
+{
+    spans_.enable(sampleEvery, capacity);
+    spans_.setClock(&core_->stats().instructions);
+    spans_.attachTrace(&trace_);
+    core_->attachSpans(&spans_);
+    hier_->attachSpans(&spans_);
+    ctrl_->attachSpans(&spans_);
+    dev_->attachSpans(&spans_);
 }
 
 void

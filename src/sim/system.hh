@@ -132,6 +132,22 @@ class System
     const EventTrace &eventTrace() const { return trace_; }
 
     /**
+     * The request-lifecycle span trace. Disabled until enableSpans();
+     * while disabled no component carries a span pointer, so the
+     * per-request cost is a single null-pointer branch.
+     */
+    SpanTrace &spanTrace() { return spans_; }
+    const SpanTrace &spanTrace() const { return spans_; }
+
+    /**
+     * Start span sampling: every @p sampleEvery-th request id carries
+     * a span through cache, core, controller and device into a ring
+     * of @p capacity completed spans, feeding the lat.* stats and the
+     * SpanComplete event stream.
+     */
+    void enableSpans(std::uint64_t sampleEvery, std::size_t capacity);
+
+    /**
      * Attach (or detach with null) a fault injector. The injector is
      * wired to this system's instruction clock, event trace, and stat
      * registry, polled once immediately, and then re-polled at every
@@ -148,6 +164,7 @@ class System
     EnergyModel energy_;
     StatRegistry reg_;
     EventTrace trace_;
+    SpanTrace spans_;
     std::unique_ptr<Workload> wl_;
     std::unique_ptr<NvmDevice> dev_;
     std::unique_ptr<MemController> ctrl_;

@@ -1,0 +1,31 @@
+// nonfinite-gauge fixtures for guards living OUTSIDE the addGauge
+// closure: the denominator is a helper call, and whether the helper's
+// own body guards against zero decides the verdict.
+//
+// docs/contract.md documents app.helper_rate and app.helper_safe_rate.
+
+struct Agg
+{
+    double sum = 0;
+    double n = 0;
+
+    // Unguarded helper: dividing by this can still be zero.
+    double total() const { return n; }
+
+    // Guarded member predicate: never returns zero.
+    double safeTotal() const { return n > 0 ? n : 1.0; }
+};
+
+template <typename Registry>
+void
+wireHelpers(Registry &reg, Agg &a)
+{
+    // True positive: the closure has no guard and total()'s body has
+    // none either.
+    reg.addGauge("app.helper_rate", [&a] { return a.sum / a.total(); });
+
+    // False-positive check: the guard is in safeTotal()'s body, not
+    // in the closure; this must NOT fire.
+    reg.addGauge("app.helper_safe_rate",
+                 [&a] { return a.sum / a.safeTotal(); });
+}

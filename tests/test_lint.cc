@@ -273,7 +273,24 @@ TEST_F(FixtureRun, NonfiniteGaugeFlagsOnlyUnguardedDivision)
 {
     const auto &fs = findings();
     EXPECT_EQ(countOf(fs, "nonfinite-gauge", "src/stats.cc"), 1u);
-    EXPECT_EQ(countOf(fs, "nonfinite-gauge"), 1u);
+    EXPECT_EQ(countOf(fs, "nonfinite-gauge"), 2u);
+}
+
+TEST_F(FixtureRun, NonfiniteGaugeSeesGuardsOutsideTheClosure)
+{
+    // stats_helpers.cc divides by helper calls: total() has no guard
+    // in its body (fires), safeTotal() guards internally (must not).
+    const auto &fs = findings();
+    EXPECT_EQ(countOf(fs, "nonfinite-gauge", "src/stats_helpers.cc"),
+              1u);
+    const auto it = std::find_if(
+        fs.begin(), fs.end(), [](const Finding &f) {
+            return f.rule == "nonfinite-gauge" &&
+                   f.file == "src/stats_helpers.cc";
+        });
+    ASSERT_NE(it, fs.end());
+    // The surviving finding is the total() one (first addGauge call).
+    EXPECT_LT(it->line, 28);
 }
 
 TEST_F(FixtureRun, DiscardedResultFlagsBareStatementOnly)
@@ -323,6 +340,68 @@ TEST(FixtureExtraction, StatRegsAndEventsAreExposed)
     EXPECT_NE(std::find(events.begin(), events.end(),
                         "undocumented_event"),
               events.end());
+}
+
+TEST(FixtureExtraction, TrailingLiteralBecomesDescription)
+{
+    const SourceFile f = preprocess(
+        "src/x.cc",
+        "void wire(R &reg) {\n"
+        "  reg.addCounter(\"a.b\", &c, \"things counted\");\n"
+        "  reg.addHistogram(\"lat.\" + stage + \".ns\",\n"
+        "                   \"per-span \" + stage + \" time (ns)\");\n"
+        "  reg.addGauge(\"a.c\", g);\n"
+        "}\n");
+    const auto regs = extractStatRegs(f);
+    ASSERT_EQ(regs.size(), 3u);
+    EXPECT_EQ(regs[0].desc, "things counted");
+    EXPECT_EQ(regs[1].pattern, "lat.*.ns");
+    EXPECT_EQ(regs[1].desc, "per-span * time (ns)");
+    EXPECT_EQ(regs[2].desc, "");
+}
+
+TEST(DocTable, KeepsLiveDropsStaleAppendsNew)
+{
+    const std::string doc =
+        "intro\n"
+        "<!-- mct-lint:stat-contract:begin -->\n"
+        "| Path | Kind | Meaning |\n"
+        "|---|---|---|\n"
+        "| `app.kept<i>` | counter | hand-written meaning |\n"
+        "| `app.stale` | gauge | gone from code |\n"
+        "<!-- mct-lint:stat-contract:end -->\n"
+        "middle\n"
+        "<!-- mct-lint:event-contract:begin -->\n"
+        "| Event | Emitted when | Args |\n"
+        "|---|---|---|\n"
+        "| `kept_event` | sometimes | `a` |\n"
+        "| `stale_event` | never | `b` |\n"
+        "<!-- mct-lint:event-contract:end -->\n"
+        "outro\n";
+    std::vector<StatReg> regs;
+    regs.push_back({"app.kept*", "src/a.cc", 1, "counter", ""});
+    regs.push_back({"app.fresh", "src/a.cc", 2, "gauge", "new thing"});
+    const std::vector<std::string> events = {"kept_event",
+                                             "fresh_event"};
+    const std::string out = regenerateDocTables(doc, regs, events);
+
+    // Live rows survive verbatim; prose and headers are untouched.
+    EXPECT_NE(out.find("hand-written meaning"), std::string::npos);
+    EXPECT_NE(out.find("| `kept_event` | sometimes | `a` |"),
+              std::string::npos);
+    EXPECT_NE(out.find("intro\n"), std::string::npos);
+    EXPECT_NE(out.find("| Path | Kind | Meaning |"),
+              std::string::npos);
+    // Stale rows are gone.
+    EXPECT_EQ(out.find("app.stale"), std::string::npos);
+    EXPECT_EQ(out.find("stale_event"), std::string::npos);
+    // New registrations and events are appended with descriptions.
+    EXPECT_NE(out.find("| `app.fresh` | gauge | new thing |"),
+              std::string::npos);
+    EXPECT_NE(out.find("| `fresh_event` | (undocumented)"),
+              std::string::npos);
+    // Idempotent: regenerating the regenerated text changes nothing.
+    EXPECT_EQ(regenerateDocTables(out, regs, events), out);
 }
 
 TEST(FixtureExtraction, DynamicPathsBecomeHoles)

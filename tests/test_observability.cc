@@ -52,6 +52,33 @@ TEST(LogHistogram, BucketBoundaries)
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(LogHistogram, PercentileInterpolatesWithinBuckets)
+{
+    // Four observations, all in bucket 1 ([1, 2)): the rank is
+    // placed uniformly within the bucket's bounds.
+    LogHistogram h;
+    for (int i = 0; i < 4; ++i)
+        h.record(1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 1.25);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.0);
+
+    // Two buckets: two obs in bucket 0 ([0, 1)), two in bucket 2
+    // ([2, 4)). p=0.25 lands mid-bucket-0, p=0.75 mid-bucket-2.
+    LogHistogram g;
+    g.record(0.5);
+    g.record(0.5);
+    g.record(2.0);
+    g.record(3.0);
+    EXPECT_DOUBLE_EQ(g.percentile(0.25), 0.5);
+    EXPECT_DOUBLE_EQ(g.percentile(0.75), 3.0);
+    EXPECT_DOUBLE_EQ(g.percentile(1.0), 4.0);
+
+    // Monotone in p, and empty histograms read 0.
+    EXPECT_LE(g.percentile(0.1), g.percentile(0.9));
+    EXPECT_DOUBLE_EQ(LogHistogram{}.percentile(0.99), 0.0);
+}
+
 // --------------------------------------------------------------------
 // StatRegistry
 // --------------------------------------------------------------------
@@ -309,6 +336,91 @@ TEST(SystemStats, TraceDeterministicAcrossRuns)
         return os.str();
     };
     EXPECT_EQ(run(), run());
+}
+
+// --------------------------------------------------------------------
+// SpanTrace
+// --------------------------------------------------------------------
+
+TEST(SpanTrace, SamplingGridUsesLowSequenceBits)
+{
+    SpanTrace t;
+    EXPECT_FALSE(t.sampled(0)); // disabled: nothing samples
+    t.enable(64, 1024);
+    EXPECT_TRUE(t.sampled(0));
+    EXPECT_TRUE(t.sampled(64));
+    EXPECT_FALSE(t.sampled(65));
+    // The core id in the top byte does not shift the grid.
+    const std::uint64_t core1 = 1ULL << 56;
+    EXPECT_TRUE(t.sampled(core1 | 128));
+    EXPECT_FALSE(t.sampled(core1 | 129));
+}
+
+TEST(SpanTrace, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        SystemParams sp;
+        System sys("lbm", sp, staticBaselineConfig());
+        sys.enableSpans(32, 4096);
+        sys.run(100 * 1000);
+        std::ostringstream os;
+        sys.spanTrace().writeJsonl(os);
+        return os.str();
+    };
+    const std::string a = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, run());
+}
+
+TEST(SpanTrace, RingCapTruncationIsAccounted)
+{
+    SystemParams sp;
+    System sys("lbm", sp, staticBaselineConfig());
+    sys.enableSpans(8, 16); // dense sampling, tiny ring: must wrap
+    sys.run(200 * 1000);
+
+    const SpanTrace &t = sys.spanTrace();
+    ASSERT_GT(t.recorded(), 16u);
+    EXPECT_EQ(t.size(), 16u);
+    EXPECT_EQ(t.dropped(), t.recorded() - t.size());
+
+    // The JSONL output holds exactly the surviving spans, and the
+    // sim.spans.* gauges mirror the trace's own accounting.
+    std::ostringstream os;
+    t.writeJsonl(os);
+    std::size_t lines = 0;
+    for (char c : os.str())
+        lines += c == '\n';
+    EXPECT_EQ(lines, t.size());
+    const StatSnapshot s = sys.statRegistry().snapshot();
+    EXPECT_DOUBLE_EQ(s.at("sim.spans.recorded").num,
+                     static_cast<double>(t.recorded()));
+    EXPECT_DOUBLE_EQ(s.at("sim.spans.dropped").num,
+                     static_cast<double>(t.dropped()));
+}
+
+TEST(SpanTrace, FeedsLatencyHistogramsAndPercentiles)
+{
+    SystemParams sp;
+    System sys("lbm", sp, staticBaselineConfig());
+    sys.enableSpans(16, 8192);
+    sys.run(200 * 1000);
+
+    const StatSnapshot s = sys.statRegistry().snapshot();
+    const StatValue &mshr = s.at("lat.mshr.ns");
+    ASSERT_EQ(mshr.kind, StatKind::Histogram);
+    ASSERT_GT(mshr.count, 0u);
+
+    // Percentile gauges are positive, ordered, and bounded by the
+    // histogram's top occupied bucket.
+    const double p50 = s.at("lat.mshr.p50_ns").num;
+    const double p90 = s.at("lat.mshr.p90_ns").num;
+    const double p99 = s.at("lat.mshr.p99_ns").num;
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    ASSERT_FALSE(mshr.buckets.empty());
+    EXPECT_LE(p99, LogHistogram::bucketLow(mshr.buckets.size()));
 }
 
 TEST(MctStats, ControllerRegistersAndTraces)

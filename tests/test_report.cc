@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the mct_report library: the JSON reader, the stats /
+ * span / profile loaders, the thresholds grammar, percentile
+ * reconstruction from serialized buckets, and the diff gates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "report.hh"
+
+namespace mct::report
+{
+namespace
+{
+
+/** Write @p text to a unique temp file; removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &text)
+    {
+        static int seq = 0;
+        path_ = std::string(::testing::TempDir()) + "mct_report_" +
+                std::to_string(++seq) + ".json";
+        std::ofstream os(path_, std::ios::binary);
+        os << text;
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+// --------------------------------------------------------------------
+// JSON reader
+// --------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsContainersAndEscapes)
+{
+    const JsonParse p = parseJson(
+        "{\"a\": 1.5, \"b\": [true, null, -2e3], "
+        "\"s\": \"x\\n\\u0041\", \"o\": {\"k\": \"v\"}}");
+    ASSERT_TRUE(p.ok) << p.error;
+    const JsonValue &v = p.value;
+    EXPECT_DOUBLE_EQ(v.num("a", 0.0), 1.5);
+    const JsonValue *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->arr.size(), 3u);
+    EXPECT_EQ(b->arr[0].kind, JsonValue::Kind::Bool);
+    EXPECT_TRUE(b->arr[0].boolean);
+    EXPECT_EQ(b->arr[1].kind, JsonValue::Kind::Null);
+    EXPECT_DOUBLE_EQ(b->arr[2].number, -2000.0);
+    EXPECT_EQ(v.find("s")->str, "x\nA");
+    EXPECT_EQ(v.find("o")->text("k", ""), "v");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(v.num("missing", 7.0), 7.0);
+}
+
+TEST(Json, RejectsMalformedInputWithOffset)
+{
+    for (const char *bad :
+         {"{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+          "{\"a\":1} trailing", ""}) {
+        const JsonParse p = parseJson(bad);
+        EXPECT_FALSE(p.ok) << bad;
+        EXPECT_NE(p.error.find("offset"), std::string::npos) << bad;
+    }
+}
+
+// --------------------------------------------------------------------
+// RunHistogram percentiles (mirrors LogHistogram::percentile)
+// --------------------------------------------------------------------
+
+TEST(RunHistogram, PercentileInterpolatesSerializedBuckets)
+{
+    // Four observations in bucket [1, 2).
+    RunHistogram h;
+    h.count = 4;
+    h.buckets = {{1.0, 4}};
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 2.0);
+
+    // Bucket 0 spans [0, 1); higher buckets double their low edge.
+    RunHistogram g;
+    g.count = 4;
+    g.buckets = {{0.0, 2}, {2.0, 2}};
+    EXPECT_DOUBLE_EQ(g.percentile(0.25), 0.5);
+    EXPECT_DOUBLE_EQ(g.percentile(0.75), 3.0);
+
+    EXPECT_DOUBLE_EQ(RunHistogram{}.percentile(0.9), 0.0);
+}
+
+// --------------------------------------------------------------------
+// Loaders
+// --------------------------------------------------------------------
+
+const char *statsDoc(const char *ipc, const char *latency)
+{
+    static std::string doc;
+    doc = std::string("{\"schema\":\"mct-stats-v1\",\"mode\":\"eval\","
+                      "\"app\":\"lbm\",\"config\":\"static\","
+                      "\"final\":{\"sim.objective.ipc\":") +
+          ipc + ",\"memctrl.avg_read_latency_ns\":" + latency +
+          ",\"lat.mshr.ns\":{\"count\":4,\"sum\":6.0,"
+          "\"buckets\":[[1.0,4]]}},"
+          "\"periodic\":[{\"inst\":500,\"delta\":"
+          "{\"sim.instructions\":500}}],"
+          "\"events\":{\"span_complete\":3},"
+          "\"events_recorded\":3,\"events_dropped\":0}";
+    return doc.c_str();
+}
+
+TEST(Loaders, SnapshotsSplitScalarsAndHistograms)
+{
+    const TempFile f(statsDoc("0.5", "200.0"));
+    RunData run;
+    std::string err;
+    ASSERT_TRUE(loadSnapshots(f.path(), run, err)) << err;
+    EXPECT_EQ(run.app, "lbm");
+    EXPECT_EQ(run.mode, "eval");
+    EXPECT_DOUBLE_EQ(run.finalScalars.at("sim.objective.ipc"), 0.5);
+    ASSERT_EQ(run.finalHists.count("lat.mshr.ns"), 1u);
+    EXPECT_EQ(run.finalHists.at("lat.mshr.ns").count, 4u);
+    ASSERT_EQ(run.windows.size(), 1u);
+    EXPECT_EQ(run.windows[0].inst, 500u);
+    EXPECT_DOUBLE_EQ(run.eventCounts.at("span_complete"), 3.0);
+}
+
+TEST(Loaders, SnapshotsRejectWrongSchema)
+{
+    const TempFile f("{\"schema\":\"other-v9\",\"final\":{}}");
+    RunData run;
+    std::string err;
+    EXPECT_FALSE(loadSnapshots(f.path(), run, err));
+    EXPECT_NE(err.find("schema"), std::string::npos);
+}
+
+TEST(Loaders, SpansConvertPicosecondsToNanoseconds)
+{
+    const TempFile f(
+        "{\"id\":64,\"addr\":4096,\"write\":0,\"hit_level\":0,"
+        "\"inst\":100,\"begin_ps\":1000,\"end_ps\":209000,"
+        "\"stages\":{\"l1\":[1000,2000],\"bank\":[2000,109000]}}\n");
+    SpanSet set;
+    std::string err;
+    ASSERT_TRUE(loadSpans(f.path(), set, err)) << err;
+    ASSERT_EQ(set.spans.size(), 1u);
+    const SpanRow &s = set.spans[0];
+    EXPECT_EQ(s.id, 64u);
+    EXPECT_DOUBLE_EQ(s.totalNs, 208.0);
+    EXPECT_DOUBLE_EQ(s.stageNs.at("l1"), 1.0);
+    EXPECT_DOUBLE_EQ(s.stageNs.at("bank"), 107.0);
+}
+
+// --------------------------------------------------------------------
+// Thresholds grammar
+// --------------------------------------------------------------------
+
+TEST(Thresholds, ParsesBlocksAndDefaults)
+{
+    Thresholds th;
+    std::string err;
+    ASSERT_TRUE(parseThresholds("# gate\n"
+                                "metric sim.objective.ipc\n"
+                                "  direction higher\n"
+                                "  rel 0.10\n"
+                                "metric cache.*.hit_rate\n"
+                                "  direction higher\n"
+                                "  abs 0.005\n",
+                                th, err))
+        << err;
+    ASSERT_EQ(th.rules.size(), 2u);
+    EXPECT_TRUE(th.rules[0].higherIsBetter);
+    EXPECT_DOUBLE_EQ(th.rules[0].rel, 0.10);
+    EXPECT_DOUBLE_EQ(th.rules[1].abs, 0.005);
+
+    // The built-in defaults must themselves parse.
+    Thresholds dflt;
+    EXPECT_TRUE(parseThresholds(defaultThresholdsText(), dflt, err))
+        << err;
+    EXPECT_FALSE(dflt.rules.empty());
+}
+
+TEST(Thresholds, ErrorsCarryLineNumbers)
+{
+    Thresholds th;
+    std::string err;
+    // Key outside a metric block.
+    EXPECT_FALSE(parseThresholds("direction higher\n", th, err));
+    EXPECT_NE(err.find("line 1"), std::string::npos);
+    // Missing required direction.
+    EXPECT_FALSE(parseThresholds("metric a.b\n  rel 0.1\n", th, err));
+    // Unknown key and bad number.
+    EXPECT_FALSE(parseThresholds(
+        "metric a\n  direction higher\n  frobnicate 3\n", th, err));
+    EXPECT_FALSE(parseThresholds(
+        "metric a\n  direction higher\n  rel quick\n", th, err));
+    EXPECT_FALSE(parseThresholds(
+        "metric a\n  direction sideways\n", th, err));
+}
+
+TEST(Thresholds, GlobMatchesSubstringsNotDots)
+{
+    EXPECT_TRUE(metricGlobMatch("cache.*.hit_rate",
+                                "cache.l1d.hit_rate"));
+    EXPECT_TRUE(metricGlobMatch("sim.objective.ipc",
+                                "sim.objective.ipc"));
+    EXPECT_FALSE(metricGlobMatch("sim.objective.ipc",
+                                 "sim.objective.ipcX"));
+    EXPECT_TRUE(metricGlobMatch("lat.*", "lat.mshr.p99_ns"));
+    EXPECT_FALSE(metricGlobMatch("lat.*", "latency"));
+}
+
+// --------------------------------------------------------------------
+// Diff gates
+// --------------------------------------------------------------------
+
+Thresholds ipcAndLatencyGates()
+{
+    Thresholds th;
+    std::string err;
+    EXPECT_TRUE(parseThresholds("metric sim.objective.ipc\n"
+                                "  direction higher\n"
+                                "  rel 0.05\n"
+                                "metric memctrl.avg_read_latency_ns\n"
+                                "  direction lower\n"
+                                "  rel 0.10\n",
+                                th, err))
+        << err;
+    return th;
+}
+
+TEST(Diff, CleanWhenWithinThresholds)
+{
+    const TempFile base(statsDoc("0.500", "200.0"));
+    const TempFile cur(statsDoc("0.495", "210.0")); // -1%, +5%
+    RunData b, c;
+    std::string err;
+    ASSERT_TRUE(loadSnapshots(base.path(), b, err)) << err;
+    ASSERT_TRUE(loadSnapshots(cur.path(), c, err)) << err;
+
+    const DiffReport rep = diffRuns(b, c, ipcAndLatencyGates());
+    EXPECT_EQ(rep.regressions, 0u);
+    ASSERT_EQ(rep.checks.size(), 2u);
+    for (const CheckResult &r : rep.checks)
+        EXPECT_FALSE(r.regressed) << r.metric;
+}
+
+TEST(Diff, FlagsSlipsPastTheGateInEitherDirection)
+{
+    const TempFile base(statsDoc("0.500", "200.0"));
+    const TempFile cur(statsDoc("0.400", "250.0")); // -20%, +25%
+    RunData b, c;
+    std::string err;
+    ASSERT_TRUE(loadSnapshots(base.path(), b, err)) << err;
+    ASSERT_TRUE(loadSnapshots(cur.path(), c, err)) << err;
+
+    const DiffReport rep = diffRuns(b, c, ipcAndLatencyGates());
+    EXPECT_EQ(rep.regressions, 2u);
+
+    // Improvements never regress, however large.
+    const TempFile better(statsDoc("0.900", "100.0"));
+    RunData g;
+    ASSERT_TRUE(loadSnapshots(better.path(), g, err)) << err;
+    EXPECT_EQ(diffRuns(b, g, ipcAndLatencyGates()).regressions, 0u);
+}
+
+TEST(Diff, ReportsMetricsMissingFromBase)
+{
+    const TempFile base(statsDoc("0.5", "200.0"));
+    RunData b, c;
+    std::string err;
+    ASSERT_TRUE(loadSnapshots(base.path(), b, err)) << err;
+    c = b;
+    c.finalScalars["memctrl.avg_write_latency_ns"] = 1.0;
+
+    Thresholds th;
+    ASSERT_TRUE(parseThresholds(
+        "metric memctrl.avg_*\n  direction lower\n", th, err))
+        << err;
+    const DiffReport rep = diffRuns(b, c, th);
+    ASSERT_EQ(rep.missingInBase.size(), 1u);
+    EXPECT_EQ(rep.missingInBase[0], "memctrl.avg_write_latency_ns");
+    EXPECT_EQ(rep.regressions, 0u);
+}
+
+TEST(Diff, BenchReportRoundTripsThroughTheJsonReader)
+{
+    const TempFile base(statsDoc("0.500", "200.0"));
+    const TempFile cur(statsDoc("0.400", "250.0"));
+    RunData b, c;
+    std::string err;
+    ASSERT_TRUE(loadSnapshots(base.path(), b, err)) << err;
+    ASSERT_TRUE(loadSnapshots(cur.path(), c, err)) << err;
+    const DiffReport rep = diffRuns(b, c, ipcAndLatencyGates());
+
+    std::ostringstream os;
+    writeBenchReport(os, b, c, rep);
+    const JsonParse p = parseJson(os.str());
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.value.text("schema", ""), "mct-bench-report-v1");
+    EXPECT_DOUBLE_EQ(p.value.num("regressions", -1.0), 2.0);
+    const JsonValue *passed = p.value.find("passed");
+    ASSERT_NE(passed, nullptr);
+    EXPECT_FALSE(passed->boolean);
+    ASSERT_NE(p.value.find("checks"), nullptr);
+    EXPECT_EQ(p.value.find("checks")->arr.size(), rep.checks.size());
+}
+
+} // namespace
+} // namespace mct::report

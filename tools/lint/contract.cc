@@ -111,6 +111,111 @@ regCallRe()
     return re;
 }
 
+/** Tokens that make a division inside @p text finite-safe. */
+bool
+guardTokens(const std::string &text)
+{
+    return text.find("isfinite") != std::string::npos ||
+           text.find("clamp") != std::string::npos ||
+           text.find("max(") != std::string::npos ||
+           text.find("min(") != std::string::npos ||
+           text.find('?') != std::string::npos;
+}
+
+/**
+ * Callee name when the denominator expression starting at @p j inside
+ * @p call is a plain, member, or qualified function call
+ * (`total()`, `c.total()`, `obj->total()`, `Agg::total()`); empty
+ * otherwise.
+ */
+std::string
+denominatorCallee(const std::string &call, std::size_t j)
+{
+    std::size_t i = j, last = j;
+    bool any = false;
+    while (i < call.size()) {
+        const char c = call[i];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            ++i;
+            any = true;
+            continue;
+        }
+        if (c == ':' && i + 1 < call.size() && call[i + 1] == ':') {
+            i += 2;
+            last = i;
+            continue;
+        }
+        if (c == '.') {
+            ++i;
+            last = i;
+            continue;
+        }
+        if (c == '-' && i + 1 < call.size() && call[i + 1] == '>') {
+            i += 2;
+            last = i;
+            continue;
+        }
+        break;
+    }
+    if (!any || last >= i)
+        return "";
+    std::size_t k = i;
+    while (k < call.size() &&
+           std::isspace(static_cast<unsigned char>(call[k])))
+        ++k;
+    if (k >= call.size() || call[k] != '(')
+        return "";
+    return call.substr(last, i - last);
+}
+
+/**
+ * True when a function named @p name is defined somewhere in
+ * @p files with a guard in its body. Recognizes out-of-closure guards
+ * (helper functions, member predicates) that the in-closure token scan
+ * cannot see.
+ */
+bool
+helperBodyGuarded(const std::string &name,
+                  const std::vector<SourceFile> &files)
+{
+    const std::regex re("\\b" + name + "\\s*\\(",
+                        std::regex::optimize);
+    for (const auto &f : files) {
+        const std::string &text = f.codeOnly;
+        for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                            re);
+             it != std::sregex_iterator(); ++it) {
+            const std::size_t open =
+                static_cast<std::size_t>(it->position(0)) +
+                it->length(0) - 1;
+            const std::size_t close = closeParen(text, open);
+            if (close == std::string::npos)
+                continue;
+            // A definition has a '{' after the parameter list (past
+            // cv-qualifiers / noexcept / a trailing return type); a
+            // ';', ',' or ')' first means declaration or call site.
+            std::size_t k = close + 1;
+            while (k < text.size() && text[k] != '{' &&
+                   text[k] != ';' && text[k] != ')' &&
+                   text[k] != ',' && text[k] != '}')
+                ++k;
+            if (k >= text.size() || text[k] != '{')
+                continue;
+            int depth = 0;
+            std::size_t end = k;
+            for (; end < text.size(); ++end) {
+                if (text[end] == '{')
+                    ++depth;
+                else if (text[end] == '}' && --depth == 0)
+                    break;
+            }
+            if (guardTokens(text.substr(k, end - k + 1)))
+                return true;
+        }
+    }
+    return false;
+}
+
 } // namespace
 
 std::vector<StatReg>
@@ -150,6 +255,28 @@ extractStatRegs(const SourceFile &src)
         reg.kind = fn == "addGauge"       ? "gauge"
                    : fn == "addHistogram" ? "histogram"
                                           : "counter";
+        // Trailing string-literal argument = the description (used by
+        // --emit-doc-table as the generated row's meaning).
+        {
+            int depth = 0;
+            std::size_t lastArg = open + 1;
+            for (std::size_t i = open; i < close; ++i) {
+                if (text[i] == '(' || text[i] == '[' ||
+                    text[i] == '{')
+                    ++depth;
+                else if (text[i] == ')' || text[i] == ']' ||
+                         text[i] == '}')
+                    --depth;
+                else if (text[i] == ',' && depth == 1)
+                    lastArg = i + 1;
+            }
+            if (lastArg > open + 1) {
+                const std::string arg =
+                    text.substr(lastArg, close - lastArg);
+                if (arg.find('"') != std::string::npos)
+                    reg.desc = argToPattern(arg);
+            }
+        }
         if (!reg.pattern.empty())
             out.push_back(std::move(reg));
     }
@@ -226,6 +353,113 @@ extractDocSection(const std::string &text, const std::string &tag,
 }
 
 } // namespace
+
+std::string
+regenerateDocTables(const std::string &docText,
+                    const std::vector<StatReg> &stats,
+                    const std::vector<std::string> &events)
+{
+    // Dedupe registrations by pattern, first site wins (per-level and
+    // per-bank loops register the same pattern many times).
+    std::vector<const StatReg *> uniq;
+    for (const auto &r : stats) {
+        const bool seen =
+            std::any_of(uniq.begin(), uniq.end(),
+                        [&](const StatReg *u) {
+                            return u->pattern == r.pattern;
+                        });
+        if (!seen)
+            uniq.push_back(&r);
+    }
+
+    std::ostringstream out;
+    std::istringstream is(docText);
+    std::string line;
+    int section = 0; // 0 outside, 1 stat-contract, 2 event-contract
+    std::set<std::string> keptStatRows; // patterns covered by kept rows
+    std::set<std::string> keptEventRows;
+
+    const auto emitMissing = [&](int which) {
+        if (which == 1) {
+            for (const StatReg *r : uniq) {
+                const bool covered = std::any_of(
+                    keptStatRows.begin(), keptStatRows.end(),
+                    [&](const std::string &doc) {
+                        return patternsUnify(r->pattern, doc);
+                    });
+                if (covered)
+                    continue;
+                out << "| `" << r->pattern << "` | " << r->kind
+                    << " | "
+                    << (r->desc.empty() ? "(undocumented)" : r->desc)
+                    << " |\n";
+            }
+        } else {
+            for (const auto &name : events) {
+                if (!keptEventRows.count(name))
+                    out << "| `" << name
+                        << "` | (undocumented) | — |\n";
+            }
+        }
+    };
+
+    while (std::getline(is, line)) {
+        if (line.find("mct-lint:stat-contract:begin") !=
+            std::string::npos) {
+            section = 1;
+            keptStatRows.clear();
+            out << line << '\n';
+            continue;
+        }
+        if (line.find("mct-lint:event-contract:begin") !=
+            std::string::npos) {
+            section = 2;
+            keptEventRows.clear();
+            out << line << '\n';
+            continue;
+        }
+        if (section &&
+            (line.find("mct-lint:stat-contract:end") !=
+                 std::string::npos ||
+             line.find("mct-lint:event-contract:end") !=
+                 std::string::npos)) {
+            emitMissing(section);
+            section = 0;
+            out << line << '\n';
+            continue;
+        }
+        if (!section) {
+            out << line << '\n';
+            continue;
+        }
+        std::string name;
+        if (!firstBacktick(line, name)) {
+            out << line << '\n'; // table header / separator / prose
+            continue;
+        }
+        if (section == 1) {
+            const std::string pat = std::regex_replace(
+                name, std::regex("<[^>]*>"), "*");
+            const bool live =
+                std::any_of(uniq.begin(), uniq.end(),
+                            [&](const StatReg *r) {
+                                return patternsUnify(r->pattern, pat);
+                            });
+            if (live) {
+                keptStatRows.insert(pat);
+                out << line << '\n';
+            } // stale rows are dropped
+        } else {
+            const bool live = std::find(events.begin(), events.end(),
+                                        name) != events.end();
+            if (live) {
+                keptEventRows.insert(name);
+                out << line << '\n';
+            }
+        }
+    }
+    return out.str();
+}
 
 void
 Linter::runStatContract(const RuleSpec &rule,
@@ -380,6 +614,16 @@ Linter::runNonfiniteGauge(const RuleSpec &rule,
 {
     static const std::regex gaugeRe(R"(\baddGauge\s*\()",
                                     std::regex::optimize);
+    // Helper-guard verdicts are repo-wide facts; cache across calls.
+    std::map<std::string, bool> helperCache;
+    const auto helperGuarded = [&](const std::string &name) {
+        const auto it = helperCache.find(name);
+        if (it != helperCache.end())
+            return it->second;
+        const bool g = helperBodyGuarded(name, files);
+        helperCache.emplace(name, g);
+        return g;
+    };
     for (const auto &f : files) {
         if (!pathAllowed(rule, f.path))
             continue;
@@ -395,8 +639,9 @@ Linter::runNonfiniteGauge(const RuleSpec &rule,
                 continue;
             const std::string call =
                 text.substr(open, close - open + 1);
-            // Division with a non-literal denominator?
-            bool unsafeDiv = false;
+            // Divisions with a non-literal denominator (offsets of
+            // each denominator's first character).
+            std::vector<std::size_t> denoms;
             for (std::size_t i = 0; i + 1 < call.size(); ++i) {
                 if (call[i] != '/')
                     continue;
@@ -408,23 +653,31 @@ Linter::runNonfiniteGauge(const RuleSpec &rule,
                 if (j < call.size() &&
                     !std::isdigit(
                         static_cast<unsigned char>(call[j])))
-                    unsafeDiv = true;
+                    denoms.push_back(j);
             }
-            if (!unsafeDiv)
+            if (denoms.empty())
                 continue;
-            const bool guarded =
-                call.find("isfinite") != std::string::npos ||
-                call.find("clamp") != std::string::npos ||
-                call.find("max(") != std::string::npos ||
-                call.find("min(") != std::string::npos ||
-                call.find('?') != std::string::npos;
-            if (!guarded)
-                out.push_back(
-                    {f.path, lineOfOffset(text, open), rule.id,
-                     rule.message.empty()
-                         ? "gauge closure divides without a "
-                           "zero/non-finite guard"
-                         : rule.message});
+            if (guardTokens(call))
+                continue;
+            // No guard inside the closure: a denominator that is a
+            // call into a helper whose own body carries the guard
+            // (member predicate, free function) is still safe.
+            bool allGuardedOutside = true;
+            for (const std::size_t j : denoms) {
+                const std::string callee = denominatorCallee(call, j);
+                if (callee.empty() || !helperGuarded(callee)) {
+                    allGuardedOutside = false;
+                    break;
+                }
+            }
+            if (allGuardedOutside)
+                continue;
+            out.push_back(
+                {f.path, lineOfOffset(text, open), rule.id,
+                 rule.message.empty()
+                     ? "gauge closure divides without a "
+                       "zero/non-finite guard"
+                     : rule.message});
         }
     }
 }

@@ -148,6 +148,10 @@ struct StatReg
     std::string file;
     int line = 0;
     std::string kind; ///< "counter" | "gauge" | "histogram"
+
+    /** Trailing string-literal description argument, rendered like
+     *  pattern ('*' holes for non-literal pieces); may be empty. */
+    std::string desc;
 };
 
 /** Extract StatRegistry registrations from one file. */
@@ -156,6 +160,25 @@ std::vector<StatReg> extractStatRegs(const SourceFile &src);
 /** Extract TraceEventType names ("phase_change", ...) from a file
  *  containing the toString(TraceEventType) switch. */
 std::vector<std::string> extractEventNames(const SourceFile &src);
+
+/**
+ * Regenerate the marker-delimited contract tables of a documentation
+ * file (--emit-doc-table). Inside the `mct-lint:stat-contract` and
+ * `mct-lint:event-contract` sections:
+ *
+ *  - rows whose backticked name still unifies with a registration
+ *    (resp. names an existing event) are kept verbatim, preserving
+ *    hand-written placeholders and meanings;
+ *  - stale rows are dropped;
+ *  - registrations and events matched by no surviving row are
+ *    appended as generated rows (stat rows use the extracted pattern
+ *    and description; '*' holes read as "any segment").
+ *
+ * Text outside the marker sections is returned untouched.
+ */
+std::string regenerateDocTables(const std::string &docText,
+                                const std::vector<StatReg> &stats,
+                                const std::vector<std::string> &events);
 
 /**
  * The linter. Owns the rule set; run() scans a repo-style tree.

@@ -2,16 +2,24 @@
  * @file
  * mct_lint command-line driver.
  *
- *     mct_lint [--root DIR] [--rules FILE] [--dump] [ROOT...]
+ *     mct_lint [--root DIR] [--rules FILE] [--dump]
+ *              [--emit-doc-table] [ROOT...]
  *
- * Scans ROOT... directories (default: src bench tests) under the
- * repository root, applies every rule in rules.txt, and prints
+ * Scans ROOT... directories (default: src bench tests tools) under
+ * the repository root, applies every rule in rules.txt, and prints
  * findings as "file:line: [rule-id] message". Exits 0 when clean,
  * 1 when findings exist, 2 on usage/configuration errors.
  *
  * --dump prints the extracted instrumentation contract (stat path
  * patterns and event type names) instead of linting; it is the
  * source of truth for the tables in docs/observability.md.
+ *
+ * --emit-doc-table rewrites the marker-delimited contract tables in
+ * the stat-contract rule's docs file in place from that extraction:
+ * rows still backed by code are kept verbatim (hand-written
+ * placeholders and meanings survive), stale rows are dropped, and
+ * new registrations / event types are appended as generated rows to
+ * be hand-polished.
  */
 
 #include <cstring>
@@ -32,7 +40,7 @@ usage()
 {
     std::cerr
         << "usage: mct_lint [--root DIR] [--rules FILE] [--dump] "
-           "[ROOT...]\n";
+           "[--emit-doc-table] [ROOT...]\n";
     return 2;
 }
 
@@ -44,6 +52,7 @@ main(int argc, char **argv)
     std::string root = ".";
     std::string rulesPath;
     bool dump = false;
+    bool emitDocTable = false;
     std::vector<std::string> roots;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -53,6 +62,8 @@ main(int argc, char **argv)
             rulesPath = argv[++i];
         else if (arg == "--dump")
             dump = true;
+        else if (arg == "--emit-doc-table")
+            emitDocTable = true;
         else if (arg == "--help" || arg == "-h")
             return usage();
         else if (!arg.empty() && arg[0] == '-')
@@ -61,7 +72,7 @@ main(int argc, char **argv)
             roots.push_back(arg);
     }
     if (roots.empty())
-        roots = {"src", "bench", "tests"};
+        roots = {"src", "bench", "tests", "tools"};
     if (rulesPath.empty())
         rulesPath =
             (std::filesystem::path(root) / "tools/lint/rules.txt")
@@ -84,8 +95,42 @@ main(int argc, char **argv)
         return 2;
     }
 
+    std::string docsRel = "docs/observability.md";
+    for (const auto &r : rules.rules)
+        if (r.builtin == "stat-contract" && !r.docs.empty())
+            docsRel = r.docs;
+
     mct::lint::Linter linter(std::move(rules), root);
     const auto findings = linter.run(roots);
+
+    if (emitDocTable) {
+        const auto docsPath = std::filesystem::path(root) / docsRel;
+        std::ifstream din(docsPath, std::ios::binary);
+        if (!din) {
+            std::cerr << "mct_lint: cannot read " << docsPath.string()
+                      << "\n";
+            return 2;
+        }
+        std::ostringstream dbuf;
+        dbuf << din.rdbuf();
+        din.close();
+        const std::string updated = mct::lint::regenerateDocTables(
+            dbuf.str(), linter.statRegs(), linter.eventNames());
+        if (updated == dbuf.str()) {
+            std::cout << "mct_lint: " << docsRel << " is up to date\n";
+            return 0;
+        }
+        std::ofstream dout(docsPath, std::ios::binary);
+        if (!dout) {
+            std::cerr << "mct_lint: cannot write " << docsPath.string()
+                      << "\n";
+            return 2;
+        }
+        dout << updated;
+        std::cout << "mct_lint: regenerated contract tables in "
+                  << docsRel << "\n";
+        return 0;
+    }
 
     if (dump) {
         std::cout << "# stat registrations (pattern  kind  site)\n";

@@ -31,6 +31,13 @@
  *   --trace-chrome FILE  the same trace in Chrome trace-event format
  *                        (load in chrome://tracing or Perfetto)
  *   --trace-cap N        event ring-buffer capacity (default 65536)
+ *   --spans-out FILE     request-lifecycle spans as JSONL (sampled
+ *                        per-stage latency attribution)
+ *   --spans-chrome FILE  the same spans as Chrome trace-event
+ *                        complete events on per-component tracks
+ *   --span-sample N      sample every Nth request id (default 64
+ *                        when a spans output is requested, else off)
+ *   --span-cap N         span ring-buffer capacity (default 16384)
  *
  * Fault injection (eval, mct and sweep modes; docs/robustness.md):
  *   --faults PLAN        a built-in plan name (drift, degrade,
@@ -221,15 +228,19 @@ struct Telemetry
     std::string statsJson;   ///< --stats-json FILE
     std::string traceOut;    ///< --trace-out FILE (JSONL)
     std::string traceChrome; ///< --trace-chrome FILE
+    std::string spansOut;    ///< --spans-out FILE (JSONL)
+    std::string spansChrome; ///< --spans-chrome FILE
     InstCount statsEvery = 0;
     std::size_t traceCap = 64 * 1024;
+    std::uint64_t spanSample = 0; ///< --span-sample N (0 = off)
+    std::size_t spanCap = 16 * 1024;
 
     /** Any surface requested at all? */
     bool
     any() const
     {
         return !statsJson.empty() || !traceOut.empty() ||
-               !traceChrome.empty() || statsEvery > 0;
+               !traceChrome.empty() || statsEvery > 0 || wantsSpans();
     }
 
     /** Should the event ring buffer record? */
@@ -239,6 +250,9 @@ struct Telemetry
         return !statsJson.empty() || !traceOut.empty() ||
                !traceChrome.empty();
     }
+
+    /** Should request-lifecycle spans be sampled? */
+    bool wantsSpans() const { return spanSample > 0; }
 };
 
 Telemetry
@@ -254,6 +268,20 @@ telemetryFromArgs(const Args &args)
     if (cap <= 0)
         mct_fatal("--trace-cap must be positive");
     t.traceCap = static_cast<std::size_t>(cap);
+    t.spansOut = args.get("spans-out", "");
+    t.spansChrome = args.get("spans-chrome", "");
+    const long long sample = args.getI("span-sample", 0);
+    if (sample < 0)
+        mct_fatal("--span-sample must be non-negative");
+    t.spanSample = static_cast<std::uint64_t>(sample);
+    const long long scap = args.getI("span-cap", 16 * 1024);
+    if (scap <= 0)
+        mct_fatal("--span-cap must be positive");
+    t.spanCap = static_cast<std::size_t>(scap);
+    // A spans output implies sampling at the default period.
+    if (t.spanSample == 0 &&
+        (!t.spansOut.empty() || !t.spansChrome.empty()))
+        t.spanSample = 64;
     return t;
 }
 
@@ -492,6 +520,30 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
         trace.writeChromeTrace(os);
         std::printf("trace-chrome   %s\n", t.traceChrome.c_str());
     }
+    const SpanTrace &spans = sys.spanTrace();
+    if (!t.spansOut.empty()) {
+        std::ofstream os(t.spansOut);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.spansOut.c_str());
+            return 1;
+        }
+        spans.writeJsonl(os);
+        std::printf("spans-out      %s (%llu spans, %llu dropped)\n",
+                    t.spansOut.c_str(),
+                    static_cast<unsigned long long>(spans.size()),
+                    static_cast<unsigned long long>(spans.dropped()));
+    }
+    if (!t.spansChrome.empty()) {
+        std::ofstream os(t.spansChrome);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.spansChrome.c_str());
+            return 1;
+        }
+        spans.writeChromeTrace(os);
+        std::printf("spans-chrome   %s\n", t.spansChrome.c_str());
+    }
     return 0;
 }
 
@@ -560,6 +612,8 @@ cmdEval(const Args &args)
             sys.attachFaultInjector(&inj);
         if (tel.wantsTrace())
             sys.eventTrace().enable(tel.traceCap);
+        if (tel.wantsSpans())
+            sys.enableSpans(tel.spanSample, tel.spanCap);
         if (faults.any())
             runChunked(sys, ep.warmupInsts);
         else
@@ -625,6 +679,8 @@ cmdMct(const Args &args)
         sys.attachFaultInjector(&inj);
     if (tel.wantsTrace())
         sys.eventTrace().enable(tel.traceCap);
+    if (tel.wantsSpans())
+        sys.enableSpans(tel.spanSample, tel.spanCap);
     sys.run(ep.warmupInsts);
 
     MctParams mp;

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * mct_report — analyze and regression-gate mct_sim telemetry.
+ *
+ * Usage:
+ *   mct_report show --stats-json FILE [--spans FILE] [--profile FILE]
+ *                   [--windows N]
+ *   mct_report diff --base FILE --new FILE [--thresholds FILE]
+ *                   [--out BENCH_report.json]
+ *
+ * `show` renders one run: objectives, the lat.* latency-attribution
+ * breakdown with p50/p90/p99, per-window tables, event counts, and
+ * optional span/WallProfiler summaries.
+ *
+ * `diff` gates a new run against a base run. Every final scalar of the
+ * new run matching a threshold rule (built-in defaults, or a
+ * thresholds.txt given with --thresholds) is checked; a metric that
+ * moves against its preferred direction by more than rel*|base| + abs
+ * is a regression. --out writes a machine-readable
+ * mct-bench-report-v1 document for CI artifacts.
+ *
+ * Exit codes: 0 clean, 1 at least one regression, 2 usage or load
+ * error. `show` only uses 0 and 2.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "report.hh"
+
+namespace
+{
+
+using namespace mct::report;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mct_report show --stats-json FILE [--spans FILE]\n"
+        "                       [--profile FILE] [--windows N]\n"
+        "       mct_report diff --base FILE --new FILE\n"
+        "                       [--thresholds FILE] [--out FILE]\n");
+    return 2;
+}
+
+/** Fetch the value after a flag; false when it is missing. */
+bool
+flagValue(int argc, char **argv, int &i, std::string &out)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", argv[i]);
+        return false;
+    }
+    out = argv[++i];
+    return true;
+}
+
+int
+cmdShow(int argc, char **argv)
+{
+    std::string statsPath, spansPath, profilePath;
+    std::size_t windows = 8;
+    for (int i = 2; i < argc; ++i) {
+        std::string v;
+        if (!std::strcmp(argv[i], "--stats-json")) {
+            if (!flagValue(argc, argv, i, statsPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--spans")) {
+            if (!flagValue(argc, argv, i, spansPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--profile")) {
+            if (!flagValue(argc, argv, i, profilePath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--windows")) {
+            if (!flagValue(argc, argv, i, v))
+                return 2;
+            windows = static_cast<std::size_t>(std::stoul(v));
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (statsPath.empty())
+        return usage();
+
+    std::string err;
+    RunData run;
+    if (!loadSnapshots(statsPath, run, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+    renderRun(std::cout, run, windows);
+    if (!spansPath.empty()) {
+        SpanSet spans;
+        if (!loadSpans(spansPath, spans, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        std::cout << "\n";
+        renderSpans(std::cout, spans);
+    }
+    if (!profilePath.empty()) {
+        Profile prof;
+        if (!loadProfile(profilePath, prof, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        std::cout << "\nself-profile:\n";
+        renderProfile(std::cout, prof);
+    }
+    return 0;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    std::string basePath, newPath, thresholdsPath, outPath;
+    for (int i = 2; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--base")) {
+            if (!flagValue(argc, argv, i, basePath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--new")) {
+            if (!flagValue(argc, argv, i, newPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--thresholds")) {
+            if (!flagValue(argc, argv, i, thresholdsPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--out")) {
+            if (!flagValue(argc, argv, i, outPath))
+                return 2;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (basePath.empty() || newPath.empty())
+        return usage();
+
+    std::string err;
+    Thresholds th;
+    if (thresholdsPath.empty()) {
+        if (!parseThresholds(defaultThresholdsText(), th, err)) {
+            std::fprintf(stderr, "internal: bad default thresholds: "
+                                 "%s\n",
+                         err.c_str());
+            return 2;
+        }
+    } else if (!loadThresholds(thresholdsPath, th, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+
+    RunData base, cur;
+    if (!loadSnapshots(basePath, base, err) ||
+        !loadSnapshots(newPath, cur, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+
+    const DiffReport rep = diffRuns(base, cur, th);
+    renderDiff(std::cout, base, cur, rep);
+    if (rep.checks.empty()) {
+        std::fprintf(stderr,
+                     "error: no metric matched any threshold rule\n");
+        return 2;
+    }
+    if (!outPath.empty()) {
+        std::ofstream os(outPath);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         outPath.c_str());
+            return 2;
+        }
+        writeBenchReport(os, base, cur, rep);
+        std::printf("report written to %s\n", outPath.c_str());
+    }
+    return rep.regressions ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    if (!std::strcmp(argv[1], "show"))
+        return cmdShow(argc, argv);
+    if (!std::strcmp(argv[1], "diff"))
+        return cmdDiff(argc, argv);
+    std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
+    return usage();
+}

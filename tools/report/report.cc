@@ -1,0 +1,944 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/table.hh"
+
+namespace mct::report
+{
+
+// --------------------------------------------------------------------
+// JsonValue
+// --------------------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::num(const std::string &key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::Number ? v->number : dflt;
+}
+
+std::string
+JsonValue::text(const std::string &key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::String ? v->str : dflt;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string. */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : s(text) {}
+
+    JsonParse
+    run()
+    {
+        JsonParse out;
+        skipWs();
+        if (!parseValue(out.value)) {
+            out.error = "offset " + std::to_string(pos) + ": " + what;
+            return out;
+        }
+        skipWs();
+        if (pos != s.size()) {
+            out.error = "offset " + std::to_string(pos) +
+                        ": trailing garbage";
+            return out;
+        }
+        out.ok = true;
+        return out;
+    }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+    std::string what;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (what.empty())
+            what = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (s.compare(pos, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        const char c = s[pos];
+        switch (c) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return fail("expected object key");
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after key");
+            JsonValue val;
+            if (!parseValue(val))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(val));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue val;
+            if (!parseValue(val))
+                return false;
+            out.arr.push_back(std::move(val));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (pos < s.size()) {
+            const char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= s.size())
+                return fail("dangling escape");
+            const char e = s[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  // The emitters only escape control characters; decode
+                  // the BMP code point as UTF-8.
+                  if (pos + 4 > s.size())
+                      return fail("truncated \\u escape");
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      const char h = s[pos++];
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return fail("bad \\u escape");
+                  }
+                  if (cp < 0x80) {
+                      out.push_back(static_cast<char>(cp));
+                  } else if (cp < 0x800) {
+                      out.push_back(
+                          static_cast<char>(0xC0 | (cp >> 6)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  } else {
+                      out.push_back(
+                          static_cast<char>(0xE0 | (cp >> 12)));
+                      out.push_back(static_cast<char>(
+                          0x80 | ((cp >> 6) & 0x3F)));
+                      out.push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  }
+                  break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (consume('-')) {}
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("expected a value");
+        const std::string tok = s.substr(start, pos - start);
+        try {
+            std::size_t used = 0;
+            out.number = std::stod(tok, &used);
+            if (used != tok.size())
+                return fail("malformed number '" + tok + "'");
+        } catch (const std::exception &) {
+            return fail("malformed number '" + tok + "'");
+        }
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+};
+
+/** Slurp a whole file; false when it cannot be opened. */
+bool
+readFile(const std::string &path, std::string &out, std::string &err)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        err = path + ": cannot open";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Parse a file that holds one JSON document. */
+bool
+parseJsonFile(const std::string &path, JsonValue &out, std::string &err)
+{
+    std::string text;
+    if (!readFile(path, text, err))
+        return false;
+    JsonParse p = parseJson(text);
+    if (!p.ok) {
+        err = path + ": " + p.error;
+        return false;
+    }
+    out = std::move(p.value);
+    return true;
+}
+
+} // namespace
+
+JsonParse
+parseJson(const std::string &text)
+{
+    return JsonReader(text).run();
+}
+
+// --------------------------------------------------------------------
+// Run data
+// --------------------------------------------------------------------
+
+double
+RunHistogram::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (const auto &[lo, n] : buckets) {
+        if (n == 0)
+            continue;
+        cum += n;
+        if (static_cast<double>(cum) >= target) {
+            // Buckets are log2: [0,1) then [2^(i-1), 2^i), so the
+            // upper edge is always lo*2 (1 for the zero bucket) —
+            // identical to LogHistogram::percentile.
+            const double hi = lo == 0.0 ? 1.0 : lo * 2.0;
+            const double into =
+                target - static_cast<double>(cum - n);
+            const double frac =
+                std::clamp(into / static_cast<double>(n), 0.0, 1.0);
+            return lo + (hi - lo) * frac;
+        }
+    }
+    const double lastLo = buckets.back().first;
+    return lastLo == 0.0 ? 1.0 : lastLo * 2.0;
+}
+
+namespace
+{
+
+/** Split a snapshot object into scalar and histogram members. */
+void
+splitSnapshot(const JsonValue &snap,
+              std::map<std::string, double> &scalars,
+              std::map<std::string, RunHistogram> *hists)
+{
+    for (const auto &[path, v] : snap.members) {
+        if (v.kind == JsonValue::Kind::Number) {
+            scalars[path] = v.number;
+        } else if (v.kind == JsonValue::Kind::Object && hists) {
+            RunHistogram h;
+            h.count =
+                static_cast<std::uint64_t>(v.num("count", 0.0));
+            h.sum = v.num("sum", 0.0);
+            if (const JsonValue *bs = v.find("buckets")) {
+                for (const JsonValue &b : bs->arr) {
+                    if (b.kind != JsonValue::Kind::Array ||
+                        b.arr.size() != 2)
+                        continue;
+                    h.buckets.emplace_back(
+                        b.arr[0].number,
+                        static_cast<std::uint64_t>(b.arr[1].number));
+                }
+            }
+            (*hists)[path] = std::move(h);
+        }
+    }
+}
+
+} // namespace
+
+bool
+loadSnapshots(const std::string &path, RunData &out, std::string &err)
+{
+    JsonValue doc;
+    if (!parseJsonFile(path, doc, err))
+        return false;
+    const std::string schema = doc.text("schema", "");
+    if (schema != "mct-stats-v1") {
+        err = path + ": unsupported schema '" + schema + "'";
+        return false;
+    }
+    out.path = path;
+    out.mode = doc.text("mode", "");
+    out.app = doc.text("app", "");
+    out.config = doc.text("config", "");
+    const JsonValue *final_ = doc.find("final");
+    if (!final_ || final_->kind != JsonValue::Kind::Object) {
+        err = path + ": missing 'final' snapshot";
+        return false;
+    }
+    splitSnapshot(*final_, out.finalScalars, &out.finalHists);
+    if (const JsonValue *periodic = doc.find("periodic")) {
+        for (const JsonValue &entry : periodic->arr) {
+            const JsonValue *delta = entry.find("delta");
+            if (!delta)
+                continue;
+            RunWindow w;
+            w.inst =
+                static_cast<std::uint64_t>(entry.num("inst", 0.0));
+            splitSnapshot(*delta, w.scalars, nullptr);
+            out.windows.push_back(std::move(w));
+        }
+    }
+    if (const JsonValue *events = doc.find("events")) {
+        for (const auto &[name, v] : events->members) {
+            if (v.kind == JsonValue::Kind::Number)
+                out.eventCounts[name] = v.number;
+        }
+    }
+    out.eventsRecorded = doc.num("events_recorded", 0.0);
+    out.eventsDropped = doc.num("events_dropped", 0.0);
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Span JSONL
+// --------------------------------------------------------------------
+
+bool
+loadSpans(const std::string &path, SpanSet &out, std::string &err)
+{
+    std::string text;
+    if (!readFile(path, text, err))
+        return false;
+    std::istringstream is(text);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonParse p = parseJson(line);
+        if (!p.ok) {
+            err = path + ":" + std::to_string(lineNo) + ": " + p.error;
+            return false;
+        }
+        const JsonValue &v = p.value;
+        SpanRow row;
+        row.id = static_cast<std::uint64_t>(v.num("id", 0.0));
+        row.hitLevel = static_cast<int>(v.num("hit_level", 0.0));
+        row.isWrite = v.num("write", 0.0) != 0.0;
+        row.inst = static_cast<std::uint64_t>(v.num("inst", 0.0));
+        const double beginPs = v.num("begin_ps", 0.0);
+        const double endPs = v.num("end_ps", 0.0);
+        row.totalNs = (endPs - beginPs) / 1000.0;
+        if (const JsonValue *stages = v.find("stages")) {
+            for (const auto &[name, iv] : stages->members) {
+                if (iv.kind != JsonValue::Kind::Array ||
+                    iv.arr.size() != 2)
+                    continue;
+                row.stageNs[name] =
+                    (iv.arr[1].number - iv.arr[0].number) / 1000.0;
+            }
+        }
+        out.spans.push_back(std::move(row));
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// WallProfiler dumps
+// --------------------------------------------------------------------
+
+bool
+loadProfile(const std::string &path, Profile &out, std::string &err)
+{
+    JsonValue doc;
+    if (!parseJsonFile(path, doc, err))
+        return false;
+    const JsonValue *stages = doc.find("stages");
+    if (!stages || stages->kind != JsonValue::Kind::Array) {
+        err = path + ": missing 'stages' array";
+        return false;
+    }
+    for (const JsonValue &s : stages->arr) {
+        ProfileStage st;
+        st.name = s.text("name", "?");
+        st.seconds = s.num("seconds", 0.0);
+        st.calls = static_cast<std::uint64_t>(s.num("calls", 0.0));
+        out.stages.push_back(std::move(st));
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Thresholds
+// --------------------------------------------------------------------
+
+const char *
+defaultThresholdsText()
+{
+    // Built-in gates over the robust end-to-end metrics. Deliberately
+    // no percentile gauges here: log-bucket percentiles quantize, so a
+    // one-bucket shift would trip a tight relative gate spuriously.
+    return R"(# Default mct_report regression gates.
+metric sim.objective.ipc
+  direction higher
+  rel 0.05
+
+metric sim.objective.lifetime_years
+  direction higher
+  rel 0.05
+
+metric memctrl.avg_read_latency_ns
+  direction lower
+  rel 0.10
+
+metric memctrl.reads_completed
+  direction higher
+  rel 0.05
+
+metric cache.*.hit_rate
+  direction higher
+  rel 0.02
+  abs 0.005
+)";
+}
+
+bool
+metricGlobMatch(const std::string &glob, const std::string &name)
+{
+    // Iterative '*' glob with backtracking; '*' may cross dots.
+    std::size_t g = 0, n = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (n < name.size()) {
+        if (g < glob.size() &&
+            (glob[g] == name[n])) {
+            ++g;
+            ++n;
+        } else if (g < glob.size() && glob[g] == '*') {
+            star = g++;
+            mark = n;
+        } else if (star != std::string::npos) {
+            g = star + 1;
+            n = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (g < glob.size() && glob[g] == '*')
+        ++g;
+    return g == glob.size();
+}
+
+namespace
+{
+
+/** Trim whitespace and a trailing '# ...' comment. */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string s = raw;
+    if (const std::size_t hash = s.find('#'); hash != std::string::npos)
+        s.erase(hash);
+    const std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    const std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+parseDouble(const std::string &tok, double &out)
+{
+    try {
+        std::size_t used = 0;
+        out = std::stod(tok, &used);
+        return used == tok.size();
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+parseThresholds(const std::string &text, Thresholds &out,
+                std::string &err)
+{
+    std::istringstream is(text);
+    std::string raw;
+    int lineNo = 0;
+    ThresholdRule cur;
+    bool open = false, haveDirection = false;
+
+    const auto flush = [&]() -> bool {
+        if (!open)
+            return true;
+        if (!haveDirection) {
+            err = "line " + std::to_string(cur.line) + ": metric '" +
+                  cur.metricGlob + "' has no direction";
+            return false;
+        }
+        out.rules.push_back(cur);
+        open = false;
+        return true;
+    };
+
+    while (std::getline(is, raw)) {
+        ++lineNo;
+        const std::string line = cleanLine(raw);
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string key, value;
+        ls >> key;
+        std::getline(ls, value);
+        value = cleanLine(value);
+        if (key == "metric") {
+            if (!flush())
+                return false;
+            if (value.empty()) {
+                err = "line " + std::to_string(lineNo) +
+                      ": metric needs a glob";
+                return false;
+            }
+            cur = ThresholdRule{};
+            cur.metricGlob = value;
+            cur.line = lineNo;
+            open = true;
+            haveDirection = false;
+        } else if (!open) {
+            err = "line " + std::to_string(lineNo) + ": '" + key +
+                  "' outside a metric block";
+            return false;
+        } else if (key == "direction") {
+            if (value == "higher") {
+                cur.higherIsBetter = true;
+            } else if (value == "lower") {
+                cur.higherIsBetter = false;
+            } else {
+                err = "line " + std::to_string(lineNo) +
+                      ": direction must be 'higher' or 'lower'";
+                return false;
+            }
+            haveDirection = true;
+        } else if (key == "rel" || key == "abs") {
+            double v = 0.0;
+            if (!parseDouble(value, v) || v < 0.0) {
+                err = "line " + std::to_string(lineNo) + ": " + key +
+                      " needs a non-negative number";
+                return false;
+            }
+            (key == "rel" ? cur.rel : cur.abs) = v;
+        } else {
+            err = "line " + std::to_string(lineNo) +
+                  ": unknown key '" + key + "'";
+            return false;
+        }
+    }
+    return flush();
+}
+
+bool
+loadThresholds(const std::string &path, Thresholds &out,
+               std::string &err)
+{
+    std::string text;
+    if (!readFile(path, text, err))
+        return false;
+    if (!parseThresholds(text, out, err)) {
+        err = path + ": " + err;
+        return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Diff
+// --------------------------------------------------------------------
+
+DiffReport
+diffRuns(const RunData &base, const RunData &cur, const Thresholds &th)
+{
+    DiffReport rep;
+    for (const auto &[metric, curVal] : cur.finalScalars) {
+        const ThresholdRule *rule = nullptr;
+        for (const ThresholdRule &r : th.rules) {
+            if (metricGlobMatch(r.metricGlob, metric)) {
+                rule = &r;
+                break; // first matching rule wins
+            }
+        }
+        if (!rule)
+            continue;
+        const auto bit = base.finalScalars.find(metric);
+        if (bit == base.finalScalars.end()) {
+            rep.missingInBase.push_back(metric);
+            continue;
+        }
+        CheckResult c;
+        c.metric = metric;
+        c.glob = rule->metricGlob;
+        c.higherIsBetter = rule->higherIsBetter;
+        c.base = bit->second;
+        c.cur = curVal;
+        c.allowed = rule->rel * std::fabs(c.base) + rule->abs;
+        if (c.base != 0.0)
+            c.relChange = (c.cur - c.base) / std::fabs(c.base);
+        const double slip =
+            rule->higherIsBetter ? c.base - c.cur : c.cur - c.base;
+        c.regressed = slip > c.allowed;
+        rep.regressions += c.regressed ? 1 : 0;
+        rep.checks.push_back(std::move(c));
+    }
+    return rep;
+}
+
+void
+renderDiff(std::ostream &os, const RunData &base, const RunData &cur,
+           const DiffReport &report)
+{
+    os << "base: " << base.path << " (app " << base.app << ", config "
+       << base.config << ")\n";
+    os << "new:  " << cur.path << " (app " << cur.app << ", config "
+       << cur.config << ")\n\n";
+    TextTable t;
+    t.header({"metric", "base", "new", "change", "allowed", "verdict"});
+    for (const CheckResult &c : report.checks) {
+        std::ostringstream chg;
+        chg << (c.relChange >= 0 ? "+" : "")
+            << fmt(c.relChange * 100.0, 2) << "%";
+        t.row({c.metric, fmt(c.base, 4), fmt(c.cur, 4), chg.str(),
+               (c.higherIsBetter ? "-" : "+") + fmt(c.allowed, 4),
+               c.regressed ? "REGRESSED" : "ok"});
+    }
+    t.print(os);
+    for (const std::string &m : report.missingInBase)
+        os << "note: '" << m << "' matched a rule but is missing from "
+           << "the base run\n";
+    os << "\n"
+       << report.checks.size() << " checks, " << report.regressions
+       << " regressions\n";
+}
+
+void
+writeBenchReport(std::ostream &os, const RunData &base,
+                 const RunData &cur, const DiffReport &report)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "mct-bench-report-v1");
+    w.key("base").beginObject();
+    w.kv("path", base.path);
+    w.kv("app", base.app);
+    w.kv("config", base.config);
+    w.endObject();
+    w.key("new").beginObject();
+    w.kv("path", cur.path);
+    w.kv("app", cur.app);
+    w.kv("config", cur.config);
+    w.endObject();
+    w.key("checks").beginArray();
+    for (const CheckResult &c : report.checks) {
+        w.beginObject();
+        w.kv("metric", c.metric);
+        w.kv("rule", c.glob);
+        w.kv("direction", c.higherIsBetter ? "higher" : "lower");
+        w.kv("base", c.base);
+        w.kv("new", c.cur);
+        w.kv("rel_change", c.relChange);
+        w.kv("allowed", c.allowed);
+        w.kv("regressed", c.regressed);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("missing_in_base").beginArray();
+    for (const std::string &m : report.missingInBase)
+        w.value(m);
+    w.endArray();
+    w.kv("regressions", static_cast<std::uint64_t>(report.regressions));
+    w.kv("passed", report.regressions == 0);
+    w.endObject();
+    os << '\n';
+}
+
+// --------------------------------------------------------------------
+// Single-run rendering
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** The final scalar at @p path, or @p dflt. */
+double
+scalarOr(const RunData &run, const std::string &path, double dflt)
+{
+    const auto it = run.finalScalars.find(path);
+    return it != run.finalScalars.end() ? it->second : dflt;
+}
+
+} // namespace
+
+void
+renderRun(std::ostream &os, const RunData &run, std::size_t maxWindows)
+{
+    os << "run: " << run.path << "\n";
+    os << "mode " << run.mode << ", app " << run.app << ", config "
+       << run.config << "\n\n";
+
+    TextTable obj;
+    obj.header({"objective", "value"});
+    obj.row({"ipc", fmt(scalarOr(run, "sim.objective.ipc", 0.0), 4)});
+    obj.row({"lifetime_years",
+             fmt(scalarOr(run, "sim.objective.lifetime_years", 0.0),
+                 2)});
+    obj.row({"avg_read_latency_ns",
+             fmt(scalarOr(run, "memctrl.avg_read_latency_ns", 0.0),
+                 1)});
+    obj.print(os);
+    os << "\n";
+
+    // Latency attribution: one row per lat.<stage>.ns histogram.
+    TextTable lat;
+    lat.header({"stage", "spans", "mean_ns", "p50_ns", "p90_ns",
+                "p99_ns"});
+    for (const auto &[path, h] : run.finalHists) {
+        if (path.rfind("lat.", 0) != 0 || h.count == 0)
+            continue;
+        const std::string stage =
+            path.substr(4, path.size() - 4 - 3); // strip lat. / .ns
+        lat.row({stage, std::to_string(h.count), fmt(h.mean(), 1),
+                 fmt(h.percentile(0.50), 1), fmt(h.percentile(0.90), 1),
+                 fmt(h.percentile(0.99), 1)});
+    }
+    if (lat.rows()) {
+        os << "latency attribution (sampled spans):\n";
+        lat.print(os);
+        os << "\n";
+    }
+
+    if (!run.windows.empty()) {
+        TextTable win;
+        win.header({"inst", "d_instructions", "d_reads", "d_writes",
+                    "avg_read_lat_ns"});
+        const std::size_t n = run.windows.size();
+        const std::size_t from =
+            maxWindows && n > maxWindows ? n - maxWindows : 0;
+        for (std::size_t i = from; i < n; ++i) {
+            const RunWindow &rw = run.windows[i];
+            const auto get = [&rw](const char *k) {
+                const auto it = rw.scalars.find(k);
+                return it != rw.scalars.end() ? it->second : 0.0;
+            };
+            win.row({std::to_string(rw.inst),
+                     fmt(get("sim.instructions"), 0),
+                     fmt(get("memctrl.reads_completed"), 0),
+                     fmt(get("memctrl.writes_completed"), 0),
+                     fmt(get("memctrl.avg_read_latency_ns"), 1)});
+        }
+        os << "windows (" << (n - from) << " of " << n << "):\n";
+        win.print(os);
+        os << "\n";
+    }
+
+    if (!run.eventCounts.empty()) {
+        TextTable ev;
+        ev.header({"event", "count"});
+        for (const auto &[name, count] : run.eventCounts)
+            ev.row({name, fmt(count, 0)});
+        os << "events (" << fmt(run.eventsRecorded, 0) << " recorded, "
+           << fmt(run.eventsDropped, 0) << " dropped):\n";
+        ev.print(os);
+    }
+}
+
+void
+renderSpans(std::ostream &os, const SpanSet &spans)
+{
+    std::map<std::string, std::pair<std::uint64_t, double>> byStage;
+    std::map<int, std::pair<std::uint64_t, double>> byLevel;
+    for (const SpanRow &r : spans.spans) {
+        auto &lvl = byLevel[r.hitLevel];
+        ++lvl.first;
+        lvl.second += r.totalNs;
+        for (const auto &[stage, ns] : r.stageNs) {
+            auto &st = byStage[stage];
+            ++st.first;
+            st.second += ns;
+        }
+    }
+    os << "spans: " << spans.spans.size() << "\n";
+    TextTable lvl;
+    lvl.header({"hit_level", "spans", "mean_total_ns"});
+    for (const auto &[level, agg] : byLevel) {
+        const char *name = level == 0   ? "memory"
+                           : level == 1 ? "l1"
+                           : level == 2 ? "l2"
+                                        : "llc";
+        lvl.row({name, std::to_string(agg.first),
+                 fmt(agg.second / static_cast<double>(agg.first), 1)});
+    }
+    lvl.print(os);
+    os << "\n";
+    TextTable st;
+    st.header({"stage", "spans", "mean_ns"});
+    for (const auto &[stage, agg] : byStage)
+        st.row({stage, std::to_string(agg.first),
+                fmt(agg.second / static_cast<double>(agg.first), 1)});
+    st.print(os);
+}
+
+void
+renderProfile(std::ostream &os, const Profile &profile)
+{
+    double total = 0.0;
+    for (const ProfileStage &s : profile.stages)
+        total += s.seconds;
+    TextTable t;
+    t.header({"stage", "seconds", "calls", "share"});
+    for (const ProfileStage &s : profile.stages)
+        t.row({s.name, fmt(s.seconds, 3), std::to_string(s.calls),
+               fmt(total > 0 ? s.seconds / total * 100.0 : 0.0, 1) +
+                   "%"});
+    t.print(os);
+}
+
+} // namespace mct::report

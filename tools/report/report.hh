@@ -1,0 +1,272 @@
+/**
+ * @file
+ * mct_report: offline analysis of mct_sim telemetry.
+ *
+ * Loads the machine-readable artifacts the simulator emits — the
+ * --stats-json document (mct-stats-v1), span/event JSONL streams, and
+ * WallProfiler dumps — and either renders a single run (per-window
+ * tables plus a latency-attribution breakdown) or diffs two runs
+ * metric-by-metric against declarative relative thresholds
+ * (thresholds.txt, same data-not-code style as tools/lint/rules.txt),
+ * writing a machine-readable BENCH_report.json and exiting nonzero on
+ * regression.
+ *
+ * Everything here is a small library so tests/test_report.cc can
+ * exercise the parsing, threshold grammar, and diff semantics without
+ * shelling out.
+ */
+
+#ifndef MCT_TOOLS_REPORT_REPORT_HH
+#define MCT_TOOLS_REPORT_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mct::report
+{
+
+// --------------------------------------------------------------------
+// Minimal JSON value + parser (the simulator only ever writes; this
+// tool is the one place in the repo that needs to read JSON back).
+// --------------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    /** Object members in document order. */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Numeric member with a default. */
+    double num(const std::string &key, double dflt) const;
+
+    /** String member with a default. */
+    std::string text(const std::string &key,
+                     const std::string &dflt) const;
+};
+
+struct JsonParse
+{
+    bool ok = false;
+    JsonValue value;
+    std::string error; ///< "offset N: what" when !ok
+};
+
+/** Parse one JSON document (tolerates trailing whitespace). */
+[[nodiscard]] JsonParse parseJson(const std::string &text);
+
+// --------------------------------------------------------------------
+// Run data (mct-stats-v1)
+// --------------------------------------------------------------------
+
+/** A log2-bucketed histogram as serialized in a stats document. */
+struct RunHistogram
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    /** (bucketLow, count) pairs, ascending. */
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+
+    double mean() const
+    {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
+
+    /** Same interpolation semantics as LogHistogram::percentile. */
+    double percentile(double p) const;
+};
+
+/** One periodic delta window. */
+struct RunWindow
+{
+    std::uint64_t inst = 0;
+    std::map<std::string, double> scalars;
+};
+
+/** Everything mct_report needs from one --stats-json document. */
+struct RunData
+{
+    std::string path;
+    std::string mode;
+    std::string app;
+    std::string config;
+    std::map<std::string, double> finalScalars;
+    std::map<std::string, RunHistogram> finalHists;
+    std::vector<RunWindow> windows;
+    std::map<std::string, double> eventCounts;
+    double eventsRecorded = 0.0;
+    double eventsDropped = 0.0;
+};
+
+/** Load a stats document; false + @p err on parse/shape problems. */
+[[nodiscard]] bool loadSnapshots(const std::string &path, RunData &out,
+                                 std::string &err);
+
+// --------------------------------------------------------------------
+// Span JSONL
+// --------------------------------------------------------------------
+
+/** One request-lifecycle span row from a --spans-out stream. */
+struct SpanRow
+{
+    std::uint64_t id = 0;
+    int hitLevel = 0;
+    bool isWrite = false;
+    std::uint64_t inst = 0;
+    double totalNs = 0.0;
+    /** Stage name -> duration in ns. */
+    std::map<std::string, double> stageNs;
+};
+
+struct SpanSet
+{
+    std::vector<SpanRow> spans;
+};
+
+/** Load a span JSONL stream; false + @p err on malformed lines. */
+[[nodiscard]] bool loadSpans(const std::string &path, SpanSet &out,
+                             std::string &err);
+
+// --------------------------------------------------------------------
+// WallProfiler dumps
+// --------------------------------------------------------------------
+
+struct ProfileStage
+{
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+};
+
+struct Profile
+{
+    std::vector<ProfileStage> stages;
+};
+
+/** Load a WallProfiler JSON dump ({"stages":[...]}). */
+[[nodiscard]] bool loadProfile(const std::string &path, Profile &out,
+                               std::string &err);
+
+// --------------------------------------------------------------------
+// Thresholds (declarative regression gates)
+// --------------------------------------------------------------------
+
+/** One gate: metrics matching @p metricGlob may move against their
+ *  preferred direction by at most rel * |base| + abs. */
+struct ThresholdRule
+{
+    std::string metricGlob;
+    bool higherIsBetter = true;
+    double rel = 0.05;
+    double abs = 0.0;
+    int line = 0; ///< for error messages
+};
+
+struct Thresholds
+{
+    std::vector<ThresholdRule> rules;
+};
+
+/**
+ * Parse the thresholds grammar:
+ *
+ *   # comment
+ *   metric <glob>            # '*' matches any substring
+ *     direction higher|lower # which way is better (required)
+ *     rel 0.05               # relative slack (fraction of |base|)
+ *     abs 0.0                # absolute slack, same unit as metric
+ *
+ * Unknown keys, a missing direction, or non-numeric slack are errors.
+ */
+[[nodiscard]] bool parseThresholds(const std::string &text,
+                                   Thresholds &out, std::string &err);
+
+/** parseThresholds over a file. */
+[[nodiscard]] bool loadThresholds(const std::string &path,
+                                  Thresholds &out, std::string &err);
+
+/** Built-in default gates used when no --thresholds file is given. */
+const char *defaultThresholdsText();
+
+/** '*'-glob match ('*' crosses every character, '.' is literal). */
+bool metricGlobMatch(const std::string &glob, const std::string &name);
+
+// --------------------------------------------------------------------
+// Diff
+// --------------------------------------------------------------------
+
+/** Outcome of gating one metric. */
+struct CheckResult
+{
+    std::string metric;
+    std::string glob; ///< the rule that matched
+    bool higherIsBetter = true;
+    double base = 0.0;
+    double cur = 0.0;
+    double relChange = 0.0; ///< (cur - base) / |base| (0 when base 0)
+    double allowed = 0.0;   ///< rel * |base| + abs
+    bool regressed = false;
+};
+
+struct DiffReport
+{
+    std::vector<CheckResult> checks;
+    std::size_t regressions = 0;
+    /** Metrics a rule matched in the new run but missing from base. */
+    std::vector<std::string> missingInBase;
+};
+
+/**
+ * Gate @p cur against @p base: every final scalar of @p cur that
+ * matches a threshold rule is checked (first matching rule wins).
+ * Histograms gate through their derived percentile gauges, which are
+ * final scalars already.
+ */
+DiffReport diffRuns(const RunData &base, const RunData &cur,
+                    const Thresholds &th);
+
+/** Human-readable diff table (one row per check). */
+void renderDiff(std::ostream &os, const RunData &base,
+                const RunData &cur, const DiffReport &report);
+
+/** Machine-readable BENCH_report.json (schema mct-bench-report-v1). */
+void writeBenchReport(std::ostream &os, const RunData &base,
+                      const RunData &cur, const DiffReport &report);
+
+// --------------------------------------------------------------------
+// Single-run rendering
+// --------------------------------------------------------------------
+
+/** Key objectives, latency attribution, and per-window tables. */
+void renderRun(std::ostream &os, const RunData &run,
+               std::size_t maxWindows);
+
+/** Span summary (count/mean by hit level and stage). */
+void renderSpans(std::ostream &os, const SpanSet &spans);
+
+/** WallProfiler stage table. */
+void renderProfile(std::ostream &os, const Profile &profile);
+
+} // namespace mct::report
+
+#endif // MCT_TOOLS_REPORT_REPORT_HH
