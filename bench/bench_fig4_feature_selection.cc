@@ -17,6 +17,7 @@
 #include "mct/samplers.hh"
 #include "common/stats.hh"
 #include "mct/feature_selection.hh"
+#include "mct/feature_compressor.hh"
 #include "ml/metrics.hh"
 
 using namespace mct;

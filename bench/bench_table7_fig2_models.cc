@@ -14,6 +14,12 @@
  * quadratic models; offline averaging is weakest; the hierarchical
  * Bayesian model is accurate on lifetime (high app correlation) but
  * by far the most expensive.
+ *
+ * A final cross-check joins this offline view with the online one:
+ * live MCT runs (decision-provenance audit enabled) report the
+ * realized per-objective relative error of the two runtime models, so
+ * the steady-state Eq. 3 accuracy can be sanity-checked against what
+ * the running controller actually experiences.
  */
 
 #include <array>
@@ -49,6 +55,7 @@ objectiveOf(const Metrics &m, int obj)
 int
 main()
 {
+    BenchSummary::instance().start("bench_table7_fig2_models");
     SweepCache cache = openCache();
     const auto space = enumerateNoQuotaSpace();
     const auto &apps = workloadNames();
@@ -199,5 +206,61 @@ main()
                 at77(PredictorKind::Offline, 0));
     std::printf("  HBM strong on lifetime @77:       %.3f\n",
                 at77(PredictorKind::HierBayes, 1));
+
+    banner("Cross-check: offline accuracy vs online audit error");
+    // Live runs with the decision-provenance audit on: every closed
+    // record carries |pred-real|/real per objective for the decision
+    // the controller actually took. High offline accuracy with high
+    // online error means the steady-state view is flattering the
+    // model (window noise, phase drift, stale normalization anchor).
+    {
+        const std::string app = "lbm";
+        TextTable t;
+        t.header({"predictor", "decisions", "err_ipc", "err_life",
+                  "err_energy", "regret", "R2_ipc@77"});
+        for (auto kind : {PredictorKind::GradientBoosting,
+                          PredictorKind::QuadraticLasso}) {
+            SystemParams sp;
+            System sys(app, sp, staticBaselineConfig());
+            sys.provenanceTrace().enable(1024);
+            sys.run(standardEvalParams().warmupInsts);
+            MctParams mp;
+            mp.predictor = kind;
+            mp.profiler = &profiler();
+            MctController ctl(sys, mp);
+            {
+                WallProfiler::Scope scope(&profiler(), "mct_run");
+                ctl.runFor(4 * 1000 * 1000);
+            }
+            ctl.finalizeAudit();
+            std::array<RunningStat, 3> err;
+            for (const ProvenanceRecord &rec :
+                 sys.provenanceTrace().records()) {
+                if (!rec.closed)
+                    continue;
+                for (std::size_t o = 0; o < 3; ++o)
+                    if (rec.objectives[o].errorValid)
+                        err[o].push(rec.objectives[o].relError);
+            }
+            t.row({toString(kind),
+                   std::to_string(ctl.auditClosed()),
+                   fmt(err[0].mean(), 3), fmt(err[1].mean(), 3),
+                   fmt(err[2].mean(), 3),
+                   fmt(ctl.cumulativeRegret(), 3),
+                   fmt(at77(kind, 0), 3)});
+            const std::string tag = predictorTag(kind);
+            BenchSummary::instance().metric(
+                "online." + tag + ".err_ipc", err[0].mean());
+            BenchSummary::instance().metric(
+                "online." + tag + ".err_lifetime", err[1].mean());
+            BenchSummary::instance().metric(
+                "online." + tag + ".err_energy", err[2].mean());
+            BenchSummary::instance().metric(
+                "online." + tag + ".regret", ctl.cumulativeRegret());
+            BenchSummary::instance().metric(
+                "offline." + tag + ".r2_ipc_77", at77(kind, 0));
+        }
+        t.print(std::cout);
+    }
     return 0;
 }

@@ -286,6 +286,8 @@ toString(TraceEventType type)
         return "recovery_action";
       case TraceEventType::SpanComplete:
         return "span_complete";
+      case TraceEventType::DecisionProvenance:
+        return "decision_provenance";
     }
     return "unknown";
 }
@@ -318,6 +320,8 @@ traceArgNames(TraceEventType type)
         return {"step", "ladder_level", "detail"};
       case TraceEventType::SpanComplete:
         return {"total_ns", "hit_level", "stages"};
+      case TraceEventType::DecisionProvenance:
+        return {"seq", "err_ipc", "regret"};
     }
     return {"a0", "a1", "a2"};
 }
@@ -730,6 +734,233 @@ SpanTrace::writeChromeTrace(std::ostream &os) const
             w.endObject();
             w.endObject();
         }
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+// --------------------------------------------------------------------
+// ProvenanceTrace
+// --------------------------------------------------------------------
+
+const char *
+provenanceObjectiveName(std::size_t i)
+{
+    switch (i) {
+      case 0:
+        return "ipc";
+      case 1:
+        return "lifetime";
+      case 2:
+        return "energy";
+      default:
+        return "unknown";
+    }
+}
+
+std::size_t
+closeProvenanceRecord(ProvenanceRecord &rec, double realizedIpc,
+                      double realizedLifetimeYears,
+                      double realizedEnergyJ, InstCount closeInst)
+{
+    const std::array<double, numProvenanceObjectives> real = {
+        realizedIpc, realizedLifetimeYears, realizedEnergyJ};
+    std::size_t invalid = 0;
+    for (std::size_t i = 0; i < numProvenanceObjectives; ++i) {
+        ProvenanceObjective &o = rec.objectives[i];
+        o.realized = real[i];
+        if (std::isfinite(real[i]) && std::abs(real[i]) > 1e-12 &&
+            std::isfinite(o.predicted)) {
+            o.relError =
+                std::abs(o.predicted - real[i]) / std::abs(real[i]);
+            o.errorValid = true;
+        } else {
+            o.relError = 0.0;
+            o.errorValid = false;
+            ++invalid;
+        }
+    }
+    rec.regret = rec.bestSampledIpc > 0.0 &&
+                         std::isfinite(realizedIpc)
+                     ? rec.bestSampledIpc - realizedIpc
+                     : 0.0;
+    rec.closeInst = closeInst;
+    rec.closed = true;
+    return invalid;
+}
+
+void
+ProvenanceTrace::enable(std::size_t capacity)
+{
+    if (capacity == 0)
+        mct_fatal("ProvenanceTrace::enable requires a nonzero capacity");
+    ring.assign(capacity, ProvenanceRecord{});
+    cap = capacity;
+    head = 0;
+    held = 0;
+    total = 0;
+}
+
+void
+ProvenanceTrace::disable()
+{
+    ring.clear();
+    ring.shrink_to_fit();
+    cap = 0;
+    head = 0;
+    held = 0;
+    total = 0;
+}
+
+void
+ProvenanceTrace::record(const ProvenanceRecord &rec)
+{
+    if (cap == 0)
+        return;
+    ring[head] = rec;
+    head = head + 1 == cap ? 0 : head + 1;
+    held = std::min(held + 1, cap);
+    ++total;
+    if (events_)
+        events_->record(TraceEventType::DecisionProvenance,
+                        static_cast<double>(rec.seq),
+                        rec.objectives[0].relError, rec.regret);
+}
+
+std::vector<ProvenanceRecord>
+ProvenanceTrace::records() const
+{
+    std::vector<ProvenanceRecord> out;
+    out.reserve(held);
+    const std::size_t start = held == cap ? head : 0;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(ring[(start + i) % (cap ? cap : 1)]);
+    return out;
+}
+
+void
+ProvenanceTrace::clear()
+{
+    head = 0;
+    held = 0;
+    total = 0;
+}
+
+namespace
+{
+
+void
+writeProvenanceRecord(JsonWriter &w, const ProvenanceRecord &r)
+{
+    w.beginObject();
+    w.kv("seq", r.seq);
+    w.kv("phase", r.phase);
+    w.kv("inst", static_cast<std::uint64_t>(r.inst));
+    w.kv("close_inst", static_cast<std::uint64_t>(r.closeInst));
+    w.kv("model", r.model);
+    w.kv("config", r.configKey);
+    w.kv("chosen", static_cast<std::int64_t>(r.chosen));
+    w.kv("fallback", r.fallback);
+    w.kv("sampled", static_cast<std::uint64_t>(r.sampledConfigs));
+    w.key("constraints").beginObject();
+    w.kv("min_lifetime_years", r.minLifetimeYears);
+    w.kv("ipc_fraction", r.ipcFraction);
+    w.kv("safety_margin", r.safetyMargin);
+    w.endObject();
+    w.key("objectives").beginObject();
+    for (std::size_t i = 0; i < numProvenanceObjectives; ++i) {
+        const ProvenanceObjective &o = r.objectives[i];
+        w.key(provenanceObjectiveName(i)).beginObject();
+        w.kv("pred", o.predicted);
+        w.kv("sigma", o.uncertainty);
+        w.kv("real", o.realized);
+        w.kv("err", o.relError);
+        w.kv("err_valid", o.errorValid);
+        w.endObject();
+    }
+    w.endObject();
+    w.key("runner_ups").beginArray();
+    for (const ProvenanceCandidate &c : r.runnerUps) {
+        w.beginObject();
+        w.kv("config", static_cast<std::uint64_t>(c.config));
+        w.kv("ipc", c.ipc);
+        w.kv("lifetime_years", c.lifetimeYears);
+        w.kv("energy_j", c.energyJ);
+        w.kv("feasible", c.feasible);
+        w.endObject();
+    }
+    w.endArray();
+    w.kv("best_sampled_ipc", r.bestSampledIpc);
+    w.kv("regret", r.regret);
+    w.kv("cum_regret", r.cumRegret);
+    bool anyAttr = false;
+    for (const auto &a : r.attribution)
+        anyAttr = anyAttr || !a.empty();
+    if (anyAttr) {
+        w.key("attribution").beginObject();
+        for (std::size_t i = 0; i < numProvenanceObjectives; ++i) {
+            if (r.attribution[i].empty())
+                continue;
+            w.key(provenanceObjectiveName(i)).beginArray();
+            for (double v : r.attribution[i])
+                w.value(v);
+            w.endArray();
+        }
+        w.endObject();
+    }
+    w.kv("closed", r.closed);
+    w.endObject();
+}
+
+} // namespace
+
+void
+ProvenanceTrace::writeJsonl(std::ostream &os) const
+{
+    for (const ProvenanceRecord &r : records()) {
+        JsonWriter w(os);
+        writeProvenanceRecord(w, r);
+        os << '\n';
+    }
+}
+
+void
+ProvenanceTrace::writeChromeTrace(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+    w.beginObject();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 2);
+    w.kv("tid", 1);
+    w.key("args").beginObject();
+    w.kv("name", "provenance");
+    w.endObject();
+    w.endObject();
+    for (const ProvenanceRecord &r : records()) {
+        w.beginObject();
+        w.kv("name", r.configKey);
+        w.kv("ph", "X");
+        // ts nominally holds microseconds; we put the instruction
+        // count there, as EventTrace does.
+        w.kv("ts", static_cast<std::uint64_t>(r.inst));
+        w.kv("dur", static_cast<std::uint64_t>(
+                        r.closeInst > r.inst ? r.closeInst - r.inst
+                                             : 0));
+        w.kv("pid", 2);
+        w.kv("tid", 1);
+        w.key("args").beginObject();
+        w.kv("seq", r.seq);
+        w.kv("model", r.model);
+        w.kv("pred_ipc", r.objectives[0].predicted);
+        w.kv("real_ipc", r.objectives[0].realized);
+        w.kv("regret", r.regret);
+        w.endObject();
+        w.endObject();
     }
     w.endArray();
     w.endObject();

@@ -233,10 +233,11 @@ enum class TraceEventType : std::uint8_t
     FaultInjected,      ///< a fault-plan spec armed or cleared
     RecoveryAction,     ///< the MCT runtime took a degradation step
     SpanComplete,       ///< a sampled request-lifecycle span closed
+    DecisionProvenance, ///< a decision's provenance record closed
 };
 
 /** Number of distinct TraceEventType values. */
-constexpr std::size_t numTraceEventTypes = 12;
+constexpr std::size_t numTraceEventTypes = 13;
 
 /** Stable snake_case name of an event type (JSONL "ev" field). */
 const char *toString(TraceEventType type);
@@ -505,6 +506,166 @@ class SpanTrace
     const InstCount *clock = nullptr;
 
     void push(const SpanRecord &rec);
+};
+
+/** Objectives a ProvenanceRecord audits, in storage order. */
+constexpr std::size_t numProvenanceObjectives = 3;
+
+/** Stable name of provenance objective @p i: ipc, lifetime, energy. */
+const char *provenanceObjectiveName(std::size_t i);
+
+/** One objective's prediction, later joined with its realization. */
+struct ProvenanceObjective
+{
+    double predicted = 0.0;   ///< predicted value for the chosen config
+    double uncertainty = 0.0; ///< model-reported 1-sigma (0 when n/a)
+    double realized = 0.0;    ///< measured value one window later
+    double relError = 0.0;    ///< |predicted - realized| / |realized|
+    bool errorValid = false;  ///< false until closed, or when realized ~ 0
+};
+
+/** A rejected candidate configuration at a decision point. */
+struct ProvenanceCandidate
+{
+    std::uint32_t config = 0; ///< index into the configuration space
+    double ipc = 0.0;         ///< predicted IPC
+    double lifetimeYears = 0.0;
+    double energyJ = 0.0;
+    bool feasible = false;    ///< met the lifetime floor
+};
+
+/**
+ * Why one optimization decision was made and how it turned out: the
+ * model's identity, its per-objective predictions with uncertainty,
+ * the constraint set and the rejected runner-ups at decision time;
+ * then, one monitored window later, the realized objectives, the
+ * per-objective relative error and the regret versus the best sampled
+ * configuration. All inputs are simulation-deterministic, so records
+ * serialize byte-identically across identically-seeded runs.
+ */
+struct ProvenanceRecord
+{
+    std::uint64_t seq = 0;    ///< decision index (0-based)
+    std::uint64_t phase = 0;  ///< phase id that triggered the decision
+    InstCount inst = 0;       ///< instruction clock at the decision
+    InstCount closeInst = 0;  ///< instruction clock at close (0 = open)
+    std::string model;        ///< predictor identity (Table 7 label)
+    std::string configKey;    ///< chosen configuration, human-readable
+    std::int32_t chosen = -1; ///< chosen index into the space
+    bool fallback = false;    ///< decision fell back to the baseline
+    std::uint32_t sampledConfigs = 0; ///< configs measured this round
+
+    /** Constraint set the optimizer enforced. */
+    double minLifetimeYears = 0.0;
+    double ipcFraction = 0.0;
+    double safetyMargin = 0.0;
+
+    /** ipc, lifetime, energy (see provenanceObjectiveName). */
+    std::array<ProvenanceObjective, numProvenanceObjectives>
+        objectives{};
+
+    /** Highest-ranked rejected candidates, best first. */
+    std::vector<ProvenanceCandidate> runnerUps;
+
+    /** Best *measured* IPC among the sampled configurations. */
+    double bestSampledIpc = 0.0;
+
+    /** bestSampledIpc - realized IPC (negative: beat the samples). */
+    double regret = 0.0;
+
+    /** Running sum of max(regret, 0) up to and including this record. */
+    double cumRegret = 0.0;
+
+    /**
+     * Per-objective feature attribution in configuration-vector space
+     * (lasso |coefficients|, GBM split-gain importances), populated
+     * only on audit-sampled decisions; empty vectors otherwise.
+     */
+    std::array<std::vector<double>, numProvenanceObjectives>
+        attribution{};
+
+    bool closed = false; ///< realized objectives have been attached
+};
+
+/**
+ * Attach realized objectives to @p rec: fills the realized values,
+ * the per-objective relative error |pred - real| / |real| (marked
+ * invalid when the realized value is non-finite or ~0 — nothing
+ * meaningful divides by it), the IPC regret versus bestSampledIpc
+ * (0 when the record has no sample oracle), and marks the record
+ * closed at @p closeInst. Returns how many objectives' errors were
+ * invalidated by the zero-realized guard.
+ */
+std::size_t closeProvenanceRecord(ProvenanceRecord &rec,
+                                  double realizedIpc,
+                                  double realizedLifetimeYears,
+                                  double realizedEnergyJ,
+                                  InstCount closeInst);
+
+/**
+ * Fixed-capacity ring of closed ProvenanceRecords, mirroring
+ * SpanTrace's lifecycle: disabled (the default) record() is a single
+ * branch; enabled, closed records land in the ring (oldest
+ * overwritten) and optionally echo a DecisionProvenance event into an
+ * attached EventTrace. Serializes to JSONL (one record per line) and
+ * to the Chrome trace-event format, where each decision becomes a
+ * complete event spanning decision to close on a "provenance" track.
+ */
+class ProvenanceTrace
+{
+  public:
+    ProvenanceTrace() = default;
+
+    /** Allocate a ring of @p capacity records and start recording. */
+    void enable(std::size_t capacity);
+
+    /** Stop recording and release storage. */
+    void disable();
+
+    /** True when recording. */
+    bool enabled() const { return cap != 0; }
+
+    /** Emit a DecisionProvenance event into @p t per closed record. */
+    void attachTrace(EventTrace *t) { events_ = t; }
+
+    /** Append a closed record (no-op when disabled). */
+    void record(const ProvenanceRecord &rec);
+
+    /** Records currently held (<= capacity). */
+    std::size_t size() const { return held; }
+
+    /** Records ever recorded. */
+    std::uint64_t recorded() const { return total; }
+
+    /** Records overwritten by ring wraparound. */
+    std::uint64_t dropped() const { return total - held; }
+
+    /** Ring capacity (0 when disabled). */
+    std::size_t capacity() const { return cap; }
+
+    /** Held records, oldest first. */
+    std::vector<ProvenanceRecord> records() const;
+
+    /** Forget held records (capacity and sinks are kept). */
+    void clear();
+
+    /** One JSON object per line (see docs/observability.md). */
+    void writeJsonl(std::ostream &os) const;
+
+    /**
+     * Chrome trace-event JSON: each decision is an "X" complete event
+     * from its decision instruction to its close instruction on the
+     * "provenance" track ("ts" carries instructions).
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    std::vector<ProvenanceRecord> ring;
+    std::size_t cap = 0;
+    std::size_t head = 0;
+    std::size_t held = 0;
+    std::uint64_t total = 0;
+    EventTrace *events_ = nullptr;
 };
 
 /**

@@ -117,6 +117,63 @@ MctController::registerStats()
     samplingHist = &reg.addHistogram(
         "mct.sampling.period_insts",
         "instructions consumed by each sampling period");
+
+    // Decision provenance / prediction-accuracy audit.
+    reg.addCounter("mct.audit.decisions", [this] { return provSeq_; },
+                   "provenance records opened (one per decision)");
+    reg.addCounter("mct.audit.closed",
+                   [this] { return nAuditClosed_; },
+                   "provenance records closed with realized objectives");
+    reg.addCounter("mct.audit.dropped",
+                   [this] { return nAuditDropped_; },
+                   "provenance records never realized (run ended first)");
+    reg.addCounter("mct.audit.err_invalid",
+                   [this] { return nErrInvalid_; },
+                   "objective errors skipped (realized value ~0 or NaN)");
+    reg.addCounter("mct.audit.regret.positive",
+                   [this] { return nRegretPos_; },
+                   "decisions realizing below the best sampled config");
+    reg.addCounter("mct.audit.attr.snapshots",
+                   [this] { return nAttrSnapshots_; },
+                   "feature-attribution snapshots taken");
+    reg.addGauge("mct.audit.regret.cum",
+                 [this] { return cumRegret_; },
+                 "cumulative positive IPC regret vs best sampled");
+    const std::string tag = predictorTag(p.predictor);
+    for (std::size_t i = 0; i < numProvenanceObjectives; ++i) {
+        const std::string obj = provenanceObjectiveName(i);
+        errHist_[i] = &reg.addHistogram(
+            "mct.audit.err_bp." + tag + "." + obj,
+            "calibration: |pred-real|/real in basis points");
+        reg.addGauge("mct.audit.attr." + obj + ".nonzero",
+                     [this, i] {
+                         double n = 0.0;
+                         for (double w : lastAttr_[i])
+                             if (w != 0.0)
+                                 n += 1.0;
+                         return n;
+                     },
+                     "nonzero attributed features, last snapshot");
+    }
+    // Literal rolling-error paths so thresholds.txt can gate them.
+    reg.addGauge("mct.audit.err.ipc.p50", [this] {
+        return errHist_[0]->percentile(50.0) / 1e4;
+    });
+    reg.addGauge("mct.audit.err.ipc.p90", [this] {
+        return errHist_[0]->percentile(90.0) / 1e4;
+    });
+    reg.addGauge("mct.audit.err.lifetime.p50", [this] {
+        return errHist_[1]->percentile(50.0) / 1e4;
+    });
+    reg.addGauge("mct.audit.err.lifetime.p90", [this] {
+        return errHist_[1]->percentile(90.0) / 1e4;
+    });
+    reg.addGauge("mct.audit.err.energy.p50", [this] {
+        return errHist_[2]->percentile(50.0) / 1e4;
+    });
+    reg.addGauge("mct.audit.err.energy.p90", [this] {
+        return errHist_[2]->percentile(90.0) / 1e4;
+    });
 }
 
 Metrics
@@ -185,20 +242,183 @@ MctController::sanitizeSamples(std::vector<Metrics> &sampled,
     }
 }
 
-ml::Vector
+Prediction
 MctController::predictObjective(TrainData &data, const ml::Vector &y,
                                 const char *objective)
 {
     data.sampleY = y;
-    ml::Vector pred = p.predictOverride
-        ? p.predictOverride(data, objective)
-        : predictAllConfigs(p.predictor, data);
-    if (pred.size() != space_.size())
-        mct_panic("predictor returned ", pred.size(),
+    Prediction pred;
+    if (p.predictOverride) {
+        pred.values = p.predictOverride(data, objective);
+        pred.model = "override";
+    } else {
+        pred = predictAllConfigsDetailed(p.predictor, data);
+    }
+    if (pred.values.size() != space_.size())
+        mct_panic("predictor returned ", pred.values.size(),
                   " predictions for a space of ", space_.size());
     if (FaultInjector *inj = sys.faultInjector())
-        nPredCorrupted += inj->corruptPredictions(pred);
+        nPredCorrupted += inj->corruptPredictions(pred.values);
     return pred;
+}
+
+ProvenanceRecord
+MctController::startProvenance(const Decision &decision)
+{
+    if (openProvValid_) {
+        // The previous decision never saw an execution window, so its
+        // record can never be realized.
+        ++nAuditDropped_;
+        openProvValid_ = false;
+    }
+    ProvenanceRecord rec;
+    rec.seq = provSeq_++;
+    rec.phase = nResamplings;
+    rec.inst = decision.atInstruction;
+    rec.configKey = toString(decision.config);
+    rec.sampledConfigs = static_cast<std::uint32_t>(samples_.size());
+    rec.minLifetimeYears = p.objective.minLifetimeYears;
+    rec.ipcFraction = p.objective.ipcFraction;
+    rec.safetyMargin = p.objective.safetyMargin;
+    rec.objectives[0].predicted = decision.predicted.ipc;
+    rec.objectives[1].predicted = decision.predicted.lifetimeYears;
+    rec.objectives[2].predicted = decision.predicted.energyJ;
+    return rec;
+}
+
+void
+MctController::beginProvenance(const Decision &decision, int idx,
+                               const std::vector<Metrics> &predicted,
+                               const std::vector<bool> &badCfg,
+                               const Prediction &pIpc,
+                               const Prediction &pLife,
+                               const Prediction &pEnergy,
+                               const ml::Vector &yIpc)
+{
+    ProvenanceRecord rec = startProvenance(decision);
+    rec.model = pIpc.model;
+    rec.chosen = idx;
+    rec.fallback = idx < 0;
+
+    // The model's ratio-space 1-sigma for the chosen config,
+    // denormalized by the same baseline anchor as the prediction.
+    const std::array<const Prediction *, numProvenanceObjectives> ps =
+        {&pIpc, &pLife, &pEnergy};
+    const std::array<double, numProvenanceObjectives> scale = {
+        baseMetrics.ipc, baseMetrics.lifetimeYears,
+        baseMetrics.energyJ};
+    if (idx >= 0) {
+        const auto c = static_cast<std::size_t>(idx);
+        for (std::size_t i = 0; i < numProvenanceObjectives; ++i)
+            if (c < ps[i]->uncertainty.size())
+                rec.objectives[i].uncertainty =
+                    ps[i]->uncertainty[c] * scale[i];
+    }
+
+    // Regret oracle: the best IPC actually *measured* this round
+    // (best paired sample ratio times the baseline anchor).
+    double bestRatio = 0.0;
+    for (double r : yIpc)
+        bestRatio = std::max(bestRatio, r);
+    rec.bestSampledIpc = bestRatio * baseMetrics.ipc;
+
+    // Highest-ranked rejected candidates: feasible first, then by
+    // predicted IPC (the optimizer's primary objective).
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        if (static_cast<int>(i) == idx)
+            continue;
+        if (!badCfg.empty() && badCfg[i])
+            continue;
+        order.push_back(i);
+    }
+    const double floor =
+        p.objective.minLifetimeYears * p.objective.safetyMargin;
+    const auto feasible = [&](std::size_t i) {
+        return predicted[i].lifetimeYears >= floor;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const bool fa = feasible(a), fb = feasible(b);
+                  if (fa != fb)
+                      return fa;
+                  if (predicted[a].ipc != predicted[b].ipc)
+                      return predicted[a].ipc > predicted[b].ipc;
+                  return a < b;
+              });
+    if (order.size() > p.provenanceRunnerUps)
+        order.resize(p.provenanceRunnerUps);
+    for (std::size_t i : order) {
+        ProvenanceCandidate c;
+        c.config = static_cast<std::uint32_t>(i);
+        c.ipc = predicted[i].ipc;
+        c.lifetimeYears = predicted[i].lifetimeYears;
+        c.energyJ = predicted[i].energyJ;
+        c.feasible = feasible(i);
+        rec.runnerUps.push_back(c);
+    }
+
+    // Feature-attribution snapshot every auditEvery decisions.
+    if (p.auditEvery > 0 && rec.seq % p.auditEvery == 0) {
+        bool any = false;
+        for (std::size_t i = 0; i < numProvenanceObjectives; ++i) {
+            rec.attribution[i] = ps[i]->attribution;
+            lastAttr_[i] = ps[i]->attribution;
+            any = any || !ps[i]->attribution.empty();
+        }
+        if (any)
+            ++nAttrSnapshots_;
+    }
+
+    openProv_ = std::move(rec);
+    openProvValid_ = true;
+}
+
+void
+MctController::beginFallbackProvenance(const Decision &decision)
+{
+    // Every attempted round failed the sanity bounds: there is no
+    // surviving model output, but the decision (run the baseline)
+    // still gets audited against what the baseline then realizes.
+    ProvenanceRecord rec = startProvenance(decision);
+    rec.model = "none (round rejected)";
+    rec.chosen = -1;
+    rec.fallback = true;
+    openProv_ = std::move(rec);
+    openProvValid_ = true;
+}
+
+void
+MctController::closeProvenance(const Metrics &realized)
+{
+    nErrInvalid_ += closeProvenanceRecord(
+        openProv_, realized.ipc, realized.lifetimeYears,
+        realized.energyJ, sys.retired());
+    // Calibration histograms hold basis points (x1e4): relative
+    // errors live almost entirely below 1.0, where the log-bucketed
+    // histogram has a single bucket.
+    for (std::size_t i = 0; i < numProvenanceObjectives; ++i) {
+        const ProvenanceObjective &o = openProv_.objectives[i];
+        if (o.errorValid && errHist_[i])
+            errHist_[i]->record(o.relError * 1e4);
+    }
+    if (openProv_.regret > 0.0) {
+        ++nRegretPos_;
+        cumRegret_ += openProv_.regret;
+    }
+    openProv_.cumRegret = cumRegret_;
+    ++nAuditClosed_;
+    sys.provenanceTrace().record(openProv_);
+    openProvValid_ = false;
+}
+
+void
+MctController::finalizeAudit()
+{
+    if (!openProvValid_)
+        return;
+    ++nAuditDropped_;
+    openProvValid_ = false;
 }
 
 MellowConfig
@@ -259,6 +479,7 @@ MctController::sampleAndChoose()
         decision.predicted = baseMetrics;
         decision.feasible = false;
         traceRecovery(RecoveryStep::Fallback, 1.0);
+        beginFallbackProvenance(decision);
         enterCooldown();
     } else if (p.stabilizeInsts > 0) {
         // Let the reconfiguration transient pass before the fixup
@@ -365,13 +586,15 @@ MctController::samplingRound(Decision &decision)
 
     if (p.profiler)
         p.profiler->begin("fit");
-    const ml::Vector predIpc = predictObjective(data, yIpc, "ipc");
-    const ml::Vector predLife =
-        predictObjective(data, yLife, "lifetime");
-    const ml::Vector predEnergy =
+    const Prediction pIpc = predictObjective(data, yIpc, "ipc");
+    const Prediction pLife = predictObjective(data, yLife, "lifetime");
+    const Prediction pEnergy =
         predictObjective(data, yEnergy, "energy");
     if (p.profiler)
         p.profiler->end("fit");
+    const ml::Vector &predIpc = pIpc.values;
+    const ml::Vector &predLife = pLife.values;
+    const ml::Vector &predEnergy = pEnergy.values;
 
     // Prediction sanity bounds: a ratio outside [min, max] (or
     // non-finite) is garbage, not insight. Individually bad configs
@@ -451,6 +674,8 @@ MctController::samplingRound(Decision &decision)
     trace.record(TraceEventType::PredictionMade, decision.predicted.ipc,
                  decision.predicted.lifetimeYears,
                  decision.feasible ? 1.0 : 0.0);
+    beginProvenance(decision, idx, predicted, badCfg, pIpc, pLife,
+                    pEnergy, yIpc);
     return true;
 }
 
@@ -461,6 +686,11 @@ MctController::runMonitoredWindow(InstCount insts)
     sys.run(insts);
     const SysSnapshot after = sys.snapshot();
     testingAcc.add(before, after);
+    if (openProvValid_) {
+        WindowAccum w;
+        w.add(before, after);
+        closeProvenance(w.metrics(sys));
+    }
     noteWearWindow(after);
     if (emergencyOn)
         return; // the clamp just engaged; runFor takes over
@@ -579,6 +809,13 @@ MctController::runCooldownWindow(InstCount insts)
     sys.run(insts);
     const SysSnapshot after = sys.snapshot();
     testingAcc.add(before, after);
+    if (openProvValid_) {
+        // A fallback decision's record realizes under the baseline it
+        // chose — the audit must cover the bad rounds too.
+        WindowAccum w;
+        w.add(before, after);
+        closeProvenance(w.metrics(sys));
+    }
     noteWearWindow(after);
 }
 
@@ -592,6 +829,11 @@ MctController::runEmergencyWindow(InstCount insts)
     sys.run(insts);
     const SysSnapshot after = sys.snapshot();
     testingAcc.add(before, after);
+    if (openProvValid_) {
+        WindowAccum w;
+        w.add(before, after);
+        closeProvenance(w.metrics(sys));
+    }
     noteWearWindow(after);
 }
 

@@ -12,15 +12,19 @@
 #ifndef MCT_MCT_CONTROLLER_HH
 #define MCT_MCT_CONTROLLER_HH
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <vector>
 
+#include "common/instrument.hh"
+#include "common/types.hh"
 #include "mct/config_space.hh"
 #include "mct/cyclic_sampler.hh"
 #include "mct/optimizer.hh"
 #include "mct/phase_detector.hh"
 #include "mct/predictors.hh"
+#include "memctrl/mellow_config.hh"
 #include "sim/system.hh"
 
 namespace mct
@@ -169,6 +173,17 @@ struct MctParams
     std::function<ml::Vector(const TrainData &, const char *objective)>
         predictOverride;
 
+    /**
+     * Decision-audit attribution cadence: every Nth decision
+     * snapshots the model's feature attribution into its provenance
+     * record and the mct.audit.attr.* gauges. 0 disables attribution
+     * snapshots; error calibration and regret accounting always run.
+     */
+    std::uint64_t auditEvery = 1;
+
+    /** Rejected runner-up candidates kept per provenance record. */
+    std::size_t provenanceRunnerUps = 3;
+
     std::uint64_t seed = 42;
 };
 
@@ -272,6 +287,25 @@ class MctController
     /** The clamp target: baseline knobs at the slowest latencies. */
     MellowConfig safestConfig() const;
 
+    // --- decision provenance / prediction-accuracy audit ---
+
+    /**
+     * End-of-run audit closeout: a still-open provenance record whose
+     * realization window never arrived (the run ended first) is
+     * counted under mct.audit.dropped and discarded. Idempotent; call
+     * after the final runFor before reading stats or traces.
+     */
+    void finalizeAudit();
+
+    /** Cumulative positive IPC regret vs the best sampled config. */
+    double cumulativeRegret() const { return cumRegret_; }
+
+    /** Provenance records closed with realized objectives. */
+    std::uint64_t auditClosed() const { return nAuditClosed_; }
+
+    /** Provenance records dropped before a window realized them. */
+    std::uint64_t auditDropped() const { return nAuditDropped_; }
+
   private:
     System &sys;
     MctParams p;
@@ -314,6 +348,24 @@ class MctController
      *  (lives in the system's registry as mct.sampling.period_insts). */
     LogHistogram *samplingHist = nullptr;
 
+    // Decision provenance / prediction-accuracy audit state: one
+    // record is open between a decision and the next execution
+    // window, which closes it with realized objectives.
+    ProvenanceRecord openProv_;
+    bool openProvValid_ = false;
+    std::uint64_t provSeq_ = 0;
+    double cumRegret_ = 0.0;
+    std::uint64_t nAuditClosed_ = 0;
+    std::uint64_t nAuditDropped_ = 0;
+    std::uint64_t nErrInvalid_ = 0;
+    std::uint64_t nRegretPos_ = 0;
+    std::uint64_t nAttrSnapshots_ = 0;
+    std::array<ml::Vector, numProvenanceObjectives> lastAttr_{};
+
+    /** Calibration histograms of |pred-real|/real in basis points,
+     *  one per objective (registry-owned, model-tagged paths). */
+    std::array<LogHistogram *, numProvenanceObjectives> errHist_{};
+
     /** Register mct.* stats in the managed system's registry. */
     void registerStats();
 
@@ -355,9 +407,32 @@ class MctController
                          std::vector<Metrics> &pairBase);
 
     /** Run one predictor objective (honoring predictOverride and the
-     *  fault injector's garbage hook). */
-    ml::Vector predictObjective(TrainData &data, const ml::Vector &y,
+     *  fault injector's garbage hook); carries the model's audit
+     *  surface (identity, uncertainty, attribution) along. */
+    Prediction predictObjective(TrainData &data, const ml::Vector &y,
                                 const char *objective);
+
+    /** Open @p decision's provenance record (constraints, predicted
+     *  objectives + uncertainty, runner-ups, regret oracle,
+     *  attribution snapshot every auditEvery decisions). */
+    void beginProvenance(const Decision &decision, int idx,
+                         const std::vector<Metrics> &predicted,
+                         const std::vector<bool> &badCfg,
+                         const Prediction &pIpc,
+                         const Prediction &pLife,
+                         const Prediction &pEnergy,
+                         const ml::Vector &yIpc);
+
+    /** Minimal record for a decision with no surviving prediction
+     *  round (total sampling failure -> baseline fallback). */
+    void beginFallbackProvenance(const Decision &decision);
+
+    /** Shared open-record bootstrap for the two begin paths. */
+    ProvenanceRecord startProvenance(const Decision &decision);
+
+    /** Close the open record against a window's realized metrics:
+     *  relative errors (guarded), regret, calibration histograms. */
+    void closeProvenance(const Metrics &realized);
 
     /** Record a RecoveryAction trace event. */
     void traceRecovery(RecoveryStep step, double detail = 0.0);

@@ -14,6 +14,8 @@
 
 #include <vector>
 
+#include "common/types.hh"
+#include "memctrl/mellow_config.hh"
 #include "sim/system.hh"
 
 namespace mct

@@ -1,6 +1,5 @@
 #include "mct/feature_compressor.hh"
 
-#include "common/logging.hh"
 
 namespace mct
 {

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "mct/config.hh"
+#include "mct/feature_compressor.hh"
 #include "ml/lasso.hh"
 #include "ml/quadratic_features.hh"
 

@@ -13,7 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "mct/feature_compressor.hh"
+#include "memctrl/mellow_config.hh"
+#include "ml/linalg.hh"
 #include "sim/system.hh"
 
 namespace mct

@@ -18,9 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
 #include "mct/config_space.hh"
 #include "mct/optimizer.hh"
 #include "mct/predictors.hh"
+#include "memctrl/mellow_config.hh"
 #include "sim/multicore.hh"
 
 namespace mct

@@ -1,11 +1,12 @@
 #include "mct/predictors.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
 #include "ml/gradient_boosting.hh"
 #include "ml/hierarchical_bayes.hh"
 #include "ml/lasso.hh"
 #include "ml/linear_regression.hh"
-#include "ml/metrics.hh"
 #include "ml/offline_predictor.hh"
 #include "ml/quadratic_features.hh"
 
@@ -30,6 +31,28 @@ toString(PredictorKind kind)
         return "gradient boosting";
       case PredictorKind::HierBayes:
         return "hierarchical Bayesian model";
+    }
+    return "unknown";
+}
+
+std::string
+predictorTag(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Offline:
+        return "offline";
+      case PredictorKind::Linear:
+        return "linear";
+      case PredictorKind::LinearLasso:
+        return "lasso";
+      case PredictorKind::Quadratic:
+        return "quad";
+      case PredictorKind::QuadraticLasso:
+        return "qlasso";
+      case PredictorKind::GradientBoosting:
+        return "gbt";
+      case PredictorKind::HierBayes:
+        return "hb";
     }
     return "unknown";
 }
@@ -103,24 +126,64 @@ validate(const TrainData &data, PredictorKind kind)
     }
 }
 
+/**
+ * Fold a weight vector over the (possibly quadratic-expanded) design
+ * onto the base configuration dimensions: linear terms map directly,
+ * squares map to their dimension, and cross terms split evenly
+ * between their two participants. Magnitudes only — the attribution
+ * answers "which knobs mattered", not the sign of their effect.
+ */
+ml::Vector
+foldToBaseFeatures(const ml::Vector &w, std::size_t d)
+{
+    ml::Vector out(d, 0.0);
+    std::size_t j = 0;
+    for (; j < w.size() && j < d; ++j)
+        out[j] += std::abs(w[j]);
+    for (; j < w.size() && j < 2 * d; ++j)
+        out[j - d] += std::abs(w[j]);
+    for (std::size_t i = 0; i < d && j < w.size(); ++i)
+        for (std::size_t k = i + 1; k < d && j < w.size(); ++k, ++j) {
+            out[i] += 0.5 * std::abs(w[j]);
+            out[k] += 0.5 * std::abs(w[j]);
+        }
+    return out;
+}
+
 } // namespace
 
 ml::Vector
 predictAllConfigs(PredictorKind kind, const TrainData &data)
 {
+    return predictAllConfigsDetailed(kind, data).values;
+}
+
+Prediction
+predictAllConfigsDetailed(PredictorKind kind, const TrainData &data)
+{
     validate(data, kind);
     const auto &space = *data.space;
+    Prediction out;
+    out.model = toString(kind);
 
     switch (kind) {
       case PredictorKind::Offline: {
         ml::OfflinePredictor model;
         model.fit(*data.library);
-        return model.predictAll();
+        out.values = model.predictAll();
+        return out;
       }
       case PredictorKind::HierBayes: {
         ml::HierarchicalBayesPredictor model;
         model.fitOffline(*data.library);
-        return model.infer(data.sampleIdx, data.sampleY);
+        ml::Vector variance;
+        out.values = model.inferWithVariance(data.sampleIdx,
+                                             data.sampleY, &variance);
+        out.uncertainty.resize(variance.size());
+        for (std::size_t c = 0; c < variance.size(); ++c)
+            out.uncertainty[c] =
+                variance[c] > 0.0 ? std::sqrt(variance[c]) : 0.0;
+        return out;
       }
       case PredictorKind::Linear:
       case PredictorKind::LinearLasso: {
@@ -129,11 +192,17 @@ predictAllConfigs(PredictorKind kind, const TrainData &data)
         if (kind == PredictorKind::Linear) {
             ml::LinearRegression model(0.0);
             model.fit(xs, data.sampleY);
-            return model.predictAll(xAll);
+            out.values = model.predictAll(xAll);
+            out.attribution =
+                foldToBaseFeatures(model.weights(), configDims);
+            return out;
         }
         ml::LassoRegression model;
         model.fit(xs, data.sampleY);
-        return model.predictAll(xAll);
+        out.values = model.predictAll(xAll);
+        out.attribution =
+            foldToBaseFeatures(model.coefficients(), configDims);
+        return out;
       }
       case PredictorKind::Quadratic:
       case PredictorKind::QuadraticLasso: {
@@ -143,18 +212,29 @@ predictAllConfigs(PredictorKind kind, const TrainData &data)
         if (kind == PredictorKind::Quadratic) {
             ml::LinearRegression model(0.0);
             model.fit(xs, data.sampleY);
-            return model.predictAll(xAll);
+            out.values = model.predictAll(xAll);
+            out.attribution =
+                foldToBaseFeatures(model.weights(), configDims);
+            return out;
         }
         ml::LassoRegression model;
         model.fit(xs, data.sampleY);
-        return model.predictAll(xAll);
+        out.values = model.predictAll(xAll);
+        out.attribution =
+            foldToBaseFeatures(model.coefficients(), configDims);
+        return out;
       }
       case PredictorKind::GradientBoosting: {
         const ml::Matrix xAll = encodeSpace(space);
         const ml::Matrix xs = gatherRows(xAll, data.sampleIdx);
         ml::GradientBoosting model;
         model.fit(xs, data.sampleY);
-        return model.predictAll(xAll);
+        out.values = model.predictAll(xAll);
+        out.uncertainty = model.stagedSpreadAll(xAll);
+        out.attribution = model.featureImportance();
+        if (out.attribution.size() < configDims)
+            out.attribution.resize(configDims, 0.0);
+        return out;
       }
     }
     mct_panic("unreachable predictor kind");

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mct/config.hh"
+#include "memctrl/mellow_config.hh"
 #include "ml/linalg.hh"
 
 namespace mct
@@ -34,6 +35,10 @@ enum class PredictorKind
 
 /** Table 7 row label. */
 std::string toString(PredictorKind kind);
+
+/** Short machine-friendly tag (stat paths, CLI): offline, linear,
+ *  lasso, quad, qlasso, gbt, hb. */
+std::string predictorTag(PredictorKind kind);
 
 /** All predictor kinds in Table 7 order. */
 const std::vector<PredictorKind> &allPredictorKinds();
@@ -61,6 +66,27 @@ struct TrainData
  * Predict the objective for every configuration in the space.
  */
 ml::Vector predictAllConfigs(PredictorKind kind, const TrainData &data);
+
+/**
+ * predictAllConfigs plus the audit surface of the fitted model: its
+ * identity label, a per-configuration uncertainty where the model has
+ * one (hierarchical-Bayes posterior 1-sigma, gradient-boosting staged
+ * -estimate spread; empty otherwise), and a per-base-feature
+ * attribution where the model is feature-based (|weights| for the
+ * linear family with quadratic terms folded onto their base
+ * dimensions, split-gain importances for gradient boosting; empty for
+ * the latent/offline models).
+ */
+struct Prediction
+{
+    ml::Vector values;      ///< predicted objective per configuration
+    ml::Vector uncertainty; ///< per-configuration 1-sigma (may be empty)
+    ml::Vector attribution; ///< per-feature weight, configDims long
+    std::string model;      ///< Table 7 row label
+};
+
+[[nodiscard]] Prediction
+predictAllConfigsDetailed(PredictorKind kind, const TrainData &data);
 
 /** True when the predictor requires offline (library) data. */
 bool needsOfflineData(PredictorKind kind);

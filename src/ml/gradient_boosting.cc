@@ -1,9 +1,11 @@
 #include "ml/gradient_boosting.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace mct::ml
 {
@@ -67,6 +69,61 @@ GradientBoosting::predict(const Vector &x) const
     for (const auto &tree : trees)
         acc += p.shrinkage * tree.predict(x);
     return acc;
+}
+
+Vector
+GradientBoosting::featureImportance() const
+{
+    if (trees.empty())
+        return {};
+    Vector imp(trees.front().splitGains().size(), 0.0);
+    for (const auto &tree : trees) {
+        const Vector &g = tree.splitGains();
+        for (std::size_t f = 0; f < imp.size() && f < g.size(); ++f)
+            imp[f] += g[f];
+    }
+    double sum = 0.0;
+    for (double v : imp)
+        sum += v;
+    if (sum > 0.0)
+        for (double &v : imp)
+            v /= sum;
+    return imp;
+}
+
+double
+GradientBoosting::stagedSpread(const Vector &x) const
+{
+    if (trees.empty())
+        return 0.0;
+    const std::size_t m = trees.size();
+    const std::size_t tail = std::max<std::size_t>(2, m / 4);
+    const std::size_t first = m - tail;
+    double acc = base;
+    double sum = 0.0, sumSq = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+        acc += p.shrinkage * trees[i].predict(x);
+        if (i >= first) {
+            sum += acc;
+            sumSq += acc * acc;
+        }
+    }
+    const auto n = static_cast<double>(tail);
+    const double var = sumSq / n - (sum / n) * (sum / n);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Vector
+GradientBoosting::stagedSpreadAll(const Matrix &x) const
+{
+    Vector out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        Vector row(x.cols());
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            row[c] = x(r, c);
+        out[r] = stagedSpread(row);
+    }
+    return out;
 }
 
 Vector

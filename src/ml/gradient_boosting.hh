@@ -8,9 +8,10 @@
 #ifndef MCT_ML_GRADIENT_BOOSTING_HH
 #define MCT_ML_GRADIENT_BOOSTING_HH
 
+#include <cstdint>
 #include <vector>
 
-#include "common/rng.hh"
+#include "ml/linalg.hh"
 #include "ml/regression_tree.hh"
 
 namespace mct::ml
@@ -43,6 +44,26 @@ class GradientBoosting
 
     /** Trees actually grown. */
     std::size_t size() const { return trees.size(); }
+
+    /**
+     * Split-gain feature importances: per-feature squared-error
+     * reduction summed over every split of every stage, normalized to
+     * sum to 1 (all zeros when no stage ever split).
+     */
+    Vector featureImportance() const;
+
+    /**
+     * Staged-estimate uncertainty for one sample: the standard
+     * deviation of the staged predictions F_m(x) over the final
+     * quarter of the boosting stages. A converged ensemble barely
+     * moves late in the sequence, so a large spread flags a sample
+     * whose prediction is still churning — a cheap, deterministic
+     * confidence proxy.
+     */
+    double stagedSpread(const Vector &x) const;
+
+    /** stagedSpread for every row of @p x. */
+    Vector stagedSpreadAll(const Matrix &x) const;
 
   private:
     BoostParams p;

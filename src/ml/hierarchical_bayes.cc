@@ -88,6 +88,14 @@ HierarchicalBayesPredictor::infer(
     const std::vector<std::size_t> &observedIdx,
     const Vector &observedY) const
 {
+    return inferWithVariance(observedIdx, observedY, nullptr);
+}
+
+Vector
+HierarchicalBayesPredictor::inferWithVariance(
+    const std::vector<std::size_t> &observedIdx,
+    const Vector &observedY, Vector *variance) const
+{
     if (!fitted)
         mct_fatal("HierarchicalBayesPredictor::infer before fitOffline");
     if (observedIdx.size() != observedY.size() || observedIdx.empty())
@@ -112,7 +120,7 @@ HierarchicalBayesPredictor::infer(
     }
     for (unsigned i = 0; i < L; ++i)
         a(i, i) += params.priorPrecision;
-    const Vector loadings = choleskySolve(std::move(a), rhs);
+    const Vector loadings = choleskySolve(a, rhs);
 
     Vector out(nCfg, 0.0);
     for (std::size_t c = 0; c < nCfg; ++c) {
@@ -120,6 +128,22 @@ HierarchicalBayesPredictor::infer(
         for (unsigned i = 0; i < L; ++i)
             acc += loadings[i] * h(i, c);
         out[c] = acc;
+    }
+
+    if (variance) {
+        // var_c = h_c^T A^{-1} h_c + noise, one small solve per
+        // configuration column (A is latentDim x latentDim).
+        variance->assign(nCfg, 0.0);
+        for (std::size_t c = 0; c < nCfg; ++c) {
+            Vector hc(L, 0.0);
+            for (unsigned i = 0; i < L; ++i)
+                hc[i] = h(i, c);
+            const Vector z = choleskySolve(a, hc);
+            double v = params.noise;
+            for (unsigned i = 0; i < L; ++i)
+                v += hc[i] * z[i];
+            (*variance)[c] = v;
+        }
     }
     return out;
 }

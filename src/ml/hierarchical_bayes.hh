@@ -72,6 +72,16 @@ class HierarchicalBayesPredictor
     Vector infer(const std::vector<std::size_t> &observedIdx,
                  const Vector &observedY) const;
 
+    /**
+     * infer() plus the per-configuration posterior predictive
+     * variance: var_c = h_c^T A^{-1} h_c + noise, where A is the
+     * posterior precision of the loadings. When @p variance is
+     * non-null it is resized to the configuration count.
+     */
+    Vector inferWithVariance(const std::vector<std::size_t> &observedIdx,
+                             const Vector &observedY,
+                             Vector *variance) const;
+
     /** Latent factors (latentDim x nConfigs) after fitOffline. */
     const Matrix &factors() const { return h; }
 

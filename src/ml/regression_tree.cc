@@ -17,6 +17,7 @@ RegressionTree::fit(const Matrix &x, const Vector &y,
     if (x.rows() == 0 || x.rows() != y.size())
         mct_fatal("RegressionTree::fit: bad shapes");
     nodes.clear();
+    gains.assign(x.cols(), 0.0);
     std::vector<std::size_t> idx = idxIn;
     if (idx.empty()) {
         idx.resize(x.rows());
@@ -105,6 +106,7 @@ RegressionTree::build(const Matrix &x, const Vector &y,
     nodes[self].leaf = false;
     nodes[self].feature = bestFeat;
     nodes[self].threshold = bestThresh;
+    gains[bestFeat] += bestGain;
     const int l = build(x, y, leftIdx, depth + 1);
     const int r = build(x, y, rightIdx, depth + 1);
     nodes[self].left = l;

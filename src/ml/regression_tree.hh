@@ -41,6 +41,13 @@ class RegressionTree
     /** Number of nodes (diagnostics). */
     std::size_t nodeCount() const { return nodes.size(); }
 
+    /**
+     * Per-feature squared-error reduction accumulated over every
+     * split of the last fit (length: feature count). The classic
+     * split-gain importance; all zeros for a stump.
+     */
+    const Vector &splitGains() const { return gains; }
+
   private:
     struct Node
     {
@@ -54,6 +61,7 @@ class RegressionTree
 
     TreeParams p;
     std::vector<Node> nodes;
+    Vector gains;
 
     int build(const Matrix &x, const Vector &y,
               std::vector<std::size_t> &idx, unsigned depth);

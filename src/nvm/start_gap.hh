@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/types.hh"
 
 namespace mct
 {

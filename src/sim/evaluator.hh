@@ -12,6 +12,8 @@
 
 #include <string>
 
+#include "common/types.hh"
+#include "memctrl/mellow_config.hh"
 #include "sim/system.hh"
 
 namespace mct

@@ -14,11 +14,16 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hh"
 #include "cache/hierarchy.hh"
+#include "common/types.hh"
 #include "cpu/core.hh"
 #include "memctrl/controller.hh"
+#include "memctrl/mellow_config.hh"
 #include "nvm/device.hh"
+#include "sim/energy_model.hh"
 #include "sim/system.hh"
+#include "workloads/workload.hh"
 
 namespace mct
 {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "memctrl/mellow_config.hh"
 #include "sim/evaluator.hh"
 
 namespace mct

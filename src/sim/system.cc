@@ -35,6 +35,7 @@ System::wire(const MellowConfig &config)
                                    *router_);
     trace_.setClock(&core_->stats().instructions);
     ctrl_->attachTrace(&trace_);
+    prov_.attachTrace(&trace_);
     registerAllStats();
 }
 
@@ -63,6 +64,12 @@ System::registerAllStats()
     });
     reg_.addGauge("sim.spans.dropped", [this] {
         return static_cast<double>(spans_.dropped());
+    });
+    reg_.addGauge("sim.provenance.recorded", [this] {
+        return static_cast<double>(prov_.recorded());
+    });
+    reg_.addGauge("sim.provenance.dropped", [this] {
+        return static_cast<double>(prov_.dropped());
     });
     reg_.addCounter("stats.nonfinite", [] { return jsonNonfiniteCount(); },
                     "NaN/Inf values that reached a JSON emitter");

@@ -16,9 +16,12 @@
 
 #include "cache/hierarchy.hh"
 #include "common/instrument.hh"
+#include "common/types.hh"
 #include "cpu/core.hh"
 #include "memctrl/controller.hh"
+#include "memctrl/mellow_config.hh"
 #include "nvm/device.hh"
+#include "nvm/nvm_params.hh"
 #include "sim/energy_model.hh"
 #include "workloads/workload.hh"
 
@@ -140,6 +143,15 @@ class System
     const SpanTrace &spanTrace() const { return spans_; }
 
     /**
+     * The decision-provenance trace (closed MCT audit records).
+     * Disabled until provenanceTrace().enable(capacity); while
+     * disabled each closed record costs one branch. Enabling also
+     * echoes DecisionProvenance events into the event trace.
+     */
+    ProvenanceTrace &provenanceTrace() { return prov_; }
+    const ProvenanceTrace &provenanceTrace() const { return prov_; }
+
+    /**
      * Start span sampling: every @p sampleEvery-th request id carries
      * a span through cache, core, controller and device into a ring
      * of @p capacity completed spans, feeding the lat.* stats and the
@@ -165,6 +177,7 @@ class System
     StatRegistry reg_;
     EventTrace trace_;
     SpanTrace spans_;
+    ProvenanceTrace prov_;
     std::unique_ptr<Workload> wl_;
     std::unique_ptr<NvmDevice> dev_;
     std::unique_ptr<MemController> ctrl_;

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
 #include "workloads/workload.hh"
 
 namespace mct

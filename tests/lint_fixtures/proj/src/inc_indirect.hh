@@ -1,0 +1,19 @@
+// include-hygiene fixture: reached by inc_main.cc only through
+// inc_umbrella.hh. Cog is declared nowhere else, so using it without
+// a direct include must be reported; Twin is also declared in
+// inc_twin.hh, so its use stays ambiguous and must NOT be reported.
+
+#ifndef FIXTURE_INC_INDIRECT_HH
+#define FIXTURE_INC_INDIRECT_HH
+
+struct Cog
+{
+    int teeth = 0;
+};
+
+struct Twin
+{
+    int id = 0;
+};
+
+#endif

@@ -1,0 +1,26 @@
+// include-hygiene fixtures, consumer side:
+//  - inc_used.hh: Widget is used below — must NOT fire;
+//  - inc_unused.hh: Gadget appears only in this comment and in the
+//    string literal below, which the stripped views hide — the
+//    include MUST be reported as unused;
+//  - inc_umbrella.hh: Umbrella is used (include is fine), but Cog is
+//    declared only by the transitively reached inc_indirect.hh — a
+//    missing-direct-include finding MUST fire for it;
+//  - Twin is declared by two headers (inc_indirect.hh, inc_twin.hh),
+//    so its transitive use below must NOT fire.
+
+#include "inc_umbrella.hh"
+#include "inc_unused.hh"
+#include "inc_used.hh"
+
+const char *kBanner = "no Gadget here";
+
+int
+assemble(const Widget &w, const Umbrella &u)
+{
+    Cog c;
+    c.teeth = w.size + u.ribs;
+    Twin t;
+    t.id = c.teeth;
+    return c.teeth + t.id;
+}

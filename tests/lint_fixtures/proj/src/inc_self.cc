@@ -1,0 +1,10 @@
+// include-hygiene fixture: includes its primary header without using
+// any name from it — must NOT be reported (self-include exemption).
+
+#include "inc_self.hh"
+
+int
+standalone()
+{
+    return 7;
+}

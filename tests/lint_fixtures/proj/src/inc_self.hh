@@ -1,0 +1,13 @@
+// include-hygiene fixture: primary header of inc_self.cc. The .cc
+// uses nothing declared here, but a primary header is exempt from the
+// unused-include check by convention.
+
+#ifndef FIXTURE_INC_SELF_HH
+#define FIXTURE_INC_SELF_HH
+
+struct SelfOnly
+{
+    int x = 0;
+};
+
+#endif

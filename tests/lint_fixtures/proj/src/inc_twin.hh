@@ -1,0 +1,10 @@
+// include-hygiene fixture: second declarer of Twin. Its existence
+// makes Twin ambiguous, disqualifying it from missing-direct-include
+// findings.
+
+#ifndef FIXTURE_INC_TWIN_HH
+#define FIXTURE_INC_TWIN_HH
+
+struct Twin;
+
+#endif

@@ -1,0 +1,14 @@
+// include-hygiene fixture: an umbrella header that re-exports
+// inc_indirect.hh. Directly included (and used) by inc_main.cc.
+
+#ifndef FIXTURE_INC_UMBRELLA_HH
+#define FIXTURE_INC_UMBRELLA_HH
+
+#include "inc_indirect.hh"
+
+struct Umbrella
+{
+    int ribs = 0;
+};
+
+#endif

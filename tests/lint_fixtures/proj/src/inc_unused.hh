@@ -1,0 +1,14 @@
+// include-hygiene fixture: nothing declared here is used by
+// inc_main.cc, so its direct include there must be reported.
+
+#ifndef FIXTURE_INC_UNUSED_HH
+#define FIXTURE_INC_UNUSED_HH
+
+struct Gadget
+{
+    int knobs = 0;
+};
+
+int gadgetCount(const Gadget &g);
+
+#endif

@@ -1,0 +1,12 @@
+// include-hygiene fixture: a header whose declared name IS used by
+// the includer (inc_main.cc) — must never be reported as unused.
+
+#ifndef FIXTURE_INC_USED_HH
+#define FIXTURE_INC_USED_HH
+
+struct Widget
+{
+    int size = 0;
+};
+
+#endif

@@ -300,6 +300,45 @@ TEST_F(FixtureRun, DiscardedResultFlagsBareStatementOnly)
     EXPECT_EQ(countOf(fs, "discarded-result"), 1u);
 }
 
+TEST_F(FixtureRun, IncludeHygieneFlagsUnusedDirectInclude)
+{
+    const auto &fs = findings();
+    // Gadget appears only in a comment and a string literal of
+    // inc_main.cc — the stripped views must not count that as a use.
+    EXPECT_TRUE(hasMessage(fs, "include-hygiene",
+                           "include \"inc_unused.hh\" is unused"));
+    // The used headers must not fire.
+    EXPECT_FALSE(
+        hasMessage(fs, "include-hygiene", "\"inc_used.hh\""));
+    EXPECT_FALSE(
+        hasMessage(fs, "include-hygiene", "\"inc_umbrella.hh\""));
+}
+
+TEST_F(FixtureRun, IncludeHygieneFlagsTransitiveTypeUse)
+{
+    const auto &fs = findings();
+    EXPECT_TRUE(hasMessage(fs, "include-hygiene",
+                           "uses 'Cog' declared in "
+                           "\"src/inc_indirect.hh\""));
+    // Exactly the unused + missing pair, nothing else in the file.
+    EXPECT_EQ(countOf(fs, "include-hygiene", "src/inc_main.cc"), 2u);
+}
+
+TEST_F(FixtureRun, IncludeHygieneAmbiguousTypeDoesNotFire)
+{
+    // Twin is declared by two headers; transitively using it must not
+    // produce a missing-direct-include finding.
+    EXPECT_FALSE(hasMessage(findings(), "include-hygiene", "'Twin'"));
+}
+
+TEST_F(FixtureRun, IncludeHygienePrimaryHeaderIsExempt)
+{
+    // inc_self.cc includes its own header without using any declared
+    // name from it; the self-include convention keeps it clean.
+    for (const auto &f : findings())
+        EXPECT_NE(f.file, "src/inc_self.cc") << f.rule;
+}
+
 TEST_F(FixtureRun, FindingsAreSortedByFileThenLine)
 {
     const auto &fs = findings();

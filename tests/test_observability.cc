@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "common/instrument.hh"
@@ -454,6 +455,192 @@ TEST(MctStats, ControllerRegistersAndTraces)
     EXPECT_GE(n(TraceEventType::SamplingRoundEnd), 1u);
     EXPECT_GE(n(TraceEventType::PredictionMade), 1u);
     EXPECT_GE(n(TraceEventType::ConfigApplied), 1u);
+}
+
+// --------------------------------------------------------------------
+// ProvenanceRecord / ProvenanceTrace
+// --------------------------------------------------------------------
+
+// A deterministic, fully-populated record for serialization tests.
+ProvenanceRecord
+sampleProvenanceRecord()
+{
+    ProvenanceRecord rec;
+    rec.seq = 4;
+    rec.phase = 1;
+    rec.inst = 1000;
+    rec.model = "gbt";
+    rec.configKey = "cfgA";
+    rec.chosen = 7;
+    rec.sampledConfigs = 77;
+    rec.minLifetimeYears = 8;
+    rec.ipcFraction = 0.95;
+    rec.safetyMargin = 1.25;
+    rec.objectives[0].predicted = 0.5;
+    rec.objectives[0].uncertainty = 0.125;
+    rec.objectives[1].predicted = 8;
+    rec.objectives[2].predicted = 0.25;
+    ProvenanceCandidate c;
+    c.config = 3;
+    c.ipc = 0.375;
+    c.lifetimeYears = 16;
+    c.energyJ = 0.5;
+    c.feasible = true;
+    rec.runnerUps.push_back(c);
+    rec.bestSampledIpc = 0.75;
+    return rec;
+}
+
+TEST(Provenance, CloseAttachesRealizedValuesAndRegret)
+{
+    ProvenanceRecord rec = sampleProvenanceRecord();
+    EXPECT_EQ(closeProvenanceRecord(rec, 0.25, 4.0, 0.5, 2000), 0u);
+
+    EXPECT_TRUE(rec.closed);
+    EXPECT_EQ(rec.closeInst, InstCount(2000));
+    EXPECT_TRUE(rec.objectives[0].errorValid);
+    EXPECT_DOUBLE_EQ(rec.objectives[0].relError, 1.0); // |0.5-0.25|/0.25
+    EXPECT_DOUBLE_EQ(rec.objectives[1].relError, 1.0); // |8-4|/4
+    EXPECT_DOUBLE_EQ(rec.objectives[2].relError, 0.5); // |0.25-0.5|/0.5
+    EXPECT_DOUBLE_EQ(rec.regret, 0.5); // bestSampledIpc 0.75 - 0.25
+}
+
+TEST(Provenance, ZeroOrNonfiniteRealizedValueInvalidatesError)
+{
+    ProvenanceRecord rec = sampleProvenanceRecord();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(closeProvenanceRecord(rec, 0.0, 4.0, nan, 2000), 2u);
+
+    EXPECT_TRUE(rec.closed);
+    EXPECT_FALSE(rec.objectives[0].errorValid); // realized ~ 0
+    EXPECT_DOUBLE_EQ(rec.objectives[0].relError, 0.0);
+    EXPECT_TRUE(rec.objectives[1].errorValid);
+    EXPECT_DOUBLE_EQ(rec.objectives[1].relError, 1.0);
+    EXPECT_FALSE(rec.objectives[2].errorValid); // realized non-finite
+    EXPECT_DOUBLE_EQ(rec.objectives[2].relError, 0.0);
+}
+
+TEST(Provenance, JsonlGolden)
+{
+    ProvenanceRecord rec = sampleProvenanceRecord();
+    closeProvenanceRecord(rec, 0.25, 4.0, 0.5, 2000);
+    rec.cumRegret = 0.5;
+    rec.attribution[0] = {0.75, 0.25};
+
+    ProvenanceTrace t;
+    t.enable(4);
+    t.record(rec);
+
+    std::ostringstream os;
+    t.writeJsonl(os);
+    EXPECT_EQ(
+        os.str(),
+        "{\"seq\":4,\"phase\":1,\"inst\":1000,\"close_inst\":2000,"
+        "\"model\":\"gbt\",\"config\":\"cfgA\",\"chosen\":7,"
+        "\"fallback\":false,\"sampled\":77,"
+        "\"constraints\":{\"min_lifetime_years\":8,"
+        "\"ipc_fraction\":0.95,\"safety_margin\":1.25},"
+        "\"objectives\":{"
+        "\"ipc\":{\"pred\":0.5,\"sigma\":0.125,\"real\":0.25,"
+        "\"err\":1,\"err_valid\":true},"
+        "\"lifetime\":{\"pred\":8,\"sigma\":0,\"real\":4,"
+        "\"err\":1,\"err_valid\":true},"
+        "\"energy\":{\"pred\":0.25,\"sigma\":0,\"real\":0.5,"
+        "\"err\":0.5,\"err_valid\":true}},"
+        "\"runner_ups\":[{\"config\":3,\"ipc\":0.375,"
+        "\"lifetime_years\":16,\"energy_j\":0.5,\"feasible\":true}],"
+        "\"best_sampled_ipc\":0.75,\"regret\":0.5,\"cum_regret\":0.5,"
+        "\"attribution\":{\"ipc\":[0.75,0.25]},"
+        "\"closed\":true}\n");
+}
+
+TEST(Provenance, ChromeTraceGolden)
+{
+    ProvenanceRecord rec = sampleProvenanceRecord();
+    closeProvenanceRecord(rec, 0.25, 4.0, 0.5, 2000);
+
+    ProvenanceTrace t;
+    t.enable(4);
+    t.record(rec);
+
+    std::ostringstream os;
+    t.writeChromeTrace(os);
+    EXPECT_EQ(
+        os.str(),
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":1,"
+        "\"args\":{\"name\":\"provenance\"}},"
+        "{\"name\":\"cfgA\",\"ph\":\"X\",\"ts\":1000,\"dur\":1000,"
+        "\"pid\":2,\"tid\":1,"
+        "\"args\":{\"seq\":4,\"model\":\"gbt\",\"pred_ipc\":0.5,"
+        "\"real_ipc\":0.25,\"regret\":0.5}}]}\n");
+}
+
+TEST(Provenance, RingWraparoundIsAccounted)
+{
+    ProvenanceTrace t;
+    t.enable(2);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        ProvenanceRecord rec = sampleProvenanceRecord();
+        rec.seq = i;
+        t.record(rec);
+    }
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.recorded(), 3u);
+    EXPECT_EQ(t.dropped(), 1u);
+    const auto held = t.records();
+    ASSERT_EQ(held.size(), 2u);
+    EXPECT_EQ(held[0].seq, 1u); // oldest first; seq 0 overwritten
+    EXPECT_EQ(held[1].seq, 2u);
+}
+
+// --------------------------------------------------------------------
+// Controller audit lifecycle
+// --------------------------------------------------------------------
+
+TEST(MctAudit, TruncatedDecisionWindowCountsDropped)
+{
+    SystemParams sp;
+    System sys("lbm", sp, staticBaselineConfig());
+    sys.run(100 * 1000);
+
+    MctParams mp;
+    MctController ctl(sys, mp);
+    const StatRegistry &reg = sys.statRegistry();
+    // Advance in slices small enough to stop right after the first
+    // decision, before any window can realize its objectives.
+    while (reg.value("mct.audit.decisions") < 1.0 &&
+           sys.retired() < 20 * 1000 * 1000)
+        ctl.runFor(10 * 1000);
+    ASSERT_GE(reg.value("mct.audit.decisions"), 1.0);
+    ASSERT_DOUBLE_EQ(reg.value("mct.audit.closed"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.value("mct.audit.dropped"), 0.0);
+
+    ctl.finalizeAudit();
+    EXPECT_DOUBLE_EQ(reg.value("mct.audit.dropped"), 1.0);
+    ctl.finalizeAudit(); // idempotent: nothing left to drop
+    EXPECT_DOUBLE_EQ(reg.value("mct.audit.dropped"), 1.0);
+}
+
+TEST(MctAudit, ProvenanceIsByteIdenticalAcrossRuns)
+{
+    const auto runOnce = [] {
+        SystemParams sp;
+        System sys("lbm", sp, staticBaselineConfig());
+        sys.provenanceTrace().enable(64);
+        sys.run(100 * 1000);
+        MctParams mp;
+        MctController ctl(sys, mp);
+        ctl.runFor(3 * 1000 * 1000);
+        ctl.finalizeAudit();
+        std::ostringstream os;
+        sys.provenanceTrace().writeJsonl(os);
+        return os.str();
+    };
+    const std::string first = runOnce();
+    const std::string second = runOnce();
+    ASSERT_FALSE(first.empty()); // at least one closed record
+    EXPECT_EQ(first, second);
 }
 
 // --------------------------------------------------------------------

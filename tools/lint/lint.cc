@@ -409,6 +409,8 @@ Linter::run(const std::vector<std::string> &roots)
             runNonfiniteGauge(rule, files, out);
         else if (rule.builtin == "discarded-result")
             runDiscardedResult(rule, files, out);
+        else if (rule.builtin == "include-hygiene")
+            runIncludeHygiene(rule, files, out);
         else
             out.push_back({"rules.txt", 0, rule.id,
                            "unknown builtin '" + rule.builtin + "'"});

@@ -19,9 +19,9 @@
  * Pattern rules are pure data: tools/lint/rules.txt declares the
  * regex, the scope globs, the allowlist, and the message, so new bans
  * do not require recompiling the tool. A small set of named builtin
- * analyses (stat-contract, nonfinite-gauge, discarded-result) carry
- * the checks that need real parsing; rules.txt still owns their
- * scope, allowlist, and configuration.
+ * analyses (stat-contract, nonfinite-gauge, discarded-result,
+ * include-hygiene) carry the checks that need real parsing;
+ * rules.txt still owns their scope, allowlist, and configuration.
  *
  * Findings print as "file:line: [rule-id] message" and the process
  * exits non-zero when any finding survives, so the lint target gates
@@ -48,7 +48,8 @@ struct RuleSpec
 
     /**
      * Name of a compiled-in analysis ("stat-contract",
-     * "nonfinite-gauge", "discarded-result"); empty for pattern rules.
+     * "nonfinite-gauge", "discarded-result", "include-hygiene");
+     * empty for pattern rules.
      */
     std::string builtin;
 
@@ -224,6 +225,9 @@ class Linter
     void runDiscardedResult(const RuleSpec &rule,
                             const std::vector<SourceFile> &files,
                             std::vector<Finding> &out) const;
+    void runIncludeHygiene(const RuleSpec &rule,
+                           const std::vector<SourceFile> &files,
+                           std::vector<Finding> &out) const;
 };
 
 /** Line number (1-based) of byte offset @p pos in @p text. */

@@ -3,12 +3,16 @@
  * mct_lint command-line driver.
  *
  *     mct_lint [--root DIR] [--rules FILE] [--dump]
- *              [--emit-doc-table] [ROOT...]
+ *              [--emit-doc-table] [--no-include-hygiene] [ROOT...]
  *
  * Scans ROOT... directories (default: src bench tests tools) under
  * the repository root, applies every rule in rules.txt, and prints
  * findings as "file:line: [rule-id] message". Exits 0 when clean,
  * 1 when findings exist, 2 on usage/configuration errors.
+ *
+ * --no-include-hygiene drops every include-hygiene rule before the
+ * run — the escape hatch for trees where the heuristic misfires
+ * (generated code, umbrella headers) without editing rules.txt.
  *
  * --dump prints the extracted instrumentation contract (stat path
  * patterns and event type names) instead of linting; it is the
@@ -22,6 +26,7 @@
  * be hand-polished.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -40,7 +45,7 @@ usage()
 {
     std::cerr
         << "usage: mct_lint [--root DIR] [--rules FILE] [--dump] "
-           "[--emit-doc-table] [ROOT...]\n";
+           "[--emit-doc-table] [--no-include-hygiene] [ROOT...]\n";
     return 2;
 }
 
@@ -53,6 +58,7 @@ main(int argc, char **argv)
     std::string rulesPath;
     bool dump = false;
     bool emitDocTable = false;
+    bool noIncludeHygiene = false;
     std::vector<std::string> roots;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -64,6 +70,8 @@ main(int argc, char **argv)
             dump = true;
         else if (arg == "--emit-doc-table")
             emitDocTable = true;
+        else if (arg == "--no-include-hygiene")
+            noIncludeHygiene = true;
         else if (arg == "--help" || arg == "-h")
             return usage();
         else if (!arg.empty() && arg[0] == '-')
@@ -94,6 +102,14 @@ main(int argc, char **argv)
                   << "\n";
         return 2;
     }
+
+    if (noIncludeHygiene)
+        rules.rules.erase(
+            std::remove_if(rules.rules.begin(), rules.rules.end(),
+                           [](const mct::lint::RuleSpec &r) {
+                               return r.builtin == "include-hygiene";
+                           }),
+            rules.rules.end());
 
     std::string docsRel = "docs/observability.md";
     for (const auto &r : rules.rules)

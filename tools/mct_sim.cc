@@ -39,6 +39,17 @@
  *                        when a spans output is requested, else off)
  *   --span-cap N         span ring-buffer capacity (default 16384)
  *
+ * Decision audit (mct mode; docs/observability.md):
+ *   --provenance-out FILE     closed decision-provenance records as
+ *                             JSONL (predicted vs realized objectives,
+ *                             constraints, runner-ups, regret)
+ *   --provenance-chrome FILE  the same records as Chrome trace-event
+ *                             complete events (decision -> realization)
+ *   --provenance-cap N        provenance ring capacity (default 4096)
+ *   --audit-every N           feature-attribution snapshot every Nth
+ *                             decision (default 1; 0 disables
+ *                             attribution, audit errors still accrue)
+ *
  * Fault injection (eval, mct and sweep modes; docs/robustness.md):
  *   --faults PLAN        a built-in plan name (drift, degrade,
  *                        counters, garbage, skew, corrupt-cache,
@@ -68,12 +79,19 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/types.hh"
 #include "mct/config.hh"
 #include "mct/config_space.hh"
 #include "mct/controller.hh"
+#include "mct/predictors.hh"
+#include "memctrl/mellow_config.hh"
+#include "nvm/nvm_params.hh"
+#include "nvm/start_gap.hh"
+#include "sim/evaluator.hh"
 #include "sim/fault_injector.hh"
 #include "sim/stats_report.hh"
 #include "sim/sweep_cache.hh"
+#include "sim/system.hh"
 #include "workloads/mixes.hh"
 #include "workloads/trace.hh"
 
@@ -230,17 +248,22 @@ struct Telemetry
     std::string traceChrome; ///< --trace-chrome FILE
     std::string spansOut;    ///< --spans-out FILE (JSONL)
     std::string spansChrome; ///< --spans-chrome FILE
+    std::string provOut;     ///< --provenance-out FILE (JSONL)
+    std::string provChrome;  ///< --provenance-chrome FILE
     InstCount statsEvery = 0;
     std::size_t traceCap = 64 * 1024;
     std::uint64_t spanSample = 0; ///< --span-sample N (0 = off)
     std::size_t spanCap = 16 * 1024;
+    std::size_t provCap = 4 * 1024;
+    std::uint64_t auditEvery = 1; ///< --audit-every N
 
     /** Any surface requested at all? */
     bool
     any() const
     {
         return !statsJson.empty() || !traceOut.empty() ||
-               !traceChrome.empty() || statsEvery > 0 || wantsSpans();
+               !traceChrome.empty() || statsEvery > 0 ||
+               wantsSpans() || wantsProvenance();
     }
 
     /** Should the event ring buffer record? */
@@ -253,6 +276,13 @@ struct Telemetry
 
     /** Should request-lifecycle spans be sampled? */
     bool wantsSpans() const { return spanSample > 0; }
+
+    /** Should closed provenance records be kept? */
+    bool
+    wantsProvenance() const
+    {
+        return !provOut.empty() || !provChrome.empty();
+    }
 };
 
 Telemetry
@@ -282,6 +312,16 @@ telemetryFromArgs(const Args &args)
     if (t.spanSample == 0 &&
         (!t.spansOut.empty() || !t.spansChrome.empty()))
         t.spanSample = 64;
+    t.provOut = args.get("provenance-out", "");
+    t.provChrome = args.get("provenance-chrome", "");
+    const long long pcap = args.getI("provenance-cap", 4 * 1024);
+    if (pcap <= 0)
+        mct_fatal("--provenance-cap must be positive");
+    t.provCap = static_cast<std::size_t>(pcap);
+    const long long audit = args.getI("audit-every", 1);
+    if (audit < 0)
+        mct_fatal("--audit-every must be non-negative");
+    t.auditEvery = static_cast<std::uint64_t>(audit);
     return t;
 }
 
@@ -544,6 +584,30 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
         spans.writeChromeTrace(os);
         std::printf("spans-chrome   %s\n", t.spansChrome.c_str());
     }
+    const ProvenanceTrace &prov = sys.provenanceTrace();
+    if (!t.provOut.empty()) {
+        std::ofstream os(t.provOut);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.provOut.c_str());
+            return 1;
+        }
+        prov.writeJsonl(os);
+        std::printf("provenance-out %s (%llu records, %llu dropped)\n",
+                    t.provOut.c_str(),
+                    static_cast<unsigned long long>(prov.size()),
+                    static_cast<unsigned long long>(prov.dropped()));
+    }
+    if (!t.provChrome.empty()) {
+        std::ofstream os(t.provChrome);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.provChrome.c_str());
+            return 1;
+        }
+        prov.writeChromeTrace(os);
+        std::printf("provenance-chrome %s\n", t.provChrome.c_str());
+    }
     return 0;
 }
 
@@ -681,10 +745,13 @@ cmdMct(const Args &args)
         sys.eventTrace().enable(tel.traceCap);
     if (tel.wantsSpans())
         sys.enableSpans(tel.spanSample, tel.spanCap);
+    if (tel.wantsProvenance())
+        sys.provenanceTrace().enable(tel.provCap);
     sys.run(ep.warmupInsts);
 
     MctParams mp;
     mp.objective.minLifetimeYears = args.getD("target", 8.0);
+    mp.auditEvery = tel.auditEvery;
     const std::string model = args.get("model", "gbt");
     if (model == "gbt")
         mp.predictor = PredictorKind::GradientBoosting;
@@ -700,6 +767,9 @@ cmdMct(const Args &args)
         sys,
         static_cast<InstCount>(args.getI("insts", 4 * 1000 * 1000)),
         tel, [&](InstCount n) { ctl.runFor(n); });
+    // A record opened by the final decision has no realization window
+    // left; count it dropped before any stats or traces are read.
+    ctl.finalizeAudit();
     std::printf("app            %s (target %.1f years, %s)\n",
                 app.c_str(), mp.objective.minLifetimeYears,
                 model.c_str());
@@ -708,6 +778,11 @@ cmdMct(const Args &args)
                 ctl.decisions().size(),
                 static_cast<unsigned long long>(ctl.resamplings()),
                 static_cast<unsigned long long>(ctl.fallbacks()));
+    std::printf("audit          %llu closed, %llu dropped, "
+                "regret %.4f\n",
+                static_cast<unsigned long long>(ctl.auditClosed()),
+                static_cast<unsigned long long>(ctl.auditDropped()),
+                ctl.cumulativeRegret());
     std::printf("chosen         %s\n",
                 toString(ctl.currentConfig()).c_str());
     printMetrics(sys.metricsSince(before));

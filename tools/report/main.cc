@@ -5,12 +5,22 @@
  * Usage:
  *   mct_report show --stats-json FILE [--spans FILE] [--profile FILE]
  *                   [--windows N]
+ *   mct_report explain [RUN.json] --provenance FILE [--decisions N]
  *   mct_report diff --base FILE --new FILE [--thresholds FILE]
  *                   [--out BENCH_report.json]
  *
  * `show` renders one run: objectives, the lat.* latency-attribution
  * breakdown with p50/p90/p99, per-window tables, event counts, and
  * optional span/WallProfiler summaries.
+ *
+ * `explain` renders the decision audit from a --provenance-out JSONL
+ * stream: per decision the predicted vs realized objectives with the
+ * model's uncertainty and relative error, the constraint set, the
+ * rejected runner-ups, the IPC regret against the best sampled
+ * configuration, and the top attributed features; then a calibration
+ * summary (mean/p50/p90 relative error per objective). An optional
+ * stats-json run document adds the run header and its mct.audit.*
+ * scalars for cross-checking.
  *
  * `diff` gates a new run against a base run. Every final scalar of the
  * new run matching a threshold rule (built-in defaults, or a
@@ -29,6 +39,7 @@
 #include <iostream>
 #include <string>
 
+#include "mct/config.hh"
 #include "report.hh"
 
 namespace
@@ -43,6 +54,8 @@ usage()
         stderr,
         "usage: mct_report show --stats-json FILE [--spans FILE]\n"
         "                       [--profile FILE] [--windows N]\n"
+        "       mct_report explain [RUN.json] --provenance FILE\n"
+        "                       [--decisions N]\n"
         "       mct_report diff --base FILE --new FILE\n"
         "                       [--thresholds FILE] [--out FILE]\n");
     return 2;
@@ -113,6 +126,63 @@ cmdShow(int argc, char **argv)
         std::cout << "\nself-profile:\n";
         renderProfile(std::cout, prof);
     }
+    return 0;
+}
+
+int
+cmdExplain(int argc, char **argv)
+{
+    std::string statsPath, provPath;
+    std::size_t decisions = 0; // 0 = all
+    for (int i = 2; i < argc; ++i) {
+        std::string v;
+        if (!std::strcmp(argv[i], "--provenance")) {
+            if (!flagValue(argc, argv, i, provPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--stats-json")) {
+            if (!flagValue(argc, argv, i, statsPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--decisions")) {
+            if (!flagValue(argc, argv, i, v))
+                return 2;
+            decisions = static_cast<std::size_t>(std::stoul(v));
+        } else if (argv[i][0] != '-' && statsPath.empty()) {
+            statsPath = argv[i]; // positional run document
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (provPath.empty())
+        return usage();
+
+    std::string err;
+    if (!statsPath.empty()) {
+        RunData run;
+        if (!loadSnapshots(statsPath, run, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        std::cout << "run: " << run.path << "\nmode " << run.mode
+                  << ", app " << run.app << ", config " << run.config
+                  << "\n";
+        bool any = false;
+        for (const auto &[name, v] : run.finalScalars) {
+            if (name.rfind("mct.audit.", 0) != 0)
+                continue;
+            if (!any)
+                std::cout << "audit stats:\n";
+            any = true;
+            std::printf("  %-32s %g\n", name.c_str(), v);
+        }
+        std::cout << "\n";
+    }
+    ProvSet prov;
+    if (!loadProvenance(provPath, prov, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+    renderExplain(std::cout, prov, mct::configDimNames(), decisions);
     return 0;
 }
 
@@ -191,6 +261,8 @@ main(int argc, char **argv)
         return usage();
     if (!std::strcmp(argv[1], "show"))
         return cmdShow(argc, argv);
+    if (!std::strcmp(argv[1], "explain"))
+        return cmdExplain(argc, argv);
     if (!std::strcmp(argv[1], "diff"))
         return cmdDiff(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", argv[1]);

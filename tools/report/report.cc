@@ -509,6 +509,113 @@ loadProfile(const std::string &path, Profile &out, std::string &err)
 }
 
 // --------------------------------------------------------------------
+// Decision provenance
+// --------------------------------------------------------------------
+
+namespace
+{
+
+ProvObjective
+provObjectiveFromJson(const JsonValue &v)
+{
+    ProvObjective o;
+    o.pred = v.num("pred", 0.0);
+    o.sigma = v.num("sigma", 0.0);
+    o.real = v.num("real", 0.0);
+    o.err = v.num("err", 0.0);
+    const JsonValue *valid = v.find("err_valid");
+    o.errValid = valid && valid->kind == JsonValue::Kind::Bool &&
+                 valid->boolean;
+    return o;
+}
+
+} // namespace
+
+bool
+loadProvenance(const std::string &path, ProvSet &out, std::string &err)
+{
+    std::string text;
+    if (!readFile(path, text, err))
+        return false;
+    std::istringstream is(text);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonParse p = parseJson(line);
+        if (!p.ok) {
+            err = path + ":" + std::to_string(lineNo) + ": " + p.error;
+            return false;
+        }
+        const JsonValue &v = p.value;
+        ProvRecord rec;
+        rec.seq = static_cast<std::uint64_t>(v.num("seq", 0.0));
+        rec.phase = static_cast<std::uint64_t>(v.num("phase", 0.0));
+        rec.inst = static_cast<std::uint64_t>(v.num("inst", 0.0));
+        rec.closeInst =
+            static_cast<std::uint64_t>(v.num("close_inst", 0.0));
+        rec.model = v.text("model", "");
+        rec.config = v.text("config", "");
+        rec.chosen = static_cast<long long>(v.num("chosen", -1.0));
+        const JsonValue *fb = v.find("fallback");
+        rec.fallback = fb && fb->kind == JsonValue::Kind::Bool &&
+                       fb->boolean;
+        rec.sampled = static_cast<std::uint64_t>(v.num("sampled", 0.0));
+        if (const JsonValue *cons = v.find("constraints")) {
+            rec.minLifetimeYears =
+                cons->num("min_lifetime_years", 0.0);
+            rec.ipcFraction = cons->num("ipc_fraction", 0.0);
+            rec.safetyMargin = cons->num("safety_margin", 0.0);
+        }
+        if (const JsonValue *objs = v.find("objectives")) {
+            for (const auto &[name, ov] : objs->members) {
+                if (ov.kind == JsonValue::Kind::Object)
+                    rec.objectives.emplace_back(
+                        name, provObjectiveFromJson(ov));
+            }
+        }
+        if (const JsonValue *rus = v.find("runner_ups")) {
+            for (const JsonValue &rv : rus->arr) {
+                ProvCandidate c;
+                c.config =
+                    static_cast<std::uint64_t>(rv.num("config", 0.0));
+                c.ipc = rv.num("ipc", 0.0);
+                c.lifetimeYears = rv.num("lifetime_years", 0.0);
+                c.energyJ = rv.num("energy_j", 0.0);
+                const JsonValue *feas = rv.find("feasible");
+                c.feasible = feas &&
+                             feas->kind == JsonValue::Kind::Bool &&
+                             feas->boolean;
+                rec.runnerUps.push_back(c);
+            }
+        }
+        rec.bestSampledIpc = v.num("best_sampled_ipc", 0.0);
+        rec.regret = v.num("regret", 0.0);
+        rec.cumRegret = v.num("cum_regret", 0.0);
+        if (const JsonValue *attr = v.find("attribution")) {
+            for (const auto &[name, av] : attr->members) {
+                if (av.kind != JsonValue::Kind::Array)
+                    continue;
+                std::vector<double> weights;
+                weights.reserve(av.arr.size());
+                for (const JsonValue &wv : av.arr)
+                    weights.push_back(wv.number);
+                rec.attribution.emplace_back(name,
+                                             std::move(weights));
+            }
+        }
+        const JsonValue *closed = v.find("closed");
+        rec.closed = closed &&
+                     closed->kind == JsonValue::Kind::Bool &&
+                     closed->boolean;
+        out.records.push_back(std::move(rec));
+    }
+    return true;
+}
+
+// --------------------------------------------------------------------
 // Thresholds
 // --------------------------------------------------------------------
 
@@ -924,6 +1031,151 @@ renderSpans(std::ostream &os, const SpanSet &spans)
         st.row({stage, std::to_string(agg.first),
                 fmt(agg.second / static_cast<double>(agg.first), 1)});
     st.print(os);
+}
+
+namespace
+{
+
+/** Nearest-rank percentile over raw samples (exact, no buckets). */
+double
+samplePercentile(std::vector<double> &values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        std::ceil(p * static_cast<double>(values.size()));
+    const std::size_t i = rank <= 1.0
+        ? 0
+        : std::min(values.size() - 1,
+                   static_cast<std::size_t>(rank) - 1);
+    return values[i];
+}
+
+/** "name w, name w, ..." of the top-k attribution weights. */
+std::string
+topFeatures(const std::vector<double> &weights,
+            const std::vector<std::string> &names, std::size_t k)
+{
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        if (weights[i] != 0.0)
+            idx.push_back(i);
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (weights[a] != weights[b])
+                      return weights[a] > weights[b];
+                  return a < b;
+              });
+    if (idx.size() > k)
+        idx.resize(k);
+    std::ostringstream ss;
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+        const std::size_t i = idx[j];
+        ss << (j ? ", " : "")
+           << (i < names.size() ? names[i]
+                                : "f" + std::to_string(i))
+           << " " << fmt(weights[i], 3);
+    }
+    return idx.empty() ? "(none)" : ss.str();
+}
+
+} // namespace
+
+void
+renderExplain(std::ostream &os, const ProvSet &prov,
+              const std::vector<std::string> &featureNames,
+              std::size_t maxDecisions)
+{
+    std::size_t closed = 0;
+    for (const ProvRecord &r : prov.records)
+        closed += r.closed ? 1 : 0;
+    os << "decisions: " << prov.records.size() << " (" << closed
+       << " closed)\n\n";
+
+    const std::size_t n = prov.records.size();
+    const std::size_t from =
+        maxDecisions && n > maxDecisions ? n - maxDecisions : 0;
+    if (from > 0)
+        os << "(showing the last " << (n - from) << " of " << n
+           << " decisions)\n\n";
+    for (std::size_t i = from; i < n; ++i) {
+        const ProvRecord &r = prov.records[i];
+        os << "decision " << r.seq << " @ inst " << r.inst
+           << " (phase " << r.phase << ", model " << r.model << ")\n";
+        os << "  config " << r.config
+           << (r.chosen >= 0 ? " (#" + std::to_string(r.chosen) + ")"
+                             : " (baseline fallback)")
+           << ", " << r.sampled << " sampled, constraints: lifetime >= "
+           << fmt(r.minLifetimeYears, 1) << "y x "
+           << fmt(r.safetyMargin, 2) << ", ipc >= "
+           << fmt(r.ipcFraction, 2) << " of best\n";
+        TextTable t;
+        t.header({"objective", "predicted", "sigma", "realized",
+                  "err"});
+        for (const auto &[name, o] : r.objectives) {
+            t.row({name, fmt(o.pred, 4), fmt(o.sigma, 4),
+                   r.closed ? fmt(o.real, 4) : "-",
+                   o.errValid ? fmt(o.err * 100.0, 2) + "%" : "-"});
+        }
+        t.print(os);
+        if (r.closed)
+            os << "  regret " << fmt(r.regret, 4) << " (cumulative "
+               << fmt(r.cumRegret, 4) << ") vs best sampled ipc "
+               << fmt(r.bestSampledIpc, 4) << "\n";
+        for (const ProvCandidate &c : r.runnerUps)
+            os << "  runner-up #" << c.config << ": ipc "
+               << fmt(c.ipc, 4) << ", lifetime "
+               << fmt(c.lifetimeYears, 2) << "y, energy "
+               << fmt(c.energyJ, 5) << (c.feasible ? "" : " (infeasible)")
+               << "\n";
+        for (const auto &[name, weights] : r.attribution)
+            os << "  top features (" << name
+               << "): " << topFeatures(weights, featureNames, 5)
+               << "\n";
+        os << "\n";
+    }
+
+    // Calibration summary: exact percentiles over the raw errors.
+    TextTable cal;
+    cal.header({"objective", "closed", "valid", "mean_err", "p50_err",
+                "p90_err"});
+    std::vector<std::string> names;
+    for (const ProvRecord &r : prov.records)
+        for (const auto &[name, o] : r.objectives)
+            if (std::find(names.begin(), names.end(), name) ==
+                names.end())
+                names.push_back(name);
+    for (const std::string &name : names) {
+        std::vector<double> errs;
+        std::size_t total = 0;
+        double sum = 0.0;
+        for (const ProvRecord &r : prov.records) {
+            if (!r.closed)
+                continue;
+            for (const auto &[oname, o] : r.objectives) {
+                if (oname != name)
+                    continue;
+                ++total;
+                if (o.errValid) {
+                    errs.push_back(o.err);
+                    sum += o.err;
+                }
+            }
+        }
+        const double mean =
+            errs.empty() ? 0.0
+                         : sum / static_cast<double>(errs.size());
+        const std::size_t valid = errs.size();
+        const double p90 = samplePercentile(errs, 0.90);
+        const double p50 = samplePercentile(errs, 0.50);
+        cal.row({name, std::to_string(total), std::to_string(valid),
+                 fmt(mean * 100.0, 2) + "%",
+                 fmt(p50 * 100.0, 2) + "%",
+                 fmt(p90 * 100.0, 2) + "%"});
+    }
+    os << "calibration (relative error, closed decisions):\n";
+    cal.print(os);
 }
 
 void

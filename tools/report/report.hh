@@ -168,6 +168,67 @@ struct Profile
                                std::string &err);
 
 // --------------------------------------------------------------------
+// Decision provenance (--provenance-out JSONL)
+// --------------------------------------------------------------------
+
+/** One objective's predicted-vs-realized audit row. */
+struct ProvObjective
+{
+    double pred = 0.0;
+    double sigma = 0.0; ///< model-reported 1-sigma (0 when n/a)
+    double real = 0.0;
+    double err = 0.0; ///< |pred - real| / |real|
+    bool errValid = false;
+};
+
+/** A rejected runner-up candidate. */
+struct ProvCandidate
+{
+    std::uint64_t config = 0;
+    double ipc = 0.0;
+    double lifetimeYears = 0.0;
+    double energyJ = 0.0;
+    bool feasible = false;
+};
+
+/** One decision's provenance record (one JSONL line). */
+struct ProvRecord
+{
+    std::uint64_t seq = 0;
+    std::uint64_t phase = 0;
+    std::uint64_t inst = 0;
+    std::uint64_t closeInst = 0;
+    std::string model;
+    std::string config;
+    long long chosen = -1;
+    bool fallback = false;
+    std::uint64_t sampled = 0;
+    double minLifetimeYears = 0.0;
+    double ipcFraction = 0.0;
+    double safetyMargin = 0.0;
+    /** (objective name, audit row) in the emitter's order. */
+    std::vector<std::pair<std::string, ProvObjective>> objectives;
+    std::vector<ProvCandidate> runnerUps;
+    double bestSampledIpc = 0.0;
+    double regret = 0.0;
+    double cumRegret = 0.0;
+    /** objective -> per-feature attribution (absent when the decision
+     *  was not an attribution-snapshot decision). */
+    std::vector<std::pair<std::string, std::vector<double>>>
+        attribution;
+    bool closed = false;
+};
+
+struct ProvSet
+{
+    std::vector<ProvRecord> records;
+};
+
+/** Load a provenance JSONL stream; false + @p err on bad lines. */
+[[nodiscard]] bool loadProvenance(const std::string &path,
+                                  ProvSet &out, std::string &err);
+
+// --------------------------------------------------------------------
 // Thresholds (declarative regression gates)
 // --------------------------------------------------------------------
 
@@ -263,6 +324,17 @@ void renderRun(std::ostream &os, const RunData &run,
 
 /** Span summary (count/mean by hit level and stage). */
 void renderSpans(std::ostream &os, const SpanSet &spans);
+
+/**
+ * Per-decision audit blocks (predicted vs realized per objective,
+ * relative error, regret, runner-ups, top attributed features) plus a
+ * calibration summary over all loaded records. @p featureNames label
+ * attribution entries (falls back to the index when short/empty);
+ * @p maxDecisions caps the per-decision blocks (0 = all).
+ */
+void renderExplain(std::ostream &os, const ProvSet &prov,
+                   const std::vector<std::string> &featureNames,
+                   std::size_t maxDecisions);
 
 /** WallProfiler stage table. */
 void renderProfile(std::ostream &os, const Profile &profile);
