@@ -20,8 +20,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     SweepCache cache = openCache();
 
     banner("Ablation 1: wear-quota fixup (Section 5.3)");

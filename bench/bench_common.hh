@@ -30,28 +30,92 @@ namespace mct::bench
 /**
  * Per-process wall-clock stage profiler shared by the bench binaries
  * (trace replay vs. sampling vs. fit vs. optimize, Fig 9 context).
- * When the MCT_BENCH_PROFILE environment variable names a file, the
- * accumulated stage timings are dumped there as JSON at exit.
+ * The accumulated stage timings are dumped as JSON at exit when a
+ * destination was named, either with the --profile-out harness flag
+ * (initHarness) or the historical MCT_BENCH_PROFILE env var fallback.
  */
+inline WallProfiler &profiler();
+
+namespace detail
+{
+
+/** At-exit stage-dump destination ("" = no dump armed yet). */
+inline std::string &
+profileDumpPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** Arm the one at-exit profile dump (idempotent). */
+inline void
+armProfileDump()
+{
+    static bool armed = false;
+    if (armed)
+        return;
+    armed = true;
+    std::atexit(+[] {
+        const std::string &path = profileDumpPath();
+        if (path.empty())
+            return;
+        std::ofstream os(path);
+        if (os)
+            profiler().writeJson(os);
+    });
+}
+
+} // namespace detail
+
 inline WallProfiler &
 profiler()
 {
-    static WallProfiler p;
-    static const bool dumpAtExit = [] {
-        if (!std::getenv("MCT_BENCH_PROFILE"))
-            return false;
-        std::atexit(+[] {
-            const char *path = std::getenv("MCT_BENCH_PROFILE");
-            if (!path)
-                return;
-            std::ofstream os(path);
-            if (os)
-                profiler().writeJson(os);
-        });
+    // Benches that never call initHarness (or are driven by scripts
+    // predating the flag) keep the env-var behavior.
+    static const bool envFallback = [] {
+        if (detail::profileDumpPath().empty())
+            if (const char *env = std::getenv("MCT_BENCH_PROFILE"))
+                detail::profileDumpPath() = env;
+        if (!detail::profileDumpPath().empty())
+            detail::armProfileDump();
         return true;
     }();
-    (void)dumpAtExit;
+    (void)envFallback;
+    static WallProfiler p;
     return p;
+}
+
+/**
+ * Parse the shared bench harness command line. The only flag is
+ *
+ *   --profile-out FILE   dump the WallProfiler stage timings to FILE
+ *                        at exit (JSON; mct_report show --profile)
+ *
+ * which promotes the historical MCT_BENCH_PROFILE env var; the env
+ * var remains the fallback when the flag is absent. Unknown flags are
+ * fatal (exit 2) so a typo cannot silently run an unprofiled bench.
+ */
+inline void
+initHarness(int argc, char **argv)
+{
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--profile-out" && i + 1 < argc) {
+            path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--profile-out FILE]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    if (path.empty())
+        if (const char *env = std::getenv("MCT_BENCH_PROFILE"))
+            path = env;
+    if (path.empty())
+        return;
+    detail::profileDumpPath() = path;
+    detail::armProfileDump();
 }
 
 /**

@@ -37,8 +37,9 @@ runChunked(MctController &ctl, InstCount insts)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     const std::string app = "stream";
     const InstCount totalInsts = 4 * 1000 * 1000;
 

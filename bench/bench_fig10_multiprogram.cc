@@ -72,8 +72,9 @@ runMultiMct(const MixSpec &mix, const MultiCoreParams &mp,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Table 11: multi-program workloads");
     TextTable t11;
     t11.header({"mix", "applications"});

@@ -19,8 +19,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Figure 1: IPC, lifetime and energy of default / baseline "
            "/ ideal configurations (8-year objective)");
 

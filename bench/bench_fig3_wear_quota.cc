@@ -23,8 +23,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     SweepCache cache = openCache();
     const auto noQuota = enumerateNoQuotaSpace();
     SpaceOptions withQuotaOpts;

@@ -24,8 +24,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     SweepCache cache = openCache();
     const auto space = enumerateNoQuotaSpace();
 

@@ -15,8 +15,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Figure 6: phase detection (ocean, threshold 15)");
 
     SystemParams sp;

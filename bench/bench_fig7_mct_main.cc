@@ -28,8 +28,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Figure 7: MCT vs baseline systems (8-year objective)");
 
     SweepCache cache = openCache();

@@ -18,8 +18,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Figure 8: sensitivity to lifetime targets (4-10 years)");
 
     SweepCache cache = openCache();

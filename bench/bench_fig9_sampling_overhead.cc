@@ -21,8 +21,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Figure 9a: sampling-period vs testing-period, "
            "normalized by the static policy");
 

@@ -41,8 +41,9 @@ arrow(double delta, double eps = 0.002)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Table 1 (measured): trade-offs of NVM and their impacts");
     BenchSummary::instance().start("bench_table1_tradeoffs");
 

@@ -17,8 +17,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Table 2: Techniques of the evaluated combined technique");
     {
         TextTable t;

@@ -15,8 +15,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Table 4: Ideal configurations vs minimal lifetime "
            "constraint (leslie3d, no wear quota)");
 

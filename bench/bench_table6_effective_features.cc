@@ -19,8 +19,9 @@ using namespace mct;
 using namespace mct::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     banner("Table 6: Most effective quadratic features "
            "(quadratic lasso on IPC)");
 

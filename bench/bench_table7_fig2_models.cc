@@ -53,8 +53,9 @@ objectiveOf(const Metrics &m, int obj)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initHarness(argc, argv);
     BenchSummary::instance().start("bench_table7_fig2_models");
     SweepCache cache = openCache();
     const auto space = enumerateNoQuotaSpace();

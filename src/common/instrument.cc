@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -125,6 +129,22 @@ StatRegistry::addHistogram(const std::string &path,
     return *e.hist;
 }
 
+void
+StatRegistry::markHost(const std::string &path)
+{
+    const auto it = entries.find(path);
+    if (it == entries.end())
+        mct_panic("markHost on unregistered stat '", path, "'");
+    it->second.host = true;
+}
+
+bool
+StatRegistry::isHost(const std::string &path) const
+{
+    const auto it = entries.find(path);
+    return it != entries.end() && it->second.host;
+}
+
 bool
 StatRegistry::has(const std::string &path) const
 {
@@ -167,10 +187,14 @@ StatRegistry::value(const std::string &path) const
 }
 
 StatSnapshot
-StatRegistry::snapshot() const
+StatRegistry::snapshot(StatScope scope) const
 {
     StatSnapshot snap;
     for (const auto &[path, e] : entries) {
+        if (scope == StatScope::Sim && e.host)
+            continue;
+        if (scope == StatScope::Host && !e.host)
+            continue;
         StatValue v;
         v.kind = e.kind;
         switch (e.kind) {
@@ -1028,6 +1052,354 @@ WallProfiler::writeJson(std::ostream &os) const
         w.kv("name", s.name);
         w.kv("seconds", s.seconds);
         w.kv("calls", s.calls);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+// --------------------------------------------------------------------
+// HostProfiler
+// --------------------------------------------------------------------
+
+HostMemory
+parseHostStatus(const std::string &text)
+{
+    HostMemory m;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, colon);
+        double *field = nullptr;
+        if (key == "VmRSS")
+            field = &m.rssKb;
+        else if (key == "VmHWM")
+            field = &m.hwmKb;
+        else if (key == "VmData")
+            field = &m.heapKb;
+        if (!field)
+            continue;
+        // "VmRSS:     123456 kB" — the value is the first numeric
+        // token after the colon, always reported in kB.
+        char *end = nullptr;
+        const double v = std::strtod(line.c_str() + colon + 1, &end);
+        if (end == line.c_str() + colon + 1)
+            continue;
+        *field = v;
+        m.valid = true;
+    }
+    return m;
+}
+
+std::uint64_t
+HostClock::wallNs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+HostClock::cpuNs() const
+{
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0)
+        return static_cast<std::uint64_t>(ts.tv_sec) *
+                   1000ull * 1000 * 1000 +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+    return static_cast<std::uint64_t>(
+        static_cast<double>(std::clock()) * 1e9 / CLOCKS_PER_SEC);
+}
+
+std::string
+HostClock::procStatus() const
+{
+    std::ifstream is("/proc/self/status");
+    if (!is)
+        return {};
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+void
+HostProfiler::enable(const HostClock *clock, std::size_t timelineCap)
+{
+    static const HostClock realClock;
+    clock_ = clock ? clock : &realClock;
+    epochWallNs_ = clock_->wallNs();
+    epochCpuNs_ = clock_->cpuNs();
+    timelineCap_ = timelineCap;
+    timeline_.clear();
+    timelineDropped_ = 0;
+    sampleMemory();
+}
+
+void
+HostProfiler::begin(const char *stage)
+{
+    if (!enabled())
+        return;
+    auto [it, isNew] = cells_.try_emplace(stage);
+    Cell &c = it->second;
+    if (isNew) {
+        c.index = static_cast<std::uint32_t>(order_.size());
+        order_.push_back(stage);
+    }
+    if (c.open)
+        mct_panic("HostProfiler stage '", stage, "' begun twice");
+    c.open = true;
+    c.openWallNs = clock_->wallNs();
+    c.openCpuNs = clock_->cpuNs();
+}
+
+void
+HostProfiler::end(const char *stage)
+{
+    if (!enabled())
+        return;
+    const auto it = cells_.find(stage);
+    if (it == cells_.end() || !it->second.open)
+        mct_panic("HostProfiler stage '", stage,
+                  "' ended but not begun");
+    Cell &c = it->second;
+    c.open = false;
+    ++c.calls;
+    const std::uint64_t wall = clock_->wallNs();
+    const std::uint64_t cpu = clock_->cpuNs();
+    const std::uint64_t wallD =
+        wall > c.openWallNs ? wall - c.openWallNs : 0;
+    const std::uint64_t cpuD =
+        cpu > c.openCpuNs ? cpu - c.openCpuNs : 0;
+    c.wallNs += static_cast<double>(wallD);
+    c.cpuNs += static_cast<double>(cpuD);
+    if (timeline_.size() < timelineCap_) {
+        const std::uint64_t start = c.openWallNs > epochWallNs_
+                                        ? c.openWallNs - epochWallNs_
+                                        : 0;
+        timeline_.push_back({c.index, start, wallD, cpuD});
+    } else {
+        ++timelineDropped_;
+    }
+}
+
+std::vector<HostProfiler::Stage>
+HostProfiler::stages() const
+{
+    std::vector<Stage> out;
+    out.reserve(order_.size());
+    for (const std::string &name : order_) {
+        const Cell &c = cells_.at(name);
+        out.push_back({name, c.wallNs / 1e9, c.cpuNs / 1e9, c.calls});
+    }
+    return out;
+}
+
+double
+HostProfiler::wallSeconds(const std::string &stage) const
+{
+    const auto it = cells_.find(stage);
+    return it == cells_.end() ? 0.0 : it->second.wallNs / 1e9;
+}
+
+double
+HostProfiler::cpuSeconds(const std::string &stage) const
+{
+    const auto it = cells_.find(stage);
+    return it == cells_.end() ? 0.0 : it->second.cpuNs / 1e9;
+}
+
+double
+HostProfiler::elapsedWallSeconds() const
+{
+    if (!enabled())
+        return 0.0;
+    const std::uint64_t now = clock_->wallNs();
+    return now > epochWallNs_
+               ? static_cast<double>(now - epochWallNs_) / 1e9
+               : 0.0;
+}
+
+double
+HostProfiler::elapsedCpuSeconds() const
+{
+    if (!enabled())
+        return 0.0;
+    const std::uint64_t now = clock_->cpuNs();
+    return now > epochCpuNs_
+               ? static_cast<double>(now - epochCpuNs_) / 1e9
+               : 0.0;
+}
+
+double
+HostProfiler::mips() const
+{
+    const double wall = elapsedWallSeconds();
+    if (wall <= 0.0)
+        return 0.0;
+    return static_cast<double>(insts_) / 1e6 / wall;
+}
+
+void
+HostProfiler::sampleMemory()
+{
+    if (!enabled())
+        return;
+    mem_ = parseHostStatus(clock_->procStatus());
+    rssHwmKb_ = std::max({rssHwmKb_, mem_.rssKb, mem_.hwmKb});
+}
+
+void
+HostProfiler::samplePeriodic(std::uint64_t inst)
+{
+    if (!enabled())
+        return;
+    sampleMemory();
+    periodic_.push_back({inst, elapsedWallSeconds(),
+                         elapsedCpuSeconds(), mips(), mem_.rssKb});
+}
+
+void
+HostProfiler::registerStats(StatRegistry &reg)
+{
+    reg.addGauge(
+        "sim.mips", [this] { return mips(); },
+        "million simulated instructions per host wall-second");
+    reg.addGauge(
+        "sim.host.wall_seconds",
+        [this] { return elapsedWallSeconds(); },
+        "host wall seconds since host profiling was enabled");
+    reg.addGauge(
+        "sim.host.cpu_seconds",
+        [this] { return elapsedCpuSeconds(); },
+        "process CPU seconds since host profiling was enabled");
+    reg.addGauge(
+        "sim.host.cpu_util",
+        [this] {
+            const double wall = elapsedWallSeconds();
+            return wall > 0.0 ? elapsedCpuSeconds() / wall : 0.0;
+        },
+        "process CPU seconds per wall second (>1 with threads)");
+    reg.addGauge(
+        "sim.host.rss_kb", [this] { return mem_.rssKb; },
+        "resident set size (kB) at the last memory sample");
+    reg.addGauge(
+        "sim.host.rss_hwm_kb", [this] { return rssHighWaterKb(); },
+        "resident set high water (kB) across all memory samples");
+    reg.addGauge(
+        "sim.host.heap_kb", [this] { return mem_.heapKb; },
+        "data segment heap + globals (kB) at the last sample");
+    reg.addCounter(
+        "sim.host.instructions", [this] { return instructions(); },
+        "simulated instructions credited to the host profiler");
+    for (const char *path :
+         {"sim.mips", "sim.host.wall_seconds", "sim.host.cpu_seconds",
+          "sim.host.cpu_util", "sim.host.rss_kb",
+          "sim.host.rss_hwm_kb", "sim.host.heap_kb",
+          "sim.host.instructions"})
+        reg.markHost(path);
+}
+
+void
+HostProfiler::writeJson(std::ostream &os, const std::string &mode,
+                        const std::string &app,
+                        const std::string &config) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "mct-host-v1");
+    w.kv("mode", mode);
+    w.kv("app", app);
+    w.kv("config", config);
+    w.key("final").beginObject();
+    w.kv("sim.mips", mips());
+    const double wall = elapsedWallSeconds();
+    w.kv("sim.host.wall_seconds", wall);
+    w.kv("sim.host.cpu_seconds", elapsedCpuSeconds());
+    w.kv("sim.host.cpu_util",
+         wall > 0.0 ? elapsedCpuSeconds() / wall : 0.0);
+    w.kv("sim.host.rss_kb", mem_.rssKb);
+    w.kv("sim.host.rss_hwm_kb", rssHwmKb_);
+    w.kv("sim.host.heap_kb", mem_.heapKb);
+    w.kv("sim.host.instructions", insts_);
+    w.kv("sim.host.timeline_dropped", timelineDropped_);
+    w.endObject();
+    w.key("periodic").beginArray();
+    for (const PeriodicSample &s : periodic_) {
+        w.beginObject();
+        w.kv("inst", s.inst);
+        w.key("delta").beginObject();
+        w.kv("sim.mips", s.mips);
+        w.kv("sim.host.wall_seconds", s.wallSeconds);
+        w.kv("sim.host.cpu_seconds", s.cpuSeconds);
+        w.kv("sim.host.rss_kb", s.rssKb);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("stages").beginArray();
+    for (const Stage &s : stages()) {
+        w.beginObject();
+        w.kv("name", s.name);
+        w.kv("seconds", s.wallSeconds);
+        w.kv("cpu_seconds", s.cpuSeconds);
+        w.kv("calls", s.calls);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+HostProfiler::writeChromeTrace(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+    w.beginObject();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", 3);
+    w.key("args").beginObject();
+    w.kv("name", "mct_sim host");
+    w.endObject();
+    w.endObject();
+    w.beginObject();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", 3);
+    w.kv("tid", 1);
+    w.key("args").beginObject();
+    w.kv("name", "host");
+    w.endObject();
+    w.endObject();
+    for (const TimelineSlice &s : timeline_) {
+        w.beginObject();
+        w.kv("name", order_[s.stage]);
+        w.kv("ph", "X");
+        // ts/dur are real microseconds since enable(); the simulated
+        // tracks put the instruction/tick clock there instead, so
+        // this file stands alone rather than merging with them.
+        w.kv("ts", static_cast<double>(s.startNs) / 1000.0);
+        w.kv("dur", static_cast<double>(s.durNs) / 1000.0);
+        w.kv("pid", 3);
+        w.kv("tid", 1);
+        w.key("args").beginObject();
+        w.kv("cpu_us", static_cast<double>(s.cpuNs) / 1000.0);
+        w.endObject();
         w.endObject();
     }
     w.endArray();

@@ -130,6 +130,22 @@ struct StatValue
 using StatSnapshot = std::map<std::string, StatValue>;
 
 /**
+ * Which stats a snapshot captures. Host-scoped stats (wall-clock and
+ * process telemetry, sim.host.* / sim.mips) are nondeterministic by
+ * nature, so the default Sim scope excludes them: every existing
+ * snapshot consumer — the --stats-json document, periodic deltas,
+ * goldens — stays byte-identical across runs even while host
+ * profiling is live. Host values are read through an explicit Host
+ * (or All) snapshot and land in their own output files.
+ */
+enum class StatScope
+{
+    Sim,  ///< deterministic stats only (the default)
+    Host, ///< host-scoped stats only
+    All   ///< everything
+};
+
+/**
  * Registry of named statistics. Components register closures over
  * their existing counters (or request registry-owned cells); queries
  * evaluate the closures on demand. Re-registering a path replaces the
@@ -163,6 +179,17 @@ class StatRegistry
     LogHistogram &addHistogram(const std::string &path,
                                const std::string &desc = "");
 
+    /**
+     * Flag an already-registered stat as host-scoped (nondeterministic
+     * host telemetry): it is excluded from StatScope::Sim snapshots so
+     * deterministic outputs stay byte-identical. Panics on an unknown
+     * path — marking must follow registration.
+     */
+    void markHost(const std::string &path);
+
+    /** True when @p path is registered and host-scoped. */
+    bool isHost(const std::string &path) const;
+
     /** True when @p path is registered. */
     bool has(const std::string &path) const;
 
@@ -178,8 +205,8 @@ class StatRegistry
     /** Evaluate one stat now (0 when absent; histograms: the sum). */
     double value(const std::string &path) const;
 
-    /** Capture every registered stat. */
-    StatSnapshot snapshot() const;
+    /** Capture the registered stats selected by @p scope. */
+    StatSnapshot snapshot(StatScope scope = StatScope::Sim) const;
 
     /**
      * Component-wise difference of two snapshots of the same
@@ -198,6 +225,7 @@ class StatRegistry
         std::unique_ptr<std::uint64_t> cell;
         std::unique_ptr<LogHistogram> hist;
         std::string desc;
+        bool host = false; ///< excluded from StatScope::Sim snapshots
     };
 
     std::map<std::string, Entry> entries;
@@ -732,6 +760,206 @@ class WallProfiler
 
     std::map<std::string, Cell> cells;
     std::vector<std::string> order;
+};
+
+/** Process memory telemetry parsed from /proc/self/status. */
+struct HostMemory
+{
+    double rssKb = 0.0;  ///< VmRSS: current resident set
+    double hwmKb = 0.0;  ///< VmHWM: peak resident set
+    double heapKb = 0.0; ///< VmData: data segment (heap + globals)
+    bool valid = false;  ///< at least one field parsed
+};
+
+/** Parse a /proc/self/status-style text. Exposed for tests. */
+HostMemory parseHostStatus(const std::string &text);
+
+/**
+ * Time and memory source behind HostProfiler. The base class reads
+ * the real process clocks (steady wall clock, CLOCK_PROCESS_CPUTIME)
+ * and /proc/self/status; tests substitute a subclass with scripted
+ * values so host-metric arithmetic is checked deterministically.
+ */
+class HostClock
+{
+  public:
+    virtual ~HostClock() = default;
+
+    /** Monotonic wall-clock nanoseconds (arbitrary epoch). */
+    virtual std::uint64_t wallNs() const;
+
+    /** Process CPU-time nanoseconds (all threads). */
+    virtual std::uint64_t cpuNs() const;
+
+    /** /proc/self/status text ("" where unavailable). */
+    virtual std::string procStatus() const;
+};
+
+/**
+ * Host-side performance telemetry for the simulator's core loop: how
+ * fast the simulation runs on the machine underneath it, and where
+ * the host time goes. Accumulates wall *and* CPU seconds per named
+ * stage (replay, step, sampling, fit, optimize), tracks process
+ * memory (RSS high-water), counts simulated instructions, and derives
+ * the sim.mips throughput gauge (million simulated instructions per
+ * host wall-second).
+ *
+ * Everything here is wall-clock derived and therefore
+ * nondeterministic; values are published only through host-scoped
+ * registry stats (StatScope::Host) and the dedicated
+ * --host-profile-out / --host-profile-chrome files, never through the
+ * byte-identical surfaces. Disabled (the default) the begin/end hot
+ * path is a single branch, mirroring the other traces.
+ */
+class HostProfiler
+{
+  public:
+    HostProfiler() = default;
+
+    /**
+     * Arm the profiler. @p clock defaults to the real host clock;
+     * @p timelineCap bounds the Chrome-trace slice ring.
+     */
+    void enable(const HostClock *clock = nullptr,
+                std::size_t timelineCap = 8192);
+
+    bool enabled() const { return clock_ != nullptr; }
+
+    /** Start a stage (no-op while disabled). */
+    void begin(const char *stage);
+
+    /** Stop a stage and accumulate wall + CPU time. */
+    void end(const char *stage);
+
+    /** RAII stage guard; null profiler and disabled are both safe. */
+    class Scope
+    {
+      public:
+        Scope(HostProfiler *profiler, const char *stage)
+            : p(profiler && profiler->enabled() ? profiler : nullptr),
+              name(stage)
+        {
+            if (p)
+                p->begin(name);
+        }
+        ~Scope()
+        {
+            if (p)
+                p->end(name);
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        HostProfiler *p;
+        const char *name;
+    };
+
+    struct Stage
+    {
+        std::string name;
+        double wallSeconds = 0.0;
+        double cpuSeconds = 0.0;
+        std::uint64_t calls = 0;
+    };
+
+    /** All stages, in first-use order. */
+    std::vector<Stage> stages() const;
+
+    /** Accumulated wall seconds of one stage (0 when absent). */
+    double wallSeconds(const std::string &stage) const;
+
+    /** Accumulated CPU seconds of one stage (0 when absent). */
+    double cpuSeconds(const std::string &stage) const;
+
+    /** Credit @p n simulated instructions to the run. */
+    void addInstructions(std::uint64_t n) { insts_ += n; }
+
+    std::uint64_t instructions() const { return insts_; }
+
+    /** Wall / CPU seconds since enable(). */
+    double elapsedWallSeconds() const;
+    double elapsedCpuSeconds() const;
+
+    /** Million simulated instructions per host wall-second. */
+    double mips() const;
+
+    /** Refresh memory telemetry; RSS high-water is kept. */
+    void sampleMemory();
+
+    const HostMemory &memory() const { return mem_; }
+
+    /** Largest resident set seen by any sampleMemory() call (kB). */
+    double rssHighWaterKb() const { return rssHwmKb_; }
+
+    /** One host sample on the --stats-every cadence. */
+    struct PeriodicSample
+    {
+        std::uint64_t inst = 0;
+        double wallSeconds = 0.0;
+        double cpuSeconds = 0.0;
+        double mips = 0.0;
+        double rssKb = 0.0;
+    };
+
+    /** Record a periodic sample (also refreshes memory telemetry). */
+    void samplePeriodic(std::uint64_t inst);
+
+    const std::vector<PeriodicSample> &periodic() const
+    {
+        return periodic_;
+    }
+
+    /** Timeline slices dropped once the ring filled. */
+    std::uint64_t timelineDropped() const { return timelineDropped_; }
+
+    /**
+     * Register the sim.mips / sim.host.* gauges, host-scoped so they
+     * never leak into deterministic (StatScope::Sim) snapshots.
+     */
+    void registerStats(StatRegistry &reg);
+
+    /** The mct-host-v1 document (--host-profile-out). */
+    void writeJson(std::ostream &os, const std::string &mode,
+                   const std::string &app,
+                   const std::string &config) const;
+
+    /** Host timeline as Chrome trace events (--host-profile-chrome). */
+    void writeChromeTrace(std::ostream &os) const;
+
+  private:
+    struct Cell
+    {
+        double wallNs = 0.0;
+        double cpuNs = 0.0;
+        std::uint64_t calls = 0;
+        std::uint64_t openWallNs = 0;
+        std::uint64_t openCpuNs = 0;
+        std::uint32_t index = 0; ///< position in order_
+        bool open = false;
+    };
+
+    /** One completed begin/end pair for the Chrome timeline. */
+    struct TimelineSlice
+    {
+        std::uint32_t stage = 0; ///< index into order_
+        std::uint64_t startNs = 0;
+        std::uint64_t durNs = 0;
+        std::uint64_t cpuNs = 0;
+    };
+
+    const HostClock *clock_ = nullptr;
+    std::uint64_t epochWallNs_ = 0;
+    std::uint64_t epochCpuNs_ = 0;
+    std::map<std::string, Cell> cells_;
+    std::vector<std::string> order_;
+    std::uint64_t insts_ = 0;
+    HostMemory mem_;
+    double rssHwmKb_ = 0.0;
+    std::vector<TimelineSlice> timeline_;
+    std::size_t timelineCap_ = 0;
+    std::uint64_t timelineDropped_ = 0;
+    std::vector<PeriodicSample> periodic_;
 };
 
 } // namespace mct

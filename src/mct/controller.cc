@@ -518,6 +518,8 @@ MctController::samplingRound(Decision &decision)
     const InstCount samplingStart = sys.retired();
     if (p.profiler)
         p.profiler->begin("sampling");
+    if (HostProfiler *hp = sys.hostProfiler())
+        hp->begin("sampling");
     std::vector<Metrics> sampled;
     std::vector<Metrics> pairBase;
     if (!p.steadyMeasure || p.liveSamplingOverhead) {
@@ -549,6 +551,8 @@ MctController::samplingRound(Decision &decision)
     }
     if (p.profiler)
         p.profiler->end("sampling");
+    if (HostProfiler *hp = sys.hostProfiler())
+        hp->end("sampling");
     if (samplingHist)
         samplingHist->record(
             static_cast<double>(sys.retired() - samplingStart));
@@ -586,12 +590,16 @@ MctController::samplingRound(Decision &decision)
 
     if (p.profiler)
         p.profiler->begin("fit");
+    if (HostProfiler *hp = sys.hostProfiler())
+        hp->begin("fit");
     const Prediction pIpc = predictObjective(data, yIpc, "ipc");
     const Prediction pLife = predictObjective(data, yLife, "lifetime");
     const Prediction pEnergy =
         predictObjective(data, yEnergy, "energy");
     if (p.profiler)
         p.profiler->end("fit");
+    if (HostProfiler *hp = sys.hostProfiler())
+        hp->end("fit");
     const ml::Vector &predIpc = pIpc.values;
     const ml::Vector &predLife = pLife.values;
     const ml::Vector &predEnergy = pEnergy.values;
@@ -638,9 +646,13 @@ MctController::samplingRound(Decision &decision)
     decision.atInstruction = sys.retired();
     if (p.profiler)
         p.profiler->begin("optimize");
+    if (HostProfiler *hp = sys.hostProfiler())
+        hp->begin("optimize");
     int idx = chooseOptimal(predicted, p.objective);
     if (p.profiler)
         p.profiler->end("optimize");
+    if (HostProfiler *hp = sys.hostProfiler())
+        hp->end("optimize");
     if (idx >= 0 && p.steadyMeasure) {
         // With steady measurements available, the Section 5.4
         // never-worse-than-baseline guarantee is enforced at

@@ -125,14 +125,30 @@ System::attachFaultInjector(FaultInjector *f)
 }
 
 void
+System::attachHostProfiler(HostProfiler *hp)
+{
+    hostProf_ = hp;
+    if (hostProf_)
+        hostProf_->registerStats(reg_);
+}
+
+void
 System::run(InstCount insts)
 {
     if (faults_)
         faults_->poll(*this);
-    core_->run(insts);
-    // Let in-flight memory work that already fits inside the elapsed
-    // window complete so snapshot deltas line up with CPU time.
-    ctrl_->advance(core_->now());
+    const InstCount before = core_->retired();
+    {
+        HostProfiler::Scope step(hostProf_, "step");
+        core_->run(insts);
+        // Let in-flight memory work that already fits inside the
+        // elapsed window complete so snapshot deltas line up with
+        // CPU time.
+        ctrl_->advance(core_->now());
+    }
+    if (hostProf_)
+        hostProf_->addInstructions(
+            static_cast<std::uint64_t>(core_->retired() - before));
 }
 
 void

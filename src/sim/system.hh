@@ -171,6 +171,20 @@ class System
     /** The attached injector, or null (the default). */
     FaultInjector *faultInjector() const { return faults_; }
 
+    /**
+     * Attach (or detach with null) a host profiler. The profiler must
+     * be enabled by the caller; attaching registers the host-scoped
+     * sim.mips / sim.host.* gauges and makes run() charge the "step"
+     * stage and credit retired instructions. Host stats never appear
+     * in default (StatScope::Sim) snapshots, so the deterministic
+     * surfaces are unchanged. Caller keeps ownership and must outlive
+     * the attachment.
+     */
+    void attachHostProfiler(HostProfiler *hp);
+
+    /** The attached host profiler, or null (the default). */
+    HostProfiler *hostProfiler() const { return hostProf_; }
+
   private:
     SystemParams p;
     EnergyModel energy_;
@@ -185,6 +199,7 @@ class System
     std::unique_ptr<CompletionRouter> router_;
     std::unique_ptr<Core> core_;
     FaultInjector *faults_ = nullptr;
+    HostProfiler *hostProf_ = nullptr;
 
     void wire(const MellowConfig &config);
 

@@ -679,6 +679,217 @@ TEST(WallProfiler, NullScopeIsSafe)
 }
 
 // --------------------------------------------------------------------
+// HostProfiler
+// --------------------------------------------------------------------
+
+/** Scripted clock: tests set wall/cpu/status directly between calls,
+ *  so host-metric arithmetic is checked deterministically. */
+class FakeHostClock : public HostClock
+{
+  public:
+    std::uint64_t wall = 0; ///< returned by wallNs()
+    std::uint64_t cpu = 0;  ///< returned by cpuNs()
+    std::string status;     ///< returned by procStatus()
+
+    std::uint64_t wallNs() const override { return wall; }
+    std::uint64_t cpuNs() const override { return cpu; }
+    std::string procStatus() const override { return status; }
+};
+
+TEST(HostProfiler, DisabledAndNullScopesAreSafe)
+{
+    { HostProfiler::Scope scope(nullptr, "anything"); }
+
+    HostProfiler p; // never enabled
+    { HostProfiler::Scope scope(&p, "anything"); }
+    p.begin("x"); // disabled: no-op, not a panic
+    p.end("x");
+    p.addInstructions(1000);
+    EXPECT_TRUE(p.stages().empty());
+    EXPECT_DOUBLE_EQ(p.mips(), 0.0);
+    EXPECT_DOUBLE_EQ(p.elapsedWallSeconds(), 0.0);
+}
+
+TEST(HostProfiler, MipsFromScriptedClock)
+{
+    FakeHostClock clk;
+    HostProfiler p;
+    p.enable(&clk);
+
+    p.addInstructions(3'000'000);
+    p.addInstructions(1'000'000);
+    clk.wall = 2'000'000'000; // 2 wall seconds since enable
+    clk.cpu = 1'500'000'000;  // 1.5 CPU seconds
+    EXPECT_EQ(p.instructions(), 4'000'000u);
+    EXPECT_DOUBLE_EQ(p.elapsedWallSeconds(), 2.0);
+    EXPECT_DOUBLE_EQ(p.elapsedCpuSeconds(), 1.5);
+    EXPECT_DOUBLE_EQ(p.mips(), 2.0); // 4M insts / 2 s
+}
+
+TEST(HostProfiler, StageWallAndCpuAccumulateFromScriptedClock)
+{
+    FakeHostClock clk;
+    HostProfiler p;
+    p.enable(&clk);
+
+    clk.wall = 1'000'000'000;
+    clk.cpu = 100'000'000;
+    p.begin("fit");
+    clk.wall = 3'000'000'000; // +2.0 s wall
+    clk.cpu = 600'000'000;    // +0.5 s cpu
+    p.end("fit");
+    {
+        HostProfiler::Scope scope(&p, "optimize");
+        clk.wall += 500'000'000; // +0.5 s wall
+        clk.cpu += 250'000'000;  // +0.25 s cpu
+    }
+    p.begin("fit"); // second call, no time passes
+    p.end("fit");
+
+    const auto stages = p.stages();
+    ASSERT_EQ(stages.size(), 2u);
+    EXPECT_EQ(stages[0].name, "fit"); // first-use order
+    EXPECT_EQ(stages[0].calls, 2u);
+    EXPECT_EQ(stages[1].name, "optimize");
+    EXPECT_DOUBLE_EQ(p.wallSeconds("fit"), 2.0);
+    EXPECT_DOUBLE_EQ(p.cpuSeconds("fit"), 0.5);
+    EXPECT_DOUBLE_EQ(p.wallSeconds("optimize"), 0.5);
+    EXPECT_DOUBLE_EQ(p.cpuSeconds("optimize"), 0.25);
+    EXPECT_DOUBLE_EQ(p.wallSeconds("absent"), 0.0);
+}
+
+TEST(HostProfiler, CpuTimeIsMonotonicOnTheRealClock)
+{
+    HostProfiler p;
+    p.enable(); // real host clock
+    const double cpu0 = p.elapsedCpuSeconds();
+    // Burn a little CPU so the second reading has something to see.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 200000; ++i)
+        sink += static_cast<double>(i) * 1e-9;
+    (void)sink;
+    const double cpu1 = p.elapsedCpuSeconds();
+    EXPECT_GE(cpu0, 0.0);
+    EXPECT_GE(cpu1, cpu0);
+    EXPECT_GE(p.elapsedWallSeconds(), 0.0);
+}
+
+TEST(HostProfiler, ParseHostStatusReadsProcSnapshot)
+{
+    // Trimmed /proc/self/status fixture: unrelated keys interleaved,
+    // tab-indented values, kB units.
+    const HostMemory m = parseHostStatus("Name:\tmct_sim\n"
+                                         "Umask:\t0022\n"
+                                         "VmPeak:\t  501232 kB\n"
+                                         "VmHWM:\t   98304 kB\n"
+                                         "VmRSS:\t   65536 kB\n"
+                                         "VmData:\t  131072 kB\n"
+                                         "Threads:\t1\n");
+    EXPECT_TRUE(m.valid);
+    EXPECT_DOUBLE_EQ(m.rssKb, 65536.0);
+    EXPECT_DOUBLE_EQ(m.hwmKb, 98304.0);
+    EXPECT_DOUBLE_EQ(m.heapKb, 131072.0);
+
+    EXPECT_FALSE(parseHostStatus("").valid);
+    EXPECT_FALSE(parseHostStatus("Name:\tx\nThreads:\t4\n").valid);
+}
+
+TEST(HostProfiler, RssHighWaterSurvivesShrinkingResidentSet)
+{
+    FakeHostClock clk;
+    clk.status = "VmRSS:\t  2048 kB\nVmHWM:\t  2048 kB\n";
+    HostProfiler p;
+    p.enable(&clk); // enable() takes the first memory sample
+    EXPECT_DOUBLE_EQ(p.rssHighWaterKb(), 2048.0);
+
+    clk.status = "VmRSS:\t   512 kB\nVmHWM:\t  2048 kB\n";
+    p.sampleMemory();
+    EXPECT_DOUBLE_EQ(p.memory().rssKb, 512.0);
+    EXPECT_DOUBLE_EQ(p.rssHighWaterKb(), 2048.0); // high-water kept
+}
+
+TEST(HostProfiler, HostStatsStayOutOfSimSnapshots)
+{
+    FakeHostClock clk;
+    HostProfiler p;
+    p.enable(&clk);
+    p.addInstructions(1'000'000);
+    clk.wall = 1'000'000'000;
+
+    StatRegistry reg;
+    double ipc = 1.25;
+    reg.addGauge("cpu.ipc", [&ipc] { return ipc; });
+    p.registerStats(reg);
+    EXPECT_TRUE(reg.isHost("sim.mips"));
+    EXPECT_FALSE(reg.isHost("cpu.ipc"));
+
+    const StatSnapshot sim = reg.snapshot(); // default: Sim scope
+    EXPECT_EQ(sim.count("cpu.ipc"), 1u);
+    EXPECT_EQ(sim.count("sim.mips"), 0u);
+    EXPECT_EQ(sim.count("sim.host.wall_seconds"), 0u);
+
+    const StatSnapshot host = reg.snapshot(StatScope::Host);
+    EXPECT_EQ(host.count("cpu.ipc"), 0u);
+    ASSERT_EQ(host.count("sim.mips"), 1u);
+    EXPECT_DOUBLE_EQ(host.at("sim.mips").num, 1.0);
+
+    const StatSnapshot all = reg.snapshot(StatScope::All);
+    EXPECT_EQ(all.count("cpu.ipc"), 1u);
+    EXPECT_EQ(all.count("sim.mips"), 1u);
+}
+
+TEST(HostProfiler, PeriodicSamplesAndTimelineCap)
+{
+    FakeHostClock clk;
+    clk.status = "VmRSS:\t  100 kB\n";
+    HostProfiler p;
+    p.enable(&clk, 2); // only two timeline slices kept
+
+    for (int i = 0; i < 3; ++i) {
+        HostProfiler::Scope scope(&p, "step");
+        clk.wall += 1'000'000;
+    }
+    EXPECT_EQ(p.timelineDropped(), 1u);
+
+    p.addInstructions(500'000);
+    clk.wall = 1'000'000'000;
+    p.samplePeriodic(500'000);
+    ASSERT_EQ(p.periodic().size(), 1u);
+    EXPECT_EQ(p.periodic()[0].inst, 500'000u);
+    EXPECT_DOUBLE_EQ(p.periodic()[0].mips, 0.5);
+    EXPECT_DOUBLE_EQ(p.periodic()[0].rssKb, 100.0);
+}
+
+TEST(HostProfiler, WriteJsonEmitsHostSchemaAndStages)
+{
+    FakeHostClock clk;
+    clk.status = "VmRSS:\t  300 kB\nVmHWM:\t  400 kB\n";
+    HostProfiler p;
+    p.enable(&clk);
+    clk.wall = 1'000'000'000;
+    clk.cpu = 500'000'000;
+    p.begin("step");
+    clk.wall += 1'000'000'000;
+    p.end("step");
+    p.addInstructions(2'000'000);
+
+    std::ostringstream os;
+    p.writeJson(os, "eval", "stream", "cfg0");
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"schema\":\"mct-host-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"sim.mips\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"sim.host.rss_hwm_kb\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"stages\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"name\":\"step\""), std::string::npos);
+
+    std::ostringstream trace;
+    p.writeChromeTrace(trace);
+    EXPECT_NE(trace.str().find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(trace.str().find("\"mct_sim host\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------
 // StatsReport::print alignment
 // --------------------------------------------------------------------
 

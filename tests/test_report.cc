@@ -160,6 +160,122 @@ TEST(Loaders, SpansConvertPicosecondsToNanoseconds)
 }
 
 // --------------------------------------------------------------------
+// Host-telemetry documents (mct-host-v1) and medians
+// --------------------------------------------------------------------
+
+const char *hostDoc(const char *mips, const char *stepSeconds)
+{
+    static std::string doc;
+    doc = std::string("{\"schema\":\"mct-host-v1\",\"mode\":\"eval\","
+                      "\"app\":\"lbm\",\"config\":\"static\","
+                      "\"final\":{\"sim.mips\":") +
+          mips +
+          ",\"sim.host.wall_seconds\":2.0,"
+          "\"sim.host.rss_hwm_kb\":4096},"
+          "\"periodic\":[{\"inst\":500,\"delta\":"
+          "{\"sim.mips\":1.0}}],"
+          "\"stages\":[{\"name\":\"replay\",\"seconds\":0.5,"
+          "\"cpu_seconds\":0.4,\"calls\":1},"
+          "{\"name\":\"step\",\"seconds\":" +
+          stepSeconds + ",\"cpu_seconds\":1.0,\"calls\":20}]}";
+    return doc.c_str();
+}
+
+TEST(HostDoc, LoadsAsBothSnapshotsAndProfile)
+{
+    const TempFile f(hostDoc("17.5", "1.5"));
+
+    RunData run;
+    std::string err;
+    ASSERT_TRUE(loadSnapshots(f.path(), run, err)) << err;
+    EXPECT_EQ(run.mode, "eval");
+    EXPECT_DOUBLE_EQ(run.finalScalars.at("sim.mips"), 17.5);
+    EXPECT_DOUBLE_EQ(run.finalScalars.at("sim.host.rss_hwm_kb"),
+                     4096.0);
+    ASSERT_EQ(run.windows.size(), 1u);
+
+    Profile prof;
+    ASSERT_TRUE(loadProfile(f.path(), prof, err)) << err;
+    ASSERT_EQ(prof.stages.size(), 2u);
+    EXPECT_EQ(prof.stages[1].name, "step");
+    EXPECT_DOUBLE_EQ(prof.stages[1].seconds, 1.5);
+    EXPECT_DOUBLE_EQ(prof.stages[1].cpuSeconds, 1.0);
+    EXPECT_EQ(prof.stages[1].calls, 20u);
+}
+
+TEST(HostDoc, MedianRunsTakesPerMetricMedian)
+{
+    const TempFile a(hostDoc("10.0", "1.0"));
+    const TempFile b(hostDoc("30.0", "2.0"));
+    const TempFile c(hostDoc("12.0", "9.0"));
+    std::vector<RunData> runs(3);
+    std::string err;
+    ASSERT_TRUE(loadSnapshots(a.path(), runs[0], err)) << err;
+    ASSERT_TRUE(loadSnapshots(b.path(), runs[1], err)) << err;
+    ASSERT_TRUE(loadSnapshots(c.path(), runs[2], err)) << err;
+
+    const RunData med = medianRuns(runs);
+    EXPECT_EQ(med.mode, "eval");
+    EXPECT_DOUBLE_EQ(med.finalScalars.at("sim.mips"), 12.0);
+    EXPECT_DOUBLE_EQ(med.finalScalars.at("sim.host.wall_seconds"),
+                     2.0);
+
+    // Even count: mean of the two middles.
+    runs.pop_back();
+    EXPECT_DOUBLE_EQ(medianRuns(runs).finalScalars.at("sim.mips"),
+                     20.0);
+}
+
+TEST(HostDoc, MedianProfilesKeepsFirstProfileOrder)
+{
+    const TempFile a(hostDoc("10.0", "1.0"));
+    const TempFile b(hostDoc("10.0", "3.0"));
+    const TempFile c(hostDoc("10.0", "2.0"));
+    std::vector<Profile> profs(3);
+    std::string err;
+    ASSERT_TRUE(loadProfile(a.path(), profs[0], err)) << err;
+    ASSERT_TRUE(loadProfile(b.path(), profs[1], err)) << err;
+    ASSERT_TRUE(loadProfile(c.path(), profs[2], err)) << err;
+
+    const Profile med = medianProfiles(profs);
+    ASSERT_EQ(med.stages.size(), 2u);
+    EXPECT_EQ(med.stages[0].name, "replay");
+    EXPECT_EQ(med.stages[1].name, "step");
+    EXPECT_DOUBLE_EQ(med.stages[1].seconds, 2.0);
+    EXPECT_DOUBLE_EQ(med.stages[1].cpuSeconds, 1.0);
+}
+
+TEST(HostDoc, SimMipsGateTripsOnlyOnCatastrophicSlowdown)
+{
+    Thresholds th;
+    std::string err;
+    ASSERT_TRUE(parseThresholds("metric sim.mips\n"
+                                "  direction higher\n"
+                                "  rel 0.85\n",
+                                th, err))
+        << err;
+
+    const TempFile base(hostDoc("10.0", "1.0"));
+    RunData b;
+    ASSERT_TRUE(loadSnapshots(base.path(), b, err)) << err;
+
+    // Half the baseline rate: noisy, but within the generous slack.
+    const TempFile slow(hostDoc("5.0", "2.0"));
+    RunData s;
+    ASSERT_TRUE(loadSnapshots(slow.path(), s, err)) << err;
+    EXPECT_EQ(diffRuns(b, s, th).regressions, 0u);
+
+    // Below 15% of baseline: the accidental-O(n^2) case.
+    const TempFile dead(hostDoc("1.0", "10.0"));
+    RunData d;
+    ASSERT_TRUE(loadSnapshots(dead.path(), d, err)) << err;
+    const DiffReport rep = diffRuns(b, d, th);
+    EXPECT_EQ(rep.regressions, 1u);
+    ASSERT_EQ(rep.checks.size(), 1u);
+    EXPECT_EQ(rep.checks[0].metric, "sim.mips");
+}
+
+// --------------------------------------------------------------------
 // Thresholds grammar
 // --------------------------------------------------------------------
 

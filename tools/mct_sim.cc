@@ -39,6 +39,19 @@
  *                        when a spans output is requested, else off)
  *   --span-cap N         span ring-buffer capacity (default 16384)
  *
+ * Host telemetry (eval and mct modes; nondeterministic by nature, so
+ * it lives in its own files and never touches the byte-identical
+ * stats/span/provenance surfaces):
+ *   --host-profile-out FILE     mct-host-v1 document: sim.mips,
+ *                               sim.host.* scalars, periodic samples
+ *                               on the --stats-every cadence, and the
+ *                               per-stage wall/CPU attribution
+ *                               (replay, step, sampling, fit,
+ *                               optimize)
+ *   --host-profile-chrome FILE  the host stage timeline as Chrome
+ *                               trace-event complete events (real
+ *                               microseconds)
+ *
  * Decision audit (mct mode; docs/observability.md):
  *   --provenance-out FILE     closed decision-provenance records as
  *                             JSONL (predicted vs realized objectives,
@@ -250,6 +263,8 @@ struct Telemetry
     std::string spansChrome; ///< --spans-chrome FILE
     std::string provOut;     ///< --provenance-out FILE (JSONL)
     std::string provChrome;  ///< --provenance-chrome FILE
+    std::string hostOut;     ///< --host-profile-out FILE
+    std::string hostChrome;  ///< --host-profile-chrome FILE
     InstCount statsEvery = 0;
     std::size_t traceCap = 64 * 1024;
     std::uint64_t spanSample = 0; ///< --span-sample N (0 = off)
@@ -263,7 +278,7 @@ struct Telemetry
     {
         return !statsJson.empty() || !traceOut.empty() ||
                !traceChrome.empty() || statsEvery > 0 ||
-               wantsSpans() || wantsProvenance();
+               wantsSpans() || wantsProvenance() || wantsHost();
     }
 
     /** Should the event ring buffer record? */
@@ -282,6 +297,13 @@ struct Telemetry
     wantsProvenance() const
     {
         return !provOut.empty() || !provChrome.empty();
+    }
+
+    /** Should host-side (wall-clock) telemetry be collected? */
+    bool
+    wantsHost() const
+    {
+        return !hostOut.empty() || !hostChrome.empty();
     }
 };
 
@@ -322,6 +344,8 @@ telemetryFromArgs(const Args &args)
     if (audit < 0)
         mct_fatal("--audit-every must be non-negative");
     t.auditEvery = static_cast<std::uint64_t>(audit);
+    t.hostOut = args.get("host-profile-out", "");
+    t.hostChrome = args.get("host-profile-chrome", "");
     return t;
 }
 
@@ -433,6 +457,11 @@ runWithPeriodicStats(System &sys, InstCount total, const Telemetry &t,
     while (sys.retired() < target) {
         step(std::min<InstCount>(t.statsEvery,
                                  target - sys.retired()));
+        // Host telemetry refreshes on the same cadence but into its
+        // own sample stream, keeping the delta snapshots bit-stable.
+        if (HostProfiler *hp = sys.hostProfiler())
+            hp->samplePeriodic(
+                static_cast<std::uint64_t>(sys.retired()));
         StatSnapshot cur = sys.statRegistry().snapshot();
         PeriodicDelta pd;
         pd.inst = sys.retired();
@@ -608,6 +637,31 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
         prov.writeChromeTrace(os);
         std::printf("provenance-chrome %s\n", t.provChrome.c_str());
     }
+    if (HostProfiler *hp = sys.hostProfiler()) {
+        hp->sampleMemory(); // end-of-run RSS / high-water refresh
+        if (!t.hostOut.empty()) {
+            std::ofstream os(t.hostOut);
+            if (!os) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             t.hostOut.c_str());
+                return 1;
+            }
+            hp->writeJson(os, mode, app, configKey(sys.config()));
+            std::printf("host-profile   %s (%.2f mips, rss %.0f kB)\n",
+                        t.hostOut.c_str(), hp->mips(),
+                        hp->rssHighWaterKb());
+        }
+        if (!t.hostChrome.empty()) {
+            std::ofstream os(t.hostChrome);
+            if (!os) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             t.hostChrome.c_str());
+                return 1;
+            }
+            hp->writeChromeTrace(os);
+            std::printf("host-chrome    %s\n", t.hostChrome.c_str());
+        }
+    }
     return 0;
 }
 
@@ -678,10 +732,18 @@ cmdEval(const Args &args)
             sys.eventTrace().enable(tel.traceCap);
         if (tel.wantsSpans())
             sys.enableSpans(tel.spanSample, tel.spanCap);
-        if (faults.any())
-            runChunked(sys, ep.warmupInsts);
-        else
-            sys.run(ep.warmupInsts);
+        HostProfiler hostProf;
+        if (tel.wantsHost()) {
+            hostProf.enable();
+            sys.attachHostProfiler(&hostProf);
+        }
+        {
+            HostProfiler::Scope replay(sys.hostProfiler(), "replay");
+            if (faults.any())
+                runChunked(sys, ep.warmupInsts);
+            else
+                sys.run(ep.warmupInsts);
+        }
         const SysSnapshot s0 = sys.snapshot();
         const auto periodic = runWithPeriodicStats(
             sys, ep.measureInsts, tel, [&](InstCount n) {
@@ -747,7 +809,15 @@ cmdMct(const Args &args)
         sys.enableSpans(tel.spanSample, tel.spanCap);
     if (tel.wantsProvenance())
         sys.provenanceTrace().enable(tel.provCap);
-    sys.run(ep.warmupInsts);
+    HostProfiler hostProf;
+    if (tel.wantsHost()) {
+        hostProf.enable();
+        sys.attachHostProfiler(&hostProf);
+    }
+    {
+        HostProfiler::Scope replay(sys.hostProfiler(), "replay");
+        sys.run(ep.warmupInsts);
+    }
 
     MctParams mp;
     mp.objective.minLifetimeYears = args.getD("target", 8.0);

@@ -8,6 +8,8 @@
  *   mct_report explain [RUN.json] --provenance FILE [--decisions N]
  *   mct_report diff --base FILE --new FILE [--thresholds FILE]
  *                   [--out BENCH_report.json]
+ *   mct_report perf --host FILE [--host FILE ...] [--base FILE]
+ *                   [--thresholds FILE] [--out FILE]
  *
  * `show` renders one run: objectives, the lat.* latency-attribution
  * breakdown with p50/p90/p99, per-window tables, event counts, and
@@ -29,6 +31,13 @@
  * is a regression. --out writes a machine-readable
  * mct-bench-report-v1 document for CI artifacts.
  *
+ * `perf` renders the host-telemetry document(s) an mct_sim
+ * --host-profile-out run writes: sim.mips throughput, wall/CPU
+ * seconds, RSS high-water, and the per-stage host attribution table.
+ * With several --host files the per-metric median is taken
+ * (median-of-3 in CI damps scheduler noise); with --base the median
+ * is gated against a pinned baseline exactly like diff.
+ *
  * Exit codes: 0 clean, 1 at least one regression, 2 usage or load
  * error. `show` only uses 0 and 2.
  */
@@ -38,6 +47,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "mct/config.hh"
 #include "report.hh"
@@ -53,11 +63,15 @@ usage()
     std::fprintf(
         stderr,
         "usage: mct_report show --stats-json FILE [--spans FILE]\n"
-        "                       [--profile FILE] [--windows N]\n"
+        "                       [--profile FILE] [--host FILE]\n"
+        "                       [--windows N]\n"
         "       mct_report explain [RUN.json] --provenance FILE\n"
         "                       [--decisions N]\n"
         "       mct_report diff --base FILE --new FILE\n"
-        "                       [--thresholds FILE] [--out FILE]\n");
+        "                       [--thresholds FILE] [--out FILE]\n"
+        "       mct_report perf --host FILE [--host FILE ...]\n"
+        "                       [--base FILE] [--thresholds FILE]\n"
+        "                       [--out FILE]\n");
     return 2;
 }
 
@@ -76,7 +90,7 @@ flagValue(int argc, char **argv, int &i, std::string &out)
 int
 cmdShow(int argc, char **argv)
 {
-    std::string statsPath, spansPath, profilePath;
+    std::string statsPath, spansPath, profilePath, hostPath;
     std::size_t windows = 8;
     for (int i = 2; i < argc; ++i) {
         std::string v;
@@ -89,6 +103,9 @@ cmdShow(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--profile")) {
             if (!flagValue(argc, argv, i, profilePath))
                 return 2;
+        } else if (!std::strcmp(argv[i], "--host")) {
+            if (!flagValue(argc, argv, i, hostPath))
+                return 2;
         } else if (!std::strcmp(argv[i], "--windows")) {
             if (!flagValue(argc, argv, i, v))
                 return 2;
@@ -98,16 +115,18 @@ cmdShow(int argc, char **argv)
             return usage();
         }
     }
-    if (statsPath.empty())
+    if (statsPath.empty() && hostPath.empty())
         return usage();
 
     std::string err;
-    RunData run;
-    if (!loadSnapshots(statsPath, run, err)) {
-        std::fprintf(stderr, "error: %s\n", err.c_str());
-        return 2;
+    if (!statsPath.empty()) {
+        RunData run;
+        if (!loadSnapshots(statsPath, run, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        renderRun(std::cout, run, windows);
     }
-    renderRun(std::cout, run, windows);
     if (!spansPath.empty()) {
         SpanSet spans;
         if (!loadSpans(spansPath, spans, err)) {
@@ -126,7 +145,113 @@ cmdShow(int argc, char **argv)
         std::cout << "\nself-profile:\n";
         renderProfile(std::cout, prof);
     }
+    if (!hostPath.empty()) {
+        RunData host;
+        Profile prof;
+        if (!loadSnapshots(hostPath, host, err) ||
+            !loadProfile(hostPath, prof, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        if (!statsPath.empty())
+            std::cout << "\n";
+        renderHostSummary(std::cout, host, prof);
+    }
     return 0;
+}
+
+/**
+ * perf: render (and optionally gate) host-telemetry documents. With
+ * several --host files the per-metric median is used, damping
+ * scheduler noise; with --base the median is diffed against a pinned
+ * baseline through the thresholds rules (sim.mips, direction
+ * higher). Exit 1 on regression, mirroring diff.
+ */
+int
+cmdPerf(int argc, char **argv)
+{
+    std::vector<std::string> hostPaths;
+    std::string basePath, thresholdsPath, outPath;
+    for (int i = 2; i < argc; ++i) {
+        std::string v;
+        if (!std::strcmp(argv[i], "--host")) {
+            if (!flagValue(argc, argv, i, v))
+                return 2;
+            hostPaths.push_back(v);
+        } else if (!std::strcmp(argv[i], "--base")) {
+            if (!flagValue(argc, argv, i, basePath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--thresholds")) {
+            if (!flagValue(argc, argv, i, thresholdsPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--out")) {
+            if (!flagValue(argc, argv, i, outPath))
+                return 2;
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (hostPaths.empty())
+        return usage();
+
+    std::string err;
+    std::vector<RunData> runs;
+    std::vector<Profile> profiles;
+    for (const std::string &path : hostPaths) {
+        RunData run;
+        Profile prof;
+        if (!loadSnapshots(path, run, err) ||
+            !loadProfile(path, prof, err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 2;
+        }
+        runs.push_back(std::move(run));
+        profiles.push_back(std::move(prof));
+    }
+    const RunData cur = runs.size() == 1 ? runs[0] : medianRuns(runs);
+    const Profile prof =
+        profiles.size() == 1 ? profiles[0] : medianProfiles(profiles);
+    renderHostSummary(std::cout, cur, prof);
+    if (basePath.empty())
+        return 0;
+
+    Thresholds th;
+    if (thresholdsPath.empty()) {
+        if (!parseThresholds(defaultThresholdsText(), th, err)) {
+            std::fprintf(stderr, "internal: bad default thresholds: "
+                                 "%s\n",
+                         err.c_str());
+            return 2;
+        }
+    } else if (!loadThresholds(thresholdsPath, th, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+    RunData base;
+    if (!loadSnapshots(basePath, base, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+    const DiffReport rep = diffRuns(base, cur, th);
+    std::cout << "\n";
+    renderDiff(std::cout, base, cur, rep);
+    if (rep.checks.empty()) {
+        std::fprintf(stderr,
+                     "error: no metric matched any threshold rule\n");
+        return 2;
+    }
+    if (!outPath.empty()) {
+        std::ofstream os(outPath);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         outPath.c_str());
+            return 2;
+        }
+        writeBenchReport(os, base, cur, rep);
+        std::printf("report written to %s\n", outPath.c_str());
+    }
+    return rep.regressions ? 1 : 0;
 }
 
 int
@@ -265,6 +390,8 @@ main(int argc, char **argv)
         return cmdExplain(argc, argv);
     if (!std::strcmp(argv[1], "diff"))
         return cmdDiff(argc, argv);
+    if (!std::strcmp(argv[1], "perf"))
+        return cmdPerf(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
     return usage();
 }

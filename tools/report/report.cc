@@ -401,7 +401,7 @@ loadSnapshots(const std::string &path, RunData &out, std::string &err)
     if (!parseJsonFile(path, doc, err))
         return false;
     const std::string schema = doc.text("schema", "");
-    if (schema != "mct-stats-v1") {
+    if (schema != "mct-stats-v1" && schema != "mct-host-v1") {
         err = path + ": unsupported schema '" + schema + "'";
         return false;
     }
@@ -436,6 +436,35 @@ loadSnapshots(const std::string &path, RunData &out, std::string &err)
     out.eventsRecorded = doc.num("events_recorded", 0.0);
     out.eventsDropped = doc.num("events_dropped", 0.0);
     return true;
+}
+
+RunData
+medianRuns(const std::vector<RunData> &runs)
+{
+    RunData out;
+    if (runs.empty())
+        return out;
+    out.path = "median-of-" + std::to_string(runs.size());
+    out.mode = runs[0].mode;
+    out.app = runs[0].app;
+    out.config = runs[0].config;
+    for (const auto &[name, v] : runs[0].finalScalars) {
+        (void)v;
+        std::vector<double> sample;
+        for (const RunData &r : runs) {
+            const auto it = r.finalScalars.find(name);
+            if (it != r.finalScalars.end())
+                sample.push_back(it->second);
+        }
+        if (!sample.empty()) {
+            std::sort(sample.begin(), sample.end());
+            const std::size_t n = sample.size();
+            out.finalScalars[name] =
+                n % 2 ? sample[n / 2]
+                      : (sample[n / 2 - 1] + sample[n / 2]) / 2.0;
+        }
+    }
+    return out;
 }
 
 // --------------------------------------------------------------------
@@ -502,10 +531,53 @@ loadProfile(const std::string &path, Profile &out, std::string &err)
         ProfileStage st;
         st.name = s.text("name", "?");
         st.seconds = s.num("seconds", 0.0);
+        st.cpuSeconds = s.num("cpu_seconds", 0.0);
         st.calls = static_cast<std::uint64_t>(s.num("calls", 0.0));
         out.stages.push_back(std::move(st));
     }
     return true;
+}
+
+namespace
+{
+
+/** Median of a non-empty sample (mean of the middle two when even). */
+double
+medianOf(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+} // namespace
+
+Profile
+medianProfiles(const std::vector<Profile> &profiles)
+{
+    Profile out;
+    if (profiles.empty())
+        return out;
+    for (const ProfileStage &first : profiles[0].stages) {
+        std::vector<double> wall, cpu, calls;
+        for (const Profile &p : profiles) {
+            for (const ProfileStage &s : p.stages) {
+                if (s.name != first.name)
+                    continue;
+                wall.push_back(s.seconds);
+                cpu.push_back(s.cpuSeconds);
+                calls.push_back(static_cast<double>(s.calls));
+                break;
+            }
+        }
+        ProfileStage st;
+        st.name = first.name;
+        st.seconds = medianOf(wall);
+        st.cpuSeconds = medianOf(cpu);
+        st.calls = static_cast<std::uint64_t>(medianOf(calls));
+        out.stages.push_back(std::move(st));
+    }
+    return out;
 }
 
 // --------------------------------------------------------------------
@@ -1182,15 +1254,56 @@ void
 renderProfile(std::ostream &os, const Profile &profile)
 {
     double total = 0.0;
-    for (const ProfileStage &s : profile.stages)
+    bool hasCpu = false;
+    for (const ProfileStage &s : profile.stages) {
         total += s.seconds;
+        hasCpu = hasCpu || s.cpuSeconds > 0.0;
+    }
     TextTable t;
-    t.header({"stage", "seconds", "calls", "share"});
-    for (const ProfileStage &s : profile.stages)
-        t.row({s.name, fmt(s.seconds, 3), std::to_string(s.calls),
-               fmt(total > 0 ? s.seconds / total * 100.0 : 0.0, 1) +
-                   "%"});
+    if (hasCpu)
+        t.header({"stage", "seconds", "cpu", "calls", "share"});
+    else
+        t.header({"stage", "seconds", "calls", "share"});
+    for (const ProfileStage &s : profile.stages) {
+        const std::string share =
+            fmt(total > 0 ? s.seconds / total * 100.0 : 0.0, 1) + "%";
+        if (hasCpu)
+            t.row({s.name, fmt(s.seconds, 3), fmt(s.cpuSeconds, 3),
+                   std::to_string(s.calls), share});
+        else
+            t.row({s.name, fmt(s.seconds, 3), std::to_string(s.calls),
+                   share});
+    }
     t.print(os);
+}
+
+void
+renderHostSummary(std::ostream &os, const RunData &run,
+                  const Profile &profile)
+{
+    const auto scalar = [&run](const char *name) {
+        const auto it = run.finalScalars.find(name);
+        return it == run.finalScalars.end() ? 0.0 : it->second;
+    };
+    os << "host telemetry: " << run.path << "\n";
+    if (!run.mode.empty())
+        os << "mode " << run.mode << ", app " << run.app << ", config "
+           << run.config << "\n";
+    os << "  sim.mips                 " << fmt(scalar("sim.mips"), 2)
+       << "\n";
+    os << "  wall seconds             "
+       << fmt(scalar("sim.host.wall_seconds"), 3) << "\n";
+    os << "  cpu seconds              "
+       << fmt(scalar("sim.host.cpu_seconds"), 3) << " (util "
+       << fmt(scalar("sim.host.cpu_util"), 2) << ")\n";
+    os << "  rss high-water kB        "
+       << fmt(scalar("sim.host.rss_hwm_kb"), 0) << "\n";
+    os << "  instructions             "
+       << fmt(scalar("sim.host.instructions"), 0) << "\n";
+    if (!profile.stages.empty()) {
+        os << "host attribution:\n";
+        renderProfile(os, profile);
+    }
 }
 
 } // namespace mct::report

@@ -118,9 +118,22 @@ struct RunData
     double eventsDropped = 0.0;
 };
 
-/** Load a stats document; false + @p err on parse/shape problems. */
+/**
+ * Load a stats document; false + @p err on parse/shape problems.
+ * Accepts both mct-stats-v1 (deterministic run document) and
+ * mct-host-v1 (the nondeterministic host-telemetry document written
+ * by --host-profile-out; same final/periodic shape, host scalars).
+ */
 [[nodiscard]] bool loadSnapshots(const std::string &path, RunData &out,
                                  std::string &err);
+
+/**
+ * Per-metric median across @p runs (final scalars only; mode, app
+ * and config are taken from the first run). The CI perf-smoke job
+ * gates the median of three host-telemetry runs so one noisy run on
+ * a shared machine cannot fake a regression.
+ */
+RunData medianRuns(const std::vector<RunData> &runs);
 
 // --------------------------------------------------------------------
 // Span JSONL
@@ -154,7 +167,8 @@ struct SpanSet
 struct ProfileStage
 {
     std::string name;
-    double seconds = 0.0;
+    double seconds = 0.0;    ///< wall seconds
+    double cpuSeconds = 0.0; ///< CPU seconds (0 for wall-only dumps)
     std::uint64_t calls = 0;
 };
 
@@ -163,9 +177,16 @@ struct Profile
     std::vector<ProfileStage> stages;
 };
 
-/** Load a WallProfiler JSON dump ({"stages":[...]}). */
+/**
+ * Load a stage-timing dump ({"stages":[...]}): a bench WallProfiler
+ * dump (--profile-out / MCT_BENCH_PROFILE) or the stages section of
+ * an mct_sim --host-profile-out document, which adds cpu_seconds.
+ */
 [[nodiscard]] bool loadProfile(const std::string &path, Profile &out,
                                std::string &err);
+
+/** Per-stage median across @p profiles (order from the first). */
+Profile medianProfiles(const std::vector<Profile> &profiles);
 
 // --------------------------------------------------------------------
 // Decision provenance (--provenance-out JSONL)
@@ -336,8 +357,16 @@ void renderExplain(std::ostream &os, const ProvSet &prov,
                    const std::vector<std::string> &featureNames,
                    std::size_t maxDecisions);
 
-/** WallProfiler stage table. */
+/** Stage-timing table (adds a cpu column when any stage has one). */
 void renderProfile(std::ostream &os, const Profile &profile);
+
+/**
+ * Host-telemetry summary for one (possibly median) run: simulator
+ * throughput (sim.mips), wall/CPU seconds, memory high-water, then
+ * the per-stage host attribution table.
+ */
+void renderHostSummary(std::ostream &os, const RunData &run,
+                       const Profile &profile);
 
 } // namespace mct::report
 
