@@ -22,6 +22,8 @@ namespace mct
 {
 
 class StatRegistry;
+class Serializer;
+class Deserializer;
 
 /** Geometry of one cache level. */
 struct CacheParams
@@ -122,6 +124,12 @@ class Cache
 
     /** Invalidate everything and clear statistics. */
     void reset();
+
+    /** Checkpoint lines, LRU clocks, histogram, and statistics. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize() (same geometry). */
+    void deserialize(Deserializer &d);
 
   private:
     struct Line

@@ -91,6 +91,22 @@ CacheHierarchy::reset()
 }
 
 void
+CacheHierarchy::serialize(Serializer &s) const
+{
+    l1.serialize(s);
+    l2.serialize(s);
+    l3->serialize(s);
+}
+
+void
+CacheHierarchy::deserialize(Deserializer &d)
+{
+    l1.deserialize(d);
+    l2.deserialize(d);
+    l3->deserialize(d);
+}
+
+void
 CacheHierarchy::registerStats(StatRegistry &reg,
                               const std::string &prefix) const
 {

@@ -19,6 +19,8 @@ namespace mct
 {
 
 class SpanTrace;
+class Serializer;
+class Deserializer;
 
 /** Geometry of all levels. */
 struct HierarchyParams
@@ -81,6 +83,12 @@ class CacheHierarchy
 
     /** Record per-level probe marks on sampled request spans. */
     void attachSpans(SpanTrace *t) { spans = t; }
+
+    /** Checkpoint all three levels (L3 included, shared or not). */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize() (same geometry). */
+    void deserialize(Deserializer &d);
 
   private:
     Cache l1;

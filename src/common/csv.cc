@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 
 namespace mct
@@ -54,9 +55,8 @@ writeCell(std::ostream &os, const std::string &cell)
 bool
 CsvFile::save(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os)
-        return false;
+    AtomicFile file(path);
+    std::ostream &os = file.stream();
     for (const auto &r : rowsData) {
         for (std::size_t i = 0; i < r.size(); ++i) {
             if (i)
@@ -65,7 +65,7 @@ CsvFile::save(const std::string &path) const
         }
         os << '\n';
     }
-    return static_cast<bool>(os);
+    return file.commit();
 }
 
 bool

@@ -20,6 +20,7 @@ toString(FaultKind kind)
       case FaultKind::PredictorGarbage: return "predictor_garbage";
       case FaultKind::SweepCacheCorrupt:return "sweep_corrupt";
       case FaultKind::WearClockSkew:    return "clock_skew";
+      case FaultKind::CkptCorrupt:      return "ckpt_corrupt";
     }
     return "?";
 }
@@ -209,6 +210,7 @@ const BuiltinPlan builtinPlans[] = {
     {"garbage", "predictor_garbage@0+1800k:prob=0.5,mag=50"},
     {"skew", "clock_skew@250k+900k:mag=8"},
     {"corrupt-cache", "sweep_corrupt"},
+    {"corrupt-ckpt", "ckpt_corrupt"},
     {"storm",
      "latency_drift@200k+600k:mag=2.5;"
      "bank_degrade@400k+800k:mag=3,bank=0;"

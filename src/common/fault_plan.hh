@@ -53,10 +53,13 @@ enum class FaultKind
 
     /** The wear-quota governor sees a skewed clock. */
     WearClockSkew,
+
+    /** The newest on-disk checkpoint is bit-flipped/truncated. */
+    CkptCorrupt,
 };
 
 /** Number of FaultKind values (keep in sync with the enum). */
-constexpr std::size_t numFaultKinds = 6;
+constexpr std::size_t numFaultKinds = 7;
 
 /** Grammar name of a fault kind ("latency_drift", ...). */
 const char *toString(FaultKind kind);

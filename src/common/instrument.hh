@@ -49,6 +49,9 @@
 namespace mct
 {
 
+class Serializer;
+class Deserializer;
+
 /** What a registered statistic measures. */
 enum class StatKind
 {
@@ -104,6 +107,12 @@ class LogHistogram
     /** Forget everything. */
     void reset();
 
+    /** Checkpoint bucket counts and totals. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
+
   private:
     std::array<std::uint64_t, numBuckets> buckets_{};
     std::uint64_t n = 0;
@@ -128,6 +137,12 @@ struct StatValue
 /** A full registry capture, keyed by dotted path (sorted, so every
  *  serialization of the same snapshot is byte-identical). */
 using StatSnapshot = std::map<std::string, StatValue>;
+
+/** Checkpoint a snapshot (map order makes the bytes deterministic). */
+void serializeSnapshot(Serializer &s, const StatSnapshot &snap);
+
+/** Restore a snapshot written by serializeSnapshot(). */
+StatSnapshot deserializeSnapshot(Deserializer &d);
 
 /**
  * Which stats a snapshot captures. Host-scoped stats (wall-clock and
@@ -215,6 +230,20 @@ class StatRegistry
      */
     static StatSnapshot delta(const StatSnapshot &from,
                               const StatSnapshot &to);
+
+    /**
+     * Checkpoint registry-owned cells and histograms, keyed by path.
+     * Closure-backed stats read live component state and are restored
+     * by the components themselves.
+     */
+    void serializeOwned(Serializer &s) const;
+
+    /**
+     * Restore registry-owned state written by serializeOwned(). The
+     * owning components must have re-registered their paths first; an
+     * unknown path is a checkpoint-format bug and panics.
+     */
+    void deserializeOwned(Deserializer &d);
 
   private:
     struct Entry
@@ -352,6 +381,13 @@ class EventTrace
      * viewer's microseconds axis reads as instructions).
      */
     void writeChromeTrace(std::ostream &os) const;
+
+    /** Checkpoint ring contents and cursors (clock stays attached). */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(); the capacity must match
+     *  the current enable() configuration (panics otherwise). */
+    void deserialize(Deserializer &d);
 
   private:
     std::vector<TraceEvent> ring;
@@ -509,6 +545,14 @@ class SpanTrace
      */
     void writeChromeTrace(std::ostream &os) const;
 
+    /** Checkpoint ring, cursors, and in-flight open spans (histogram
+     *  and trace sinks stay attached). */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(); sampling period and
+     *  capacity must match the current enable() configuration. */
+    void deserialize(Deserializer &d);
+
   private:
     /** Low 56 bits of a request id hold the per-core sequence. */
     static constexpr std::uint64_t seqMask = (1ULL << 56) - 1;
@@ -613,6 +657,12 @@ struct ProvenanceRecord
         attribution{};
 
     bool closed = false; ///< realized objectives have been attached
+
+    /** Checkpoint every field (strings and vectors included). */
+    void serialize(Serializer &s) const;
+
+    /** Restore a record written by serialize(). */
+    void deserialize(Deserializer &d);
 };
 
 /**
@@ -686,6 +736,13 @@ class ProvenanceTrace
      * "provenance" track ("ts" carries instructions).
      */
     void writeChromeTrace(std::ostream &os) const;
+
+    /** Checkpoint ring contents and cursors. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(); the capacity must match
+     *  the current enable() configuration (panics otherwise). */
+    void deserialize(Deserializer &d);
 
   private:
     std::vector<ProvenanceRecord> ring;

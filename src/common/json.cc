@@ -64,6 +64,12 @@ resetJsonNonfiniteCount()
     nonfiniteEmitted = 0;
 }
 
+void
+restoreJsonNonfiniteCount(std::uint64_t value)
+{
+    nonfiniteEmitted = value;
+}
+
 std::string
 jsonNumber(double v)
 {

@@ -33,6 +33,10 @@ std::uint64_t jsonNonfiniteCount();
 /** Reset the non-finite counter (tests and fresh runs). */
 void resetJsonNonfiniteCount();
 
+/** Restore the non-finite counter from a checkpoint so the resumed
+ *  run's stats.nonfinite matches the uninterrupted run's. */
+void restoreJsonNonfiniteCount(std::uint64_t value);
+
 /**
  * Streaming writer for a nesting of JSON objects and arrays. The
  * caller supplies structure through begin/end calls; the writer

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace mct
 {
@@ -125,6 +126,27 @@ class Rng
         while (u <= 1e-300)
             u = uniform();
         return -mean * std::log(u);
+    }
+
+    /** Checkpoint the full stream position (xoshiro state plus the
+     *  buffered Box-Muller spare). */
+    void
+    serialize(Serializer &s) const
+    {
+        for (const std::uint64_t word : state)
+            s.putU64(word);
+        s.putBool(haveSpare);
+        s.putF64(spare);
+    }
+
+    /** Restore a stream checkpointed with serialize(). */
+    void
+    deserialize(Deserializer &d)
+    {
+        for (std::uint64_t &word : state)
+            word = d.getU64();
+        haveSpare = d.getBool();
+        spare = d.getF64();
     }
 
   private:

@@ -1,0 +1,116 @@
+#include "common/serialize.hh"
+
+#include <cstring>
+
+namespace mct
+{
+
+std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+void
+Serializer::putU32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+}
+
+void
+Serializer::putU64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xffU));
+}
+
+void
+Serializer::putF64(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(bits);
+}
+
+void
+Serializer::putStr(std::string_view v)
+{
+    putU64(v.size());
+    buf.append(v.data(), v.size());
+}
+
+const unsigned char *
+Deserializer::take(std::size_t count)
+{
+    if (!good || count > n - pos) {
+        good = false;
+        return nullptr;
+    }
+    const unsigned char *at = p + pos;
+    pos += count;
+    return at;
+}
+
+std::uint8_t
+Deserializer::getU8()
+{
+    const unsigned char *at = take(1);
+    return at ? *at : 0;
+}
+
+std::uint32_t
+Deserializer::getU32()
+{
+    const unsigned char *at = take(4);
+    if (!at)
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(at[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Deserializer::getU64()
+{
+    const unsigned char *at = take(8);
+    if (!at)
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(at[i]) << (8 * i);
+    return v;
+}
+
+double
+Deserializer::getF64()
+{
+    const std::uint64_t bits = getU64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+Deserializer::getStr()
+{
+    const std::uint64_t len = getU64();
+    if (!good || len > n - pos) {
+        good = false;
+        return {};
+    }
+    const unsigned char *at = take(static_cast<std::size_t>(len));
+    return at ? std::string(reinterpret_cast<const char *>(at),
+                            static_cast<std::size_t>(len))
+              : std::string{};
+}
+
+} // namespace mct

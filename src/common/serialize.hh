@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Binary serialization codec for checkpoint/restore. Fixed-width
+ * little-endian integers, bit-pattern doubles, and length-prefixed
+ * strings make the byte stream deterministic across runs, which the
+ * resume machinery depends on (a resumed run must re-produce the
+ * exact bytes an uninterrupted run would have written).
+ */
+
+#ifndef MCT_COMMON_SERIALIZE_HH
+#define MCT_COMMON_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mct
+{
+
+/** 64-bit FNV-1a over a byte range; @p seed chains partial digests. */
+std::uint64_t fnv1a(const void *data, std::size_t size,
+                    std::uint64_t seed = 14695981039346656037ULL);
+
+/**
+ * Append-only binary encoder. All integers are written little-endian
+ * at fixed width; doubles are written as their IEEE-754 bit pattern.
+ */
+class Serializer
+{
+  public:
+    void putU8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+    void putBool(bool v) { putU8(v ? 1 : 0); }
+    void putU32(std::uint32_t v);
+    void putU64(std::uint64_t v);
+    void putI64(std::int64_t v) { putU64(static_cast<std::uint64_t>(v)); }
+    void putF64(double v);
+    void putStr(std::string_view v);
+
+    /** The encoded bytes so far. */
+    const std::string &data() const { return buf; }
+
+    std::size_t size() const { return buf.size(); }
+
+  private:
+    std::string buf;
+};
+
+/**
+ * Bounds-checked decoder over a byte range. A read past the end marks
+ * the stream failed and returns zero values from then on; callers
+ * check ok() once after decoding a section. The checkpoint loader
+ * verifies the checksum before any decoding, so a failed stream means
+ * a format bug, not file corruption.
+ */
+class Deserializer
+{
+  public:
+    Deserializer(const void *data, std::size_t size)
+        : p(static_cast<const unsigned char *>(data)), n(size)
+    {}
+
+    explicit Deserializer(std::string_view bytes)
+        : Deserializer(bytes.data(), bytes.size())
+    {}
+
+    std::uint8_t getU8();
+    bool getBool() { return getU8() != 0; }
+    std::uint32_t getU32();
+    std::uint64_t getU64();
+    std::int64_t getI64() { return static_cast<std::int64_t>(getU64()); }
+    double getF64();
+    std::string getStr();
+
+    /** False once any read ran past the end of the buffer. */
+    bool ok() const { return good; }
+
+    /** True when every byte has been consumed (and no read failed). */
+    bool atEnd() const { return good && pos == n; }
+
+    std::size_t remaining() const { return n - pos; }
+
+  private:
+    const unsigned char *p;
+    std::size_t n;
+    std::size_t pos = 0;
+    bool good = true;
+
+    /** Reserve @p count bytes; returns nullptr and fails on underrun. */
+    const unsigned char *take(std::size_t count);
+};
+
+} // namespace mct
+
+#endif // MCT_COMMON_SERIALIZE_HH

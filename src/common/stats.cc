@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace mct
 {
@@ -71,6 +72,30 @@ SlidingWindow::clear()
 {
     buf.clear();
     sum = sumSq = 0.0;
+}
+
+void
+SlidingWindow::serialize(Serializer &s) const
+{
+    s.putU64(cap);
+    s.putU64(buf.size());
+    for (const double x : buf)
+        s.putF64(x);
+    s.putF64(sum);
+    s.putF64(sumSq);
+}
+
+void
+SlidingWindow::deserialize(Deserializer &d)
+{
+    if (d.getU64() != cap)
+        mct_panic("checkpoint SlidingWindow capacity mismatch");
+    buf.clear();
+    const std::uint64_t count = d.getU64();
+    for (std::uint64_t i = 0; i < count && d.ok(); ++i)
+        buf.push_back(d.getF64());
+    sum = d.getF64();
+    sumSq = d.getF64();
 }
 
 double

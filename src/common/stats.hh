@@ -15,6 +15,9 @@
 namespace mct
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * Streaming mean/variance/min/max accumulator (Welford's algorithm).
  */
@@ -99,6 +102,13 @@ class SlidingWindow
 
     /** Read-only access to the underlying samples, oldest first. */
     const std::deque<double> &samples() const { return buf; }
+
+    /** Checkpoint contents and running sums (capacity must match on
+     *  restore; it is a constructor parameter). */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     std::size_t cap;

@@ -71,6 +71,12 @@ struct CoreStats
     Tick wbStallTicks = 0;
 
     CoreStats delta(const CoreStats &earlier) const;
+
+    /** Checkpoint every counter. */
+    void serialize(Serializer &s) const;
+
+    /** Restore counters written by serialize(). */
+    void deserialize(Deserializer &d);
 };
 
 class Core;
@@ -142,6 +148,12 @@ class Core
      * instructions (used by the multi-core scheduler).
      */
     void syncTo(Tick tick) { cpuTick = std::max(cpuTick, tick); }
+
+    /** Checkpoint clocks, MSHR set, partial-op state, and stats. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     unsigned coreId;

@@ -93,6 +93,7 @@ enum class RecoveryStep
     Reengage = 6,           ///< cooldown expired, optimizer re-engaged
     EmergencyClampOn = 7,   ///< lifetime floor broken: safest config
     EmergencyClampOff = 8,  ///< wear rate recovered, leaving the clamp
+    CkptQuarantine = 9,     ///< corrupt checkpoint rejected on resume
 };
 
 /** Runtime parameters (defaults follow the paper's ratios, scaled). */
@@ -307,6 +308,18 @@ class MctController
 
     /** Provenance records dropped before a window realized them. */
     std::uint64_t auditDropped() const { return nAuditDropped_; }
+
+    /**
+     * Checkpoint the runtime's decision state: phase detector,
+     * applied configuration, decision/health histories, recovery
+     * ladder, audit cursors, and the open provenance record. The
+     * controller must be reconstructed with identical parameters
+     * (and the same managed System) before restoring.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     System &sys;

@@ -35,6 +35,12 @@ struct WindowAccum
 
     /** Reduce to the three objectives on the given system. */
     Metrics metrics(const System &sys) const;
+
+    /** Checkpoint the accumulated window. */
+    void serialize(Serializer &s) const;
+
+    /** Restore a window written by serialize(). */
+    void deserialize(Deserializer &d);
 };
 
 /** Sampling schedule parameters. */

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace mct
 {
@@ -49,6 +50,22 @@ PhaseDetector::reset()
 {
     history.clear();
     score = 0.0;
+}
+
+void
+PhaseDetector::serialize(Serializer &s) const
+{
+    history.serialize(s);
+    s.putF64(score);
+    s.putU64(nPhases);
+}
+
+void
+PhaseDetector::deserialize(Deserializer &d)
+{
+    history.deserialize(d);
+    score = d.getF64();
+    nPhases = d.getU64();
 }
 
 } // namespace mct

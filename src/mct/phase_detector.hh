@@ -21,6 +21,9 @@
 namespace mct
 {
 
+class Serializer;
+class Deserializer;
+
 /** Detector parameters. The paper uses I = 1M instructions with a
  *  1000-window history and 100-window recency; scaled runs keep the
  *  10:1 history:recent ratio. */
@@ -72,6 +75,12 @@ class PhaseDetector
 
     /** Forget everything (uses on configuration change). */
     void reset();
+
+    /** Checkpoint the history window and phase counters. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     PhaseDetectorParams p;

@@ -35,6 +35,8 @@ namespace mct
 class EventTrace;
 class SpanTrace;
 class StatRegistry;
+class Serializer;
+class Deserializer;
 
 /** Tunables of the controller itself (Table 9 defaults). */
 struct MemCtrlParams
@@ -105,6 +107,12 @@ struct CtrlStats
 
     /** Mean demand read latency in ticks (0 when no reads). */
     double avgReadLatency() const;
+
+    /** Checkpoint every counter. */
+    void serialize(Serializer &s) const;
+
+    /** Restore counters written by serialize(). */
+    void deserialize(Deserializer &d);
 };
 
 /**
@@ -213,6 +221,13 @@ class MemController
 
     /** True when no request is queued or in flight. */
     bool idle() const;
+
+    /** Checkpoint configuration, queues, in-flight and paused writes,
+     *  retention/disturb tracking, quota clocks, and statistics. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize() (same bank geometry). */
+    void deserialize(Deserializer &d);
 
   private:
     /** What a busy bank is doing. */

@@ -5,6 +5,7 @@
 
 #include "common/instrument.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace mct
 {
@@ -99,6 +100,40 @@ WearQuota::registerStats(StatRegistry &reg,
                  "cumulative wear budget at the last update");
     reg.addGauge(prefix + ".clock_skew", [this] { return skew; },
                  "fault-injected clock multiplier (1 = honest)");
+}
+
+void
+WearQuota::serialize(Serializer &s) const
+{
+    s.putU64(slice);
+    s.putF64(capacity);
+    s.putBool(isEnabled);
+    s.putBool(isRestricted);
+    s.putU64(armTick);
+    s.putF64(armWear);
+    s.putU64(sliceStart);
+    s.putF64(ratePerSec);
+    s.putU64(nRestricted);
+    s.putF64(skew);
+    s.putF64(lastUsedWear);
+    s.putF64(lastAllowedWear);
+}
+
+void
+WearQuota::deserialize(Deserializer &d)
+{
+    slice = d.getU64();
+    capacity = d.getF64();
+    isEnabled = d.getBool();
+    isRestricted = d.getBool();
+    armTick = d.getU64();
+    armWear = d.getF64();
+    sliceStart = d.getU64();
+    ratePerSec = d.getF64();
+    nRestricted = d.getU64();
+    skew = d.getF64();
+    lastUsedWear = d.getF64();
+    lastAllowedWear = d.getF64();
 }
 
 } // namespace mct

@@ -22,6 +22,8 @@ namespace mct
 
 class EventTrace;
 class StatRegistry;
+class Serializer;
+class Deserializer;
 
 /**
  * Tracks the per-slice wear budget and the restricted/unrestricted
@@ -92,6 +94,12 @@ class WearQuota
     /** Register quota state under @p prefix (e.g. "memctrl.quota"). */
     void registerStats(StatRegistry &reg,
                        const std::string &prefix) const;
+
+    /** Checkpoint the budget clocks and restriction state machine. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     Tick slice;

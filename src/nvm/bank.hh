@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace mct
@@ -68,6 +69,42 @@ class Bank
     {
         writing = false;
         openRow = -1;
+    }
+
+    /** Checkpoint the full physical state of the bank. */
+    void
+    serialize(Serializer &s) const
+    {
+        s.putU64(busyUntil);
+        s.putI64(openRow);
+        s.putBool(writing);
+        s.putU64(writeStart);
+        s.putF64(writeRatio);
+        s.putF64(wear);
+        s.putU64(reads);
+        s.putU64(rowHits);
+        s.putU64(writes);
+        s.putU64(busyTicks);
+        s.putF64(latencyFactor);
+        s.putF64(wearFactor);
+    }
+
+    /** Restore state written by serialize(). */
+    void
+    deserialize(Deserializer &d)
+    {
+        busyUntil = d.getU64();
+        openRow = d.getI64();
+        writing = d.getBool();
+        writeStart = d.getU64();
+        writeRatio = d.getF64();
+        wear = d.getF64();
+        reads = d.getU64();
+        rowHits = d.getU64();
+        writes = d.getU64();
+        busyTicks = d.getU64();
+        latencyFactor = d.getF64();
+        wearFactor = d.getF64();
     }
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/instrument.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace mct
 {
@@ -238,6 +239,40 @@ NvmDevice::registerStats(StatRegistry &reg,
                        [bank] { return bank->writes; });
         reg.addGauge(bankPath + ".wear", [bank] { return bank->wear; });
     }
+}
+
+void
+NvmDevice::serialize(Serializer &s) const
+{
+    s.putU32(static_cast<std::uint32_t>(banks.size()));
+    for (const Bank &b : banks)
+        b.serialize(s);
+    s.putF64(wearTotal);
+    s.putU32(static_cast<std::uint32_t>(remappers.size()));
+    for (const StartGap &sg : remappers)
+        sg.serialize(s);
+    s.putBool(rowWear != nullptr);
+    if (rowWear)
+        rowWear->serialize(s);
+}
+
+void
+NvmDevice::deserialize(Deserializer &d)
+{
+    if (d.getU32() != banks.size())
+        mct_panic("checkpoint device bank-count mismatch");
+    for (Bank &b : banks)
+        b.deserialize(d);
+    wearTotal = d.getF64();
+    if (d.getU32() != remappers.size())
+        mct_panic("checkpoint device remapper-count mismatch");
+    for (StartGap &sg : remappers)
+        sg.deserialize(d);
+    const bool hasRowWear = d.getBool();
+    if (hasRowWear != (rowWear != nullptr))
+        mct_panic("checkpoint device wear-level mode mismatch");
+    if (rowWear)
+        rowWear->deserialize(d);
 }
 
 } // namespace mct

@@ -21,6 +21,8 @@ namespace mct
 
 class StatRegistry;
 class SpanTrace;
+class Serializer;
+class Deserializer;
 
 /** Decoded physical location of a cache-line address. */
 struct NvmLocation
@@ -133,6 +135,12 @@ class NvmDevice
 
     /** The Start-Gap remapper of @p bank (Start-Gap mode only). */
     const StartGap &startGap(unsigned bank) const;
+
+    /** Checkpoint bank state, wear totals, and remapping tables. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize() (same geometry). */
+    void deserialize(Deserializer &d);
 
   private:
     NvmParams p;

@@ -30,6 +30,9 @@
 namespace mct
 {
 
+class Serializer;
+class Deserializer;
+
 /**
  * Start-Gap remapping state for one bank.
  */
@@ -61,6 +64,12 @@ class StartGap
 
     /** Physical rows managed (logical rows + 1 spare). */
     std::uint64_t physicalRows() const { return nRows + 1; }
+
+    /** Checkpoint the remapping pointers and counters. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize() (same geometry). */
+    void deserialize(Deserializer &d);
 
   private:
     std::uint64_t nRows;
@@ -97,6 +106,12 @@ class RowWearTable
      * wear has accumulated.
      */
     double levelingEfficiency() const;
+
+    /** Checkpoint the per-row wear cells and aggregates. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize() (same geometry). */
+    void deserialize(Deserializer &d);
 
   private:
     unsigned nBanks;

@@ -7,6 +7,7 @@
 
 #include "common/instrument.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "sim/system.hh"
 
 namespace mct
@@ -212,6 +213,68 @@ FaultInjector::corruptCsvFile(const std::string &path)
     mct_warn("fault injector corrupted '", path, "' (", keep,
              " of ", buf.str().size(), " bytes kept)");
     return static_cast<bool>(out);
+}
+
+bool
+FaultInjector::corruptCheckpointFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string body = buf.str();
+    in.close();
+    if (body.size() < 16)
+        return false;
+
+    std::size_t keep = body.size();
+    if (rng.flip(0.5)) {
+        // Truncation: the checksum footer (and possibly more) is gone.
+        keep = body.size() / 2 + rng.below(body.size() / 4);
+        body.resize(keep);
+    } else {
+        // Bit rot: flip a handful of payload bits; the FNV footer no
+        // longer matches.
+        for (int i = 0; i < 8; ++i) {
+            const std::size_t at = rng.below(body.size());
+            body[at] = static_cast<char>(
+                static_cast<unsigned char>(body[at]) ^
+                (1u << rng.below(8)));
+        }
+    }
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << body;
+    ++nInjected[static_cast<std::size_t>(FaultKind::CkptCorrupt)];
+    mct_warn("fault injector corrupted checkpoint '", path, "' (",
+             keep, " of ", buf.str().size(), " bytes kept)");
+    return static_cast<bool>(out);
+}
+
+void
+FaultInjector::serialize(Serializer &s) const
+{
+    rng.serialize(s);
+    s.putU64(wasActive.size());
+    for (std::size_t i = 0; i < wasActive.size(); ++i)
+        s.putBool(wasActive[i]);
+    for (const std::uint64_t n : nInjected)
+        s.putU64(n);
+}
+
+void
+FaultInjector::deserialize(Deserializer &d)
+{
+    rng.deserialize(d);
+    if (d.getU64() != wasActive.size())
+        mct_panic("checkpoint fault-plan size mismatch");
+    for (std::size_t i = 0; i < wasActive.size(); ++i)
+        wasActive[i] = d.getBool();
+    for (std::uint64_t &n : nInjected)
+        n = d.getU64();
 }
 
 } // namespace mct

@@ -35,6 +35,8 @@ class EventTrace;
 class StatRegistry;
 class System;
 struct Metrics;
+class Serializer;
+class Deserializer;
 
 /**
  * Drives a FaultPlan against a System. One injector serves one system;
@@ -95,6 +97,26 @@ class FaultInjector
      * true when the file was rewritten.
      */
     bool corruptCsvFile(const std::string &path);
+
+    /** True when the plan asks for checkpoint corruption. */
+    bool
+    wantsCkptCorruption() const
+    {
+        return plan_.has(FaultKind::CkptCorrupt);
+    }
+
+    /**
+     * CkptCorrupt hook: bit-flip or truncate the binary checkpoint at
+     * @p path so its checksum can no longer verify (missing files are
+     * left alone). Returns true when the file was rewritten.
+     */
+    bool corruptCheckpointFile(const std::string &path);
+
+    /** Checkpoint the injector's RNG and arming state. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize() (same plan). */
+    void deserialize(Deserializer &d);
 
     /** Times a window fault of @p kind armed / a stochastic one fired. */
     std::uint64_t injected(FaultKind kind) const;

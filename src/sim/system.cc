@@ -4,6 +4,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "sim/fault_injector.hh"
 
 namespace mct
@@ -224,6 +225,74 @@ Metrics
 System::metricsSince(const SysSnapshot &from) const
 {
     return metricsBetween(from, snapshot());
+}
+
+void
+Metrics::serialize(Serializer &s) const
+{
+    s.putF64(ipc);
+    s.putF64(lifetimeYears);
+    s.putF64(energyJ);
+}
+
+void
+Metrics::deserialize(Deserializer &d)
+{
+    ipc = d.getF64();
+    lifetimeYears = d.getF64();
+    energyJ = d.getF64();
+}
+
+void
+SysSnapshot::serialize(Serializer &s) const
+{
+    core.serialize(s);
+    ctrl.serialize(s);
+    s.putU64(time);
+    s.putU64(instructions);
+    s.putU64(bankWear.size());
+    for (const double w : bankWear)
+        s.putF64(w);
+}
+
+void
+SysSnapshot::deserialize(Deserializer &d)
+{
+    core.deserialize(d);
+    ctrl.deserialize(d);
+    time = d.getU64();
+    instructions = d.getU64();
+    bankWear.assign(d.getU64(), 0.0);
+    for (double &w : bankWear)
+        w = d.getF64();
+}
+
+void
+System::serialize(Serializer &s) const
+{
+    wl_->serialize(s);
+    core_->serialize(s);
+    hier_->serialize(s);
+    ctrl_->serialize(s);
+    dev_->serialize(s);
+    trace_.serialize(s);
+    spans_.serialize(s);
+    prov_.serialize(s);
+    reg_.serializeOwned(s);
+}
+
+void
+System::deserialize(Deserializer &d)
+{
+    wl_->deserialize(d);
+    core_->deserialize(d);
+    hier_->deserialize(d);
+    ctrl_->deserialize(d);
+    dev_->deserialize(d);
+    trace_.deserialize(d);
+    spans_.deserialize(d);
+    prov_.deserialize(d);
+    reg_.deserializeOwned(d);
 }
 
 } // namespace mct

@@ -53,6 +53,12 @@ struct Metrics
     double ipc = 0.0;
     double lifetimeYears = 0.0;
     double energyJ = 0.0; ///< Joules per 1M instructions
+
+    /** Checkpoint the three objectives. */
+    void serialize(Serializer &s) const;
+
+    /** Restore objectives written by serialize(). */
+    void deserialize(Deserializer &d);
 };
 
 /** A point-in-time capture used to compute window metrics. */
@@ -63,6 +69,12 @@ struct SysSnapshot
     Tick time = 0;
     InstCount instructions = 0;
     std::vector<double> bankWear;
+
+    /** Checkpoint the captured counters. */
+    void serialize(Serializer &s) const;
+
+    /** Restore a capture written by serialize(). */
+    void deserialize(Deserializer &d);
 };
 
 /**
@@ -184,6 +196,17 @@ class System
 
     /** The attached host profiler, or null (the default). */
     HostProfiler *hostProfiler() const { return hostProf_; }
+
+    /**
+     * Checkpoint the full deterministic state of the machine:
+     * workload cursor, core, caches, controller, device, all trace
+     * rings, and the registry-owned stat cells. The system must be
+     * reconstructed with identical parameters before restoring.
+     */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(). */
+    void deserialize(Deserializer &d);
 
   private:
     SystemParams p;

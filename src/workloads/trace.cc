@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace mct
 {
@@ -102,6 +103,29 @@ TraceWorkload::reset(std::uint64_t)
 {
     cursor = 0;
     nLoops = 0;
+}
+
+void
+TraceWorkload::serialize(Serializer &s) const
+{
+    s.putU64(ops.size());
+    s.putU64(addrBase);
+    s.putU64(cursor);
+    s.putU64(nLoops);
+}
+
+void
+TraceWorkload::deserialize(Deserializer &d)
+{
+    // The operations themselves are reloaded from the trace file; the
+    // count guards against replaying against a different trace.
+    if (d.getU64() != ops.size())
+        mct_panic("checkpoint trace length mismatch");
+    addrBase = d.getU64();
+    cursor = d.getU64();
+    if (cursor >= ops.size())
+        mct_panic("checkpoint trace cursor out of range");
+    nLoops = d.getU64();
 }
 
 std::vector<WorkloadOp>

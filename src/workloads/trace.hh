@@ -61,6 +61,8 @@ class TraceWorkload : public Workload
     void next(WorkloadOp &op) override;
     void reset(std::uint64_t seed) override;
     void setAddrBase(Addr base) override { addrBase = base; }
+    void serialize(Serializer &s) const override;
+    void deserialize(Deserializer &d) override;
 
     /** Number of recorded operations. */
     std::size_t size() const { return ops.size(); }

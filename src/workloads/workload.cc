@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace mct
 {
@@ -129,6 +130,40 @@ PatternWorkload::next(WorkloadOp &op)
     totalInsts += cost;
     if (instInPhase >= phases[phaseIdx].insts)
         enterPhase((phaseIdx + 1) % phases.size());
+}
+
+void
+PatternWorkload::serialize(Serializer &s) const
+{
+    s.putU64(seed0);
+    rng.serialize(s);
+    s.putU64(addrBase);
+    s.putU64(phaseIdx);
+    s.putU64(instInPhase);
+    s.putU64(totalInsts);
+    s.putU32(static_cast<std::uint32_t>(streamPos.size()));
+    for (std::uint64_t pos : streamPos)
+        s.putU64(pos);
+    s.putBool(rmwPending);
+    s.putU64(rmwAddr);
+}
+
+void
+PatternWorkload::deserialize(Deserializer &d)
+{
+    seed0 = d.getU64();
+    rng.deserialize(d);
+    addrBase = d.getU64();
+    phaseIdx = d.getU64();
+    if (phaseIdx >= phases.size())
+        mct_panic("checkpoint workload phase out of range");
+    instInPhase = d.getU64();
+    totalInsts = d.getU64();
+    streamPos.assign(d.getU32(), 0);
+    for (std::uint64_t &pos : streamPos)
+        pos = d.getU64();
+    rmwPending = d.getBool();
+    rmwAddr = d.getU64();
 }
 
 } // namespace mct

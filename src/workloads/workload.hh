@@ -25,6 +25,9 @@
 namespace mct
 {
 
+class Serializer;
+class Deserializer;
+
 /** One generated operation: gap of plain instructions, then a memory
  *  access. */
 struct WorkloadOp
@@ -71,6 +74,12 @@ class Workload
 
     /** Offset every generated address (multi-program isolation). */
     virtual void setAddrBase(Addr base) = 0;
+
+    /** Checkpoint the generator's position in its stream. */
+    virtual void serialize(Serializer &s) const = 0;
+
+    /** Restore state written by serialize() (same construction). */
+    virtual void deserialize(Deserializer &d) = 0;
 };
 
 /** One access-pattern regime within a workload. */
@@ -142,6 +151,8 @@ class PatternWorkload : public Workload
     void next(WorkloadOp &op) override;
     void reset(std::uint64_t seed) override;
     void setAddrBase(Addr base) override { addrBase = base; }
+    void serialize(Serializer &s) const override;
+    void deserialize(Deserializer &d) override;
 
     /** Index of the phase currently generating (for tests). */
     std::size_t currentPhase() const { return phaseIdx; }

@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Crash-safe checkpoint/restore tests: the binary codec and its FNV
+ * checksum, atomic file publication, the double-buffered
+ * CheckpointStore (sequence continuation, corrupt-slot quarantine,
+ * version skew), per-component state round-trips, and end-to-end
+ * resume equivalence — a run restored mid-flight must re-produce the
+ * uninterrupted run's state byte for byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_file.hh"
+#include "common/instrument.hh"
+#include "common/serialize.hh"
+#include "mct/controller.hh"
+#include "sim/checkpoint.hh"
+#include "sim/fault_injector.hh"
+#include "sim/system.hh"
+
+namespace mct
+{
+namespace
+{
+
+/** Fresh per-test path inside the gtest temp dir. */
+std::string
+tmpPath(const std::string &name)
+{
+    const std::string p = std::string(::testing::TempDir()) +
+                          "mct_ckpt_" + name;
+    std::remove(p.c_str());
+    std::remove((p + ".0").c_str());
+    std::remove((p + ".1").c_str());
+    std::remove((p + ".0.corrupt").c_str());
+    std::remove((p + ".1.corrupt").c_str());
+    return p;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+bool
+exists(const std::string &path)
+{
+    return static_cast<bool>(std::ifstream(path));
+}
+
+TEST(Fnv1a, ReferenceVectors)
+{
+    EXPECT_EQ(fnv1a("", 0), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+TEST(SerializeCodec, RoundTripAllTypes)
+{
+    Serializer s;
+    s.putU8(0xab);
+    s.putBool(true);
+    s.putBool(false);
+    s.putU32(0xdeadbeefU);
+    s.putU64(0x0123456789abcdefULL);
+    s.putI64(-42);
+    s.putF64(-1234.5678);
+    const std::string nul("hello\0world", 11);
+    s.putStr(nul); // embedded NUL must survive
+    s.putStr("");
+
+    Deserializer d(s.data().data(), s.size());
+    EXPECT_EQ(d.getU8(), 0xab);
+    EXPECT_TRUE(d.getBool());
+    EXPECT_FALSE(d.getBool());
+    EXPECT_EQ(d.getU32(), 0xdeadbeefU);
+    EXPECT_EQ(d.getU64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(d.getI64(), -42);
+    EXPECT_EQ(d.getF64(), -1234.5678);
+    EXPECT_EQ(d.getStr(), nul);
+    EXPECT_EQ(d.getStr(), "");
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(SerializeCodec, UnderrunFailsCleanly)
+{
+    Serializer s;
+    s.putU32(7);
+    Deserializer d(s.data().data(), s.size());
+    EXPECT_EQ(d.getU64(), 0u); // 4 bytes short
+    EXPECT_FALSE(d.ok());
+    EXPECT_FALSE(d.atEnd());
+}
+
+TEST(AtomicFileTest, CommitPublishesContent)
+{
+    const std::string path = tmpPath("atomic.txt");
+    AtomicFile f(path);
+    f.stream() << "line one\n";
+    ASSERT_TRUE(f.commit());
+    EXPECT_EQ(slurp(path), "line one\n");
+    EXPECT_FALSE(exists(path + ".tmp"));
+}
+
+TEST(AtomicFileTest, NoCommitLeavesTargetUntouched)
+{
+    const std::string path = tmpPath("atomic_keep.txt");
+    ASSERT_TRUE(writeFileAtomic(path, "original"));
+    {
+        AtomicFile f(path);
+        f.stream() << "discarded";
+    }
+    EXPECT_EQ(slurp(path), "original");
+}
+
+TEST(CheckpointStoreTest, SaveLoadRoundTrip)
+{
+    CheckpointStore store(tmpPath("rt"));
+    ASSERT_TRUE(store.save("fp-1", "payload-bytes"));
+    const CheckpointLoadResult r = store.load();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.payload, "payload-bytes");
+    EXPECT_EQ(r.fingerprint, "fp-1");
+    EXPECT_EQ(r.sequence, 1u);
+    EXPECT_FALSE(r.corruptRejected);
+    EXPECT_EQ(store.writes(), 1u);
+}
+
+TEST(CheckpointStoreTest, DoubleBufferKeepsPreviousSlot)
+{
+    const std::string base = tmpPath("db");
+    CheckpointStore store(base);
+    ASSERT_TRUE(store.save("fp", "first"));
+    ASSERT_TRUE(store.save("fp", "second"));
+    ASSERT_TRUE(store.save("fp", "third"));
+    // Slots alternate; both files must exist and load() must pick the
+    // highest sequence.
+    EXPECT_TRUE(exists(base + ".0"));
+    EXPECT_TRUE(exists(base + ".1"));
+    const CheckpointLoadResult r = store.load();
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.payload, "third");
+    EXPECT_EQ(r.sequence, 3u);
+}
+
+TEST(CheckpointStoreTest, SequenceContinuesAcrossRestart)
+{
+    const std::string base = tmpPath("seq");
+    {
+        CheckpointStore store(base);
+        ASSERT_TRUE(store.save("fp", "one"));
+        ASSERT_TRUE(store.save("fp", "two"));
+    }
+    // A new store over the same base (a resumed process) must not
+    // reuse sequence numbers or clobber the newest slot first.
+    CheckpointStore store(base);
+    ASSERT_TRUE(store.save("fp", "three"));
+    const CheckpointLoadResult r = store.load();
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.sequence, 3u);
+    EXPECT_EQ(r.payload, "three");
+}
+
+TEST(CheckpointStoreTest, TruncatedSlotQuarantinedWithFallback)
+{
+    const std::string base = tmpPath("trunc");
+    CheckpointStore store(base);
+    ASSERT_TRUE(store.save("fp", "good-old"));
+    ASSERT_TRUE(store.save("fp", "newest"));
+    const std::string newest = store.newestSlot();
+    const std::string body = slurp(newest);
+    {
+        std::ofstream out(newest,
+                          std::ios::binary | std::ios::trunc);
+        out << body.substr(0, body.size() / 2);
+    }
+    const CheckpointLoadResult r = store.load();
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.corruptRejected);
+    EXPECT_EQ(r.payload, "good-old");
+    EXPECT_EQ(r.sequence, 1u);
+    EXPECT_EQ(store.corruptLoads(), 1u);
+    EXPECT_TRUE(exists(newest + ".corrupt"));
+    EXPECT_FALSE(exists(newest));
+}
+
+TEST(CheckpointStoreTest, BitFlipRejectedByChecksum)
+{
+    const std::string base = tmpPath("flip");
+    CheckpointStore store(base);
+    ASSERT_TRUE(store.save("fp", "older"));
+    ASSERT_TRUE(store.save("fp", "newer"));
+    const std::string newest = store.newestSlot();
+    std::string body = slurp(newest);
+    body[body.size() / 3] ^= 0x04;
+    {
+        std::ofstream out(newest,
+                          std::ios::binary | std::ios::trunc);
+        out << body;
+    }
+    const CheckpointLoadResult r = store.load();
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.corruptRejected);
+    EXPECT_EQ(r.payload, "older");
+    EXPECT_EQ(store.corruptLoads(), 1u);
+}
+
+TEST(CheckpointStoreTest, FaultInjectorCorruptionIsRejected)
+{
+    const std::string base = tmpPath("inj");
+    CheckpointStore store(base);
+    ASSERT_TRUE(store.save("fp", "older"));
+    ASSERT_TRUE(store.save("fp", "newer"));
+
+    const FaultPlanParse plan = parseFaultPlan("corrupt-ckpt");
+    ASSERT_TRUE(plan.ok) << plan.error;
+    FaultInjector inj(plan.plan, 7);
+    EXPECT_TRUE(inj.wantsCkptCorruption());
+    EXPECT_TRUE(inj.corruptCheckpointFile(store.newestSlot()));
+    EXPECT_EQ(inj.injected(FaultKind::CkptCorrupt), 1u);
+
+    const CheckpointLoadResult r = store.load();
+    ASSERT_TRUE(r.ok);
+    EXPECT_TRUE(r.corruptRejected);
+    EXPECT_EQ(r.payload, "older");
+}
+
+/** Build a checkpoint file with an arbitrary format version. */
+void
+writeVersionSkewed(const std::string &file, std::uint32_t version)
+{
+    static constexpr char magic[8] = {'M', 'C', 'T', 'C',
+                                      'K', 'P', 'T', '\0'};
+    Serializer s;
+    for (const char c : magic)
+        s.putU8(static_cast<std::uint8_t>(c));
+    s.putU32(version);
+    s.putU64(1);
+    s.putStr("fp");
+    s.putStr("payload");
+    s.putU64(fnv1a(s.data().data(), s.size()));
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out << s.data();
+}
+
+TEST(CheckpointStoreTest, FutureFormatVersionRejected)
+{
+    const std::string base = tmpPath("ver");
+    writeVersionSkewed(base + ".0",
+                       checkpointFormatVersion + 1);
+    CheckpointStore store(base);
+    const CheckpointLoadResult r = store.load();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("format version"), std::string::npos)
+        << r.error;
+    EXPECT_EQ(store.corruptLoads(), 1u);
+    EXPECT_TRUE(exists(base + ".0.corrupt"));
+}
+
+TEST(CheckpointStoreTest, MissingCheckpointReportsError)
+{
+    CheckpointStore store(tmpPath("missing"));
+    const CheckpointLoadResult r = store.load();
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(store.corruptLoads(), 0u); // missing is not corrupt
+}
+
+TEST(CheckpointStoreTest, HostScopedStats)
+{
+    CheckpointStore store(tmpPath("stats"));
+    ASSERT_TRUE(store.save("fp", "x"));
+    store.noteResume();
+    StatRegistry reg;
+    store.registerStats(reg);
+    const StatSnapshot sim = reg.snapshot(StatScope::Sim);
+    EXPECT_EQ(sim.count("ckpt.writes"), 0u)
+        << "ckpt stats must not leak into deterministic snapshots";
+    const StatSnapshot host = reg.snapshot(StatScope::Host);
+    ASSERT_EQ(host.count("ckpt.writes"), 1u);
+    EXPECT_EQ(host.at("ckpt.writes").num, 1.0);
+    EXPECT_EQ(host.at("ckpt.resumes").num, 1.0);
+}
+
+/** Serialize the full deterministic state of @p sys. */
+std::string
+stateBytes(const System &sys)
+{
+    Serializer s;
+    sys.serialize(s);
+    return s.data();
+}
+
+TEST(SystemRoundTrip, RestoreReproducesStateBytes)
+{
+    SystemParams sp;
+    const MellowConfig cfg = staticBaselineConfig();
+    System a("lbm", sp, cfg);
+    a.eventTrace().enable(1024);
+    a.enableSpans(64, 512);
+    a.run(120 * 1000);
+
+    const std::string bytes = stateBytes(a);
+    System b("lbm", sp, cfg);
+    b.eventTrace().enable(1024);
+    b.enableSpans(64, 512);
+    Deserializer d(bytes);
+    b.deserialize(d);
+    EXPECT_TRUE(d.atEnd());
+    EXPECT_EQ(stateBytes(b), bytes);
+    EXPECT_EQ(b.retired(), a.retired());
+    EXPECT_EQ(b.now(), a.now());
+    Serializer snapA;
+    Serializer snapB;
+    serializeSnapshot(snapA, a.statRegistry().snapshot());
+    serializeSnapshot(snapB, b.statRegistry().snapshot());
+    EXPECT_EQ(snapB.data(), snapA.data());
+}
+
+TEST(SystemRoundTrip, RestoredRunMatchesUninterrupted)
+{
+    SystemParams sp;
+    const MellowConfig cfg = staticBaselineConfig();
+
+    // Uninterrupted reference: 100k then 150k more.
+    System a("lbm", sp, cfg);
+    a.eventTrace().enable(512);
+    a.run(100 * 1000);
+    const std::string mid = stateBytes(a);
+    a.run(150 * 1000);
+
+    // "Crashed" at 100k, restored into a fresh system, run forward.
+    System b("lbm", sp, cfg);
+    b.eventTrace().enable(512);
+    Deserializer d(mid);
+    b.deserialize(d);
+    ASSERT_TRUE(d.atEnd());
+    b.run(150 * 1000);
+
+    EXPECT_EQ(stateBytes(b), stateBytes(a));
+    EXPECT_EQ(b.retired(), a.retired());
+}
+
+/** Scaled-down runtime parameters so controller tests stay quick. */
+MctParams
+fastParams()
+{
+    MctParams p;
+    p.sampling.unitInsts = 2000;
+    p.sampling.settleInsts = 1000;
+    p.sampling.rounds = 2;
+    p.healthCheckPeriod = 300 * 1000;
+    return p;
+}
+
+/** Serialize system + controller exactly as the driver does. */
+std::string
+fullStateBytes(const System &sys, const MctController &ctl)
+{
+    Serializer s;
+    sys.serialize(s);
+    ctl.serialize(s);
+    return s.data();
+}
+
+TEST(ControllerRoundTrip, RestoredRunMatchesUninterrupted)
+{
+    SystemParams sp;
+    const MctParams mp = fastParams();
+
+    System sysA("lbm", sp, staticBaselineConfig());
+    sysA.eventTrace().enable(1024);
+    sysA.provenanceTrace().enable(256);
+    sysA.run(50 * 1000);
+    MctController ctlA(sysA, mp);
+    ctlA.runFor(300 * 1000);
+    const std::string mid = fullStateBytes(sysA, ctlA);
+    ctlA.runFor(200 * 1000);
+
+    // Restore order mirrors the driver: construct, overlay system,
+    // overlay controller, then continue.
+    System sysB("lbm", sp, staticBaselineConfig());
+    sysB.eventTrace().enable(1024);
+    sysB.provenanceTrace().enable(256);
+    MctController ctlB(sysB, mp);
+    Deserializer d(mid);
+    sysB.deserialize(d);
+    ctlB.deserialize(d);
+    ASSERT_TRUE(d.atEnd());
+    ctlB.runFor(200 * 1000);
+
+    EXPECT_EQ(fullStateBytes(sysB, ctlB),
+              fullStateBytes(sysA, ctlA));
+    EXPECT_EQ(ctlB.decisions().size(), ctlA.decisions().size());
+    EXPECT_EQ(toString(ctlB.currentConfig()),
+              toString(ctlA.currentConfig()));
+}
+
+TEST(ControllerRoundTrip, KillAtEveryChunkBoundaryResumesIdentically)
+{
+    SystemParams sp;
+    const MctParams mp = fastParams();
+    constexpr InstCount chunk = 100 * 1000;
+    constexpr int chunks = 4;
+
+    // The uninterrupted run, checkpointing at every chunk boundary.
+    System sysA("lbm", sp, staticBaselineConfig());
+    sysA.run(50 * 1000);
+    MctController ctlA(sysA, mp);
+    std::vector<std::string> snaps;
+    for (int k = 0; k < chunks; ++k) {
+        ctlA.runFor(chunk);
+        snaps.push_back(fullStateBytes(sysA, ctlA));
+    }
+
+    // Kill after chunk K, restore, run the remainder: the final state
+    // must match the uninterrupted run's for every K.
+    for (int k = 0; k < chunks - 1; ++k) {
+        System sysB("lbm", sp, staticBaselineConfig());
+        MctController ctlB(sysB, mp);
+        Deserializer d(snaps[static_cast<std::size_t>(k)]);
+        sysB.deserialize(d);
+        ctlB.deserialize(d);
+        ASSERT_TRUE(d.atEnd());
+        for (int r = k + 1; r < chunks; ++r)
+            ctlB.runFor(chunk);
+        EXPECT_EQ(fullStateBytes(sysB, ctlB), snaps.back())
+            << "kill after chunk " << k;
+    }
+}
+
+TEST(ControllerRoundTrip, DriverPayloadThroughStore)
+{
+    // Full payload through the store, exactly one process hand-off.
+    SystemParams sp;
+    const MctParams mp = fastParams();
+    System sysA("lbm", sp, staticBaselineConfig());
+    sysA.run(50 * 1000);
+    MctController ctlA(sysA, mp);
+    ctlA.runFor(150 * 1000);
+
+    const std::string base = tmpPath("driver");
+    {
+        CheckpointStore store(base);
+        ASSERT_TRUE(
+            store.save("fp-driver", fullStateBytes(sysA, ctlA)));
+    }
+    CheckpointStore reopened(base);
+    const CheckpointLoadResult r = reopened.load();
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.fingerprint, "fp-driver");
+
+    System sysB("lbm", sp, staticBaselineConfig());
+    MctController ctlB(sysB, mp);
+    Deserializer d(r.payload);
+    sysB.deserialize(d);
+    ctlB.deserialize(d);
+    ASSERT_TRUE(d.atEnd());
+
+    ctlA.runFor(100 * 1000);
+    ctlB.runFor(100 * 1000);
+    EXPECT_EQ(fullStateBytes(sysB, ctlB),
+              fullStateBytes(sysA, ctlA));
+}
+
+TEST(FaultRoundTrip, InjectorStateSurvivesRestore)
+{
+    const FaultPlanParse plan =
+        parseFaultPlan("latency_drift@20k+60k:mag=3");
+    ASSERT_TRUE(plan.ok);
+
+    SystemParams sp;
+    const MellowConfig cfg = staticBaselineConfig();
+    System a("lbm", sp, cfg);
+    FaultInjector injA(plan.plan, 11);
+    a.attachFaultInjector(&injA);
+    // Land inside the fault window so armed state is checkpointed.
+    for (int i = 0; i < 8; ++i)
+        a.run(5 * 1000);
+
+    Serializer s;
+    a.serialize(s);
+    injA.serialize(s);
+
+    System b("lbm", sp, cfg);
+    FaultInjector injB(plan.plan, 11);
+    b.attachFaultInjector(&injB);
+    Deserializer d(s.data());
+    b.deserialize(d);
+    injB.deserialize(d);
+    ASSERT_TRUE(d.atEnd());
+    EXPECT_EQ(injB.injected(FaultKind::LatencyDrift),
+              injA.injected(FaultKind::LatencyDrift));
+
+    // Both continue through the window close identically.
+    for (int i = 0; i < 16; ++i) {
+        a.run(5 * 1000);
+        b.run(5 * 1000);
+    }
+    EXPECT_EQ(stateBytes(b), stateBytes(a));
+}
+
+} // namespace
+} // namespace mct

@@ -66,9 +66,26 @@
  * Fault injection (eval, mct and sweep modes; docs/robustness.md):
  *   --faults PLAN        a built-in plan name (drift, degrade,
  *                        counters, garbage, skew, corrupt-cache,
- *                        storm) or a spec string like
+ *                        corrupt-ckpt, storm) or a spec string like
  *                        "latency_drift@500k+1m:mag=3;clock_skew@2m"
  *   --fault-seed N       rng seed for stochastic faults (default 1)
+ *
+ * Crash-safe checkpoint/restore (eval and mct modes;
+ * docs/robustness.md):
+ *   --ckpt-out BASE      arm checkpointing into the double-buffered
+ *                        slot files BASE.0 / BASE.1 (published via
+ *                        temp-file + atomic rename)
+ *   --ckpt-every N       checkpoint period in instructions
+ *                        (default 1m; boundaries are absolute, so an
+ *                        interrupted and an uninterrupted run chunk
+ *                        the simulation identically)
+ *   --resume             restore the newest valid checkpoint before
+ *                        running; corrupt slots are quarantined and
+ *                        the previous slot is used instead
+ * While armed, SIGTERM/SIGINT finish the current chunk, write a final
+ * checkpoint, and exit with status 75 (preempted; no telemetry files
+ * are written). A resumed run re-produces the uninterrupted run's
+ * stats/spans/provenance surfaces byte for byte.
  *
  * Malformed numeric flag values are fatal errors, never silent zeros.
  * A malformed --faults plan prints the parse error and exits 2.
@@ -76,21 +93,27 @@
 
 #include <algorithm>
 #include <charconv>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "common/atomic_file.hh"
 #include "common/csv.hh"
 #include "common/fault_plan.hh"
 #include "common/instrument.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/table.hh"
 #include "common/types.hh"
 #include "mct/config.hh"
@@ -100,6 +123,7 @@
 #include "memctrl/mellow_config.hh"
 #include "nvm/nvm_params.hh"
 #include "nvm/start_gap.hh"
+#include "sim/checkpoint.hh"
 #include "sim/evaluator.hh"
 #include "sim/fault_injector.hh"
 #include "sim/stats_report.hh"
@@ -482,6 +506,333 @@ runWithPeriodicStats(System &sys, InstCount total, const Telemetry &t,
     return out;
 }
 
+/** Raised by SIGTERM/SIGINT while checkpointing is armed. */
+volatile std::sig_atomic_t gStopRequested = 0;
+
+void
+onStopSignal(int)
+{
+    gStopRequested = 1;
+}
+
+/** Arm graceful preemption (only while checkpointing is armed). */
+void
+installStopHandler()
+{
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+}
+
+/** Exit status of a run preempted by a stop signal (EX_TEMPFAIL). */
+constexpr int exitPreempted = 75;
+
+/** Checkpoint/restore request parsed from --ckpt-* / --resume. */
+struct CkptArgs
+{
+    std::string out;     ///< --ckpt-out BASE (slots BASE.0 / BASE.1)
+    InstCount every = 0; ///< --ckpt-every N instructions
+    bool resume = false; ///< --resume
+
+    bool armed() const { return !out.empty(); }
+};
+
+CkptArgs
+ckptFromArgs(const Args &args)
+{
+    CkptArgs c;
+    c.out = args.get("ckpt-out", "");
+    const long long every = args.getI("ckpt-every", 1000 * 1000);
+    if (every <= 0)
+        mct_fatal("--ckpt-every must be positive");
+    c.every = static_cast<InstCount>(every);
+    c.resume = args.has("resume");
+    if (c.out.empty() && (c.resume || args.has("ckpt-every")))
+        mct_fatal("--resume and --ckpt-every require --ckpt-out");
+    return c;
+}
+
+/**
+ * Driver-side state that must survive a preemption: where the run is
+ * relative to its warmup/measure schedule and everything already
+ * accumulated for the final stats document.
+ */
+struct DriverState
+{
+    bool warmupDone = false;
+    SysSnapshot s0;            ///< measure-window base (warmupDone)
+    StatSnapshot prev;         ///< periodic-delta baseline
+    InstCount lastCapture = 0; ///< inst of the last periodic capture
+    std::vector<PeriodicDelta> periodic;
+
+    void
+    serialize(Serializer &s) const
+    {
+        s.putBool(warmupDone);
+        s0.serialize(s);
+        serializeSnapshot(s, prev);
+        s.putU64(lastCapture);
+        s.putU64(periodic.size());
+        for (const PeriodicDelta &pd : periodic) {
+            s.putU64(pd.inst);
+            serializeSnapshot(s, pd.delta);
+        }
+        s.putU64(jsonNonfiniteCount());
+    }
+
+    void
+    deserialize(Deserializer &d)
+    {
+        warmupDone = d.getBool();
+        s0.deserialize(d);
+        prev = deserializeSnapshot(d);
+        lastCapture = d.getU64();
+        periodic.resize(d.getU64());
+        for (PeriodicDelta &pd : periodic) {
+            pd.inst = d.getU64();
+            pd.delta = deserializeSnapshot(d);
+        }
+        restoreJsonNonfiniteCount(d.getU64());
+    }
+};
+
+/**
+ * The run identity pinned into every checkpoint. Any flag that shapes
+ * simulated behavior or the telemetry ring geometry is included:
+ * resuming under a different value would silently diverge from the
+ * uninterrupted run, so such resumes are refused up front.
+ */
+std::string
+runFingerprint(const std::string &mode, const std::string &app,
+               const std::string &configId, const EvalParams &ep,
+               InstCount measureTotal, const Telemetry &t,
+               const Args &args, InstCount ckptEvery)
+{
+    std::ostringstream f;
+    f << "mct-ckpt-fp-v1"
+      << ";mode=" << mode << ";app=" << app << ";config=" << configId
+      << ";seed=" << ep.sys.seed << ";warmup=" << ep.warmupInsts
+      << ";measure=" << measureTotal
+      << ";stats-every=" << t.statsEvery
+      << ";trace=" << (t.wantsTrace() ? 1 : 0)
+      << ";trace-cap=" << t.traceCap
+      << ";span-sample=" << t.spanSample << ";span-cap=" << t.spanCap
+      << ";prov=" << (t.wantsProvenance() ? 1 : 0)
+      << ";prov-cap=" << t.provCap
+      << ";audit-every=" << t.auditEvery
+      << ";ckpt-every=" << ckptEvery
+      << ";faults=" << args.get("faults", "")
+      << ";fault-seed=" << args.getI("fault-seed", 1)
+      << ";startgap=" << (args.has("startgap") ? 1 : 0);
+    return f.str();
+}
+
+/**
+ * One armed checkpoint schedule around a run. Boundaries live at
+ * absolute multiples of the period in retired-instruction space, so
+ * an uninterrupted run and a killed-then-resumed run chunk the
+ * simulation identically — the foundation of byte-identical resume.
+ */
+class CkptSession
+{
+  public:
+    CkptSession(CheckpointStore &store, std::string fingerprint,
+                InstCount every, System &sys, DriverState &state)
+        : store_(store), fp(std::move(fingerprint)), every_(every),
+          sys_(sys), ds(state)
+    {}
+
+    void attachController(const MctController *c) { ctl = c; }
+    void attachInjector(const FaultInjector *f) { inj = f; }
+
+    /** First checkpoint boundary strictly after @p inst. */
+    InstCount
+    nextBoundary(InstCount inst) const
+    {
+        return (inst / every_ + 1) * every_;
+    }
+
+    /** Serialize everything live and publish one checkpoint. */
+    bool
+    save() const
+    {
+        Serializer s;
+        s.putBool(ctl != nullptr);
+        sys_.serialize(s);
+        if (ctl)
+            ctl->serialize(s);
+        ds.serialize(s);
+        s.putBool(inj != nullptr);
+        if (inj)
+            inj->serialize(s);
+        return store_.save(fp, s.data());
+    }
+
+    const std::string &fingerprint() const { return fp; }
+
+  private:
+    CheckpointStore &store_;
+    std::string fp;
+    InstCount every_;
+    System &sys_;
+    DriverState &ds;
+    const MctController *ctl = nullptr;
+    const FaultInjector *inj = nullptr;
+};
+
+/**
+ * Run to the absolute instruction @p target in checkpoint-bounded
+ * chunks. Returns false when a stop signal preempted the stretch (the
+ * caller writes the final checkpoint and exits).
+ */
+template <typename StepFn>
+bool
+runArmedTo(System &sys, InstCount target, const CkptSession &ck,
+           StepFn step)
+{
+    while (sys.retired() < target && !gStopRequested) {
+        const InstCount ckptAt = ck.nextBoundary(sys.retired());
+        step(std::min(target, ckptAt) - sys.retired());
+        if (sys.retired() >= ckptAt)
+            ck.save();
+    }
+    return gStopRequested == 0;
+}
+
+/**
+ * The measure loop under an armed checkpoint schedule: chunk to the
+ * next stats or checkpoint boundary (whichever is closer), capturing
+ * periodic deltas with the same cadence and content as
+ * runWithPeriodicStats. Returns false on preemption.
+ */
+template <typename StepFn>
+bool
+runMeasureArmed(System &sys, InstCount target, const Telemetry &t,
+                const CkptSession &ck, DriverState &ds, StepFn step)
+{
+    while (sys.retired() < target && !gStopRequested) {
+        InstCount stop = target;
+        if (t.statsEvery > 0)
+            stop = std::min(stop, ds.lastCapture + t.statsEvery);
+        const InstCount ckptAt = ck.nextBoundary(sys.retired());
+        stop = std::min(stop, ckptAt);
+        step(stop - sys.retired());
+        const bool capture =
+            t.statsEvery > 0 &&
+            (sys.retired() >= ds.lastCapture + t.statsEvery ||
+             sys.retired() >= target);
+        if (capture) {
+            if (HostProfiler *hp = sys.hostProfiler())
+                hp->samplePeriodic(
+                    static_cast<std::uint64_t>(sys.retired()));
+            StatSnapshot cur = sys.statRegistry().snapshot();
+            PeriodicDelta pd;
+            pd.inst = sys.retired();
+            pd.delta = StatRegistry::delta(ds.prev, cur);
+            ds.prev = std::move(cur);
+            ds.lastCapture = pd.inst;
+            if (t.statsJson.empty()) {
+                JsonWriter w(std::cout);
+                w.beginObject();
+                w.kv("inst", static_cast<std::uint64_t>(pd.inst));
+                w.key("delta");
+                writeSnapshot(w, pd.delta);
+                w.endObject();
+                std::cout << '\n';
+            } else {
+                ds.periodic.push_back(std::move(pd));
+            }
+        }
+        if (sys.retired() >= ckptAt)
+            ck.save();
+    }
+    return gStopRequested == 0;
+}
+
+/** Publish the final checkpoint of a preempted run and exit 75. */
+int
+preempted(const CkptSession &ck, const System &sys)
+{
+    ck.save();
+    std::printf("checkpoint     preempted at inst %llu\n",
+                static_cast<unsigned long long>(sys.retired()));
+    return exitPreempted;
+}
+
+/**
+ * Load the newest valid checkpoint and overlay it onto the freshly
+ * constructed system. When the payload carries controller state,
+ * @p makeCtl constructs the controller *before* the system overlay so
+ * its construction side effects (baseline config, trace events) are
+ * overwritten exactly as they were in the uninterrupted run. Returns
+ * the constructed controller (null in eval mode).
+ */
+MctController *
+restoreFromCheckpoint(CheckpointStore &store, const CkptSession &sess,
+                      System &sys, DriverState &ds, FaultInjector *inj,
+                      const std::function<MctController *()> &makeCtl)
+{
+    if (inj && inj->wantsCkptCorruption() &&
+        !store.newestSlot().empty()) {
+        // Chaos drill: scramble the newest slot before the load so
+        // the checksum-reject -> fall-back-to-previous path runs for
+        // real (mirrors the sweep-cache corruption drill).
+        inj->corruptCheckpointFile(store.newestSlot());
+    }
+    const CheckpointLoadResult r = store.load();
+    if (!r.ok)
+        mct_fatal("--resume: ", r.error);
+    if (r.fingerprint != sess.fingerprint()) {
+        mct_fatal("--resume: checkpoint was written by a different "
+                  "run\n  saved:   ", r.fingerprint,
+                  "\n  current: ", sess.fingerprint());
+    }
+    Deserializer d(r.payload);
+    const bool hasCtl = d.getBool();
+    if (hasCtl && !makeCtl)
+        mct_fatal("--resume: checkpoint carries controller state "
+                  "(was it written by mct mode?)");
+    MctController *ctl = hasCtl ? makeCtl() : nullptr;
+    sys.deserialize(d);
+    if (ctl)
+        ctl->deserialize(d);
+    ds.deserialize(d);
+    const bool hasInj = d.getBool();
+    if (hasInj) {
+        if (!inj)
+            mct_fatal("--resume: checkpoint carries fault-injector "
+                      "state but no --faults plan was given");
+        inj->deserialize(d);
+    }
+    if (!d.atEnd())
+        mct_panic("checkpoint payload has trailing bytes");
+    store.noteResume();
+    if (r.corruptRejected) {
+        sys.eventTrace().record(
+            TraceEventType::RecoveryAction,
+            static_cast<double>(RecoveryStep::CkptQuarantine), 0.0,
+            static_cast<double>(store.corruptLoads()));
+    }
+    std::printf("checkpoint     resumed seq %llu from %s at inst "
+                "%llu%s\n",
+                static_cast<unsigned long long>(r.sequence),
+                r.slotFile.c_str(),
+                static_cast<unsigned long long>(sys.retired()),
+                r.corruptRejected ? " (corrupt slot quarantined)"
+                                  : "");
+    return ctl;
+}
+
+/** Human summary of checkpoint activity (host-side; not in stats). */
+void
+printCkptSummary(const CheckpointStore &store)
+{
+    std::printf("ckpt           writes %llu, corrupt_loads %llu, "
+                "resumes %llu\n",
+                static_cast<unsigned long long>(store.writes()),
+                static_cast<unsigned long long>(store.corruptLoads()),
+                static_cast<unsigned long long>(store.resumes()));
+}
+
 /** Write the machine-readable stats document (--stats-json). */
 bool
 writeStatsDoc(const Telemetry &t, const std::string &mode,
@@ -489,9 +840,8 @@ writeStatsDoc(const Telemetry &t, const std::string &mode,
               const MctController *ctl,
               const std::vector<PeriodicDelta> &periodic)
 {
-    std::ofstream os(t.statsJson);
-    if (!os)
-        return false;
+    AtomicFile file(t.statsJson);
+    std::ostream &os = file.stream();
     JsonWriter w(os);
     w.beginObject();
     w.kv("schema", "mct-stats-v1");
@@ -547,7 +897,7 @@ writeStatsDoc(const Telemetry &t, const std::string &mode,
     w.kv("events_dropped", trace.dropped());
     w.endObject();
     os << '\n';
-    return static_cast<bool>(os);
+    return file.commit();
 }
 
 /** Write all requested telemetry surfaces; 0 on success. */
@@ -567,98 +917,99 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
     }
     const EventTrace &trace = sys.eventTrace();
     if (!t.traceOut.empty()) {
-        std::ofstream os(t.traceOut);
-        if (!os) {
+        AtomicFile f(t.traceOut);
+        trace.writeJsonl(f.stream());
+        if (!f.commit()) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          t.traceOut.c_str());
             return 1;
         }
-        trace.writeJsonl(os);
         std::printf("trace-out      %s (%llu events, %llu dropped)\n",
                     t.traceOut.c_str(),
                     static_cast<unsigned long long>(trace.size()),
                     static_cast<unsigned long long>(trace.dropped()));
     }
     if (!t.traceChrome.empty()) {
-        std::ofstream os(t.traceChrome);
-        if (!os) {
+        AtomicFile f(t.traceChrome);
+        trace.writeChromeTrace(f.stream());
+        if (!f.commit()) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          t.traceChrome.c_str());
             return 1;
         }
-        trace.writeChromeTrace(os);
         std::printf("trace-chrome   %s\n", t.traceChrome.c_str());
     }
     const SpanTrace &spans = sys.spanTrace();
     if (!t.spansOut.empty()) {
-        std::ofstream os(t.spansOut);
-        if (!os) {
+        AtomicFile f(t.spansOut);
+        spans.writeJsonl(f.stream());
+        if (!f.commit()) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          t.spansOut.c_str());
             return 1;
         }
-        spans.writeJsonl(os);
         std::printf("spans-out      %s (%llu spans, %llu dropped)\n",
                     t.spansOut.c_str(),
                     static_cast<unsigned long long>(spans.size()),
                     static_cast<unsigned long long>(spans.dropped()));
     }
     if (!t.spansChrome.empty()) {
-        std::ofstream os(t.spansChrome);
-        if (!os) {
+        AtomicFile f(t.spansChrome);
+        spans.writeChromeTrace(f.stream());
+        if (!f.commit()) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          t.spansChrome.c_str());
             return 1;
         }
-        spans.writeChromeTrace(os);
         std::printf("spans-chrome   %s\n", t.spansChrome.c_str());
     }
     const ProvenanceTrace &prov = sys.provenanceTrace();
     if (!t.provOut.empty()) {
-        std::ofstream os(t.provOut);
-        if (!os) {
+        AtomicFile f(t.provOut);
+        prov.writeJsonl(f.stream());
+        if (!f.commit()) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          t.provOut.c_str());
             return 1;
         }
-        prov.writeJsonl(os);
         std::printf("provenance-out %s (%llu records, %llu dropped)\n",
                     t.provOut.c_str(),
                     static_cast<unsigned long long>(prov.size()),
                     static_cast<unsigned long long>(prov.dropped()));
     }
     if (!t.provChrome.empty()) {
-        std::ofstream os(t.provChrome);
-        if (!os) {
+        AtomicFile f(t.provChrome);
+        prov.writeChromeTrace(f.stream());
+        if (!f.commit()) {
             std::fprintf(stderr, "cannot write '%s'\n",
                          t.provChrome.c_str());
             return 1;
         }
-        prov.writeChromeTrace(os);
         std::printf("provenance-chrome %s\n", t.provChrome.c_str());
     }
     if (HostProfiler *hp = sys.hostProfiler()) {
         hp->sampleMemory(); // end-of-run RSS / high-water refresh
         if (!t.hostOut.empty()) {
-            std::ofstream os(t.hostOut);
-            if (!os) {
+            AtomicFile f(t.hostOut);
+            hp->writeJson(f.stream(), mode, app,
+                          configKey(sys.config()));
+            if (!f.commit()) {
                 std::fprintf(stderr, "cannot write '%s'\n",
                              t.hostOut.c_str());
                 return 1;
             }
-            hp->writeJson(os, mode, app, configKey(sys.config()));
             std::printf("host-profile   %s (%.2f mips, rss %.0f kB)\n",
                         t.hostOut.c_str(), hp->mips(),
                         hp->rssHighWaterKb());
         }
         if (!t.hostChrome.empty()) {
-            std::ofstream os(t.hostChrome);
-            if (!os) {
+            AtomicFile f(t.hostChrome);
+            hp->writeChromeTrace(f.stream());
+            if (!f.commit()) {
                 std::fprintf(stderr, "cannot write '%s'\n",
                              t.hostChrome.c_str());
                 return 1;
             }
-            hp->writeChromeTrace(os);
             std::printf("host-chrome    %s\n", t.hostChrome.c_str());
         }
     }
@@ -686,6 +1037,10 @@ cmdEval(const Args &args)
 {
     const MellowConfig cfg = configFromArgs(args);
     const EvalParams ep = evalFromArgs(args);
+    const CkptArgs ck = ckptFromArgs(args);
+    if (ck.armed() && (args.has("trace") || args.has("stats")))
+        mct_fatal("--ckpt-out is not supported with --trace replay "
+                  "or --stats");
 
     // --trace FILE replays a recorded trace instead of a model.
     if (args.has("trace")) {
@@ -720,9 +1075,10 @@ cmdEval(const Args &args)
     }
     const Telemetry tel = telemetryFromArgs(args);
     const FaultArgs faults = faultsFromArgs(args);
-    if (tel.any() || faults.any()) {
+    if (tel.any() || faults.any() || ck.armed()) {
         // Faults need a live System to inject into, so a fault plan
-        // forces the instrumented path even without telemetry flags.
+        // (or an armed checkpoint schedule) forces the instrumented
+        // path even without telemetry flags.
         SystemParams sp = ep.sys;
         System sys(app, sp, cfg);
         FaultInjector inj(faults.plan, faults.seed);
@@ -737,6 +1093,55 @@ cmdEval(const Args &args)
             hostProf.enable();
             sys.attachHostProfiler(&hostProf);
         }
+        const auto step = [&](InstCount n) {
+            if (faults.any())
+                runChunked(sys, n);
+            else
+                sys.run(n);
+        };
+        if (ck.armed()) {
+            CheckpointStore store(ck.out);
+            store.registerStats(sys.statRegistry());
+            DriverState ds;
+            CkptSession sess(store,
+                             runFingerprint("eval", app,
+                                            configKey(cfg), ep,
+                                            ep.measureInsts, tel,
+                                            args, ck.every),
+                             ck.every, sys, ds);
+            if (faults.any())
+                sess.attachInjector(&inj);
+            installStopHandler();
+            if (ck.resume)
+                restoreFromCheckpoint(store, sess, sys, ds,
+                                      faults.any() ? &inj : nullptr,
+                                      nullptr);
+            if (!ds.warmupDone) {
+                bool finished = false;
+                {
+                    HostProfiler::Scope replay(sys.hostProfiler(),
+                                               "replay");
+                    finished = runArmedTo(sys, ep.warmupInsts, sess,
+                                          step);
+                }
+                if (!finished)
+                    return preempted(sess, sys);
+                ds.warmupDone = true;
+                ds.s0 = sys.snapshot();
+                ds.prev = sys.statRegistry().snapshot();
+                ds.lastCapture = sys.retired();
+            }
+            if (!runMeasureArmed(sys,
+                                 ds.s0.instructions + ep.measureInsts,
+                                 tel, sess, ds, step))
+                return preempted(sess, sys);
+            printMetrics(sys.metricsSince(ds.s0));
+            if (faults.any())
+                printFaultSummary(inj, nullptr);
+            printCkptSummary(store);
+            return finishTelemetry(tel, "eval", app, sys, nullptr,
+                                   ds.periodic);
+        }
         {
             HostProfiler::Scope replay(sys.hostProfiler(), "replay");
             if (faults.any())
@@ -745,13 +1150,8 @@ cmdEval(const Args &args)
                 sys.run(ep.warmupInsts);
         }
         const SysSnapshot s0 = sys.snapshot();
-        const auto periodic = runWithPeriodicStats(
-            sys, ep.measureInsts, tel, [&](InstCount n) {
-                if (faults.any())
-                    runChunked(sys, n);
-                else
-                    sys.run(n);
-            });
+        const auto periodic =
+            runWithPeriodicStats(sys, ep.measureInsts, tel, step);
         printMetrics(sys.metricsSince(s0));
         if (faults.any())
             printFaultSummary(inj, nullptr);
@@ -798,6 +1198,23 @@ cmdMct(const Args &args)
     const EvalParams ep = evalFromArgs(args);
     const Telemetry tel = telemetryFromArgs(args);
     const FaultArgs faults = faultsFromArgs(args);
+    const CkptArgs ck = ckptFromArgs(args);
+    const InstCount total =
+        static_cast<InstCount>(args.getI("insts", 4 * 1000 * 1000));
+
+    MctParams mp;
+    mp.objective.minLifetimeYears = args.getD("target", 8.0);
+    mp.auditEvery = tel.auditEvery;
+    const std::string model = args.get("model", "gbt");
+    if (model == "gbt")
+        mp.predictor = PredictorKind::GradientBoosting;
+    else if (model == "qlasso")
+        mp.predictor = PredictorKind::QuadraticLasso;
+    else {
+        std::fprintf(stderr, "--model must be gbt|qlasso\n");
+        return 2;
+    }
+
     SystemParams sp = ep.sys;
     System sys(app, sp, staticBaselineConfig());
     FaultInjector inj(faults.plan, faults.seed);
@@ -814,29 +1231,90 @@ cmdMct(const Args &args)
         hostProf.enable();
         sys.attachHostProfiler(&hostProf);
     }
+
+    if (ck.armed()) {
+        CheckpointStore store(ck.out);
+        store.registerStats(sys.statRegistry());
+        DriverState ds;
+        const std::string configId =
+            model + ":" + std::to_string(mp.objective.minLifetimeYears);
+        CkptSession sess(store,
+                         runFingerprint("mct", app, configId, ep,
+                                        total, tel, args, ck.every),
+                         ck.every, sys, ds);
+        if (faults.any())
+            sess.attachInjector(&inj);
+        installStopHandler();
+        std::unique_ptr<MctController> ctl;
+        if (ck.resume) {
+            restoreFromCheckpoint(
+                store, sess, sys, ds,
+                faults.any() ? &inj : nullptr, [&] {
+                    ctl = std::make_unique<MctController>(sys, mp);
+                    return ctl.get();
+                });
+            if (ctl)
+                sess.attachController(ctl.get());
+        }
+        if (!ds.warmupDone) {
+            bool finished = false;
+            {
+                HostProfiler::Scope replay(sys.hostProfiler(),
+                                           "replay");
+                finished = runArmedTo(sys, ep.warmupInsts, sess,
+                                      [&](InstCount n) { sys.run(n); });
+            }
+            if (!finished)
+                return preempted(sess, sys);
+            ctl = std::make_unique<MctController>(sys, mp);
+            sess.attachController(ctl.get());
+            ds.warmupDone = true;
+            ds.s0 = sys.snapshot();
+            ds.prev = sys.statRegistry().snapshot();
+            ds.lastCapture = sys.retired();
+        }
+        if (!runMeasureArmed(sys, ds.s0.instructions + total, tel,
+                             sess, ds,
+                             [&](InstCount n) { ctl->runFor(n); }))
+            return preempted(sess, sys);
+        // A record opened by the final decision has no realization
+        // window left; count it dropped before stats are read.
+        ctl->finalizeAudit();
+        std::printf("app            %s (target %.1f years, %s)\n",
+                    app.c_str(), mp.objective.minLifetimeYears,
+                    model.c_str());
+        std::printf("decisions      %zu (resamplings %llu, "
+                    "fallbacks %llu)\n",
+                    ctl->decisions().size(),
+                    static_cast<unsigned long long>(
+                        ctl->resamplings()),
+                    static_cast<unsigned long long>(ctl->fallbacks()));
+        std::printf("audit          %llu closed, %llu dropped, "
+                    "regret %.4f\n",
+                    static_cast<unsigned long long>(ctl->auditClosed()),
+                    static_cast<unsigned long long>(
+                        ctl->auditDropped()),
+                    ctl->cumulativeRegret());
+        std::printf("chosen         %s\n",
+                    toString(ctl->currentConfig()).c_str());
+        printMetrics(sys.metricsSince(ds.s0));
+        if (faults.any())
+            printFaultSummary(inj, ctl.get());
+        printCkptSummary(store);
+        if (tel.any())
+            return finishTelemetry(tel, "mct", app, sys, ctl.get(),
+                                   ds.periodic);
+        return 0;
+    }
+
     {
         HostProfiler::Scope replay(sys.hostProfiler(), "replay");
         sys.run(ep.warmupInsts);
     }
-
-    MctParams mp;
-    mp.objective.minLifetimeYears = args.getD("target", 8.0);
-    mp.auditEvery = tel.auditEvery;
-    const std::string model = args.get("model", "gbt");
-    if (model == "gbt")
-        mp.predictor = PredictorKind::GradientBoosting;
-    else if (model == "qlasso")
-        mp.predictor = PredictorKind::QuadraticLasso;
-    else {
-        std::fprintf(stderr, "--model must be gbt|qlasso\n");
-        return 2;
-    }
     MctController ctl(sys, mp);
     const SysSnapshot before = sys.snapshot();
     const auto periodic = runWithPeriodicStats(
-        sys,
-        static_cast<InstCount>(args.getI("insts", 4 * 1000 * 1000)),
-        tel, [&](InstCount n) { ctl.runFor(n); });
+        sys, total, tel, [&](InstCount n) { ctl.runFor(n); });
     // A record opened by the final decision has no realization window
     // left; count it dropped before any stats or traces are read.
     ctl.finalizeAudit();

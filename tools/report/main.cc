@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "mct/config.hh"
 #include "report.hh"
 
@@ -242,13 +243,13 @@ cmdPerf(int argc, char **argv)
         return 2;
     }
     if (!outPath.empty()) {
-        std::ofstream os(outPath);
-        if (!os) {
+        mct::AtomicFile f(outPath);
+        writeBenchReport(f.stream(), base, cur, rep);
+        if (!f.commit()) {
             std::fprintf(stderr, "error: cannot write '%s'\n",
                          outPath.c_str());
             return 2;
         }
-        writeBenchReport(os, base, cur, rep);
         std::printf("report written to %s\n", outPath.c_str());
     }
     return rep.regressions ? 1 : 0;
@@ -365,13 +366,13 @@ cmdDiff(int argc, char **argv)
         return 2;
     }
     if (!outPath.empty()) {
-        std::ofstream os(outPath);
-        if (!os) {
+        mct::AtomicFile f(outPath);
+        writeBenchReport(f.stream(), base, cur, rep);
+        if (!f.commit()) {
             std::fprintf(stderr, "error: cannot write '%s'\n",
                          outPath.c_str());
             return 2;
         }
-        writeBenchReport(os, base, cur, rep);
         std::printf("report written to %s\n", outPath.c_str());
     }
     return rep.regressions ? 1 : 0;
