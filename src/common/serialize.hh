@@ -5,6 +5,13 @@
  * strings make the byte stream deterministic across runs, which the
  * resume machinery depends on (a resumed run must re-produce the
  * exact bytes an uninterrupted run would have written).
+ *
+ * The stream carries no tags: the reader consumes exactly the bytes
+ * the writer produced, in order. mct_lint's serialize-contract
+ * builtin statically enforces that every serialize/deserialize pair
+ * stays in member-for-member, order-for-order lockstep, with
+ * deliberate gaps declared in the rules.txt skip manifest (see
+ * docs/static-analysis.md).
  */
 
 #ifndef MCT_COMMON_SERIALIZE_HH

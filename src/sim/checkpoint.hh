@@ -19,6 +19,11 @@
  * set); resuming under different flags is refused by the driver, not
  * silently mis-replayed. All ckpt.* stats are host-scoped: checkpoint
  * activity never perturbs the deterministic Sim stat surfaces.
+ *
+ * The payload is a tagless field stream, so every component's
+ * serialize/deserialize pair must stay in lockstep — statically
+ * enforced by mct_lint's serialize-contract builtin (see
+ * docs/static-analysis.md).
  */
 
 #ifndef MCT_SIM_CHECKPOINT_HH

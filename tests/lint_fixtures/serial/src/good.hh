@@ -1,0 +1,40 @@
+#ifndef FIX_SERIAL_GOOD_HH
+#define FIX_SERIAL_GOOD_HH
+
+#include <cstdint>
+
+#include "serial_stub.hh"
+
+/**
+ * Fully covered pair, plus one of every auto-exempt member kind:
+ * static, const, and reference members never travel in the stream.
+ */
+class Good
+{
+  public:
+    explicit Good(Registry &registry) : reg(registry) {}
+
+    void serialize(Serializer &s) const
+    {
+        s.putU64(a);
+        s.putU64(b);
+        s.putBool(c);
+    }
+
+    void deserialize(Deserializer &d)
+    {
+        a = d.getU64();
+        b = d.getU64();
+        c = d.getBool();
+    }
+
+  private:
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    bool c = false;
+    static constexpr int streamVersion = 3;
+    const int geometry = 64;
+    Registry &reg;
+};
+
+#endif // FIX_SERIAL_GOOD_HH

@@ -1,0 +1,48 @@
+#ifndef FIX_SERIAL_MISSING_HH
+#define FIX_SERIAL_MISSING_HH
+
+#include <cstdint>
+
+#include "serial_stub.hh"
+
+/** One member the writer forgot: read on resume, never written. */
+class MissingWrite
+{
+  public:
+    void serialize(Serializer &s) const
+    {
+        s.putU64(kept);
+    }
+
+    void deserialize(Deserializer &d)
+    {
+        kept = d.getU64();
+        dropped = d.getU64();
+    }
+
+  private:
+    std::uint64_t kept = 0;
+    std::uint64_t dropped = 0;
+};
+
+/** One member the reader forgot: written, never restored. */
+class MissingRead
+{
+  public:
+    void serialize(Serializer &s) const
+    {
+        s.putU64(kept);
+        s.putU64(ghostRead);
+    }
+
+    void deserialize(Deserializer &d)
+    {
+        kept = d.getU64();
+    }
+
+  private:
+    std::uint64_t kept = 0;
+    std::uint64_t ghostRead = 0;
+};
+
+#endif // FIX_SERIAL_MISSING_HH

@@ -1,0 +1,36 @@
+#ifndef FIX_SERIAL_ORDER_SWAP_HH
+#define FIX_SERIAL_ORDER_SWAP_HH
+
+#include <cstdint>
+
+#include "serial_stub.hh"
+
+/**
+ * Every member is covered in both bodies, but deserialize reads them
+ * in a different order: the restored stream lands in the wrong
+ * fields without any member ever being "missing".
+ */
+class OrderSwap
+{
+  public:
+    void serialize(Serializer &s) const
+    {
+        s.putU64(x);
+        s.putU64(y);
+        s.putU64(z);
+    }
+
+    void deserialize(Deserializer &d)
+    {
+        y = d.getU64();
+        x = d.getU64();
+        z = d.getU64();
+    }
+
+  private:
+    std::uint64_t x = 0;
+    std::uint64_t y = 0;
+    std::uint64_t z = 0;
+};
+
+#endif // FIX_SERIAL_ORDER_SWAP_HH

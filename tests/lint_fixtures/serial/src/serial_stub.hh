@@ -1,0 +1,25 @@
+#ifndef FIX_SERIAL_STUB_HH
+#define FIX_SERIAL_STUB_HH
+
+#include <cstdint>
+
+/** Just enough codec surface for the fixture classes to look real. */
+class Serializer
+{
+  public:
+    void putU64(std::uint64_t v);
+    void putBool(bool v);
+};
+
+class Deserializer
+{
+  public:
+    std::uint64_t getU64();
+    bool getBool();
+};
+
+class Registry
+{
+};
+
+#endif // FIX_SERIAL_STUB_HH

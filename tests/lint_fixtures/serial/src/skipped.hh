@@ -1,0 +1,31 @@
+#ifndef FIX_SERIAL_SKIPPED_HH
+#define FIX_SERIAL_SKIPPED_HH
+
+#include <cstdint>
+
+#include "serial_stub.hh"
+
+/**
+ * A deliberate gap covered by the manifest: 'skip Skipped::cacheOnly'
+ * in rules.txt keeps the derived cache out of the stream without any
+ * inline suppression.
+ */
+class Skipped
+{
+  public:
+    void serialize(Serializer &s) const
+    {
+        s.putU64(value);
+    }
+
+    void deserialize(Deserializer &d)
+    {
+        value = d.getU64();
+    }
+
+  private:
+    std::uint64_t value = 0;
+    std::uint64_t cacheOnly = 0; // rebuilt lazily from value
+};
+
+#endif // FIX_SERIAL_SKIPPED_HH

@@ -1,0 +1,15 @@
+#include "split.hh"
+
+void
+Split::serialize(Serializer &s) const
+{
+    s.putU64(ticks);
+    s.putU64(ops);
+}
+
+void
+Split::deserialize(Deserializer &d)
+{
+    ticks = d.getU64();
+    ops = d.getU64();
+}

@@ -3,20 +3,28 @@
  * mct_lint command-line driver.
  *
  *     mct_lint [--root DIR] [--rules FILE] [--dump]
- *              [--emit-doc-table] [--no-include-hygiene] [ROOT...]
+ *              [--format=plain|github] [--emit-doc-table]
+ *              [--no-include-hygiene] [ROOT...]
  *
  * Scans ROOT... directories (default: src bench tests tools) under
  * the repository root, applies every rule in rules.txt, and prints
  * findings as "file:line: [rule-id] message". Exits 0 when clean,
  * 1 when findings exist, 2 on usage/configuration errors.
  *
+ * --format=github renders each finding as a GitHub Actions workflow
+ * command ("::error file=F,line=N::...") so the CI analysis job
+ * annotates the offending lines in the diff view; exit codes are
+ * unchanged.
+ *
  * --no-include-hygiene drops every include-hygiene rule before the
  * run — the escape hatch for trees where the heuristic misfires
  * (generated code, umbrella headers) without editing rules.txt.
  *
  * --dump prints the extracted instrumentation contract (stat path
- * patterns and event type names) instead of linting; it is the
- * source of truth for the tables in docs/observability.md.
+ * patterns and event type names) and the serialization inventory
+ * (class -> members with covered/skipped/exempt status) instead of
+ * linting; it is the source of truth for the tables in
+ * docs/observability.md.
  *
  * --emit-doc-table rewrites the marker-delimited contract tables in
  * the stat-contract rule's docs file in place from that extraction:
@@ -45,8 +53,28 @@ usage()
 {
     std::cerr
         << "usage: mct_lint [--root DIR] [--rules FILE] [--dump] "
-           "[--emit-doc-table] [--no-include-hygiene] [ROOT...]\n";
+           "[--format=plain|github] [--emit-doc-table] "
+           "[--no-include-hygiene] [ROOT...]\n";
     return 2;
+}
+
+/** GitHub workflow commands interpret %, CR, and LF in messages. */
+std::string
+escapeWorkflowMessage(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '%')
+            out += "%25";
+        else if (c == '\r')
+            out += "%0D";
+        else if (c == '\n')
+            out += "%0A";
+        else
+            out += c;
+    }
+    return out;
 }
 
 } // namespace
@@ -59,6 +87,7 @@ main(int argc, char **argv)
     bool dump = false;
     bool emitDocTable = false;
     bool noIncludeHygiene = false;
+    bool githubFormat = false;
     std::vector<std::string> roots;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -68,6 +97,10 @@ main(int argc, char **argv)
             rulesPath = argv[++i];
         else if (arg == "--dump")
             dump = true;
+        else if (arg == "--format=github")
+            githubFormat = true;
+        else if (arg == "--format=plain")
+            githubFormat = false;
         else if (arg == "--emit-doc-table")
             emitDocTable = true;
         else if (arg == "--no-include-hygiene")
@@ -156,12 +189,41 @@ main(int argc, char **argv)
         std::cout << "# event types\n";
         for (const auto &name : linter.eventNames())
             std::cout << name << "\n";
+        std::cout << "# serialization inventory (class -> members)\n";
+        for (const auto &cls : linter.serialClasses()) {
+            std::cout << cls.name << "\t" << cls.file << ":"
+                      << cls.line
+                      << (cls.isTemplate ? "\t(template-exempt)" : "")
+                      << "\n";
+            for (const auto &m : cls.members) {
+                const char *status =
+                    cls.isTemplate
+                        ? "exempt"
+                        : !m.exempt.empty()
+                              ? m.exempt.c_str()
+                              : m.skipped
+                                    ? "skipped"
+                                    : m.inSerialize && m.inDeserialize
+                                          ? "covered"
+                                          : "MISSING";
+                std::cout << "  " << m.name << "\t" << status << "\n";
+            }
+        }
         return 0;
     }
 
-    for (const auto &f : findings)
-        std::cout << f.file << ":" << f.line << ": [" << f.rule
-                  << "] " << f.message << "\n";
+    for (const auto &f : findings) {
+        if (githubFormat)
+            std::cout << "::error file=" << f.file
+                      << ",line=" << f.line << ",title=" << f.rule
+                      << "::"
+                      << escapeWorkflowMessage("[" + f.rule + "] " +
+                                               f.message)
+                      << "\n";
+        else
+            std::cout << f.file << ":" << f.line << ": [" << f.rule
+                      << "] " << f.message << "\n";
+    }
     if (findings.empty()) {
         std::cout << "mct_lint: clean\n";
         return 0;

@@ -1,0 +1,759 @@
+/**
+ * @file
+ * serialize-contract builtin: checkpoint serialization drift.
+ *
+ * PR 7's crash-safe resume rests on hand-written
+ * `serialize(Serializer&)` / `deserialize(Deserializer&)` pairs in
+ * every simulated component. A member added to such a class but
+ * forgotten in its pair — or restored in a different order than it
+ * was written — silently breaks byte-identical resume. This analysis
+ * makes the pair a machine-checked contract:
+ *
+ *  - every depth-1 data member of a class declaring
+ *    serialize(Serializer&) must be touched by both the serialize and
+ *    the deserialize body;
+ *  - the first-touch order of members must agree between the two
+ *    bodies (an asymmetric stream is a corrupted resume);
+ *  - deliberate gaps (derived caches, construction-time geometry,
+ *    registry-owned wiring) are declared as `skip Class::member`
+ *    lines on the rule block in rules.txt — one reviewed manifest,
+ *    no inline suppressions, and stale entries are findings too.
+ *
+ * Auto-exempt, because they cannot or need not round-trip: static /
+ * constexpr members, const members, reference members, template
+ * classes (no reliable body without instantiation), and pure-virtual
+ * interface declarations. "Touched" is a whole-word occurrence in the
+ * comment/string-stripped body — deliberately coarse, so loops,
+ * size() prefixes, and geometry assertions all count, and the check
+ * stays free of false positives on real serializer idioms.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace mct::lint
+{
+
+namespace
+{
+
+bool
+serialPathAllowed(const RuleSpec &rule, const std::string &path)
+{
+    bool scoped = rule.scopes.empty();
+    for (const auto &g : rule.scopes)
+        if (globMatch(g, path)) {
+            scoped = true;
+            break;
+        }
+    if (!scoped)
+        return false;
+    for (const auto &g : rule.allow)
+        if (globMatch(g, path))
+            return false;
+    return true;
+}
+
+/** Matching '}' for the '{' at @p open, or npos. */
+std::size_t
+closeBrace(const std::string &s, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < s.size(); ++i) {
+        if (s[i] == '{')
+            ++depth;
+        else if (s[i] == '}' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** Matching ')' for the '(' at @p open, or npos. */
+std::size_t
+closeParenAt(const std::string &s, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < s.size(); ++i) {
+        if (s[i] == '(')
+            ++depth;
+        else if (s[i] == ')' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** Type/cv keywords that can never be a declared member name. */
+const std::set<std::string> &
+declKeywords()
+{
+    static const std::set<std::string> kw = {
+        "const",    "static",   "constexpr", "mutable",  "inline",
+        "volatile", "unsigned", "signed",    "int",      "long",
+        "short",    "char",     "bool",      "float",    "double",
+        "auto",     "void",     "struct",    "class",    "enum",
+        "union",    "typename", "noexcept",  "override", "final"};
+    return kw;
+}
+
+/** Statements starting with these tokens declare no data member. */
+const std::set<std::string> &
+nonMemberLeaders()
+{
+    static const std::set<std::string> kw = {
+        "using",    "typedef",  "friend",   "template",
+        "static_assert", "enum", "class",   "struct",
+        "union",    "operator", "virtual",  "explicit",
+        "public",   "private",  "protected"};
+    return kw;
+}
+
+std::vector<std::string>
+tokensOf(const std::string &s)
+{
+    std::vector<std::string> out;
+    static const std::regex re(R"([A-Za-z_]\w*)",
+                               std::regex::optimize);
+    for (auto it = std::sregex_iterator(s.begin(), s.end(), re);
+         it != std::sregex_iterator(); ++it)
+        out.push_back(it->str());
+    return out;
+}
+
+/** Whole-word first occurrence of @p name in @p body, or npos. */
+std::size_t
+firstTouch(const std::string &body, const std::string &name)
+{
+    std::size_t from = 0;
+    while (true) {
+        const std::size_t pos = body.find(name, from);
+        if (pos == std::string::npos)
+            return std::string::npos;
+        const auto isWord = [](char c) {
+            return std::isalnum(static_cast<unsigned char>(c)) ||
+                   c == '_';
+        };
+        const bool left = pos > 0 && isWord(body[pos - 1]);
+        const bool right = pos + name.size() < body.size() &&
+                           isWord(body[pos + name.size()]);
+        if (!left && !right)
+            return pos;
+        from = pos + 1;
+    }
+}
+
+/**
+ * Parse one depth-1 class-body statement into data-member names.
+ * @p stmt runs up to (not including) its terminator; @p stmtLine is
+ * the line of its first character. Appends to @p members.
+ */
+void
+parseMemberStatement(const std::string &stmt, int stmtLine,
+                     std::vector<SerialMember> &members)
+{
+    // The declarator part: everything before the first top-level '='
+    // or '{' (default member initializers and brace-init).
+    std::string decl;
+    {
+        int angle = 0, paren = 0, bracket = 0;
+        for (std::size_t i = 0; i < stmt.size(); ++i) {
+            const char c = stmt[i];
+            if (c == '<')
+                ++angle;
+            else if (c == '>')
+                --angle;
+            else if (c == '(')
+                ++paren;
+            else if (c == ')')
+                --paren;
+            else if (c == '[')
+                ++bracket;
+            else if (c == ']')
+                --bracket;
+            else if ((c == '=' || c == '{') && !angle && !paren &&
+                     !bracket)
+                break;
+            decl += c;
+        }
+    }
+
+    // Strip leading access labels ("public:" etc. glue to the next
+    // statement because they carry no ';' of their own).
+    static const std::regex labelRe(
+        R"(^\s*(public|private|protected)\s*:)");
+    std::smatch lm;
+    while (std::regex_search(decl, lm, labelRe))
+        decl = decl.substr(static_cast<std::size_t>(lm.length(0)));
+
+    // Strip attributes: [[nodiscard]] and friends.
+    decl = std::regex_replace(decl, std::regex(R"(\[\[[^\]]*\]\])"),
+                              " ");
+
+    const std::vector<std::string> toks = tokensOf(decl);
+    if (toks.empty())
+        return;
+    if (nonMemberLeaders().count(toks[0]))
+        return; // nested type, alias, friend, function specifier, ...
+    // An operator anywhere marks a function: "bool operator<(...)"
+    // defeats the angle-bracket tracker, so catch it by token.
+    if (std::find(toks.begin(), toks.end(), "operator") != toks.end())
+        return;
+
+    // A '(' in the declarator means a function declaration (or a
+    // function-pointer member — wiring, out of contract scope).
+    if (decl.find('(') != std::string::npos)
+        return;
+
+    std::string exempt;
+    for (const auto &t : toks) {
+        if (t == "static" || t == "constexpr") {
+            exempt = "static";
+            break;
+        }
+        if (t == "const" && exempt.empty())
+            exempt = "const";
+    }
+    // Reference members are construction-time wiring; a '&' at
+    // top level (outside template args) marks one.
+    {
+        int angle = 0;
+        for (const char c : decl) {
+            if (c == '<')
+                ++angle;
+            else if (c == '>')
+                --angle;
+            else if (c == '&' && !angle)
+                exempt = "reference";
+        }
+    }
+
+    // Split "Type a, b, c" on top-level commas; each chunk's declared
+    // name is its last non-keyword identifier outside brackets
+    // (ignoring array extents and bitfield widths).
+    std::vector<std::string> chunks;
+    {
+        std::string cur;
+        int angle = 0, bracket = 0;
+        for (const char c : decl) {
+            if (c == '<')
+                ++angle;
+            else if (c == '>')
+                --angle;
+            else if (c == '[')
+                ++bracket;
+            else if (c == ']')
+                --bracket;
+            if (c == ',' && !angle && !bracket) {
+                chunks.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        chunks.push_back(cur);
+    }
+    for (auto &chunk : chunks) {
+        // Bitfield: cut at a single ':' (never '::').
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            if (chunk[i] != ':')
+                continue;
+            if (i + 1 < chunk.size() && chunk[i + 1] == ':') {
+                ++i;
+                continue;
+            }
+            if (i > 0 && chunk[i - 1] == ':')
+                continue;
+            chunk = chunk.substr(0, i);
+            break;
+        }
+        // Last depth-0 identifier (array extents are depth > 0).
+        std::string name;
+        {
+            int angle = 0, bracket = 0;
+            static const std::regex idRe(R"([A-Za-z_]\w*)",
+                                         std::regex::optimize);
+            std::size_t scan = 0;
+            while (scan < chunk.size()) {
+                const char c = chunk[scan];
+                if (c == '<')
+                    ++angle;
+                else if (c == '>')
+                    --angle;
+                else if (c == '[')
+                    ++bracket;
+                else if (c == ']')
+                    --bracket;
+                if (!angle && !bracket &&
+                    (std::isalpha(static_cast<unsigned char>(c)) ||
+                     c == '_')) {
+                    std::smatch m;
+                    const std::string rest = chunk.substr(scan);
+                    if (std::regex_search(rest, m, idRe) &&
+                        m.position(0) == 0) {
+                        const std::string tok = m[0].str();
+                        if (!declKeywords().count(tok))
+                            name = tok;
+                        scan += tok.size();
+                        continue;
+                    }
+                }
+                ++scan;
+            }
+        }
+        // A single-token chunk is a bare type ("Serializer" in a
+        // forward declaration) — a member needs type + name, except
+        // in follow-up chunks of a comma list.
+        if (name.empty())
+            continue;
+        if (&chunk == &chunks.front() && toks.size() < 2)
+            continue;
+        SerialMember m;
+        m.name = name;
+        m.line = stmtLine;
+        m.exempt = exempt;
+        members.push_back(std::move(m));
+    }
+}
+
+/**
+ * Locate a method declaration inside a class body. Returns the match
+ * offset or npos; fills @p bodyBegin/@p bodyEnd with the inline body
+ * range (npos when declaration-only) and @p pure for `= 0`.
+ */
+std::size_t
+findMethod(const std::string &body, const std::regex &re,
+           std::size_t &bodyBegin, std::size_t &bodyEnd, bool &pure)
+{
+    bodyBegin = bodyEnd = std::string::npos;
+    pure = false;
+    std::smatch m;
+    if (!std::regex_search(body, m, re))
+        return std::string::npos;
+    const auto at = static_cast<std::size_t>(m.position(0));
+    const std::size_t open = body.find('(', at);
+    if (open == std::string::npos)
+        return at;
+    const std::size_t close = closeParenAt(body, open);
+    if (close == std::string::npos)
+        return at;
+    // After the parameter list: cv-qualifiers / override / noexcept,
+    // then '{' (inline definition), ';' (declaration), or '= 0;'.
+    for (std::size_t i = close + 1; i < body.size(); ++i) {
+        const char c = body[i];
+        if (c == '{') {
+            const std::size_t end = closeBrace(body, i);
+            if (end != std::string::npos) {
+                bodyBegin = i;
+                bodyEnd = end;
+            }
+            break;
+        }
+        if (c == ';')
+            break;
+        if (c == '0') {
+            const std::size_t eq = body.rfind('=', i);
+            if (eq != std::string::npos && eq > close)
+                pure = true;
+        }
+    }
+    return at;
+}
+
+const std::regex &
+serDeclRe()
+{
+    static const std::regex re(
+        R"(\bserialize\s*\(\s*(?:mct::)?Serializer\b)",
+        std::regex::optimize);
+    return re;
+}
+
+const std::regex &
+deserDeclRe()
+{
+    static const std::regex re(
+        R"(\bdeserialize\s*\(\s*(?:mct::)?Deserializer\b)",
+        std::regex::optimize);
+    return re;
+}
+
+} // namespace
+
+std::vector<SerialClass>
+extractSerialClasses(const SourceFile &src)
+{
+    std::vector<SerialClass> out;
+    const std::string &text = src.codeOnly;
+    static const std::regex classRe(
+        R"(\b(class|struct)\s+([A-Za-z_]\w*))", std::regex::optimize);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                        classRe);
+         it != std::sregex_iterator(); ++it) {
+        const std::smatch &m = *it;
+        const auto at = static_cast<std::size_t>(m.position(0));
+
+        // "enum class X" / "enum struct X" declares an enum.
+        {
+            std::size_t p = at;
+            while (p > 0 && std::isspace(
+                                static_cast<unsigned char>(text[p - 1])))
+                --p;
+            if (p >= 4 && text.compare(p - 4, 4, "enum") == 0)
+                continue;
+        }
+
+        // A definition has '{' next (optionally past "final" and a
+        // base clause); anything else is a forward declaration, a
+        // template parameter, or a member type.
+        std::size_t p = at + static_cast<std::size_t>(m.length(0));
+        while (p < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[p])))
+            ++p;
+        if (text.compare(p, 5, "final") == 0)
+            p += 5;
+        while (p < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[p])))
+            ++p;
+        if (p < text.size() && text[p] == ':') {
+            // Base clause: scan to the body '{' (template arguments
+            // in base names may nest '<>' but never braces).
+            while (p < text.size() && text[p] != '{' && text[p] != ';')
+                ++p;
+        }
+        if (p >= text.size() || text[p] != '{')
+            continue;
+        const std::size_t open = p;
+        const std::size_t close = closeBrace(text, open);
+        if (close == std::string::npos)
+            continue;
+        const std::string body =
+            text.substr(open + 1, close - open - 1);
+
+        SerialClass cls;
+        cls.name = m[2].str();
+        cls.file = src.path;
+        cls.line = lineOfOffset(text, at);
+
+        // Template header directly before the class-head: the tail of
+        // the preceding statement mentions `template`.
+        {
+            const std::size_t lb =
+                at > 240 ? at - 240 : static_cast<std::size_t>(0);
+            const std::string back = text.substr(lb, at - lb);
+            const std::size_t cut = back.find_last_of(";}{");
+            const std::string tail =
+                cut == std::string::npos ? back : back.substr(cut + 1);
+            if (tail.find("template") != std::string::npos)
+                cls.isTemplate = true;
+        }
+
+        // The contract only covers classes declaring the pair.
+        std::size_t sb, se, db, de;
+        bool pureS = false, pureD = false;
+        const std::size_t serAt =
+            findMethod(body, serDeclRe(), sb, se, pureS);
+        if (serAt == std::string::npos)
+            continue;
+        const std::size_t deserAt =
+            findMethod(body, deserDeclRe(), db, de, pureD);
+        cls.pureSerialize = pureS;
+        cls.pureDeserialize = pureD;
+        cls.declaresDeserialize = deserAt != std::string::npos;
+        if (sb != std::string::npos) {
+            cls.serBody = body.substr(sb, se - sb + 1);
+            cls.serFile = src.path;
+            cls.serLine = lineOfOffset(text, open + 1 + sb);
+        }
+        if (cls.declaresDeserialize && db != std::string::npos) {
+            cls.deserBody = body.substr(db, de - db + 1);
+            cls.deserFile = src.path;
+            cls.deserLine = lineOfOffset(text, open + 1 + db);
+        }
+
+        // --- depth-1 member statements ---
+        std::size_t i = 0;
+        while (i < body.size()) {
+            while (i < body.size() &&
+                   std::isspace(static_cast<unsigned char>(body[i])))
+                ++i;
+            if (i >= body.size())
+                break;
+            const std::size_t start = i;
+            std::size_t end = std::string::npos;
+            bool isStatement = false; // ';'-terminated
+            while (i < body.size()) {
+                const char c = body[i];
+                if (c == ';') {
+                    end = i;
+                    isStatement = true;
+                    break;
+                }
+                if (c == '(') {
+                    const std::size_t cp = closeParenAt(body, i);
+                    if (cp == std::string::npos) {
+                        end = body.size();
+                        break;
+                    }
+                    i = cp + 1;
+                    continue;
+                }
+                if (c == '{') {
+                    const std::size_t cb = closeBrace(body, i);
+                    if (cb == std::string::npos) {
+                        end = body.size();
+                        break;
+                    }
+                    // Brace-init / in-class initializer keeps the
+                    // statement open ("std::array<...> a{};"); a
+                    // function or nested-type body ends it.
+                    std::size_t q = cb + 1;
+                    while (q < body.size() &&
+                           std::isspace(
+                               static_cast<unsigned char>(body[q])))
+                        ++q;
+                    if (q < body.size() && body[q] == ';') {
+                        i = cb + 1;
+                        continue;
+                    }
+                    end = cb;
+                    break;
+                }
+                ++i;
+            }
+            if (end == std::string::npos)
+                end = body.size();
+            if (isStatement)
+                parseMemberStatement(
+                    body.substr(start, end - start),
+                    lineOfOffset(text, open + 1 + start),
+                    cls.members);
+            i = end + 1;
+        }
+        out.push_back(std::move(cls));
+    }
+    return out;
+}
+
+void
+attachSerialBodies(const SourceFile &src,
+                   std::vector<SerialClass> &classes)
+{
+    const std::string &text = src.codeOnly;
+    static const std::regex outSerRe(
+        R"(\b([A-Za-z_]\w*)::serialize\s*\(\s*(?:mct::)?Serializer\b)",
+        std::regex::optimize);
+    static const std::regex outDeserRe(
+        R"(\b([A-Za-z_]\w*)::deserialize\s*\(\s*(?:mct::)?Deserializer\b)",
+        std::regex::optimize);
+
+    const auto attach = [&](const std::regex &re, bool deser) {
+        for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                            re);
+             it != std::sregex_iterator(); ++it) {
+            const std::smatch &m = *it;
+            const std::string cname = m[1].str();
+            SerialClass *cls = nullptr;
+            for (auto &c : classes)
+                if (c.name == cname) {
+                    cls = &c;
+                    break;
+                }
+            if (!cls)
+                continue;
+            if ((deser ? cls->deserBody : cls->serBody).size())
+                continue; // first definition wins
+            const auto at = static_cast<std::size_t>(m.position(0));
+            const std::size_t open = text.find('(', at);
+            const std::size_t close =
+                open == std::string::npos
+                    ? std::string::npos
+                    : closeParenAt(text, open);
+            if (close == std::string::npos)
+                continue;
+            std::size_t p = close + 1;
+            while (p < text.size() && text[p] != '{' && text[p] != ';')
+                ++p;
+            if (p >= text.size() || text[p] != '{')
+                continue; // declaration, not a definition
+            const std::size_t end = closeBrace(text, p);
+            if (end == std::string::npos)
+                continue;
+            const std::string body = text.substr(p, end - p + 1);
+            if (deser) {
+                cls->deserBody = body;
+                cls->deserFile = src.path;
+                cls->deserLine = lineOfOffset(text, at);
+            } else {
+                cls->serBody = body;
+                cls->serFile = src.path;
+                cls->serLine = lineOfOffset(text, at);
+            }
+        }
+    };
+    attach(outSerRe, false);
+    attach(outDeserRe, true);
+}
+
+void
+checkSerialContract(const RuleSpec &rule,
+                    std::vector<SerialClass> &classes,
+                    std::vector<Finding> &out)
+{
+    // Parse the skip manifest into class -> members.
+    std::map<std::string, std::set<std::string>> skips;
+    for (const auto &entry : rule.skips) {
+        const std::size_t sep = entry.find("::");
+        if (sep == std::string::npos || sep == 0 ||
+            sep + 2 >= entry.size()) {
+            out.push_back({"rules.txt", 0, rule.id,
+                           "malformed skip entry '" + entry +
+                               "': expected Class::member"});
+            continue;
+        }
+        skips[entry.substr(0, sep)].insert(entry.substr(sep + 2));
+    }
+    std::set<std::string> usedSkips;
+
+    // Duplicate class names make body attribution ambiguous; stay
+    // conservative and exempt every carrier of the name.
+    std::map<std::string, int> nameCount;
+    for (const auto &c : classes)
+        ++nameCount[c.name];
+
+    for (auto &cls : classes) {
+        if (cls.isTemplate || nameCount[cls.name] > 1)
+            continue;
+        if (cls.pureSerialize || cls.pureDeserialize)
+            continue; // abstract interface; overriders are checked
+
+        if (!cls.declaresDeserialize) {
+            out.push_back({cls.file, cls.line, rule.id,
+                           "class '" + cls.name +
+                               "' declares serialize(Serializer&) but "
+                               "no deserialize(Deserializer&)"});
+            continue;
+        }
+        if (cls.serBody.empty() || cls.deserBody.empty()) {
+            out.push_back(
+                {cls.file, cls.line, rule.id,
+                 "class '" + cls.name + "' declares " +
+                     (cls.serBody.empty() ? "serialize"
+                                          : "deserialize") +
+                     " but no definition was found in the scanned "
+                     "tree"});
+            continue;
+        }
+
+        const auto &clsSkips = skips[cls.name];
+
+        // Per-member coverage, and the first-touch offsets driving
+        // the order check.
+        struct Touch
+        {
+            const SerialMember *m;
+            std::size_t ser, deser;
+        };
+        std::vector<Touch> touched;
+        for (auto &mem : cls.members) {
+            if (!mem.exempt.empty())
+                continue;
+            if (clsSkips.count(mem.name)) {
+                mem.skipped = true;
+                usedSkips.insert(cls.name + "::" + mem.name);
+                continue;
+            }
+            const std::size_t inSer =
+                firstTouch(cls.serBody, mem.name);
+            const std::size_t inDeser =
+                firstTouch(cls.deserBody, mem.name);
+            mem.inSerialize = inSer != std::string::npos;
+            mem.inDeserialize = inDeser != std::string::npos;
+            if (!mem.inSerialize)
+                out.push_back(
+                    {cls.file, mem.line, rule.id,
+                     "member '" + mem.name + "' of '" + cls.name +
+                         "' is never written in " + cls.name +
+                         "::serialize; a checkpoint silently drops "
+                         "it (declare 'skip " + cls.name +
+                         "::" + mem.name +
+                         "' in rules.txt if deliberate)"});
+            if (!mem.inDeserialize)
+                out.push_back(
+                    {cls.file, mem.line, rule.id,
+                     "member '" + mem.name + "' of '" + cls.name +
+                         "' is never read in " + cls.name +
+                         "::deserialize; resume leaves it at its "
+                         "constructed value (declare 'skip " +
+                         cls.name + "::" + mem.name +
+                         "' in rules.txt if deliberate)"});
+            if (mem.inSerialize && mem.inDeserialize)
+                touched.push_back({&mem, inSer, inDeser});
+        }
+
+        // Order: the sequences of first touches must agree, or the
+        // restored stream is read against the wrong fields.
+        std::vector<const SerialMember *> serOrder, deserOrder;
+        for (const auto &t : touched)
+            serOrder.push_back(t.m);
+        deserOrder = serOrder;
+        std::sort(serOrder.begin(), serOrder.end(),
+                  [&](const SerialMember *a, const SerialMember *b) {
+                      return firstTouch(cls.serBody, a->name) <
+                             firstTouch(cls.serBody, b->name);
+                  });
+        std::sort(deserOrder.begin(), deserOrder.end(),
+                  [&](const SerialMember *a, const SerialMember *b) {
+                      return firstTouch(cls.deserBody, a->name) <
+                             firstTouch(cls.deserBody, b->name);
+                  });
+        for (std::size_t i = 0; i < serOrder.size(); ++i) {
+            if (serOrder[i] == deserOrder[i])
+                continue;
+            out.push_back(
+                {cls.deserFile, cls.deserLine, rule.id,
+                 cls.name + "::deserialize reads '" +
+                     deserOrder[i]->name + "' where serialize wrote '" +
+                     serOrder[i]->name +
+                     "' (field order must match byte-for-byte)"});
+            break; // one finding per class; the rest cascades
+        }
+    }
+
+    // Stale skips can only mask future drift; ratchet them out.
+    for (const auto &[cname, mems] : skips)
+        for (const auto &mname : mems)
+            if (!usedSkips.count(cname + "::" + mname))
+                out.push_back(
+                    {"rules.txt", 0, rule.id,
+                     "stale skip entry '" + cname + "::" + mname +
+                         "': no such unserialized member in the "
+                         "scanned tree"});
+}
+
+void
+Linter::runSerializeContract(const RuleSpec &rule,
+                             const std::vector<SourceFile> &files,
+                             std::vector<Finding> &out)
+{
+    serials_.clear();
+    for (const auto &f : files) {
+        if (!serialPathAllowed(rule, f.path))
+            continue;
+        auto classes = extractSerialClasses(f);
+        serials_.insert(serials_.end(),
+                        std::make_move_iterator(classes.begin()),
+                        std::make_move_iterator(classes.end()));
+    }
+    // Out-of-line bodies may live anywhere in the scanned tree (a
+    // class in src/x.hh, its pair in src/x.cc).
+    for (const auto &f : files)
+        attachSerialBodies(f, serials_);
+    checkSerialContract(rule, serials_, out);
+}
+
+} // namespace mct::lint
