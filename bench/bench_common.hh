@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/alerts.hh"
 #include "common/instrument.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -161,6 +162,30 @@ class BenchSummary
     metric(const std::string &key, double value)
     {
         metrics.emplace_back(key, value);
+    }
+
+    /** Fold one run's fired-alert counts and timeline EWMA rollups
+     *  into the summary under @p prefix. Disarmed surfaces record
+     *  nothing, so benches that never arm alerting keep their
+     *  historical metric list. */
+    void
+    observability(const System &sys, const std::string &prefix)
+    {
+        if (sys.alerts().enabled()) {
+            const AlertEngine &ae = sys.alerts();
+            metric(prefix + ".alerts.raised",
+                   static_cast<double>(ae.raised()));
+            metric(prefix + ".alerts.critical",
+                   static_cast<double>(ae.raisedBySeverity(
+                       AlertSeverity::Critical)));
+            metric(prefix + ".alerts.warn",
+                   static_cast<double>(
+                       ae.raisedBySeverity(AlertSeverity::Warn)));
+        }
+        const MetricTimeline &tl = sys.timeline();
+        for (std::size_t i = 0; i < tl.metrics().size(); ++i)
+            metric(prefix + ".ewma." + tl.metrics()[i],
+                   tl.rollup(i).ewma);
     }
 
     void

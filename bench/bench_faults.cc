@@ -25,13 +25,41 @@ using namespace mct::bench;
 namespace
 {
 
-/** Run in short chunks so windowed faults inside long spans fire. */
+/** Run in short chunks so windowed faults inside long spans fire,
+ *  observing a timeline/alert window at every chunk boundary. */
 void
-runChunked(MctController &ctl, InstCount insts)
+runChunked(System &sys, MctController &ctl, InstCount insts)
 {
     const InstCount chunk = 50 * 1000;
-    for (InstCount done = 0; done < insts; done += chunk)
+    StatSnapshot prev = sys.statRegistry().snapshot();
+    for (InstCount done = 0; done < insts; done += chunk) {
         ctl.runFor(std::min(chunk, insts - done));
+        StatSnapshot cur = sys.statRegistry().snapshot();
+        sys.observeWindow(sys.retired(),
+                          StatRegistry::delta(prev, cur));
+        prev = std::move(cur);
+    }
+}
+
+/** The watchdog rules every plan runs under: a non-finite objective
+ *  is always a bug (critical; the table's finite check would go FAIL
+ *  with it), and a sharp break from the smoothed IPC trend flags the
+ *  plans that visibly disturb execution (warn, informational). */
+std::vector<AlertRule>
+watchdogRules()
+{
+    AlertRule nonfinite;
+    nonfinite.name = "objective-nonfinite";
+    nonfinite.glob = "sim.objective.*";
+    nonfinite.cond = AlertCondition::Nonfinite;
+    nonfinite.severity = AlertSeverity::Critical;
+    AlertRule collapse;
+    collapse.name = "ipc-collapse";
+    collapse.glob = "sim.objective.ipc";
+    collapse.cond = AlertCondition::EwmaDev;
+    collapse.threshold = 0.5;
+    collapse.severity = AlertSeverity::Warn;
+    return {nonfinite, collapse};
 }
 
 } // namespace
@@ -49,7 +77,8 @@ main(int argc, char **argv)
 
     TextTable t;
     t.header({"plan", "injected", "IPC", "life(y)", "quarant",
-              "rejected", "fallbk", "clamps", "reeng", "ok"});
+              "rejected", "fallbk", "clamps", "reeng", "alerts",
+              "ok"});
 
     std::vector<std::string> plans = {"(clean)"};
     for (const std::string &name : builtinFaultPlanNames())
@@ -67,6 +96,8 @@ main(int argc, char **argv)
         }
         FaultInjector inj(plan, 42);
         sys.attachFaultInjector(&inj);
+        sys.enableTimeline({"sim.objective.*"}, 128);
+        sys.enableAlerts(watchdogRules());
 
         sys.run(standardEvalParams().warmupInsts);
 
@@ -75,9 +106,13 @@ main(int argc, char **argv)
         mp.sampling.settleInsts = 1000;
         mp.sampling.rounds = 2;
         MctController ctl(sys, mp);
+        sys.alerts().setEscalation(
+            [&ctl](const AlertRule &, const std::string &) {
+                ctl.noteCriticalAlert();
+            });
 
         const SysSnapshot s0 = sys.snapshot();
-        runChunked(ctl, totalInsts);
+        runChunked(sys, ctl, totalInsts);
         const Metrics m = sys.metricsSince(s0);
 
         const bool finite = std::isfinite(m.ipc) &&
@@ -91,10 +126,12 @@ main(int argc, char **argv)
                fmt(double(ctl.fallbacks()), 0),
                fmt(double(ctl.emergencyClamps()), 0),
                fmt(double(ctl.reengagements()), 0),
+               fmt(double(sys.alerts().raised()), 0),
                finite && quotaOn ? "ok" : "FAIL"});
         BenchSummary::instance().metric(name + ".ipc", m.ipc);
         BenchSummary::instance().metric(name + ".lifetime_years",
                                         m.lifetimeYears);
+        BenchSummary::instance().observability(sys, name);
     }
     t.print(std::cout);
     return 0;

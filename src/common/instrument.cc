@@ -313,6 +313,10 @@ toString(TraceEventType type)
         return "span_complete";
       case TraceEventType::DecisionProvenance:
         return "decision_provenance";
+      case TraceEventType::AlertRaised:
+        return "alert_raised";
+      case TraceEventType::AlertCleared:
+        return "alert_cleared";
     }
     return "unknown";
 }
@@ -347,6 +351,10 @@ traceArgNames(TraceEventType type)
         return {"total_ns", "hit_level", "stages"};
       case TraceEventType::DecisionProvenance:
         return {"seq", "err_ipc", "regret"};
+      case TraceEventType::AlertRaised:
+        return {"rule", "severity", "value"};
+      case TraceEventType::AlertCleared:
+        return {"rule", "severity", "windows_active"};
     }
     return {"a0", "a1", "a2"};
 }
@@ -988,6 +996,211 @@ ProvenanceTrace::writeChromeTrace(std::ostream &os) const
         w.endObject();
     }
     w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+// --------------------------------------------------------------------
+// MetricTimeline
+// --------------------------------------------------------------------
+
+bool
+statGlobMatch(const std::string &pattern, const std::string &path)
+{
+    // Iterative greedy glob: '*' matches any run of characters (dots
+    // included), everything else is literal. Mirrors the report tool's
+    // threshold-rule matching so both sides select the same metrics.
+    std::size_t p = 0, s = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (s < path.size()) {
+        if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = s;
+        } else if (p < pattern.size() && pattern[p] == path[s]) {
+            ++p;
+            ++s;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            s = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+void
+MetricTimeline::enable(std::vector<std::string> globs,
+                       std::size_t capacity)
+{
+    if (capacity == 0)
+        mct_fatal("MetricTimeline::enable requires a nonzero capacity");
+    globs_ = std::move(globs);
+    ring.assign(capacity, Window{});
+    names.clear();
+    rollups.clear();
+    cap = capacity;
+    head = 0;
+    held = 0;
+    total = 0;
+    bound_ = false;
+}
+
+void
+MetricTimeline::disable()
+{
+    ring.clear();
+    ring.shrink_to_fit();
+    globs_.clear();
+    names.clear();
+    rollups.clear();
+    cap = 0;
+    head = 0;
+    held = 0;
+    total = 0;
+    bound_ = false;
+}
+
+bool
+MetricTimeline::selected(const std::string &path) const
+{
+    if (globs_.empty())
+        return true;
+    for (const std::string &g : globs_)
+        if (statGlobMatch(g, path))
+            return true;
+    return false;
+}
+
+void
+MetricTimeline::observe(InstCount inst, const StatSnapshot &delta)
+{
+    if (cap == 0)
+        return;
+    if (!bound_) {
+        // Bind the tracked-metric list from the first window's keys:
+        // snapshot maps are sorted, so the binding is deterministic,
+        // and late-registering stats (mct.* appears post-warmup) are
+        // selectable as long as they exist by the first boundary.
+        for (const auto &[path, v] : delta)
+            if (selected(path))
+                names.push_back(path);
+        rollups.assign(names.size(), Rollup{});
+        bound_ = true;
+    }
+    Window &w = ring[head];
+    w.inst = inst;
+    w.vals.assign(names.size(), 0.0);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto it = delta.find(names[i]);
+        if (it != delta.end())
+            w.vals[i] = it->second.num;
+    }
+    head = head + 1 == cap ? 0 : head + 1;
+    held = std::min(held + 1, cap);
+    ++total;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        Rollup &r = rollups[i];
+        const double v = w.vals[i];
+        if (total == 1) {
+            r.ewma = v;
+            r.min = v;
+            r.max = v;
+        } else {
+            r.ewma = ewmaAlpha * v + (1.0 - ewmaAlpha) * r.ewma;
+            r.min = std::min(r.min, v);
+            r.max = std::max(r.max, v);
+        }
+    }
+}
+
+std::vector<InstCount>
+MetricTimeline::insts() const
+{
+    std::vector<InstCount> out;
+    out.reserve(held);
+    const std::size_t start = held == cap ? head : 0;
+    for (std::size_t i = 0; i < held; ++i)
+        out.push_back(ring[(start + i) % (cap ? cap : 1)].inst);
+    return out;
+}
+
+std::vector<double>
+MetricTimeline::series(std::size_t metricIdx) const
+{
+    std::vector<double> out;
+    out.reserve(held);
+    const std::size_t start = held == cap ? head : 0;
+    for (std::size_t i = 0; i < held; ++i) {
+        const Window &w = ring[(start + i) % (cap ? cap : 1)];
+        out.push_back(metricIdx < w.vals.size() ? w.vals[metricIdx]
+                                                : 0.0);
+    }
+    return out;
+}
+
+void
+MetricTimeline::clear()
+{
+    for (Window &w : ring)
+        w = Window{};
+    names.clear();
+    rollups.clear();
+    head = 0;
+    held = 0;
+    total = 0;
+    bound_ = false;
+}
+
+void
+MetricTimeline::writeJson(std::ostream &os, const std::string &mode,
+                          const std::string &app,
+                          const std::string &config,
+                          const std::map<std::string, double>
+                              &extraFinal) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "mct-timeline-v1");
+    w.kv("mode", mode);
+    w.kv("app", app);
+    w.kv("config", config);
+    w.kv("capacity", static_cast<std::uint64_t>(cap));
+    w.key("metrics").beginArray();
+    for (const std::string &n : names)
+        w.value(n);
+    w.endArray();
+    w.key("inst").beginArray();
+    for (const InstCount i : insts())
+        w.value(static_cast<std::uint64_t>(i));
+    w.endArray();
+    w.key("series").beginObject();
+    for (std::size_t m = 0; m < names.size(); ++m) {
+        w.key(names[m]).beginArray();
+        for (const double v : series(m))
+            w.value(v);
+        w.endArray();
+    }
+    w.endObject();
+    // The flat "final" object follows the mct-stats-v1 shape, so
+    // mct_report's loadSnapshots / diff gate it like any other run
+    // document. The std::map keeps key order deterministic.
+    std::map<std::string, double> fin = extraFinal;
+    fin["sim.timeline.windows"] = static_cast<double>(held);
+    fin["sim.timeline.recorded"] = static_cast<double>(total);
+    fin["sim.timeline.dropped"] = static_cast<double>(dropped());
+    fin["sim.timeline.metrics"] = static_cast<double>(names.size());
+    for (std::size_t m = 0; m < names.size(); ++m) {
+        fin["timeline." + names[m] + ".ewma"] = rollups[m].ewma;
+        fin["timeline." + names[m] + ".min"] = rollups[m].min;
+        fin["timeline." + names[m] + ".max"] = rollups[m].max;
+    }
+    w.key("final").beginObject();
+    for (const auto &[k, v] : fin)
+        w.kv(k, v);
+    w.endObject();
     w.endObject();
     os << '\n';
 }
@@ -1725,6 +1938,56 @@ ProvenanceTrace::deserialize(Deserializer &d)
     total = d.getU64();
     for (ProvenanceRecord &r : ring)
         r.deserialize(d);
+}
+
+void
+MetricTimeline::serialize(Serializer &s) const
+{
+    s.putU64(cap);
+    s.putU64(head);
+    s.putU64(held);
+    s.putU64(total);
+    s.putBool(bound_);
+    s.putU64(names.size());
+    for (const std::string &n : names)
+        s.putStr(n);
+    for (const Rollup &r : rollups) {
+        s.putF64(r.ewma);
+        s.putF64(r.min);
+        s.putF64(r.max);
+    }
+    for (const Window &w : ring) {
+        s.putU64(w.inst);
+        s.putU64(w.vals.size());
+        for (const double v : w.vals)
+            s.putF64(v);
+    }
+}
+
+void
+MetricTimeline::deserialize(Deserializer &d)
+{
+    if (d.getU64() != cap)
+        mct_panic("checkpoint MetricTimeline capacity mismatch");
+    head = static_cast<std::size_t>(d.getU64());
+    held = static_cast<std::size_t>(d.getU64());
+    total = d.getU64();
+    bound_ = d.getBool();
+    names.resize(d.getU64());
+    for (std::string &n : names)
+        n = d.getStr();
+    rollups.resize(names.size());
+    for (Rollup &r : rollups) {
+        r.ewma = d.getF64();
+        r.min = d.getF64();
+        r.max = d.getF64();
+    }
+    for (Window &w : ring) {
+        w.inst = d.getU64();
+        w.vals.resize(d.getU64());
+        for (double &v : w.vals)
+            v = d.getF64();
+    }
 }
 
 } // namespace mct

@@ -291,10 +291,12 @@ enum class TraceEventType : std::uint8_t
     RecoveryAction,     ///< the MCT runtime took a degradation step
     SpanComplete,       ///< a sampled request-lifecycle span closed
     DecisionProvenance, ///< a decision's provenance record closed
+    AlertRaised,        ///< an alert rule's streak crossed its window count
+    AlertCleared,       ///< a raised alert's condition stopped holding
 };
 
 /** Number of distinct TraceEventType values. */
-constexpr std::size_t numTraceEventTypes = 13;
+constexpr std::size_t numTraceEventTypes = 15;
 
 /** Stable snake_case name of an event type (JSONL "ev" field). */
 const char *toString(TraceEventType type);
@@ -751,6 +753,142 @@ class ProvenanceTrace
     std::size_t held = 0;
     std::uint64_t total = 0;
     EventTrace *events_ = nullptr;
+};
+
+/**
+ * Glob match for dotted stat paths: '*' matches any run of
+ * characters (dots included), everything else is literal. The same
+ * semantics as the thresholds.txt / alerts.txt rule globs, exposed
+ * here so simulated code (MetricTimeline, AlertEngine) and the report
+ * tool agree on what a pattern selects.
+ */
+bool statGlobMatch(const std::string &pattern, const std::string &path);
+
+/**
+ * Windowed time series of glob-selected deterministic metrics. On
+ * every --stats-every boundary the driver hands over the window's
+ * delta snapshot (StatScope::Sim only, so the series is byte-identical
+ * across identically-seeded runs); the timeline keeps the per-metric
+ * window values in a fixed-capacity ring (oldest window overwritten,
+ * with dropped-window accounting like EventTrace) plus streaming
+ * EWMA/min/max rollups over *all* observed windows, survivors and
+ * dropped alike.
+ *
+ * The tracked-metric list is bound lazily from the first observed
+ * snapshot's keys: stats that register after construction (the MCT
+ * controller's mct.* family appears post-warmup) are still selectable
+ * as long as they exist by the first window. Metrics absent from a
+ * later snapshot read as 0.
+ *
+ * Disabled (the default) observe() is a single branch. The ring,
+ * binding, and rollups serialize through the checkpoint subsystem so
+ * a killed-then-resumed run reproduces the identical timeline; the
+ * enable() configuration (globs, capacity) is construction-time state
+ * pinned by the run fingerprint and must match at restore.
+ */
+class MetricTimeline
+{
+  public:
+    MetricTimeline() = default;
+
+    /** EWMA smoothing factor (fixed; part of the on-disk format). */
+    static constexpr double ewmaAlpha = 0.25;
+
+    /** Track metrics matching any of @p globs; ring of @p capacity
+     *  windows. An empty glob list tracks everything. */
+    void enable(std::vector<std::string> globs, std::size_t capacity);
+
+    /** Stop collecting and release storage. */
+    void disable();
+
+    /** True when collecting. */
+    bool enabled() const { return cap != 0; }
+
+    /** True once the metric list has been bound (first observe()). */
+    bool bound() const { return bound_; }
+
+    /** The enable()-time metric globs. */
+    const std::vector<std::string> &globs() const { return globs_; }
+
+    /** Bound metric paths, sorted (empty before the first window). */
+    const std::vector<std::string> &metrics() const { return names; }
+
+    /** Record one window (no-op when disabled). */
+    void observe(InstCount inst, const StatSnapshot &delta);
+
+    /** Windows currently held (<= capacity). */
+    std::size_t size() const { return held; }
+
+    /** Windows ever observed. */
+    std::uint64_t recorded() const { return total; }
+
+    /** Windows overwritten by ring wraparound. */
+    std::uint64_t dropped() const { return total - held; }
+
+    /** Ring capacity in windows (0 when disabled). */
+    std::size_t capacity() const { return cap; }
+
+    /** Instruction clock of each held window, oldest first. */
+    std::vector<InstCount> insts() const;
+
+    /** Held window values of bound metric @p metricIdx, oldest first. */
+    std::vector<double> series(std::size_t metricIdx) const;
+
+    /** Streaming rollup over every observed window of one metric. */
+    struct Rollup
+    {
+        double ewma = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    /** Rollup of bound metric @p metricIdx (zeros before window 1). */
+    const Rollup &rollup(std::size_t metricIdx) const
+    {
+        return rollups[metricIdx];
+    }
+
+    /** Forget windows, binding, and rollups (config is kept). */
+    void clear();
+
+    /**
+     * The timeline body of the mct-timeline-v1 document: bound
+     * metrics, window instruction marks, per-metric series and
+     * rollups, and a flat "final" object (sim.timeline.* scalars plus
+     * per-metric ewma/min/max) that mct_report diff can gate.
+     * @p extraFinal appends additional scalars (the driver passes the
+     * alert counters) into the same "final" object.
+     */
+    void writeJson(std::ostream &os, const std::string &mode,
+                   const std::string &app, const std::string &config,
+                   const std::map<std::string, double> &extraFinal)
+        const;
+
+    /** Checkpoint binding, ring, cursors, and rollups. */
+    void serialize(Serializer &s) const;
+
+    /** Restore state written by serialize(); the capacity must match
+     *  the current enable() configuration (panics otherwise). */
+    void deserialize(Deserializer &d);
+
+  private:
+    struct Window
+    {
+        InstCount inst = 0;
+        std::vector<double> vals; ///< one per bound metric
+    };
+
+    std::vector<std::string> globs_;
+    std::vector<std::string> names; ///< bound metric paths, sorted
+    std::vector<Window> ring;
+    std::vector<Rollup> rollups;
+    std::size_t cap = 0;
+    std::size_t head = 0; ///< next slot to write
+    std::size_t held = 0;
+    std::uint64_t total = 0;
+    bool bound_ = false;
+
+    bool selected(const std::string &path) const;
 };
 
 /**

@@ -106,6 +106,9 @@ MctController::registerStats()
     reg.addCounter("mct.recovery.reengagements",
                    [this] { return nReengage; },
                    "optimizer re-engagements after cooldown/clamp");
+    reg.addCounter("mct.recovery.alert_escalations",
+                   [this] { return nAlertEscalations; },
+                   "critical alerts that climbed the health ladder");
     reg.addGauge("mct.recovery.ladder_level", [this] {
         return static_cast<double>(ladder);
     });
@@ -814,6 +817,31 @@ MctController::healthCheck()
 }
 
 void
+MctController::noteCriticalAlert()
+{
+    // A critical alert climbs the same ladder as a failed health
+    // check. While the cooldown or emergency clamp already has the
+    // system pinned to a safe configuration there is nothing further
+    // to degrade to, so the alert is absorbed without a climb.
+    if (cooldownActive || emergencyOn)
+        return;
+    ++nAlertEscalations;
+    ++ladder;
+    traceRecovery(RecoveryStep::AlertEscalation,
+                  static_cast<double>(nAlertEscalations));
+    if (ladder == 2) {
+        ++nResampleEscalations;
+        state = State::NeedSampling;
+    } else if (ladder >= 3) {
+        ++nFallbacks;
+        current = p.baseline;
+        sys.setConfig(current);
+        enterCooldown();
+        ladder = 0;
+    }
+}
+
+void
 MctController::runCooldownWindow(InstCount insts)
 {
     // Baseline-only window while the optimizer is benched after a
@@ -971,6 +999,7 @@ MctController::serialize(Serializer &s) const
     s.putU64(nResampleEscalations);
     s.putU64(nEmergency);
     s.putU64(nReengage);
+    s.putU64(nAlertEscalations);
     openProv_.serialize(s);
     s.putBool(openProvValid_);
     s.putU64(provSeq_);
@@ -1036,6 +1065,7 @@ MctController::deserialize(Deserializer &d)
     nResampleEscalations = d.getU64();
     nEmergency = d.getU64();
     nReengage = d.getU64();
+    nAlertEscalations = d.getU64();
     openProv_.deserialize(d);
     openProvValid_ = d.getBool();
     provSeq_ = d.getU64();

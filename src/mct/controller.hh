@@ -94,6 +94,7 @@ enum class RecoveryStep
     EmergencyClampOn = 7,   ///< lifetime floor broken: safest config
     EmergencyClampOff = 8,  ///< wear rate recovered, leaving the clamp
     CkptQuarantine = 9,     ///< corrupt checkpoint rejected on resume
+    AlertEscalation = 10,   ///< critical alert climbed the ladder
 };
 
 /** Runtime parameters (defaults follow the paper's ratios, scaled). */
@@ -287,6 +288,24 @@ class MctController
     /** Current escalation-ladder level (0 = healthy). */
     unsigned ladderLevel() const { return ladder; }
 
+    /**
+     * Feed a critical alert into the escalation ladder: climbs one
+     * rung exactly like a failed health check (retry strike ->
+     * forced re-sampling -> baseline fallback + cooldown), recording
+     * an AlertEscalation RecoveryAction and bumping
+     * mct.recovery.alert_escalations. Wired as the AlertEngine's
+     * escalation hook by the driver, closing the observe -> react
+     * loop. No-op while the emergency clamp or cooldown already has
+     * the system pinned to a safe configuration.
+     */
+    void noteCriticalAlert();
+
+    /** Critical alerts that climbed the escalation ladder. */
+    std::uint64_t alertEscalations() const
+    {
+        return nAlertEscalations;
+    }
+
     /** The clamp target: baseline knobs at the slowest latencies. */
     MellowConfig safestConfig() const;
 
@@ -358,6 +377,7 @@ class MctController
     std::uint64_t nResampleEscalations = 0;
     std::uint64_t nEmergency = 0;
     std::uint64_t nReengage = 0;
+    std::uint64_t nAlertEscalations = 0;
 
     /** Histogram of instructions consumed per sampling period
      *  (lives in the system's registry as mct.sampling.period_insts). */

@@ -37,8 +37,9 @@ namespace mct
 
 class StatRegistry;
 
-/** Current checkpoint format version. */
-constexpr std::uint32_t checkpointFormatVersion = 1;
+/** Current checkpoint format version. Version 2 appended the
+ *  MetricTimeline and AlertEngine state to System's payload. */
+constexpr std::uint32_t checkpointFormatVersion = 2;
 
 /** Outcome of CheckpointStore::load(). */
 struct CheckpointLoadResult

@@ -114,6 +114,40 @@ System::enableSpans(std::uint64_t sampleEvery, std::size_t capacity)
 }
 
 void
+System::enableTimeline(std::vector<std::string> globs,
+                       std::size_t capacity)
+{
+    timeline_.enable(std::move(globs), capacity);
+    // Host-scoped: collection is deterministic, but registering these
+    // must not perturb the byte-identical Sim snapshot surfaces, so
+    // an armed run's --stats-json matches a disarmed run's.
+    reg_.addGauge("sim.timeline.windows", [this] {
+        return static_cast<double>(timeline_.size());
+    }, "timeline windows currently held in the ring");
+    reg_.addGauge("sim.timeline.recorded", [this] {
+        return static_cast<double>(timeline_.recorded());
+    }, "timeline windows ever observed");
+    reg_.addGauge("sim.timeline.dropped", [this] {
+        return static_cast<double>(timeline_.dropped());
+    }, "timeline windows overwritten by ring wraparound");
+    reg_.addGauge("sim.timeline.metrics", [this] {
+        return static_cast<double>(timeline_.metrics().size());
+    }, "metrics bound to the timeline's tracked set");
+    for (const char *path :
+         {"sim.timeline.windows", "sim.timeline.recorded",
+          "sim.timeline.dropped", "sim.timeline.metrics"})
+        reg_.markHost(path);
+}
+
+void
+System::enableAlerts(std::vector<AlertRule> rules)
+{
+    alerts_.enable(std::move(rules));
+    alerts_.attachTrace(&trace_);
+    alerts_.registerStats(reg_);
+}
+
+void
 System::attachFaultInjector(FaultInjector *f)
 {
     faults_ = f;
@@ -278,6 +312,8 @@ System::serialize(Serializer &s) const
     trace_.serialize(s);
     spans_.serialize(s);
     prov_.serialize(s);
+    timeline_.serialize(s);
+    alerts_.serialize(s);
     reg_.serializeOwned(s);
 }
 
@@ -292,6 +328,8 @@ System::deserialize(Deserializer &d)
     trace_.deserialize(d);
     spans_.deserialize(d);
     prov_.deserialize(d);
+    timeline_.deserialize(d);
+    alerts_.deserialize(d);
     reg_.deserializeOwned(d);
 }
 

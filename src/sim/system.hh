@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hh"
+#include "common/alerts.hh"
 #include "common/instrument.hh"
 #include "common/types.hh"
 #include "cpu/core.hh"
@@ -164,6 +165,48 @@ class System
     const ProvenanceTrace &provenanceTrace() const { return prov_; }
 
     /**
+     * The windowed metric timeline. Disabled until enableTimeline();
+     * the driver feeds it the delta snapshot of every --stats-every
+     * window. Serialized with the rest of the system so a resumed run
+     * reproduces the identical timeline.
+     */
+    MetricTimeline &timeline() { return timeline_; }
+    const MetricTimeline &timeline() const { return timeline_; }
+
+    /**
+     * The online alert engine. Disabled until enableAlerts(); observes
+     * the same windowed deltas as the timeline and escalates critical
+     * raises through an attached hook.
+     */
+    AlertEngine &alerts() { return alerts_; }
+    const AlertEngine &alerts() const { return alerts_; }
+
+    /**
+     * Start timeline collection over Sim-scoped metrics matching any
+     * of @p globs (empty: all), in a ring of @p capacity windows. The
+     * sim.timeline.* gauges register host-scoped, keeping the
+     * deterministic snapshot surfaces byte-identical.
+     */
+    void enableTimeline(std::vector<std::string> globs,
+                        std::size_t capacity);
+
+    /**
+     * Arm the alert engine with @p rules. Wires the engine to the
+     * event trace and registers the host-scoped alert.* stats.
+     */
+    void enableAlerts(std::vector<AlertRule> rules);
+
+    /**
+     * Feed one --stats-every window's delta snapshot to the timeline
+     * and alert engine (both single branches while disabled).
+     */
+    void observeWindow(InstCount inst, const StatSnapshot &delta)
+    {
+        timeline_.observe(inst, delta);
+        alerts_.observe(inst, delta);
+    }
+
+    /**
      * Start span sampling: every @p sampleEvery-th request id carries
      * a span through cache, core, controller and device into a ring
      * of @p capacity completed spans, feeding the lat.* stats and the
@@ -215,6 +258,8 @@ class System
     EventTrace trace_;
     SpanTrace spans_;
     ProvenanceTrace prov_;
+    MetricTimeline timeline_;
+    AlertEngine alerts_;
     std::unique_ptr<Workload> wl_;
     std::unique_ptr<NvmDevice> dev_;
     std::unique_ptr<MemController> ctrl_;

@@ -12,10 +12,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/alerts.hh"
 #include "common/atomic_file.hh"
 #include "common/instrument.hh"
 #include "common/serialize.hh"
@@ -435,6 +438,99 @@ TEST(ControllerRoundTrip, KillAtEveryChunkBoundaryResumesIdentically)
         for (int r = k + 1; r < chunks; ++r)
             ctlB.runFor(chunk);
         EXPECT_EQ(fullStateBytes(sysB, ctlB), snaps.back())
+            << "kill after chunk " << k;
+    }
+}
+
+/** The alert rule set for resume-identity tests: guaranteed to raise
+ *  (instructions always flow) so the log ring, streaks, and counters
+ *  all carry nontrivial state across the checkpoint. */
+std::vector<AlertRule>
+smokeAlertRules()
+{
+    AlertRule r;
+    r.name = "insts-flowing";
+    r.glob = "sim.instructions";
+    r.cond = AlertCondition::Above;
+    r.threshold = 0.0;
+    r.windows = 2;
+    return {r};
+}
+
+void
+armObservability(System &sys)
+{
+    // Capacity 3 < the 4 windows observed, so the resume also has to
+    // reproduce ring wraparound and dropped-window accounting.
+    sys.enableTimeline({"sim.objective.*", "sim.instructions"}, 3);
+    sys.enableAlerts(smokeAlertRules());
+}
+
+/** The two telemetry surfaces a resumed run must reproduce
+ *  byte-for-byte: the timeline document and the alert log. */
+std::string
+observabilityBytes(const System &sys)
+{
+    std::ostringstream os;
+    std::map<std::string, double> fin;
+    sys.alerts().appendFinal(fin);
+    sys.timeline().writeJson(os, "mct", "lbm", "cfg", fin);
+    sys.alerts().writeJsonl(os);
+    return os.str();
+}
+
+TEST(ControllerRoundTrip, KillAtEveryChunkBoundaryKeepsTimelineAlerts)
+{
+    SystemParams sp;
+    const MctParams mp = fastParams();
+    constexpr InstCount chunk = 100 * 1000;
+    constexpr int chunks = 4;
+
+    // The uninterrupted run, observing a timeline/alert window at
+    // every chunk boundary exactly as the driver does, checkpointing
+    // the full payload plus the driver's previous-snapshot cursor.
+    System sysA("lbm", sp, staticBaselineConfig());
+    armObservability(sysA);
+    sysA.run(50 * 1000);
+    MctController ctlA(sysA, mp);
+    StatSnapshot prevA = sysA.statRegistry().snapshot();
+    std::vector<std::string> snaps;
+    for (int k = 0; k < chunks; ++k) {
+        ctlA.runFor(chunk);
+        StatSnapshot cur = sysA.statRegistry().snapshot();
+        sysA.observeWindow(sysA.retired(),
+                           StatRegistry::delta(prevA, cur));
+        prevA = std::move(cur);
+        Serializer s;
+        sysA.serialize(s);
+        ctlA.serialize(s);
+        serializeSnapshot(s, prevA);
+        snaps.push_back(s.data());
+    }
+    ASSERT_GT(sysA.alerts().raised(), 0u);
+    ASSERT_GT(sysA.timeline().dropped(), 0u);
+    const std::string want = observabilityBytes(sysA);
+
+    // Kill after chunk K, restore into a freshly armed system, run
+    // the remainder with the same window cadence: both telemetry
+    // surfaces must be byte-identical for every K.
+    for (int k = 0; k < chunks - 1; ++k) {
+        System sysB("lbm", sp, staticBaselineConfig());
+        armObservability(sysB);
+        MctController ctlB(sysB, mp);
+        Deserializer d(snaps[static_cast<std::size_t>(k)]);
+        sysB.deserialize(d);
+        ctlB.deserialize(d);
+        StatSnapshot prevB = deserializeSnapshot(d);
+        ASSERT_TRUE(d.atEnd());
+        for (int r = k + 1; r < chunks; ++r) {
+            ctlB.runFor(chunk);
+            StatSnapshot cur = sysB.statRegistry().snapshot();
+            sysB.observeWindow(sysB.retired(),
+                               StatRegistry::delta(prevB, cur));
+            prevB = std::move(cur);
+        }
+        EXPECT_EQ(observabilityBytes(sysB), want)
             << "kill after chunk " << k;
     }
 }

@@ -11,7 +11,9 @@
 #include <limits>
 #include <sstream>
 
+#include "common/alerts.hh"
 #include "common/instrument.hh"
+#include "common/serialize.hh"
 #include "mct/controller.hh"
 #include "sim/stats_report.hh"
 #include "sim/system.hh"
@@ -887,6 +889,158 @@ TEST(HostProfiler, WriteJsonEmitsHostSchemaAndStages)
     p.writeChromeTrace(trace);
     EXPECT_NE(trace.str().find("\"traceEvents\":["), std::string::npos);
     EXPECT_NE(trace.str().find("\"mct_sim host\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------
+// MetricTimeline
+// --------------------------------------------------------------------
+
+StatSnapshot
+timelineWindow(double a, double b)
+{
+    StatSnapshot s;
+    StatValue v;
+    v.kind = StatKind::Gauge;
+    v.num = a;
+    s["sim.objective.ipc"] = v;
+    v.num = b;
+    s["sim.objective.lifetime_years"] = v;
+    v.num = 999.0;
+    s["memctrl.reads_completed"] = v; // outside the sim.* glob
+    return s;
+}
+
+TEST(MetricTimeline, BindsLazilyToGlobsFromFirstWindow)
+{
+    MetricTimeline tl;
+    tl.enable({"sim.*"}, 4);
+    EXPECT_TRUE(tl.enabled());
+    EXPECT_FALSE(tl.bound());
+    EXPECT_TRUE(tl.metrics().empty());
+
+    tl.observe(1000, timelineWindow(1.0, 2.0));
+    EXPECT_TRUE(tl.bound());
+    const std::vector<std::string> want = {"sim.objective.ipc",
+                                           "sim.objective"
+                                           ".lifetime_years"};
+    EXPECT_EQ(tl.metrics(), want); // sorted, glob-filtered
+    EXPECT_EQ(tl.size(), 1u);
+}
+
+TEST(MetricTimeline, RingWrapsWithDroppedAccounting)
+{
+    MetricTimeline tl;
+    tl.enable({"sim.objective.ipc"}, 3);
+    for (int i = 1; i <= 5; ++i)
+        tl.observe(static_cast<InstCount>(i * 1000),
+                   timelineWindow(static_cast<double>(i), 0.0));
+
+    EXPECT_EQ(tl.size(), 3u);
+    EXPECT_EQ(tl.recorded(), 5u);
+    EXPECT_EQ(tl.dropped(), 2u);
+    // The survivors are the newest three windows, oldest first.
+    const std::vector<InstCount> wantInsts = {3000, 4000, 5000};
+    EXPECT_EQ(tl.insts(), wantInsts);
+    const std::vector<double> wantSeries = {3.0, 4.0, 5.0};
+    EXPECT_EQ(tl.series(0), wantSeries);
+}
+
+TEST(MetricTimeline, RollupsCoverDroppedWindows)
+{
+    MetricTimeline tl;
+    tl.enable({"sim.objective.ipc"}, 2);
+    // 10 wraps out of the ring, but min/max/ewma saw it.
+    for (const double v : {10.0, 2.0, 4.0})
+        tl.observe(1, timelineWindow(v, 0.0));
+
+    const MetricTimeline::Rollup &r = tl.rollup(0);
+    EXPECT_DOUBLE_EQ(r.min, 2.0);
+    EXPECT_DOUBLE_EQ(r.max, 10.0);
+    // EWMA seeds at 10, then 0.25-blends: 8.0, then 7.0.
+    EXPECT_DOUBLE_EQ(r.ewma, 7.0);
+}
+
+TEST(MetricTimeline, WriteJsonIsByteIdenticalAcrossRuns)
+{
+    const auto run = [] {
+        MetricTimeline tl;
+        tl.enable({"sim.*"}, 4);
+        for (int i = 1; i <= 6; ++i)
+            tl.observe(static_cast<InstCount>(i * 1000),
+                       timelineWindow(1.0 + i, 2.0 * i));
+        std::ostringstream os;
+        tl.writeJson(os, "eval", "lbm", "cfg",
+                     {{"alert.count.critical", 0.0}});
+        return os.str();
+    };
+    const std::string doc = run();
+    EXPECT_EQ(doc, run());
+    EXPECT_NE(doc.find("\"schema\":\"mct-timeline-v1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"sim.timeline.dropped\":2"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"sim.timeline.recorded\":6"),
+              std::string::npos);
+    EXPECT_NE(doc.find("timeline.sim.objective.ipc.max"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"alert.count.critical\":0"),
+              std::string::npos);
+}
+
+TEST(MetricTimeline, CheckpointRoundTripReproducesDocument)
+{
+    MetricTimeline a;
+    a.enable({"sim.*"}, 3);
+    for (int i = 1; i <= 5; ++i)
+        a.observe(static_cast<InstCount>(i * 1000),
+                  timelineWindow(static_cast<double>(i), 1.0));
+    Serializer s;
+    a.serialize(s);
+
+    MetricTimeline b;
+    b.enable({"sim.*"}, 3);
+    Deserializer d(s.data());
+    b.deserialize(d);
+    ASSERT_TRUE(d.atEnd());
+
+    a.observe(6000, timelineWindow(6.0, 1.0));
+    b.observe(6000, timelineWindow(6.0, 1.0));
+    std::ostringstream ja, jb;
+    a.writeJson(ja, "eval", "lbm", "cfg", {});
+    b.writeJson(jb, "eval", "lbm", "cfg", {});
+    EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(MetricTimeline, TimelineAndAlertStatsAreHostScoped)
+{
+    SystemParams sp;
+    System sys("lbm", sp, staticBaselineConfig());
+    sys.enableTimeline({"sim.*"}, 8);
+    AlertRule r;
+    r.name = "smoke";
+    r.glob = "sim.instructions";
+    r.cond = AlertCondition::Above;
+    r.threshold = 0.0;
+    sys.enableAlerts({r});
+
+    const StatRegistry &reg = sys.statRegistry();
+    for (const char *path :
+         {"sim.timeline.windows", "sim.timeline.recorded",
+          "sim.timeline.dropped", "sim.timeline.metrics",
+          "alert.raised", "alert.cleared", "alert.active",
+          "alert.rules", "alert.count.critical"}) {
+        ASSERT_TRUE(reg.has(path)) << path;
+        EXPECT_TRUE(reg.isHost(path)) << path;
+    }
+    // The byte-identity contract: arming never perturbs Sim
+    // snapshots, which is what observe() windows are built from.
+    const StatSnapshot sim = sys.statRegistry().snapshot();
+    EXPECT_EQ(sim.count("sim.timeline.windows"), 0u);
+    EXPECT_EQ(sim.count("alert.raised"), 0u);
+    const StatSnapshot all =
+        sys.statRegistry().snapshot(StatScope::All);
+    EXPECT_EQ(all.count("sim.timeline.windows"), 1u);
+    EXPECT_EQ(all.count("alert.raised"), 1u);
 }
 
 // --------------------------------------------------------------------

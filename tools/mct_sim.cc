@@ -52,6 +52,22 @@
  *                               trace-event complete events (real
  *                               microseconds)
  *
+ * Timelines & alerting (eval and mct modes; both require
+ * --stats-every; docs/observability.md):
+ *   --timeline-out FILE      mct-timeline-v1 document: per-window
+ *                            delta series of the tracked metrics plus
+ *                            EWMA/min/max rollups and final alert
+ *                            scalars
+ *   --timeline-metrics GLOBS comma-separated stat globs to track
+ *                            (default "sim.*")
+ *   --timeline-cap N         timeline ring capacity in windows
+ *                            (default 512)
+ *   --alerts FILE            declarative alert rules (see
+ *                            docs/observability.md for the grammar);
+ *                            rules are evaluated online at every
+ *                            --stats-every window
+ *   --alerts-out FILE        raised/cleared alert log as JSONL
+ *
  * Decision audit (mct mode; docs/observability.md):
  *   --provenance-out FILE     closed decision-provenance records as
  *                             JSONL (predicted vs realized objectives,
@@ -107,6 +123,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/alerts.hh"
 #include "common/atomic_file.hh"
 #include "common/csv.hh"
 #include "common/fault_plan.hh"
@@ -289,6 +306,11 @@ struct Telemetry
     std::string provChrome;  ///< --provenance-chrome FILE
     std::string hostOut;     ///< --host-profile-out FILE
     std::string hostChrome;  ///< --host-profile-chrome FILE
+    std::string timelineOut; ///< --timeline-out FILE
+    std::string alertsOut;   ///< --alerts-out FILE (JSONL)
+    std::vector<std::string> timelineGlobs; ///< --timeline-metrics
+    std::vector<AlertRule> alertRules;      ///< parsed --alerts file
+    std::size_t timelineCap = 512;          ///< --timeline-cap N
     InstCount statsEvery = 0;
     std::size_t traceCap = 64 * 1024;
     std::uint64_t spanSample = 0; ///< --span-sample N (0 = off)
@@ -302,8 +324,15 @@ struct Telemetry
     {
         return !statsJson.empty() || !traceOut.empty() ||
                !traceChrome.empty() || statsEvery > 0 ||
-               wantsSpans() || wantsProvenance() || wantsHost();
+               wantsSpans() || wantsProvenance() || wantsHost() ||
+               wantsTimeline() || wantsAlerts();
     }
+
+    /** Should per-window metric deltas be collected into a ring? */
+    bool wantsTimeline() const { return !timelineOut.empty(); }
+
+    /** Should alert rules be evaluated at every stats window? */
+    bool wantsAlerts() const { return !alertRules.empty(); }
 
     /** Should the event ring buffer record? */
     bool
@@ -330,6 +359,19 @@ struct Telemetry
         return !hostOut.empty() || !hostChrome.empty();
     }
 };
+
+/** Split a comma-separated glob list, dropping empty fields. */
+std::vector<std::string>
+splitGlobs(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    std::istringstream is(spec);
+    while (std::getline(is, cur, ','))
+        if (!cur.empty())
+            out.push_back(cur);
+    return out;
+}
 
 Telemetry
 telemetryFromArgs(const Args &args)
@@ -370,6 +412,31 @@ telemetryFromArgs(const Args &args)
     t.auditEvery = static_cast<std::uint64_t>(audit);
     t.hostOut = args.get("host-profile-out", "");
     t.hostChrome = args.get("host-profile-chrome", "");
+    t.timelineOut = args.get("timeline-out", "");
+    t.timelineGlobs = splitGlobs(args.get("timeline-metrics", "sim.*"));
+    if (t.timelineGlobs.empty())
+        mct_fatal("--timeline-metrics needs at least one glob");
+    const long long tcap = args.getI("timeline-cap", 512);
+    if (tcap <= 0)
+        mct_fatal("--timeline-cap must be positive");
+    t.timelineCap = static_cast<std::size_t>(tcap);
+    if (t.timelineOut.empty() &&
+        (args.has("timeline-metrics") || args.has("timeline-cap")))
+        mct_fatal("--timeline-metrics and --timeline-cap require "
+                  "--timeline-out");
+    const std::string alertsFile = args.get("alerts", "");
+    if (!alertsFile.empty()) {
+        std::string err;
+        if (!loadAlerts(alertsFile, t.alertRules, err))
+            mct_fatal("--alerts: ", err);
+    }
+    t.alertsOut = args.get("alerts-out", "");
+    if (!t.alertsOut.empty() && t.alertRules.empty())
+        mct_fatal("--alerts-out requires --alerts");
+    // Both surfaces observe the run at stats-window granularity; with
+    // no window cadence there is nothing to observe.
+    if ((t.wantsTimeline() || t.wantsAlerts()) && t.statsEvery == 0)
+        mct_fatal("--timeline-out and --alerts require --stats-every");
     return t;
 }
 
@@ -491,6 +558,9 @@ runWithPeriodicStats(System &sys, InstCount total, const Telemetry &t,
         pd.inst = sys.retired();
         pd.delta = StatRegistry::delta(prev, cur);
         prev = std::move(cur);
+        // Timeline capture and alert evaluation see the same window
+        // delta that the stats document records.
+        sys.observeWindow(pd.inst, pd.delta);
         if (t.statsJson.empty()) {
             JsonWriter w(std::cout);
             w.beginObject();
@@ -608,7 +678,7 @@ runFingerprint(const std::string &mode, const std::string &app,
                const Args &args, InstCount ckptEvery)
 {
     std::ostringstream f;
-    f << "mct-ckpt-fp-v1"
+    f << "mct-ckpt-fp-v2"
       << ";mode=" << mode << ";app=" << app << ";config=" << configId
       << ";seed=" << ep.sys.seed << ";warmup=" << ep.warmupInsts
       << ";measure=" << measureTotal
@@ -620,6 +690,12 @@ runFingerprint(const std::string &mode, const std::string &app,
       << ";prov-cap=" << t.provCap
       << ";audit-every=" << t.auditEvery
       << ";ckpt-every=" << ckptEvery
+      << ";timeline=" << (t.wantsTimeline() ? 1 : 0)
+      << ";timeline-cap=" << t.timelineCap;
+    f << ";timeline-metrics=";
+    for (const std::string &g : t.timelineGlobs)
+        f << g << ',';
+    f << ";alerts=" << canonicalAlertRules(t.alertRules)
       << ";faults=" << args.get("faults", "")
       << ";fault-seed=" << args.getI("fault-seed", 1)
       << ";startgap=" << (args.has("startgap") ? 1 : 0);
@@ -730,6 +806,10 @@ runMeasureArmed(System &sys, InstCount target, const Telemetry &t,
             pd.delta = StatRegistry::delta(ds.prev, cur);
             ds.prev = std::move(cur);
             ds.lastCapture = pd.inst;
+            // Same hook as the unarmed loop: window content and order
+            // are identical, so timeline/alert state (and thus their
+            // serialized checkpoints) replay byte for byte.
+            sys.observeWindow(pd.inst, pd.delta);
             if (t.statsJson.empty()) {
                 JsonWriter w(std::cout);
                 w.beginObject();
@@ -987,6 +1067,40 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
         }
         std::printf("provenance-chrome %s\n", t.provChrome.c_str());
     }
+    if (!t.timelineOut.empty()) {
+        AtomicFile f(t.timelineOut);
+        std::map<std::string, double> extra;
+        if (sys.alerts().enabled())
+            sys.alerts().appendFinal(extra);
+        sys.timeline().writeJson(f.stream(), mode, app,
+                                 configKey(sys.config()), extra);
+        if (!f.commit()) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.timelineOut.c_str());
+            return 1;
+        }
+        std::printf("timeline-out   %s (%llu windows, %llu dropped)\n",
+                    t.timelineOut.c_str(),
+                    static_cast<unsigned long long>(
+                        sys.timeline().recorded()),
+                    static_cast<unsigned long long>(
+                        sys.timeline().dropped()));
+    }
+    if (!t.alertsOut.empty()) {
+        AtomicFile f(t.alertsOut);
+        sys.alerts().writeJsonl(f.stream());
+        if (!f.commit()) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         t.alertsOut.c_str());
+            return 1;
+        }
+        std::printf("alerts-out     %s (%llu raised, %llu cleared)\n",
+                    t.alertsOut.c_str(),
+                    static_cast<unsigned long long>(
+                        sys.alerts().raised()),
+                    static_cast<unsigned long long>(
+                        sys.alerts().cleared()));
+    }
     if (HostProfiler *hp = sys.hostProfiler()) {
         hp->sampleMemory(); // end-of-run RSS / high-water refresh
         if (!t.hostOut.empty()) {
@@ -1088,6 +1202,10 @@ cmdEval(const Args &args)
             sys.eventTrace().enable(tel.traceCap);
         if (tel.wantsSpans())
             sys.enableSpans(tel.spanSample, tel.spanCap);
+        if (tel.wantsTimeline())
+            sys.enableTimeline(tel.timelineGlobs, tel.timelineCap);
+        if (tel.wantsAlerts())
+            sys.enableAlerts(tel.alertRules);
         HostProfiler hostProf;
         if (tel.wantsHost()) {
             hostProf.enable();
@@ -1226,6 +1344,10 @@ cmdMct(const Args &args)
         sys.enableSpans(tel.spanSample, tel.spanCap);
     if (tel.wantsProvenance())
         sys.provenanceTrace().enable(tel.provCap);
+    if (tel.wantsTimeline())
+        sys.enableTimeline(tel.timelineGlobs, tel.timelineCap);
+    if (tel.wantsAlerts())
+        sys.enableAlerts(tel.alertRules);
     HostProfiler hostProf;
     if (tel.wantsHost()) {
         hostProf.enable();
@@ -1273,6 +1395,14 @@ cmdMct(const Args &args)
             ds.prev = sys.statRegistry().snapshot();
             ds.lastCapture = sys.retired();
         }
+        // Close the observe -> react loop: a critical alert climbs
+        // the controller's health-check ladder. Alerts only evaluate
+        // at measure-window boundaries, so wiring after construction
+        // (and after any resume overlay) cannot miss a firing.
+        sys.alerts().setEscalation(
+            [&ctl](const AlertRule &, const std::string &) {
+                ctl->noteCriticalAlert();
+            });
         if (!runMeasureArmed(sys, ds.s0.instructions + total, tel,
                              sess, ds,
                              [&](InstCount n) { ctl->runFor(n); }))
@@ -1312,6 +1442,10 @@ cmdMct(const Args &args)
         sys.run(ep.warmupInsts);
     }
     MctController ctl(sys, mp);
+    sys.alerts().setEscalation(
+        [&ctl](const AlertRule &, const std::string &) {
+            ctl.noteCriticalAlert();
+        });
     const SysSnapshot before = sys.snapshot();
     const auto periodic = runWithPeriodicStats(
         sys, total, tel, [&](InstCount n) { ctl.runFor(n); });

@@ -10,6 +10,8 @@
  *                   [--out BENCH_report.json]
  *   mct_report perf --host FILE [--host FILE ...] [--base FILE]
  *                   [--thresholds FILE] [--out FILE]
+ *   mct_report timeline --timeline FILE [--alerts FILE]
+ *                   [--windows N]
  *
  * `show` renders one run: objectives, the lat.* latency-attribution
  * breakdown with p50/p90/p99, per-window tables, event counts, and
@@ -30,6 +32,13 @@
  * moves against its preferred direction by more than rel*|base| + abs
  * is a regression. --out writes a machine-readable
  * mct-bench-report-v1 document for CI artifacts.
+ *
+ * `timeline` renders an mct_sim --timeline-out document: one aligned
+ * sparkline row per tracked metric with its min/max/EWMA rollups,
+ * the alert timeline interleaved as marker rows ('!' raise, '/'
+ * clear) when an --alerts-out JSONL stream is given, then the alert
+ * event table and severity totals. A timeline document also loads as
+ * a run document, so `diff` can gate alert.count.* scalars.
  *
  * `perf` renders the host-telemetry document(s) an mct_sim
  * --host-profile-out run writes: sim.mips throughput, wall/CPU
@@ -72,7 +81,9 @@ usage()
         "                       [--thresholds FILE] [--out FILE]\n"
         "       mct_report perf --host FILE [--host FILE ...]\n"
         "                       [--base FILE] [--thresholds FILE]\n"
-        "                       [--out FILE]\n");
+        "                       [--out FILE]\n"
+        "       mct_report timeline --timeline FILE [--alerts FILE]\n"
+        "                       [--windows N]\n");
     return 2;
 }
 
@@ -256,6 +267,49 @@ cmdPerf(int argc, char **argv)
 }
 
 int
+cmdTimeline(int argc, char **argv)
+{
+    std::string timelinePath, alertsPath;
+    std::size_t windows = 0; // all held
+    for (int i = 2; i < argc; ++i) {
+        std::string v;
+        if (!std::strcmp(argv[i], "--timeline")) {
+            if (!flagValue(argc, argv, i, timelinePath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--alerts")) {
+            if (!flagValue(argc, argv, i, alertsPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--windows")) {
+            if (!flagValue(argc, argv, i, v))
+                return 2;
+            windows = static_cast<std::size_t>(std::stoul(v));
+        } else if (argv[i][0] != '-' && timelinePath.empty()) {
+            timelinePath = argv[i]; // positional timeline document
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (timelinePath.empty())
+        return usage();
+
+    std::string err;
+    TimelineData tl;
+    if (!loadTimeline(timelinePath, tl, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+    AlertLog alerts;
+    if (!alertsPath.empty() &&
+        !loadAlertLog(alertsPath, alerts, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+    }
+    renderTimeline(std::cout, tl, alerts, windows);
+    return 0;
+}
+
+int
 cmdExplain(int argc, char **argv)
 {
     std::string statsPath, provPath;
@@ -393,6 +447,8 @@ main(int argc, char **argv)
         return cmdDiff(argc, argv);
     if (!std::strcmp(argv[1], "perf"))
         return cmdPerf(argc, argv);
+    if (!std::strcmp(argv[1], "timeline"))
+        return cmdTimeline(argc, argv);
     std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
     return usage();
 }

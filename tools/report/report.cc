@@ -401,7 +401,8 @@ loadSnapshots(const std::string &path, RunData &out, std::string &err)
     if (!parseJsonFile(path, doc, err))
         return false;
     const std::string schema = doc.text("schema", "");
-    if (schema != "mct-stats-v1" && schema != "mct-host-v1") {
+    if (schema != "mct-stats-v1" && schema != "mct-host-v1" &&
+        schema != "mct-timeline-v1") {
         err = path + ": unsupported schema '" + schema + "'";
         return false;
     }
@@ -465,6 +466,216 @@ medianRuns(const std::vector<RunData> &runs)
         }
     }
     return out;
+}
+
+// --------------------------------------------------------------------
+// Timeline (mct-timeline-v1) + alert log (alerts.jsonl)
+// --------------------------------------------------------------------
+
+bool
+loadTimeline(const std::string &path, TimelineData &out,
+             std::string &err)
+{
+    JsonValue doc;
+    if (!parseJsonFile(path, doc, err))
+        return false;
+    if (doc.text("schema", "") != "mct-timeline-v1") {
+        err = path + ": unsupported schema '" +
+              doc.text("schema", "") + "'";
+        return false;
+    }
+    out.path = path;
+    out.mode = doc.text("mode", "");
+    out.app = doc.text("app", "");
+    out.config = doc.text("config", "");
+    out.capacity = static_cast<std::size_t>(doc.num("capacity", 0.0));
+    if (const JsonValue *metrics = doc.find("metrics")) {
+        for (const JsonValue &m : metrics->arr)
+            if (m.kind == JsonValue::Kind::String)
+                out.metrics.push_back(m.str);
+    }
+    if (const JsonValue *insts = doc.find("inst")) {
+        for (const JsonValue &v : insts->arr)
+            out.insts.push_back(
+                static_cast<std::uint64_t>(v.number));
+    }
+    const JsonValue *series = doc.find("series");
+    if (!series || series->kind != JsonValue::Kind::Object) {
+        err = path + ": missing 'series' object";
+        return false;
+    }
+    for (const auto &[metric, vals] : series->members) {
+        std::vector<double> &dst = out.series[metric];
+        for (const JsonValue &v : vals.arr)
+            dst.push_back(v.number);
+        if (dst.size() != out.insts.size()) {
+            err = path + ": series '" + metric + "' has " +
+                  std::to_string(dst.size()) + " values for " +
+                  std::to_string(out.insts.size()) + " windows";
+            return false;
+        }
+    }
+    if (const JsonValue *final_ = doc.find("final")) {
+        for (const auto &[name, v] : final_->members)
+            if (v.kind == JsonValue::Kind::Number)
+                out.finalScalars[name] = v.number;
+    }
+    return true;
+}
+
+bool
+loadAlertLog(const std::string &path, AlertLog &out, std::string &err)
+{
+    std::string text;
+    if (!readFile(path, text, err))
+        return false;
+    std::istringstream is(text);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        JsonParse p = parseJson(line);
+        if (!p.ok) {
+            err = path + ":" + std::to_string(lineNo) + ": " + p.error;
+            return false;
+        }
+        const JsonValue &v = p.value;
+        AlertRow row;
+        const std::string ev = v.text("ev", "");
+        if (ev != "alert_raised" && ev != "alert_cleared") {
+            err = path + ":" + std::to_string(lineNo) +
+                  ": unknown event '" + ev + "'";
+            return false;
+        }
+        row.raised = ev == "alert_raised";
+        row.window = static_cast<std::uint64_t>(v.num("window", 0.0));
+        row.inst = static_cast<std::uint64_t>(v.num("inst", 0.0));
+        row.value = v.num("value", 0.0);
+        row.windowsActive =
+            static_cast<std::uint64_t>(v.num("windows_active", 0.0));
+        row.rule = v.text("rule", "");
+        row.metric = v.text("metric", "");
+        row.condition = v.text("condition", "");
+        row.severity = v.text("severity", "");
+        out.rows.push_back(std::move(row));
+    }
+    return true;
+}
+
+std::string
+sparkline(const std::vector<double> &vals)
+{
+    // 8-level ASCII ramp, low to high. Finite extremes normalize the
+    // scale; non-finite samples render as '?'.
+    static const char ramp[] = "_.-:=+*#";
+    double lo = 0.0, hi = 0.0;
+    bool seeded = false;
+    for (const double v : vals) {
+        if (!std::isfinite(v))
+            continue;
+        lo = seeded ? std::min(lo, v) : v;
+        hi = seeded ? std::max(hi, v) : v;
+        seeded = true;
+    }
+    std::string out;
+    out.reserve(vals.size());
+    for (const double v : vals) {
+        if (!std::isfinite(v)) {
+            out.push_back('?');
+        } else if (hi == lo) {
+            out.push_back(ramp[0]);
+        } else {
+            const double t = (v - lo) / (hi - lo);
+            const auto level = static_cast<std::size_t>(t * 7.0 + 0.5);
+            out.push_back(ramp[std::min<std::size_t>(level, 7)]);
+        }
+    }
+    return out;
+}
+
+void
+renderTimeline(std::ostream &os, const TimelineData &tl,
+               const AlertLog &alerts, std::size_t maxWindows)
+{
+    os << "timeline: " << tl.path << "\n";
+    os << "mode " << tl.mode << ", app " << tl.app << ", config "
+       << tl.config << "\n";
+    const auto fin = [&tl](const char *k) {
+        const auto it = tl.finalScalars.find(k);
+        return it != tl.finalScalars.end() ? it->second : 0.0;
+    };
+    os << "windows " << tl.insts.size() << " held (recorded "
+       << fmt(fin("sim.timeline.recorded"), 0) << ", dropped "
+       << fmt(fin("sim.timeline.dropped"), 0) << ", capacity "
+       << tl.capacity << ")\n\n";
+
+    const std::size_t n = tl.insts.size();
+    const std::size_t from =
+        maxWindows && n > maxWindows ? n - maxWindows : 0;
+
+    // Alert markers aligned to the rendered window range, keyed by
+    // the metric the alert bound to. The log's inst stamps are
+    // matched against the held windows, so events that wrapped out of
+    // the ring simply render no marker.
+    std::map<std::string, std::string> markers;
+    for (const AlertRow &row : alerts.rows) {
+        for (std::size_t i = from; i < n; ++i) {
+            if (tl.insts[i] != row.inst)
+                continue;
+            std::string &m = markers[row.metric];
+            if (m.empty())
+                m.assign(n - from, ' ');
+            m[i - from] = row.raised ? '!' : '/';
+            break;
+        }
+    }
+
+    TextTable t;
+    t.header({"metric", "min", "max", "ewma", "series"});
+    for (const std::string &metric : tl.metrics) {
+        const auto it = tl.series.find(metric);
+        if (it == tl.series.end())
+            continue;
+        const std::vector<double> window(it->second.begin() +
+                                             static_cast<long>(from),
+                                         it->second.end());
+        t.row({metric, fmt(fin(("timeline." + metric + ".min").c_str()), 4),
+               fmt(fin(("timeline." + metric + ".max").c_str()), 4),
+               fmt(fin(("timeline." + metric + ".ewma").c_str()), 4),
+               sparkline(window)});
+        const auto mk = markers.find(metric);
+        if (mk != markers.end())
+            t.row({"  alerts", "", "", "", mk->second});
+    }
+    t.print(os);
+
+    if (!alerts.rows.empty()) {
+        os << "\nalerts (" << alerts.rows.size() << " events):\n";
+        TextTable a;
+        a.header({"window", "inst", "event", "rule", "severity",
+                  "metric", "value"});
+        for (const AlertRow &row : alerts.rows) {
+            a.row({std::to_string(row.window),
+                   std::to_string(row.inst),
+                   row.raised ? "raised"
+                              : "cleared after " +
+                                    std::to_string(row.windowsActive),
+                   row.rule, row.severity, row.metric,
+                   fmt(row.value, 4)});
+        }
+        a.print(os);
+    }
+    const double raised = fin("alert.raised");
+    if (fin("alert.rules") > 0.0) {
+        os << "\nalert totals: " << fmt(raised, 0) << " raised ("
+           << fmt(fin("alert.count.critical"), 0) << " critical, "
+           << fmt(fin("alert.count.warn"), 0) << " warn, "
+           << fmt(fin("alert.count.info"), 0) << " info), "
+           << fmt(fin("alert.cleared"), 0) << " cleared, "
+           << fmt(fin("alert.active"), 0) << " still active\n";
+    }
 }
 
 // --------------------------------------------------------------------
@@ -718,6 +929,15 @@ metric cache.*.hit_rate
   direction higher
   rel 0.02
   abs 0.005
+
+metric alert.count.critical
+  direction lower
+  rel 0.0
+
+metric alert.count.warn
+  direction lower
+  rel 0.0
+  abs 1.0
 )";
 }
 

@@ -120,9 +120,12 @@ struct RunData
 
 /**
  * Load a stats document; false + @p err on parse/shape problems.
- * Accepts both mct-stats-v1 (deterministic run document) and
- * mct-host-v1 (the nondeterministic host-telemetry document written
- * by --host-profile-out; same final/periodic shape, host scalars).
+ * Accepts mct-stats-v1 (deterministic run document), mct-host-v1
+ * (the nondeterministic host-telemetry document written by
+ * --host-profile-out; same final/periodic shape, host scalars), and
+ * mct-timeline-v1 (--timeline-out; its flat "final" object carries
+ * the sim.timeline.* / timeline.<metric>.* / alert.* scalars, so
+ * alert counts diff-gate like any other metric).
  */
 [[nodiscard]] bool loadSnapshots(const std::string &path, RunData &out,
                                  std::string &err);
@@ -134,6 +137,72 @@ struct RunData
  * a shared machine cannot fake a regression.
  */
 RunData medianRuns(const std::vector<RunData> &runs);
+
+// --------------------------------------------------------------------
+// Timeline (mct-timeline-v1) + alert log (alerts.jsonl)
+// --------------------------------------------------------------------
+
+/** One --timeline-out document: per-window series + rollups. */
+struct TimelineData
+{
+    std::string path;
+    std::string mode;
+    std::string app;
+    std::string config;
+    std::size_t capacity = 0;
+    /** Tracked metric names, in document (sorted) order. */
+    std::vector<std::string> metrics;
+    /** Instruction count at each held window, oldest first. */
+    std::vector<std::uint64_t> insts;
+    /** Metric -> per-window delta values (same length as insts). */
+    std::map<std::string, std::vector<double>> series;
+    /** Flat final scalars: sim.timeline.*, timeline.<metric>.*, and
+     *  the alert.* counts when an alert engine was armed. */
+    std::map<std::string, double> finalScalars;
+};
+
+/** Load a timeline document; false + @p err on parse/shape issues. */
+[[nodiscard]] bool loadTimeline(const std::string &path,
+                                TimelineData &out, std::string &err);
+
+/** One raise/clear row from an --alerts-out JSONL stream. */
+struct AlertRow
+{
+    bool raised = true; ///< alert_raised (true) or alert_cleared
+    std::uint64_t window = 0;
+    std::uint64_t inst = 0;
+    double value = 0.0;
+    std::uint64_t windowsActive = 0; ///< clear rows only
+    std::string rule;
+    std::string metric;
+    std::string condition;
+    std::string severity;
+};
+
+struct AlertLog
+{
+    std::vector<AlertRow> rows;
+};
+
+/** Load an alert JSONL stream; false + @p err on malformed lines. */
+[[nodiscard]] bool loadAlertLog(const std::string &path, AlertLog &out,
+                                std::string &err);
+
+/**
+ * Fixed-width ASCII sparkline of @p vals (one character per value,
+ * 8-level ramp, min..max normalized; empty input renders empty).
+ */
+std::string sparkline(const std::vector<double> &vals);
+
+/**
+ * Render a timeline document: header, one aligned row per tracked
+ * metric (min/max/EWMA rollups plus a per-window sparkline), the
+ * alert timeline interleaved as marker rows ('!' raise, '/' clear)
+ * under the metric they fired on, then the alert event table.
+ * @p maxWindows caps the rendered window range (0 = all held).
+ */
+void renderTimeline(std::ostream &os, const TimelineData &tl,
+                    const AlertLog &alerts, std::size_t maxWindows);
 
 // --------------------------------------------------------------------
 // Span JSONL
