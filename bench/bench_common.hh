@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "common/alerts.hh"
+#include "common/atomic_file.hh"
 #include "common/instrument.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/manifest.hh"
 #include "common/table.hh"
 #include "mct/config_space.hh"
 #include "mct/controller.hh"
@@ -40,12 +42,80 @@ inline WallProfiler &profiler();
 namespace detail
 {
 
+// These singletons are intentionally leaked: the at-exit dump
+// handlers read them, and atexit handlers interleave with static
+// destructors in reverse registration order, so a destructible
+// static registered after a handler would be dead when it runs.
+
 /** At-exit stage-dump destination ("" = no dump armed yet). */
 inline std::string &
 profileDumpPath()
 {
-    static std::string path;
+    static std::string &path = *new std::string;
     return path;
+}
+
+/** At-exit run-manifest destination ("" = no manifest armed yet). */
+inline std::string &
+manifestDumpPath()
+{
+    static std::string &path = *new std::string;
+    return path;
+}
+
+/** Bench name for the manifest ("?" until BenchSummary::start). */
+inline std::string &
+manifestBenchName()
+{
+    static std::string &name = *new std::string("?");
+    return name;
+}
+
+/**
+ * Arm the one at-exit manifest dump (idempotent). Must be armed
+ * before the profile/summary dumps are registered: std::atexit runs
+ * handlers in reverse registration order, and the manifest has to run
+ * last so it can checksum the published artifact bytes.
+ */
+inline void
+armManifestDump()
+{
+    static bool armed = false;
+    if (armed)
+        return;
+    armed = true;
+    std::atexit(+[] {
+        const std::string &path = manifestDumpPath();
+        if (path.empty())
+            return;
+        RunManifest m;
+        m.mode = "bench";
+        m.app = manifestBenchName();
+        const char *summary = std::getenv("MCT_BENCH_JSON");
+        m.fingerprint = "mct-bench-fp-v1;bench=" + m.app +
+                        ";profile=" + profileDumpPath() +
+                        ";summary=" + (summary ? summary : "");
+        m.runId = manifestRunId(m.fingerprint);
+        const auto note = [&](const char *kind, const char *schema,
+                              const std::string &artifact) {
+            if (artifact.empty())
+                return;
+            ManifestArtifact a;
+            a.kind = kind;
+            a.schema = schema;
+            if (!checksumFile(artifact, a.checksum, a.bytes))
+                return; // dump never happened; keep the manifest honest
+            a.path = manifestRelative(path, artifact);
+            m.artifacts.push_back(std::move(a));
+        };
+        note("profile", "", profileDumpPath());
+        note("bench_summary", "mct-bench-summary-v1",
+             summary ? summary : "");
+        AtomicFile f(path);
+        writeManifestJson(f.stream(), m);
+        if (!f.commit())
+            std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    });
 }
 
 /** Arm the one at-exit profile dump (idempotent). */
@@ -72,8 +142,14 @@ inline WallProfiler &
 profiler()
 {
     // Benches that never call initHarness (or are driven by scripts
-    // predating the flag) keep the env-var behavior.
+    // predating the flags) keep the env-var behavior. Manifest before
+    // profile: reverse atexit order makes the manifest dump run last.
     static const bool envFallback = [] {
+        if (detail::manifestDumpPath().empty())
+            if (const char *env = std::getenv("MCT_BENCH_MANIFEST"))
+                detail::manifestDumpPath() = env;
+        if (!detail::manifestDumpPath().empty())
+            detail::armManifestDump();
         if (detail::profileDumpPath().empty())
             if (const char *env = std::getenv("MCT_BENCH_PROFILE"))
                 detail::profileDumpPath() = env;
@@ -82,30 +158,40 @@ profiler()
         return true;
     }();
     (void)envFallback;
-    static WallProfiler p;
+    static WallProfiler &p = *new WallProfiler; // leaked, see detail above
     return p;
 }
 
 /**
- * Parse the shared bench harness command line. The only flag is
+ * Parse the shared bench harness command line. The flags are
  *
  *   --profile-out FILE   dump the WallProfiler stage timings to FILE
  *                        at exit (JSON; mct_report show --profile)
+ *   --manifest-out FILE  write an mct-manifest-v1 run manifest to
+ *                        FILE at exit, listing the profile/summary
+ *                        artifacts with sizes and FNV-1a checksums
+ *                        (docs/observability.md; mct_report aggregate)
  *
- * which promotes the historical MCT_BENCH_PROFILE env var; the env
- * var remains the fallback when the flag is absent. Unknown flags are
- * fatal (exit 2) so a typo cannot silently run an unprofiled bench.
+ * which promote the historical MCT_BENCH_PROFILE / MCT_BENCH_MANIFEST
+ * env vars; the env vars remain the fallback when a flag is absent.
+ * Unknown flags are fatal (exit 2) so a typo cannot silently run an
+ * unprofiled bench.
  */
 inline void
 initHarness(int argc, char **argv)
 {
     std::string path;
+    std::string manifest;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--profile-out" && i + 1 < argc) {
             path = argv[++i];
+        } else if (arg == "--manifest-out" && i + 1 < argc) {
+            manifest = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--profile-out FILE]\n",
+            std::fprintf(stderr,
+                         "usage: %s [--profile-out FILE] "
+                         "[--manifest-out FILE]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -113,6 +199,15 @@ initHarness(int argc, char **argv)
     if (path.empty())
         if (const char *env = std::getenv("MCT_BENCH_PROFILE"))
             path = env;
+    if (manifest.empty())
+        if (const char *env = std::getenv("MCT_BENCH_MANIFEST"))
+            manifest = env;
+    if (!manifest.empty()) {
+        // Armed first: atexit runs in reverse order, so the manifest
+        // dump then runs after the artifacts it checksums are final.
+        detail::manifestDumpPath() = manifest;
+        detail::armManifestDump();
+    }
     if (path.empty())
         return;
     detail::profileDumpPath() = path;
@@ -141,6 +236,7 @@ class BenchSummary
     start(const std::string &benchName)
     {
         name = benchName;
+        detail::manifestBenchName() = benchName;
         static const bool armed = [] {
             if (!std::getenv("MCT_BENCH_JSON"))
                 return false;

@@ -1,0 +1,139 @@
+#include "common/stat_merge.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/stats.hh"
+
+namespace mct
+{
+
+namespace
+{
+
+/** Three-way comparison of two StatValues (for ordering only). */
+int
+cmpValue(const StatValue &a, const StatValue &b)
+{
+    if (a.kind != b.kind)
+        return a.kind < b.kind ? -1 : 1;
+    if (a.num != b.num)
+        return a.num < b.num ? -1 : 1;
+    if (a.count != b.count)
+        return a.count < b.count ? -1 : 1;
+    if (a.buckets != b.buckets)
+        return a.buckets < b.buckets ? -1 : 1;
+    return 0;
+}
+
+/** Lexicographic three-way comparison of two snapshots. */
+int
+cmpSnapshot(const StatSnapshot &a, const StatSnapshot &b)
+{
+    auto ai = a.begin(), bi = b.begin();
+    for (; ai != a.end() && bi != b.end(); ++ai, ++bi) {
+        if (ai->first != bi->first)
+            return ai->first < bi->first ? -1 : 1;
+        if (const int c = cmpValue(ai->second, bi->second); c != 0)
+            return c;
+    }
+    if (a.size() != b.size())
+        return a.size() < b.size() ? -1 : 1;
+    return 0;
+}
+
+} // namespace
+
+void
+StatMerge::add(std::string id, StatSnapshot snap)
+{
+    inputs.push_back(Input{std::move(id), std::move(snap)});
+}
+
+StatMerge::Result
+StatMerge::merge() const
+{
+    // Canonical input order: by id, with a full content comparison
+    // breaking ties, so even duplicate ids cannot let the caller's
+    // add() order leak into floating-point reduction order.
+    std::vector<const Input *> order;
+    order.reserve(inputs.size());
+    for (const Input &in : inputs)
+        order.push_back(&in);
+    std::sort(order.begin(), order.end(),
+              [](const Input *a, const Input *b) {
+                  if (a->id != b->id)
+                      return a->id < b->id;
+                  return cmpSnapshot(a->snap, b->snap) < 0;
+              });
+
+    // Sorted union of every input's key set.
+    std::set<std::string> keys;
+    for (const Input *in : order)
+        for (const auto &[path, v] : in->snap)
+            keys.insert(path);
+
+    Result out;
+    out.runs = inputs.size();
+    for (const std::string &path : keys) {
+        // The key's kind comes from the first run that carries it;
+        // later runs with a conflicting kind contribute their scalar
+        // view (num) so corrupt inputs degrade instead of crashing.
+        StatKind kind = StatKind::Gauge;
+        bool kindSet = false;
+        for (const Input *in : order) {
+            const auto it = in->snap.find(path);
+            if (it == in->snap.end())
+                continue;
+            kind = it->second.kind;
+            kindSet = true;
+            break;
+        }
+        if (!kindSet)
+            continue;
+
+        StatValue mv;
+        mv.kind = kind;
+        if (kind == StatKind::Gauge) {
+            RunningStat rs;
+            for (const Input *in : order) {
+                const auto it = in->snap.find(path);
+                if (it != in->snap.end())
+                    rs.push(it->second.num);
+            }
+            mv.num = rs.mean();
+            GaugeCells cells;
+            cells.count = rs.count();
+            cells.mean = rs.mean();
+            cells.min = rs.min();
+            cells.max = rs.max();
+            cells.stddev = rs.stddev();
+            out.gauges.emplace(path, cells);
+        } else if (kind == StatKind::Counter) {
+            for (const Input *in : order) {
+                const auto it = in->snap.find(path);
+                if (it != in->snap.end())
+                    mv.num += it->second.num;
+            }
+        } else {
+            for (const Input *in : order) {
+                const auto it = in->snap.find(path);
+                if (it == in->snap.end())
+                    continue;
+                const StatValue &v = it->second;
+                mv.num += v.num;
+                mv.count += v.count;
+                if (v.buckets.size() > mv.buckets.size())
+                    mv.buckets.resize(v.buckets.size(), 0);
+                for (std::size_t i = 0; i < v.buckets.size(); ++i)
+                    mv.buckets[i] += v.buckets[i];
+            }
+            while (!mv.buckets.empty() && mv.buckets.back() == 0)
+                mv.buckets.pop_back();
+        }
+        out.merged.emplace(path, std::move(mv));
+    }
+    return out;
+}
+
+} // namespace mct

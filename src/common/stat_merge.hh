@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic N-way merge of StatRegistry snapshots.
+ *
+ * The fleet rollup (mct_report aggregate), the parallel sweep engine
+ * and any future multi-run consumer all need one answer to "what do K
+ * runs look like as a single snapshot". StatMerge gives that answer
+ * with per-kind semantics:
+ *
+ *  - Counters sum across runs (the fleet did this much work).
+ *  - Gauges collapse to their mean under the original path and fan
+ *    out into count/mean/min/max/stddev dispersion cells, accumulated
+ *    with Welford's algorithm so a single pass is numerically stable.
+ *  - Log-histograms add bucket-wise, so a percentile computed from
+ *    the merged buckets is exactly the percentile of the concatenated
+ *    observation streams.
+ *
+ * The merge is order-invariant by construction: inputs are processed
+ * in a canonical order (sorted by caller-supplied id, with a full
+ * content comparison breaking ties), the output key set is the sorted
+ * union of the input key sets, and every floating-point reduction
+ * walks runs in that fixed order. Feeding the same snapshots in any
+ * permutation therefore produces bit-identical doubles, which is what
+ * lets the fleet document promise byte-identical output.
+ */
+
+#ifndef MCT_COMMON_STAT_MERGE_HH
+#define MCT_COMMON_STAT_MERGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/instrument.hh"
+
+namespace mct
+{
+
+/**
+ * Accumulates snapshots (each tagged with a stable id, e.g. the run
+ * id from its manifest) and merges them on demand. add() order does
+ * not affect the result.
+ */
+class StatMerge
+{
+  public:
+    /** Dispersion cells of one gauge across the merged runs. */
+    struct GaugeCells
+    {
+        std::uint64_t count = 0; ///< runs that carried the gauge
+        double mean = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double stddev = 0.0; ///< unbiased sample stddev (0 below n=2)
+    };
+
+    /** The merged view of every queued snapshot. */
+    struct Result
+    {
+        /** Snapshots merged. */
+        std::size_t runs = 0;
+
+        /**
+         * Sorted union of the input keys: counters carry the summed
+         * value, gauges their across-run mean, histograms the
+         * bucket-wise total. A key's kind is taken from the first
+         * run (in canonical id order) that carries it.
+         */
+        StatSnapshot merged;
+
+        /** Dispersion cells for every gauge in @c merged. */
+        std::map<std::string, GaugeCells> gauges;
+    };
+
+    /** Queue one run's snapshot under a stable id. */
+    void add(std::string id, StatSnapshot snap);
+
+    /** Snapshots queued so far. */
+    std::size_t runs() const { return inputs.size(); }
+
+    /** Merge everything queued; add() order never changes the bits. */
+    Result merge() const;
+
+  private:
+    struct Input
+    {
+        std::string id;
+        StatSnapshot snap;
+    };
+
+    std::vector<Input> inputs;
+};
+
+} // namespace mct
+
+#endif // MCT_COMMON_STAT_MERGE_HH

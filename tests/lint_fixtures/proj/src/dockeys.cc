@@ -1,0 +1,25 @@
+// Fixture for the doc-contract builtin: a JSON-document writer that
+// declares its key spellings in a doc-keys region. "orphan_key" is
+// deliberately missing from docs/contract.md, and the docs list a
+// "ghost_key" no region here declares.
+
+namespace fixture
+{
+
+// mct-lint:doc-keys:begin
+constexpr const char *kDocKeys[] = {
+    "schema",
+    "rows",
+    "rows[].id",
+    "cells.<metric>.mean",
+    "orphan_key",
+};
+// mct-lint:doc-keys:end
+
+const char *
+firstDocKey()
+{
+    return kDocKeys[0];
+}
+
+} // namespace fixture

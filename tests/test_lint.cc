@@ -271,6 +271,25 @@ TEST_F(FixtureRun, GoldenReferencingDeadEventIsFlagged)
               1u);
 }
 
+TEST_F(FixtureRun, DocContractFlagsDriftInBothDirections)
+{
+    const auto &fs = findings();
+    // Declared in the dockeys.cc region but absent from the docs.
+    EXPECT_TRUE(hasMessage(fs, "doc-contract",
+                           "document key 'orphan_key' is declared in "
+                           "code but not documented"));
+    // Documented but declared by no doc-keys region.
+    EXPECT_TRUE(hasMessage(fs, "doc-contract",
+                           "documented document key 'ghost_key' is "
+                           "not declared"));
+    // Matching keys are quiet, including across '<hole>' spellings
+    // ('cells.<metric>.mean' unifies on both sides).
+    EXPECT_FALSE(hasMessage(fs, "doc-contract", "'schema'"));
+    EXPECT_FALSE(hasMessage(fs, "doc-contract", "'rows[].id'"));
+    EXPECT_FALSE(hasMessage(fs, "doc-contract", "'cells.*.mean'"));
+    EXPECT_EQ(countOf(fs, "doc-contract"), 2u);
+}
+
 TEST_F(FixtureRun, NonfiniteGaugeFlagsOnlyUnguardedDivision)
 {
     const auto &fs = findings();

@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/manifest.hh"
 #include "report.hh"
 
 namespace mct::report
@@ -273,6 +277,242 @@ TEST(HostDoc, SimMipsGateTripsOnlyOnCatastrophicSlowdown)
     EXPECT_EQ(rep.regressions, 1u);
     ASSERT_EQ(rep.checks.size(), 1u);
     EXPECT_EQ(rep.checks[0].metric, "sim.mips");
+}
+
+// --------------------------------------------------------------------
+// Run manifests (mct-manifest-v1) + fleet rollup (mct-fleet-v1)
+// --------------------------------------------------------------------
+
+std::string
+baseName(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/** Manifest text naming @p artifacts (kind, on-disk path) with real
+ *  checksums, written next to the artifacts so relative paths hold. */
+std::string
+manifestText(
+    const std::string &runId, const std::string &app, int seed,
+    const std::vector<std::pair<std::string, std::string>> &artifacts)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"mct-manifest-v1\",\"run_id\":\"" << runId
+       << "\",\"mode\":\"eval\",\"app\":\"" << app
+       << "\",\"config\":\"\",\"seed\":" << seed
+       << ",\"fault_plan\":\"\",\"fingerprint\":\"fp-" << runId
+       << "\",\"artifacts\":[";
+    for (std::size_t i = 0; i < artifacts.size(); ++i) {
+        std::uint64_t sum = 0, bytes = 0;
+        EXPECT_TRUE(checksumFile(artifacts[i].second, sum, bytes));
+        os << (i ? "," : "") << "{\"kind\":\"" << artifacts[i].first
+           << "\",\"schema\":\"mct-stats-v1\",\"path\":\""
+           << baseName(artifacts[i].second) << "\",\"bytes\":" << bytes
+           << ",\"fnv1a\":\"" << checksumHex(sum) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+/** A tiny mct-stats-v1 document with a counter, a gauge, and one
+ *  histogram, plus the kinds map the aggregator recovers kinds from. */
+std::string
+fleetStatsDoc(const char *work, const char *ipc, const char *buckets)
+{
+    return std::string("{\"schema\":\"mct-stats-v1\",\"mode\":\"eval\","
+                       "\"app\":\"lbm\",\"config\":\"\",\"final\":{"
+                       "\"work.done\":") +
+           work + ",\"sim.objective.ipc\":" + ipc +
+           ",\"lat.q.ns\":{\"count\":3,\"sum\":19.0,\"buckets\":[" +
+           buckets +
+           "]}},\"kinds\":{\"work.done\":\"counter\","
+           "\"sim.objective.ipc\":\"gauge\"}}";
+}
+
+TEST(Manifest, LoadsAndVerifiesRoundTrip)
+{
+    const TempFile stats(fleetStatsDoc("10", "1.0", "[1.0,3]"));
+    const TempFile mf(
+        manifestText("r1", "lbm", 1, {{"stats", stats.path()}}));
+
+    ManifestData m;
+    std::string err;
+    ASSERT_TRUE(loadManifest(mf.path(), m, err)) << err;
+    EXPECT_EQ(m.runId, "r1");
+    EXPECT_EQ(m.mode, "eval");
+    EXPECT_EQ(m.app, "lbm");
+    EXPECT_EQ(m.seed, 1u);
+    ASSERT_EQ(m.artifacts.size(), 1u);
+    ASSERT_NE(m.artifact("stats"), nullptr);
+    EXPECT_EQ(m.artifact("spans"), nullptr);
+    EXPECT_EQ(m.artifactPath(*m.artifact("stats")), stats.path());
+    EXPECT_TRUE(verifyManifest(m, err)) << err;
+
+    std::string key;
+    ASSERT_TRUE(m.groupKey("app", key));
+    EXPECT_EQ(key, "lbm");
+    ASSERT_TRUE(m.groupKey("seed", key));
+    EXPECT_EQ(key, "1");
+    EXPECT_FALSE(m.groupKey("nonsense", key));
+}
+
+TEST(Manifest, RejectsWrongSchema)
+{
+    const TempFile mf("{\"schema\":\"mct-stats-v1\",\"artifacts\":[]}");
+    ManifestData m;
+    std::string err;
+    EXPECT_FALSE(loadManifest(mf.path(), m, err));
+    EXPECT_NE(err.find("schema"), std::string::npos);
+}
+
+TEST(Manifest, TamperedArtifactIsANamedIntegrityError)
+{
+    const TempFile stats(fleetStatsDoc("10", "1.0", "[1.0,3]"));
+    const TempFile mf(
+        manifestText("r1", "lbm", 1, {{"stats", stats.path()}}));
+
+    // Flip the artifact under the manifest's feet.
+    std::ofstream(stats.path(), std::ios::binary) << "tampered";
+
+    ManifestData m;
+    std::string err;
+    ASSERT_TRUE(loadManifest(mf.path(), m, err)) << err;
+    EXPECT_FALSE(verifyManifest(m, err));
+    EXPECT_EQ(err.rfind("integrity error:", 0), 0u) << err;
+
+    // ... which aggregate surfaces verbatim (and --no-verify skips).
+    FleetReport fleet;
+    EXPECT_FALSE(
+        aggregateManifests({mf.path()}, AggregateOptions{}, fleet, err));
+    EXPECT_EQ(err.rfind("integrity error:", 0), 0u) << err;
+    AggregateOptions loose;
+    loose.verify = false;
+    EXPECT_FALSE(
+        aggregateManifests({mf.path()}, loose, fleet, err));
+    EXPECT_EQ(err.find("integrity error:"), std::string::npos) << err;
+}
+
+TEST(Fleet, AggregatesMergesAndStaysPermutationIdentical)
+{
+    // run1 hist: 1@[0,1), 1@[2,4), 1@[8,16); run2: 2@[2,4), 1@[16,32).
+    const TempFile s1(
+        fleetStatsDoc("10", "1.0", "[0.0,1],[2.0,1],[8.0,1]"));
+    const TempFile s2(fleetStatsDoc("32", "2.0", "[2.0,2],[16.0,1]"));
+    const TempFile m1(
+        manifestText("r1", "lbm", 1, {{"stats", s1.path()}}));
+    const TempFile m2(
+        manifestText("r2", "lbm", 2, {{"stats", s2.path()}}));
+
+    FleetReport fleet;
+    std::string err;
+    ASSERT_TRUE(aggregateManifests({m1.path(), m2.path()},
+                                   AggregateOptions{}, fleet, err))
+        << err;
+    EXPECT_EQ(fleet.runs, 2u);
+    EXPECT_DOUBLE_EQ(fleet.all.merged.at("work.done").num, 42.0);
+    EXPECT_DOUBLE_EQ(fleet.all.merged.at("sim.objective.ipc").num,
+                     1.5);
+    const StatValue &h = fleet.all.merged.at("lat.q.ns");
+    EXPECT_EQ(h.count, 6u);
+    // Dense log2 buckets: [0,1)=1, [2,4)=3, [8,16)=1, [16,32)=1.
+    const std::vector<std::uint64_t> want{1, 0, 3, 0, 1, 1};
+    EXPECT_EQ(h.buckets, want);
+
+    std::ostringstream fwd;
+    writeFleetDoc(fwd, fleet);
+    FleetReport rev;
+    ASSERT_TRUE(aggregateManifests({m2.path(), m1.path()},
+                                   AggregateOptions{}, rev, err))
+        << err;
+    std::ostringstream bwd;
+    writeFleetDoc(bwd, rev);
+    EXPECT_EQ(fwd.str(), bwd.str());
+
+    // The fleet document gates like any stats document: it loads
+    // through the standard reader with kinds intact.
+    const TempFile doc(fwd.str());
+    RunData run;
+    ASSERT_TRUE(loadSnapshots(doc.path(), run, err)) << err;
+    EXPECT_DOUBLE_EQ(run.finalScalars.at("sim.objective.ipc"), 1.5);
+    EXPECT_DOUBLE_EQ(run.finalScalars.at("sim.fleet.runs"), 2.0);
+    EXPECT_DOUBLE_EQ(run.finalScalars.at("fleet.sim.objective.ipc.max"),
+                     2.0);
+    EXPECT_EQ(run.kinds.at("work.done"), "counter");
+}
+
+TEST(Fleet, SingleRunAggregateIsIdentity)
+{
+    const TempFile s1(
+        fleetStatsDoc("10", "1.0", "[0.0,1],[2.0,1],[8.0,1]"));
+    const TempFile m1(
+        manifestText("r1", "lbm", 1, {{"stats", s1.path()}}));
+
+    FleetReport fleet;
+    std::string err;
+    ASSERT_TRUE(aggregateManifests({m1.path()}, AggregateOptions{},
+                                   fleet, err))
+        << err;
+    EXPECT_EQ(fleet.runs, 1u);
+    EXPECT_DOUBLE_EQ(fleet.all.merged.at("work.done").num, 10.0);
+    EXPECT_DOUBLE_EQ(fleet.all.merged.at("sim.objective.ipc").num,
+                     1.0);
+    EXPECT_EQ(fleet.all.merged.at("lat.q.ns").count, 3u);
+    EXPECT_DOUBLE_EQ(
+        fleet.all.gauges.at("sim.objective.ipc").stddev, 0.0);
+    EXPECT_EQ(fleet.outliers, 0u);
+}
+
+TEST(Fleet, GroupsBySeedAndFlagsDispersionOutliers)
+{
+    const TempFile s1(fleetStatsDoc("1", "1.0", "[1.0,1]"));
+    const TempFile s2(fleetStatsDoc("1", "1.0", "[1.0,1]"));
+    const TempFile s3(fleetStatsDoc("1", "10.0", "[1.0,1]"));
+    const TempFile m1(
+        manifestText("r1", "lbm", 1, {{"stats", s1.path()}}));
+    const TempFile m2(
+        manifestText("r2", "lbm", 2, {{"stats", s2.path()}}));
+    const TempFile m3(
+        manifestText("r3", "lbm", 3, {{"stats", s3.path()}}));
+
+    AggregateOptions opt;
+    opt.outlierK = 1.0;
+    FleetReport fleet;
+    std::string err;
+    ASSERT_TRUE(aggregateManifests(
+        {m1.path(), m2.path(), m3.path()}, opt, fleet, err))
+        << err;
+    // Ungrouped: one "all" bucket; 1.0/1.0/10.0 puts only the 10.0
+    // run past 1 stddev from the mean.
+    ASSERT_EQ(fleet.groups.size(), 1u);
+    EXPECT_EQ(fleet.groups[0].key, "all");
+    EXPECT_EQ(fleet.outliers, 1u);
+    bool flagged = false;
+    for (const FleetOutlier &o : fleet.groups[0].outliers)
+        if (o.metric == "sim.objective.ipc" && o.runId == "r3")
+            flagged = true;
+    EXPECT_TRUE(flagged);
+
+    opt.groupBy = "seed";
+    ASSERT_TRUE(aggregateManifests(
+        {m1.path(), m2.path(), m3.path()}, opt, fleet, err))
+        << err;
+    ASSERT_EQ(fleet.groups.size(), 3u);
+    EXPECT_EQ(fleet.groups[0].key, "1");
+    EXPECT_EQ(fleet.groups[0].runIds,
+              (std::vector<std::string>{"r1"}));
+    // Single-run groups cannot disperse.
+    EXPECT_EQ(fleet.outliers, 0u);
+}
+
+TEST(Fleet, DocKeySetsCoverTheEmittedSpellings)
+{
+    EXPECT_NE(std::find(manifestDocKeys().begin(),
+                        manifestDocKeys().end(), "artifacts[].fnv1a"),
+              manifestDocKeys().end());
+    EXPECT_NE(std::find(fleetDocKeys().begin(), fleetDocKeys().end(),
+                        "sim.fleet.runs"),
+              fleetDocKeys().end());
 }
 
 // --------------------------------------------------------------------

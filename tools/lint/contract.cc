@@ -768,4 +768,111 @@ Linter::runDiscardedResult(const RuleSpec &rule,
     }
 }
 
+void
+Linter::runDocContract(const RuleSpec &rule,
+                       const std::vector<SourceFile> &files,
+                       std::vector<Finding> &out) const
+{
+    // --- collect code-declared document keys ---
+    //
+    // Writers of JSON documents (run manifests, fleet rollups) list
+    // their key spellings in a marker-delimited region:
+    //
+    //     // mct-lint:doc-keys:begin
+    //     constexpr const char *kKeys[] = {
+    //         "schema", "artifacts[].path", "fleet.<metric>.mean",
+    //     };
+    //     // mct-lint:doc-keys:end
+    //
+    // The first double-quoted token of each line inside the region is
+    // a key; '<hole>' placeholders become '*' so they unify with the
+    // documented spellings the same way stat paths do.
+    struct CodeKey
+    {
+        std::string pattern;
+        std::string file;
+        int line = 0;
+    };
+    std::vector<CodeKey> code;
+    const std::string begin = "mct-lint:doc-keys:begin";
+    const std::string end = "mct-lint:doc-keys:end";
+    for (const auto &f : files) {
+        if (!pathAllowed(rule, f.path))
+            continue;
+        std::istringstream is(f.raw);
+        std::string line;
+        int n = 0;
+        bool in = false;
+        while (std::getline(is, line)) {
+            ++n;
+            if (line.find(begin) != std::string::npos) {
+                in = true;
+                continue;
+            }
+            if (line.find(end) != std::string::npos) {
+                in = false;
+                continue;
+            }
+            if (!in)
+                continue;
+            const auto a = line.find('"');
+            if (a == std::string::npos)
+                continue;
+            const auto b = line.find('"', a + 1);
+            if (b == std::string::npos)
+                continue;
+            const std::string name = line.substr(a + 1, b - a - 1);
+            if (name.empty())
+                continue;
+            CodeKey k;
+            k.pattern = std::regex_replace(
+                name, std::regex("<[^>]*>"), "*");
+            k.file = f.path;
+            k.line = n;
+            code.push_back(std::move(k));
+        }
+    }
+
+    // --- load the documented keys ---
+    const std::string docsRel =
+        rule.docs.empty() ? "docs/observability.md" : rule.docs;
+    std::ifstream is(fs::path(root_) / docsRel, std::ios::binary);
+    if (!is) {
+        out.push_back({docsRel, 0, rule.id,
+                       "contract documentation file is missing"});
+        return;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::vector<DocEntry> doc;
+    extractDocSection(buf.str(), "doc-contract", doc);
+
+    // Duplicate keys across regions are fine: "schema" legitimately
+    // appears in both the manifest and the fleet key lists, and one
+    // documented row covers both.
+    for (const auto &k : code) {
+        const bool covered = std::any_of(
+            doc.begin(), doc.end(), [&](const DocEntry &d) {
+                return patternsUnify(k.pattern, d.pattern);
+            });
+        if (!covered)
+            out.push_back({k.file, k.line, rule.id,
+                           "document key '" + k.pattern +
+                               "' is declared in code but not "
+                               "documented in " +
+                               docsRel});
+    }
+    for (const auto &d : doc) {
+        const bool exists = std::any_of(
+            code.begin(), code.end(), [&](const CodeKey &k) {
+                return patternsUnify(k.pattern, d.pattern);
+            });
+        if (!exists)
+            out.push_back({docsRel, d.line, rule.id,
+                           "documented document key '" + d.pattern +
+                               "' is not declared by any doc-keys "
+                               "region in code"});
+    }
+}
+
 } // namespace mct::lint

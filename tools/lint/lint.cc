@@ -415,6 +415,8 @@ Linter::run(const std::vector<std::string> &roots)
             runIncludeHygiene(rule, files, out);
         else if (rule.builtin == "serialize-contract")
             runSerializeContract(rule, files, out);
+        else if (rule.builtin == "doc-contract")
+            runDocContract(rule, files, out);
         else
             out.push_back({"rules.txt", 0, rule.id,
                            "unknown builtin '" + rule.builtin + "'"});

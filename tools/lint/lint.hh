@@ -20,9 +20,9 @@
  * regex, the scope globs, the allowlist, and the message, so new bans
  * do not require recompiling the tool. A small set of named builtin
  * analyses (stat-contract, nonfinite-gauge, discarded-result,
- * include-hygiene, serialize-contract) carry the checks that need
- * real parsing; rules.txt still owns their scope, allowlist, and
- * configuration.
+ * include-hygiene, serialize-contract, doc-contract) carry the
+ * checks that need real parsing; rules.txt still owns their scope,
+ * allowlist, and configuration.
  *
  * Findings print as "file:line: [rule-id] message" and the process
  * exits non-zero when any finding survives, so the lint target gates
@@ -50,7 +50,8 @@ struct RuleSpec
     /**
      * Name of a compiled-in analysis ("stat-contract",
      * "nonfinite-gauge", "discarded-result", "include-hygiene",
-     * "serialize-contract"); empty for pattern rules.
+     * "serialize-contract", "doc-contract"); empty for pattern
+     * rules.
      */
     std::string builtin;
 
@@ -323,6 +324,9 @@ class Linter
     void runSerializeContract(const RuleSpec &rule,
                               const std::vector<SourceFile> &files,
                               std::vector<Finding> &out);
+    void runDocContract(const RuleSpec &rule,
+                        const std::vector<SourceFile> &files,
+                        std::vector<Finding> &out) const;
 };
 
 /** Line number (1-based) of byte offset @p pos in @p text. */

@@ -52,6 +52,15 @@
  *                               trace-event complete events (real
  *                               microseconds)
  *
+ * Run manifests (all modes; docs/observability.md):
+ *   --manifest-out FILE  mct-manifest-v1 document naming the run
+ *                        (mode/app/config, seed, fault plan, run
+ *                        fingerprint) and listing every artifact this
+ *                        invocation produced with its relative path
+ *                        and FNV-1a checksum, so a directory of runs
+ *                        is a self-describing corpus for
+ *                        `mct_report aggregate`
+ *
  * Timelines & alerting (eval and mct modes; both require
  * --stats-every; docs/observability.md):
  *   --timeline-out FILE      mct-timeline-v1 document: per-window
@@ -130,6 +139,7 @@
 #include "common/instrument.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/manifest.hh"
 #include "common/serialize.hh"
 #include "common/table.hh"
 #include "common/types.hh"
@@ -308,6 +318,7 @@ struct Telemetry
     std::string hostChrome;  ///< --host-profile-chrome FILE
     std::string timelineOut; ///< --timeline-out FILE
     std::string alertsOut;   ///< --alerts-out FILE (JSONL)
+    std::string manifestOut; ///< --manifest-out FILE
     std::vector<std::string> timelineGlobs; ///< --timeline-metrics
     std::vector<AlertRule> alertRules;      ///< parsed --alerts file
     std::size_t timelineCap = 512;          ///< --timeline-cap N
@@ -325,7 +336,8 @@ struct Telemetry
         return !statsJson.empty() || !traceOut.empty() ||
                !traceChrome.empty() || statsEvery > 0 ||
                wantsSpans() || wantsProvenance() || wantsHost() ||
-               wantsTimeline() || wantsAlerts();
+               wantsTimeline() || wantsAlerts() ||
+               !manifestOut.empty();
     }
 
     /** Should per-window metric deltas be collected into a ring? */
@@ -433,6 +445,7 @@ telemetryFromArgs(const Args &args)
     t.alertsOut = args.get("alerts-out", "");
     if (!t.alertsOut.empty() && t.alertRules.empty())
         mct_fatal("--alerts-out requires --alerts");
+    t.manifestOut = args.get("manifest-out", "");
     // Both surfaces observe the run at stats-window granularity; with
     // no window cadence there is nothing to observe.
     if ((t.wantsTimeline() || t.wantsAlerts()) && t.statsEvery == 0)
@@ -913,6 +926,57 @@ printCkptSummary(const CheckpointStore &store)
                 static_cast<unsigned long long>(store.resumes()));
 }
 
+/** Run identity recorded into the manifest (--manifest-out). */
+struct RunIdentity
+{
+    std::uint64_t seed = 0;
+    std::string faultPlan;   ///< --faults spec ("" when none)
+    std::string fingerprint; ///< runFingerprint() of this invocation
+};
+
+/**
+ * Publish the mct-manifest-v1 document naming this run and every
+ * artifact it produced. Artifacts are re-read from disk for their
+ * checksums, so the manifest attests to the published bytes, not to
+ * what the writer intended.
+ */
+bool
+writeRunManifest(const std::string &path, const std::string &mode,
+                 const std::string &app, const std::string &config,
+                 const RunIdentity &rid,
+                 std::vector<ManifestArtifact> artifacts)
+{
+    RunManifest m;
+    m.runId = manifestRunId(rid.fingerprint);
+    m.mode = mode;
+    m.app = app;
+    m.config = config;
+    m.seed = rid.seed;
+    m.faultPlan = rid.faultPlan;
+    m.fingerprint = rid.fingerprint;
+    for (ManifestArtifact &a : artifacts) {
+        std::uint64_t sum = 0, bytes = 0;
+        if (!checksumFile(a.path, sum, bytes)) {
+            std::fprintf(stderr, "cannot checksum '%s'\n",
+                         a.path.c_str());
+            return false;
+        }
+        a.checksum = sum;
+        a.bytes = bytes;
+        a.path = manifestRelative(path, a.path);
+        m.artifacts.push_back(std::move(a));
+    }
+    AtomicFile f(path);
+    writeManifestJson(f.stream(), m);
+    if (!f.commit()) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return false;
+    }
+    std::printf("manifest-out   %s (%zu artifacts, run %s)\n",
+                path.c_str(), m.artifacts.size(), m.runId.c_str());
+    return true;
+}
+
 /** Write the machine-readable stats document (--stats-json). */
 bool
 writeStatsDoc(const Telemetry &t, const std::string &mode,
@@ -928,8 +992,20 @@ writeStatsDoc(const Telemetry &t, const std::string &mode,
     w.kv("mode", mode);
     w.kv("app", app);
     w.kv("config", configKey(sys.config()));
+    const StatSnapshot final_ = sys.statRegistry().snapshot();
     w.key("final");
-    writeSnapshot(w, sys.statRegistry().snapshot());
+    writeSnapshot(w, final_);
+    // Scalar kinds, so cross-run aggregation can tell counters (which
+    // sum across a fleet) from gauges (which average). Histograms are
+    // self-describing objects and need no entry.
+    w.key("kinds").beginObject();
+    for (const auto &[path, v] : final_) {
+        if (v.kind == StatKind::Counter)
+            w.kv(path, "counter");
+        else if (v.kind == StatKind::Gauge)
+            w.kv(path, "gauge");
+    }
+    w.endObject();
     w.key("periodic").beginArray();
     for (const PeriodicDelta &pd : periodic) {
         w.beginObject();
@@ -985,8 +1061,19 @@ int
 finishTelemetry(const Telemetry &t, const std::string &mode,
                 const std::string &app, const System &sys,
                 const MctController *ctl,
-                const std::vector<PeriodicDelta> &periodic)
+                const std::vector<PeriodicDelta> &periodic,
+                const RunIdentity &rid)
 {
+    std::vector<ManifestArtifact> artifacts;
+    const auto note = [&artifacts](const char *kind,
+                                   const char *schema,
+                                   const std::string &path) {
+        ManifestArtifact a;
+        a.kind = kind;
+        a.schema = schema;
+        a.path = path;
+        artifacts.push_back(std::move(a));
+    };
     if (!t.statsJson.empty()) {
         if (!writeStatsDoc(t, mode, app, sys, ctl, periodic)) {
             std::fprintf(stderr, "cannot write '%s'\n",
@@ -994,6 +1081,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
             return 1;
         }
         std::printf("stats-json     %s\n", t.statsJson.c_str());
+        note("stats", "mct-stats-v1", t.statsJson);
     }
     const EventTrace &trace = sys.eventTrace();
     if (!t.traceOut.empty()) {
@@ -1008,6 +1096,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
                     t.traceOut.c_str(),
                     static_cast<unsigned long long>(trace.size()),
                     static_cast<unsigned long long>(trace.dropped()));
+        note("trace", "", t.traceOut);
     }
     if (!t.traceChrome.empty()) {
         AtomicFile f(t.traceChrome);
@@ -1018,6 +1107,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
             return 1;
         }
         std::printf("trace-chrome   %s\n", t.traceChrome.c_str());
+        note("trace_chrome", "", t.traceChrome);
     }
     const SpanTrace &spans = sys.spanTrace();
     if (!t.spansOut.empty()) {
@@ -1032,6 +1122,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
                     t.spansOut.c_str(),
                     static_cast<unsigned long long>(spans.size()),
                     static_cast<unsigned long long>(spans.dropped()));
+        note("spans", "", t.spansOut);
     }
     if (!t.spansChrome.empty()) {
         AtomicFile f(t.spansChrome);
@@ -1042,6 +1133,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
             return 1;
         }
         std::printf("spans-chrome   %s\n", t.spansChrome.c_str());
+        note("spans_chrome", "", t.spansChrome);
     }
     const ProvenanceTrace &prov = sys.provenanceTrace();
     if (!t.provOut.empty()) {
@@ -1056,6 +1148,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
                     t.provOut.c_str(),
                     static_cast<unsigned long long>(prov.size()),
                     static_cast<unsigned long long>(prov.dropped()));
+        note("provenance", "", t.provOut);
     }
     if (!t.provChrome.empty()) {
         AtomicFile f(t.provChrome);
@@ -1066,6 +1159,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
             return 1;
         }
         std::printf("provenance-chrome %s\n", t.provChrome.c_str());
+        note("provenance_chrome", "", t.provChrome);
     }
     if (!t.timelineOut.empty()) {
         AtomicFile f(t.timelineOut);
@@ -1085,6 +1179,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
                         sys.timeline().recorded()),
                     static_cast<unsigned long long>(
                         sys.timeline().dropped()));
+        note("timeline", "mct-timeline-v1", t.timelineOut);
     }
     if (!t.alertsOut.empty()) {
         AtomicFile f(t.alertsOut);
@@ -1100,6 +1195,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
                         sys.alerts().raised()),
                     static_cast<unsigned long long>(
                         sys.alerts().cleared()));
+        note("alerts", "", t.alertsOut);
     }
     if (HostProfiler *hp = sys.hostProfiler()) {
         hp->sampleMemory(); // end-of-run RSS / high-water refresh
@@ -1115,6 +1211,7 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
             std::printf("host-profile   %s (%.2f mips, rss %.0f kB)\n",
                         t.hostOut.c_str(), hp->mips(),
                         hp->rssHighWaterKb());
+            note("host", "mct-host-v1", t.hostOut);
         }
         if (!t.hostChrome.empty()) {
             AtomicFile f(t.hostChrome);
@@ -1125,8 +1222,14 @@ finishTelemetry(const Telemetry &t, const std::string &mode,
                 return 1;
             }
             std::printf("host-chrome    %s\n", t.hostChrome.c_str());
+            note("host_chrome", "", t.hostChrome);
         }
     }
+    if (!t.manifestOut.empty() &&
+        !writeRunManifest(t.manifestOut, mode, app,
+                          configKey(sys.config()), rid,
+                          std::move(artifacts)))
+        return 1;
     return 0;
 }
 
@@ -1217,16 +1320,16 @@ cmdEval(const Args &args)
             else
                 sys.run(n);
         };
+        const RunIdentity rid{
+            ep.sys.seed, args.get("faults", ""),
+            runFingerprint("eval", app, configKey(cfg), ep,
+                           ep.measureInsts, tel, args, ck.every)};
         if (ck.armed()) {
             CheckpointStore store(ck.out);
             store.registerStats(sys.statRegistry());
             DriverState ds;
-            CkptSession sess(store,
-                             runFingerprint("eval", app,
-                                            configKey(cfg), ep,
-                                            ep.measureInsts, tel,
-                                            args, ck.every),
-                             ck.every, sys, ds);
+            CkptSession sess(store, rid.fingerprint, ck.every, sys,
+                             ds);
             if (faults.any())
                 sess.attachInjector(&inj);
             installStopHandler();
@@ -1258,7 +1361,7 @@ cmdEval(const Args &args)
                 printFaultSummary(inj, nullptr);
             printCkptSummary(store);
             return finishTelemetry(tel, "eval", app, sys, nullptr,
-                                   ds.periodic);
+                                   ds.periodic, rid);
         }
         {
             HostProfiler::Scope replay(sys.hostProfiler(), "replay");
@@ -1274,7 +1377,7 @@ cmdEval(const Args &args)
         if (faults.any())
             printFaultSummary(inj, nullptr);
         return finishTelemetry(tel, "eval", app, sys, nullptr,
-                               periodic);
+                               periodic, rid);
     }
     printMetrics(evaluateConfig(app, cfg, ep));
     return 0;
@@ -1300,8 +1403,24 @@ cmdTrace(const Args &args)
         return 1;
     }
     TraceWorkload::write(os, ops);
+    os.close();
     std::printf("captured %zu operations of %s into %s\n", count,
                 app.c_str(), out.c_str());
+    const std::string manifestOut = args.get("manifest-out", "");
+    if (!manifestOut.empty()) {
+        std::ostringstream fp;
+        fp << "mct-trace-fp-v1;app=" << app << ";ops=" << count
+           << ";seed=" << args.getI("seed", 1);
+        const RunIdentity rid{
+            static_cast<std::uint64_t>(args.getI("seed", 1)), "",
+            fp.str()};
+        ManifestArtifact a;
+        a.kind = "trace_capture";
+        a.path = out;
+        if (!writeRunManifest(manifestOut, "trace", app, "", rid,
+                              {std::move(a)}))
+            return 1;
+    }
     return 0;
 }
 
@@ -1354,16 +1473,16 @@ cmdMct(const Args &args)
         sys.attachHostProfiler(&hostProf);
     }
 
+    const std::string configId =
+        model + ":" + std::to_string(mp.objective.minLifetimeYears);
+    const RunIdentity rid{ep.sys.seed, args.get("faults", ""),
+                          runFingerprint("mct", app, configId, ep,
+                                         total, tel, args, ck.every)};
     if (ck.armed()) {
         CheckpointStore store(ck.out);
         store.registerStats(sys.statRegistry());
         DriverState ds;
-        const std::string configId =
-            model + ":" + std::to_string(mp.objective.minLifetimeYears);
-        CkptSession sess(store,
-                         runFingerprint("mct", app, configId, ep,
-                                        total, tel, args, ck.every),
-                         ck.every, sys, ds);
+        CkptSession sess(store, rid.fingerprint, ck.every, sys, ds);
         if (faults.any())
             sess.attachInjector(&inj);
         installStopHandler();
@@ -1433,7 +1552,7 @@ cmdMct(const Args &args)
         printCkptSummary(store);
         if (tel.any())
             return finishTelemetry(tel, "mct", app, sys, ctl.get(),
-                                   ds.periodic);
+                                   ds.periodic, rid);
         return 0;
     }
 
@@ -1471,7 +1590,8 @@ cmdMct(const Args &args)
     if (faults.any())
         printFaultSummary(inj, &ctl);
     if (tel.any())
-        return finishTelemetry(tel, "mct", app, sys, &ctl, periodic);
+        return finishTelemetry(tel, "mct", app, sys, &ctl, periodic,
+                               rid);
     return 0;
 }
 
@@ -1524,6 +1644,22 @@ cmdSweep(const Args &args)
         return 1;
     }
     std::printf("wrote %zu rows to %s\n", space.size(), csv.c_str());
+    const std::string manifestOut = args.get("manifest-out", "");
+    if (!manifestOut.empty()) {
+        std::ostringstream fp;
+        fp << "mct-sweep-fp-v1;app=" << app << ";space=" << spaceName
+           << ";seed=" << ep.sys.seed << ";warmup=" << ep.warmupInsts
+           << ";measure=" << ep.measureInsts
+           << ";faults=" << args.get("faults", "");
+        const RunIdentity rid{ep.sys.seed, args.get("faults", ""),
+                              fp.str()};
+        ManifestArtifact a;
+        a.kind = "sweep_csv";
+        a.path = csv;
+        if (!writeRunManifest(manifestOut, "sweep", app, spaceName,
+                              rid, {std::move(a)}))
+            return 1;
+    }
     return 0;
 }
 

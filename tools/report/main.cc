@@ -8,7 +8,10 @@
  *   mct_report explain [RUN.json] --provenance FILE [--decisions N]
  *   mct_report diff --base FILE --new FILE [--thresholds FILE]
  *                   [--out BENCH_report.json]
- *   mct_report perf --host FILE [--host FILE ...] [--base FILE]
+ *   mct_report aggregate MANIFEST [MANIFEST ...] [--group-by FIELD]
+ *                   [--with-host] [--outlier-k K] [--no-verify]
+ *                   [--out FLEET.json]
+ *   mct_report perf --host FILE [--base FILE]
  *                   [--thresholds FILE] [--out FILE]
  *   mct_report timeline --timeline FILE [--alerts FILE]
  *                   [--windows N]
@@ -40,15 +43,31 @@
  * event table and severity totals. A timeline document also loads as
  * a run document, so `diff` can gate alert.count.* scalars.
  *
- * `perf` renders the host-telemetry document(s) an mct_sim
+ * `aggregate` scans run manifests (the mct-manifest-v1 documents
+ * mct_sim --manifest-out and the bench harness emit), re-checksums
+ * every artifact they name (a mismatch is a named "integrity error:"
+ * and exits 3), merges the runs' stats documents — counters summed,
+ * gauges averaged with count/mean/min/max/stddev dispersion cells,
+ * histograms added bucket-wise so merged percentiles stay exact —
+ * and renders the fleet table with per-group outlier flags
+ * (|value - mean| > k*stddev, --outlier-k, default 3). --group-by
+ * buckets runs by a manifest field (app, mode, config, seed,
+ * fault_plan, run_id); --with-host also merges each run's host
+ * document so sim.mips gates alongside the sim stats; --out writes
+ * the mct-fleet-v1 document, which `diff` gates like any stats
+ * document. The output is byte-identical for any ordering of the
+ * MANIFEST arguments.
+ *
+ * `perf` renders the host-telemetry document an mct_sim
  * --host-profile-out run writes: sim.mips throughput, wall/CPU
  * seconds, RSS high-water, and the per-stage host attribution table.
- * With several --host files the per-metric median is taken
- * (median-of-3 in CI damps scheduler noise); with --base the median
- * is gated against a pinned baseline exactly like diff.
+ * With --base the run is gated against a pinned baseline exactly
+ * like diff. Multi-run noise damping goes through `aggregate` on the
+ * runs' manifests (CI gates the mean of three runs).
  *
- * Exit codes: 0 clean, 1 at least one regression, 2 usage or load
- * error. `show` only uses 0 and 2.
+ * Exit codes: 0 clean, 1 at least one regression, 2 usage error,
+ * 3 unreadable or malformed input (including "integrity error:"
+ * checksum failures from `aggregate`). `show` uses 0, 2 and 3.
  */
 
 #include <cstdio>
@@ -79,9 +98,12 @@ usage()
         "                       [--decisions N]\n"
         "       mct_report diff --base FILE --new FILE\n"
         "                       [--thresholds FILE] [--out FILE]\n"
-        "       mct_report perf --host FILE [--host FILE ...]\n"
-        "                       [--base FILE] [--thresholds FILE]\n"
-        "                       [--out FILE]\n"
+        "       mct_report aggregate MANIFEST [MANIFEST ...]\n"
+        "                       [--group-by FIELD] [--with-host]\n"
+        "                       [--outlier-k K] [--no-verify]\n"
+        "                       [--out FLEET.json]\n"
+        "       mct_report perf --host FILE [--base FILE]\n"
+        "                       [--thresholds FILE] [--out FILE]\n"
         "       mct_report timeline --timeline FILE [--alerts FILE]\n"
         "                       [--windows N]\n");
     return 2;
@@ -135,7 +157,7 @@ cmdShow(int argc, char **argv)
         RunData run;
         if (!loadSnapshots(statsPath, run, err)) {
             std::fprintf(stderr, "error: %s\n", err.c_str());
-            return 2;
+            return 3;
         }
         renderRun(std::cout, run, windows);
     }
@@ -143,7 +165,7 @@ cmdShow(int argc, char **argv)
         SpanSet spans;
         if (!loadSpans(spansPath, spans, err)) {
             std::fprintf(stderr, "error: %s\n", err.c_str());
-            return 2;
+            return 3;
         }
         std::cout << "\n";
         renderSpans(std::cout, spans);
@@ -152,7 +174,7 @@ cmdShow(int argc, char **argv)
         Profile prof;
         if (!loadProfile(profilePath, prof, err)) {
             std::fprintf(stderr, "error: %s\n", err.c_str());
-            return 2;
+            return 3;
         }
         std::cout << "\nself-profile:\n";
         renderProfile(std::cout, prof);
@@ -163,7 +185,7 @@ cmdShow(int argc, char **argv)
         if (!loadSnapshots(hostPath, host, err) ||
             !loadProfile(hostPath, prof, err)) {
             std::fprintf(stderr, "error: %s\n", err.c_str());
-            return 2;
+            return 3;
         }
         if (!statsPath.empty())
             std::cout << "\n";
@@ -173,23 +195,28 @@ cmdShow(int argc, char **argv)
 }
 
 /**
- * perf: render (and optionally gate) host-telemetry documents. With
- * several --host files the per-metric median is used, damping
- * scheduler noise; with --base the median is diffed against a pinned
- * baseline through the thresholds rules (sim.mips, direction
- * higher). Exit 1 on regression, mirroring diff.
+ * perf: render (and optionally gate) one host-telemetry document;
+ * with --base it is diffed against a pinned baseline through the
+ * thresholds rules (sim.mips, direction higher). Exit 1 on
+ * regression, mirroring diff. Multi-run damping lives in
+ * `aggregate` (the mean over the runs' manifests), not here.
  */
 int
 cmdPerf(int argc, char **argv)
 {
-    std::vector<std::string> hostPaths;
-    std::string basePath, thresholdsPath, outPath;
+    std::string hostPath, basePath, thresholdsPath, outPath;
     for (int i = 2; i < argc; ++i) {
         std::string v;
         if (!std::strcmp(argv[i], "--host")) {
             if (!flagValue(argc, argv, i, v))
                 return 2;
-            hostPaths.push_back(v);
+            if (!hostPath.empty()) {
+                std::fprintf(stderr,
+                             "repeated --host: use mct_report "
+                             "aggregate for multi-run rollups\n");
+                return usage();
+            }
+            hostPath = v;
         } else if (!std::strcmp(argv[i], "--base")) {
             if (!flagValue(argc, argv, i, basePath))
                 return 2;
@@ -204,26 +231,17 @@ cmdPerf(int argc, char **argv)
             return usage();
         }
     }
-    if (hostPaths.empty())
+    if (hostPath.empty())
         return usage();
 
     std::string err;
-    std::vector<RunData> runs;
-    std::vector<Profile> profiles;
-    for (const std::string &path : hostPaths) {
-        RunData run;
-        Profile prof;
-        if (!loadSnapshots(path, run, err) ||
-            !loadProfile(path, prof, err)) {
-            std::fprintf(stderr, "error: %s\n", err.c_str());
-            return 2;
-        }
-        runs.push_back(std::move(run));
-        profiles.push_back(std::move(prof));
+    RunData cur;
+    Profile prof;
+    if (!loadSnapshots(hostPath, cur, err) ||
+        !loadProfile(hostPath, prof, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 3;
     }
-    const RunData cur = runs.size() == 1 ? runs[0] : medianRuns(runs);
-    const Profile prof =
-        profiles.size() == 1 ? profiles[0] : medianProfiles(profiles);
     renderHostSummary(std::cout, cur, prof);
     if (basePath.empty())
         return 0;
@@ -234,16 +252,16 @@ cmdPerf(int argc, char **argv)
             std::fprintf(stderr, "internal: bad default thresholds: "
                                  "%s\n",
                          err.c_str());
-            return 2;
+            return 3;
         }
     } else if (!loadThresholds(thresholdsPath, th, err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());
-        return 2;
+        return 3;
     }
     RunData base;
     if (!loadSnapshots(basePath, base, err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());
-        return 2;
+        return 3;
     }
     const DiffReport rep = diffRuns(base, cur, th);
     std::cout << "\n";
@@ -251,7 +269,7 @@ cmdPerf(int argc, char **argv)
     if (rep.checks.empty()) {
         std::fprintf(stderr,
                      "error: no metric matched any threshold rule\n");
-        return 2;
+        return 3;
     }
     if (!outPath.empty()) {
         mct::AtomicFile f(outPath);
@@ -259,11 +277,89 @@ cmdPerf(int argc, char **argv)
         if (!f.commit()) {
             std::fprintf(stderr, "error: cannot write '%s'\n",
                          outPath.c_str());
-            return 2;
+            return 3;
         }
         std::printf("report written to %s\n", outPath.c_str());
     }
     return rep.regressions ? 1 : 0;
+}
+
+/**
+ * aggregate: verify + merge N run manifests into one fleet rollup.
+ * Exit 0 on success, 2 on usage errors, 3 on unreadable/malformed
+ * input — including the named "integrity error:" when an artifact's
+ * bytes do not match its manifest checksum.
+ */
+int
+cmdAggregate(int argc, char **argv)
+{
+    std::vector<std::string> manifests;
+    AggregateOptions opt;
+    std::string outPath;
+    for (int i = 2; i < argc; ++i) {
+        std::string v;
+        if (!std::strcmp(argv[i], "--group-by")) {
+            if (!flagValue(argc, argv, i, opt.groupBy))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--out")) {
+            if (!flagValue(argc, argv, i, outPath))
+                return 2;
+        } else if (!std::strcmp(argv[i], "--with-host")) {
+            opt.withHost = true;
+        } else if (!std::strcmp(argv[i], "--no-verify")) {
+            opt.verify = false;
+        } else if (!std::strcmp(argv[i], "--outlier-k")) {
+            if (!flagValue(argc, argv, i, v))
+                return 2;
+            try {
+                opt.outlierK = std::stod(v);
+            } catch (...) {
+                std::fprintf(stderr, "bad --outlier-k '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (argv[i][0] != '-') {
+            manifests.push_back(argv[i]);
+        } else {
+            std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+            return usage();
+        }
+    }
+    if (manifests.empty())
+        return usage();
+    if (!opt.groupBy.empty()) {
+        // Validate the field name up front so a typo is a usage
+        // error, not a per-manifest load error.
+        ManifestData probe;
+        std::string key;
+        if (!probe.groupKey(opt.groupBy, key)) {
+            std::fprintf(stderr,
+                         "unknown --group-by field '%s' (app, mode, "
+                         "config, seed, fault_plan, run_id)\n",
+                         opt.groupBy.c_str());
+            return 2;
+        }
+    }
+
+    std::string err;
+    FleetReport fleet;
+    if (!aggregateManifests(manifests, opt, fleet, err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 3;
+    }
+    renderFleet(std::cout, fleet);
+    if (!outPath.empty()) {
+        mct::AtomicFile f(outPath);
+        writeFleetDoc(f.stream(), fleet);
+        if (!f.commit()) {
+            std::fprintf(stderr, "error: cannot write '%s'\n",
+                         outPath.c_str());
+            return 3;
+        }
+        std::printf("fleet document written to %s\n",
+                    outPath.c_str());
+    }
+    return 0;
 }
 
 int
@@ -297,13 +393,13 @@ cmdTimeline(int argc, char **argv)
     TimelineData tl;
     if (!loadTimeline(timelinePath, tl, err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());
-        return 2;
+        return 3;
     }
     AlertLog alerts;
     if (!alertsPath.empty() &&
         !loadAlertLog(alertsPath, alerts, err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());
-        return 2;
+        return 3;
     }
     renderTimeline(std::cout, tl, alerts, windows);
     return 0;
@@ -341,7 +437,7 @@ cmdExplain(int argc, char **argv)
         RunData run;
         if (!loadSnapshots(statsPath, run, err)) {
             std::fprintf(stderr, "error: %s\n", err.c_str());
-            return 2;
+            return 3;
         }
         std::cout << "run: " << run.path << "\nmode " << run.mode
                   << ", app " << run.app << ", config " << run.config
@@ -360,7 +456,7 @@ cmdExplain(int argc, char **argv)
     ProvSet prov;
     if (!loadProvenance(provPath, prov, err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());
-        return 2;
+        return 3;
     }
     renderExplain(std::cout, prov, mct::configDimNames(), decisions);
     return 0;
@@ -402,14 +498,14 @@ cmdDiff(int argc, char **argv)
         }
     } else if (!loadThresholds(thresholdsPath, th, err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());
-        return 2;
+        return 3;
     }
 
     RunData base, cur;
     if (!loadSnapshots(basePath, base, err) ||
         !loadSnapshots(newPath, cur, err)) {
         std::fprintf(stderr, "error: %s\n", err.c_str());
-        return 2;
+        return 3;
     }
 
     const DiffReport rep = diffRuns(base, cur, th);
@@ -445,6 +541,8 @@ main(int argc, char **argv)
         return cmdExplain(argc, argv);
     if (!std::strcmp(argv[1], "diff"))
         return cmdDiff(argc, argv);
+    if (!std::strcmp(argv[1], "aggregate"))
+        return cmdAggregate(argc, argv);
     if (!std::strcmp(argv[1], "perf"))
         return cmdPerf(argc, argv);
     if (!std::strcmp(argv[1], "timeline"))

@@ -7,7 +7,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/instrument.hh"
 #include "common/json.hh"
+#include "common/manifest.hh"
 #include "common/table.hh"
 
 namespace mct::report
@@ -402,7 +404,7 @@ loadSnapshots(const std::string &path, RunData &out, std::string &err)
         return false;
     const std::string schema = doc.text("schema", "");
     if (schema != "mct-stats-v1" && schema != "mct-host-v1" &&
-        schema != "mct-timeline-v1") {
+        schema != "mct-timeline-v1" && schema != "mct-fleet-v1") {
         err = path + ": unsupported schema '" + schema + "'";
         return false;
     }
@@ -416,6 +418,12 @@ loadSnapshots(const std::string &path, RunData &out, std::string &err)
         return false;
     }
     splitSnapshot(*final_, out.finalScalars, &out.finalHists);
+    if (const JsonValue *kinds = doc.find("kinds")) {
+        for (const auto &[name, v] : kinds->members) {
+            if (v.kind == JsonValue::Kind::String)
+                out.kinds[name] = v.str;
+        }
+    }
     if (const JsonValue *periodic = doc.find("periodic")) {
         for (const JsonValue &entry : periodic->arr) {
             const JsonValue *delta = entry.find("delta");
@@ -466,6 +474,483 @@ medianRuns(const std::vector<RunData> &runs)
         }
     }
     return out;
+}
+
+// --------------------------------------------------------------------
+// Run manifests (mct-manifest-v1) + fleet rollup (mct-fleet-v1)
+// --------------------------------------------------------------------
+
+std::string
+ManifestData::artifactPath(const ManifestArtifactRow &a) const
+{
+    if (!a.path.empty() && a.path[0] == '/')
+        return a.path;
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return a.path;
+    return path.substr(0, slash + 1) + a.path;
+}
+
+const ManifestArtifactRow *
+ManifestData::artifact(const std::string &kind) const
+{
+    for (const ManifestArtifactRow &a : artifacts)
+        if (a.kind == kind)
+            return &a;
+    return nullptr;
+}
+
+bool
+ManifestData::groupKey(const std::string &field, std::string &out) const
+{
+    if (field == "app")
+        out = app;
+    else if (field == "mode")
+        out = mode;
+    else if (field == "config")
+        out = config;
+    else if (field == "seed")
+        out = std::to_string(seed);
+    else if (field == "fault_plan")
+        out = faultPlan;
+    else if (field == "run_id")
+        out = runId;
+    else
+        return false;
+    return true;
+}
+
+bool
+loadManifest(const std::string &path, ManifestData &out,
+             std::string &err)
+{
+    JsonValue doc;
+    if (!parseJsonFile(path, doc, err))
+        return false;
+    const std::string schema = doc.text("schema", "");
+    if (schema != "mct-manifest-v1") {
+        err = path + ": unsupported schema '" + schema + "'";
+        return false;
+    }
+    out.path = path;
+    out.runId = doc.text("run_id", "");
+    out.mode = doc.text("mode", "");
+    out.app = doc.text("app", "");
+    out.config = doc.text("config", "");
+    out.seed = static_cast<std::uint64_t>(doc.num("seed", 0.0));
+    out.faultPlan = doc.text("fault_plan", "");
+    out.fingerprint = doc.text("fingerprint", "");
+    const JsonValue *arts = doc.find("artifacts");
+    if (!arts || arts->kind != JsonValue::Kind::Array) {
+        err = path + ": missing 'artifacts' array";
+        return false;
+    }
+    for (const JsonValue &a : arts->arr) {
+        ManifestArtifactRow row;
+        row.kind = a.text("kind", "");
+        row.schema = a.text("schema", "");
+        row.path = a.text("path", "");
+        row.bytes = static_cast<std::uint64_t>(a.num("bytes", 0.0));
+        row.fnv1a = a.text("fnv1a", "");
+        if (row.path.empty()) {
+            err = path + ": artifact without a path";
+            return false;
+        }
+        out.artifacts.push_back(std::move(row));
+    }
+    return true;
+}
+
+bool
+verifyManifest(const ManifestData &m, std::string &err)
+{
+    for (const ManifestArtifactRow &a : m.artifacts) {
+        const std::string full = m.artifactPath(a);
+        std::uint64_t checksum = 0, bytes = 0;
+        if (!checksumFile(full, checksum, bytes)) {
+            err = "integrity error: " + m.path + ": artifact '" +
+                  a.path + "' cannot be read";
+            return false;
+        }
+        if (bytes != a.bytes) {
+            err = "integrity error: " + m.path + ": artifact '" +
+                  a.path + "' is " + std::to_string(bytes) +
+                  " bytes, manifest says " + std::to_string(a.bytes);
+            return false;
+        }
+        if (checksumHex(checksum) != a.fnv1a) {
+            err = "integrity error: " + m.path + ": artifact '" +
+                  a.path + "' checksum " + checksumHex(checksum) +
+                  " != manifest " + a.fnv1a;
+            return false;
+        }
+    }
+    return true;
+}
+
+StatSnapshot
+snapshotFromRun(const RunData &run)
+{
+    StatSnapshot snap;
+    for (const auto &[name, v] : run.finalScalars) {
+        StatValue sv;
+        const auto k = run.kinds.find(name);
+        sv.kind = (k != run.kinds.end() && k->second == "counter")
+                      ? StatKind::Counter
+                      : StatKind::Gauge;
+        sv.num = v;
+        snap.emplace(name, std::move(sv));
+    }
+    for (const auto &[name, h] : run.finalHists) {
+        StatValue sv;
+        sv.kind = StatKind::Histogram;
+        sv.num = h.sum;
+        sv.count = h.count;
+        for (const auto &[lo, n] : h.buckets) {
+            // Bucket lows are exact powers of two (or 0), so the
+            // dense LogHistogram index round-trips exactly.
+            const std::size_t idx =
+                lo == 0.0 ? 0
+                          : static_cast<std::size_t>(
+                                std::lround(std::log2(lo))) +
+                                1;
+            if (idx >= sv.buckets.size())
+                sv.buckets.resize(idx + 1, 0);
+            sv.buckets[idx] += n;
+        }
+        snap.emplace(name, std::move(sv));
+    }
+    return snap;
+}
+
+namespace
+{
+
+/** One run's contribution to the rollup. */
+struct FleetRun
+{
+    std::string id;  ///< run id (manifest path tiebreaks duplicates)
+    std::string key; ///< group-by value
+    StatSnapshot snap;
+};
+
+/** Fold a loaded run document into @p snap (first writer wins). */
+void
+foldIntoSnapshot(const RunData &run, StatSnapshot &snap)
+{
+    for (auto &[name, v] : snapshotFromRun(run))
+        snap.emplace(name, std::move(v));
+}
+
+/** Merge one group's runs and flag its dispersion outliers. */
+FleetGroup
+mergeGroup(const std::string &key,
+           const std::vector<const FleetRun *> &runs, double outlierK)
+{
+    FleetGroup g;
+    g.key = key;
+    StatMerge sm;
+    for (const FleetRun *r : runs) {
+        g.runIds.push_back(r->id);
+        sm.add(r->id, r->snap);
+    }
+    std::sort(g.runIds.begin(), g.runIds.end());
+    g.merged = sm.merge();
+
+    // Outliers: gauges only, in sorted (metric, run) order so the
+    // report is deterministic. stddev 0 (or a single run) flags
+    // nothing.
+    for (const auto &[metric, cells] : g.merged.gauges) {
+        if (cells.count < 2 || cells.stddev <= 0.0)
+            continue;
+        for (const FleetRun *r : runs) {
+            const auto it = r->snap.find(metric);
+            if (it == r->snap.end() ||
+                it->second.kind != StatKind::Gauge)
+                continue;
+            const double v = it->second.num;
+            if (std::abs(v - cells.mean) <=
+                outlierK * cells.stddev)
+                continue;
+            FleetOutlier o;
+            o.runId = r->id;
+            o.metric = metric;
+            o.value = v;
+            o.mean = cells.mean;
+            o.stddev = cells.stddev;
+            g.outliers.push_back(std::move(o));
+        }
+    }
+    std::sort(g.outliers.begin(), g.outliers.end(),
+              [](const FleetOutlier &a, const FleetOutlier &b) {
+                  if (a.metric != b.metric)
+                      return a.metric < b.metric;
+                  return a.runId < b.runId;
+              });
+    return g;
+}
+
+/** Uniform value across runs, or "mixed". */
+std::string
+uniformOr(std::string acc, const std::string &v, bool first)
+{
+    if (first)
+        return v;
+    return acc == v ? acc : std::string("mixed");
+}
+
+// Key contract of the mct-fleet-v1 document (doc-contract lint +
+// tests; the writer below emits exactly these spellings, with <hole>
+// standing for the merged metric names).
+// mct-lint:doc-keys:begin
+const char *const kFleetKeys[] = {
+    "schema",
+    "mode",
+    "app",
+    "config",
+    "group_by",
+    "runs",
+    "final",
+    "kinds",
+    "groups",
+    "groups[].key",
+    "groups[].runs",
+    "groups[].run_ids",
+    "groups[].final",
+    "groups[].outliers",
+    "groups[].outliers[].run_id",
+    "groups[].outliers[].metric",
+    "groups[].outliers[].value",
+    "groups[].outliers[].mean",
+    "groups[].outliers[].stddev",
+    "fleet.<metric>.count",
+    "fleet.<metric>.mean",
+    "fleet.<metric>.min",
+    "fleet.<metric>.max",
+    "fleet.<metric>.stddev",
+    "sim.fleet.runs",
+    "sim.fleet.groups",
+    "sim.fleet.outliers",
+};
+// mct-lint:doc-keys:end
+
+/** The flat "final" snapshot of a merge: original names plus the
+ *  fleet.* dispersion cells and sim.fleet.* summary scalars. */
+StatSnapshot
+fleetFinal(const StatMerge::Result &res, std::size_t groups,
+           std::size_t outliers)
+{
+    StatSnapshot s = res.merged;
+    const auto gauge = [&s](const std::string &name, double v) {
+        StatValue sv;
+        sv.kind = StatKind::Gauge;
+        sv.num = v;
+        s.emplace(name, std::move(sv));
+    };
+    for (const auto &[metric, c] : res.gauges) {
+        gauge("fleet." + metric + ".count",
+              static_cast<double>(c.count));
+        gauge("fleet." + metric + ".mean", c.mean);
+        gauge("fleet." + metric + ".min", c.min);
+        gauge("fleet." + metric + ".max", c.max);
+        gauge("fleet." + metric + ".stddev", c.stddev);
+    }
+    gauge("sim.fleet.runs", static_cast<double>(res.runs));
+    gauge("sim.fleet.groups", static_cast<double>(groups));
+    gauge("sim.fleet.outliers", static_cast<double>(outliers));
+    return s;
+}
+
+/** Emit a snapshot's "kinds" object (histograms self-describe). */
+void
+writeKinds(JsonWriter &w, const StatSnapshot &snap)
+{
+    w.key("kinds").beginObject();
+    for (const auto &[path, v] : snap) {
+        if (v.kind == StatKind::Histogram)
+            continue;
+        w.kv(path,
+             v.kind == StatKind::Counter ? "counter" : "gauge");
+    }
+    w.endObject();
+}
+
+} // namespace
+
+bool
+aggregateManifests(const std::vector<std::string> &paths,
+                   const AggregateOptions &opt, FleetReport &out,
+                   std::string &err)
+{
+    out = FleetReport{};
+    if (paths.empty()) {
+        err = "no manifests to aggregate";
+        return false;
+    }
+    std::vector<FleetRun> runs;
+    bool first = true;
+    for (const std::string &path : paths) {
+        ManifestData m;
+        if (!loadManifest(path, m, err))
+            return false;
+        if (opt.verify && !verifyManifest(m, err))
+            return false;
+
+        FleetRun run;
+        run.id = m.runId;
+        if (!opt.groupBy.empty() &&
+            !m.groupKey(opt.groupBy, run.key)) {
+            err = "unknown --group-by field '" + opt.groupBy + "'";
+            return false;
+        }
+        bool any = false;
+        std::string loadErr;
+        if (const ManifestArtifactRow *a = m.artifact("stats")) {
+            RunData rd;
+            if (!loadSnapshots(m.artifactPath(*a), rd, loadErr)) {
+                err = m.path + ": " + loadErr;
+                return false;
+            }
+            foldIntoSnapshot(rd, run.snap);
+            any = true;
+        }
+        if (opt.withHost) {
+            if (const ManifestArtifactRow *a = m.artifact("host")) {
+                RunData rd;
+                if (!loadSnapshots(m.artifactPath(*a), rd, loadErr)) {
+                    err = m.path + ": " + loadErr;
+                    return false;
+                }
+                foldIntoSnapshot(rd, run.snap);
+                any = true;
+            }
+        }
+        if (!any) {
+            err = m.path + ": no aggregatable artifacts (need a "
+                  "'stats' artifact, or 'host' with --with-host)";
+            return false;
+        }
+        out.mode = uniformOr(out.mode, m.mode, first);
+        out.app = uniformOr(out.app, m.app, first);
+        out.config = uniformOr(out.config, m.config, first);
+        first = false;
+        runs.push_back(std::move(run));
+    }
+
+    out.groupBy = opt.groupBy;
+    out.outlierK = opt.outlierK;
+    out.runs = runs.size();
+
+    // Canonical grouping: keys sorted by std::map, members handed to
+    // StatMerge which sorts by (id, content) itself — the caller's
+    // path order never reaches a floating-point reduction.
+    std::map<std::string, std::vector<const FleetRun *>> byKey;
+    for (const FleetRun &r : runs)
+        byKey[opt.groupBy.empty() ? std::string("all") : r.key]
+            .push_back(&r);
+    StatMerge allMerge;
+    for (const FleetRun &r : runs)
+        allMerge.add(r.id, r.snap);
+    out.all = allMerge.merge();
+    for (const auto &[key, members] : byKey) {
+        FleetGroup g = mergeGroup(key, members, opt.outlierK);
+        out.outliers += g.outliers.size();
+        out.groups.push_back(std::move(g));
+    }
+    return true;
+}
+
+void
+writeFleetDoc(std::ostream &os, const FleetReport &r)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "mct-fleet-v1");
+    w.kv("mode", r.mode);
+    w.kv("app", r.app);
+    w.kv("config", r.config);
+    w.kv("group_by", r.groupBy);
+    w.kv("runs", static_cast<std::uint64_t>(r.runs));
+    const StatSnapshot final_ =
+        fleetFinal(r.all, r.groups.size(), r.outliers);
+    w.key("final");
+    writeSnapshot(w, final_);
+    writeKinds(w, final_);
+    w.key("groups").beginArray();
+    for (const FleetGroup &g : r.groups) {
+        w.beginObject();
+        w.kv("key", g.key);
+        w.kv("runs", static_cast<std::uint64_t>(g.runIds.size()));
+        w.key("run_ids").beginArray();
+        for (const std::string &id : g.runIds)
+            w.value(id);
+        w.endArray();
+        const StatSnapshot gfinal =
+            fleetFinal(g.merged, 1, g.outliers.size());
+        w.key("final");
+        writeSnapshot(w, gfinal);
+        w.key("outliers").beginArray();
+        for (const FleetOutlier &o : g.outliers) {
+            w.beginObject();
+            w.kv("run_id", o.runId);
+            w.kv("metric", o.metric);
+            w.kv("value", o.value);
+            w.kv("mean", o.mean);
+            w.kv("stddev", o.stddev);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+void
+renderFleet(std::ostream &os, const FleetReport &r)
+{
+    os << "fleet rollup: " << r.runs << " run"
+       << (r.runs == 1 ? "" : "s") << ", " << r.groups.size()
+       << " group" << (r.groups.size() == 1 ? "" : "s");
+    if (!r.groupBy.empty())
+        os << " (group-by " << r.groupBy << ")";
+    os << ", outlier k=" << r.outlierK << "\n";
+    for (const FleetGroup &g : r.groups) {
+        os << "\ngroup " << g.key << " (" << g.runIds.size()
+           << " run" << (g.runIds.size() == 1 ? "" : "s") << ":";
+        for (const std::string &id : g.runIds)
+            os << " " << id;
+        os << ")\n";
+        TextTable t;
+        t.header({"metric", "mean", "min", "max", "stddev", "runs"});
+        std::size_t skipped = 0;
+        for (const auto &[metric, c] : g.merged.gauges) {
+            if (metric.rfind("sim.", 0) != 0) {
+                ++skipped;
+                continue;
+            }
+            t.row({metric, fmt(c.mean, 4), fmt(c.min, 4),
+                   fmt(c.max, 4), fmt(c.stddev, 4),
+                   std::to_string(c.count)});
+        }
+        t.print(os);
+        if (skipped)
+            os << "  (" << skipped
+               << " more gauges in the fleet document)\n";
+        for (const FleetOutlier &o : g.outliers)
+            os << "  OUTLIER " << o.metric << " run " << o.runId
+               << ": " << o.value << " vs mean " << o.mean
+               << " (stddev " << o.stddev << ")\n";
+    }
+}
+
+const std::vector<std::string> &
+fleetDocKeys()
+{
+    static const std::vector<std::string> keys(std::begin(kFleetKeys),
+                                               std::end(kFleetKeys));
+    return keys;
 }
 
 // --------------------------------------------------------------------
@@ -938,6 +1423,14 @@ metric alert.count.warn
   direction lower
   rel 0.0
   abs 1.0
+
+metric sim.fleet.runs
+  direction higher
+  rel 0.0
+
+metric sim.fleet.outliers
+  direction lower
+  rel 0.0
 )";
 }
 

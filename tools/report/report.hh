@@ -26,6 +26,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/instrument.hh"
+#include "common/stat_merge.hh"
+
 namespace mct::report
 {
 
@@ -112,6 +115,9 @@ struct RunData
     std::string config;
     std::map<std::string, double> finalScalars;
     std::map<std::string, RunHistogram> finalHists;
+    /** Scalar kind map ("counter"/"gauge") from the document's
+     *  "kinds" object; empty for documents predating it. */
+    std::map<std::string, std::string> kinds;
     std::vector<RunWindow> windows;
     std::map<std::string, double> eventCounts;
     double eventsRecorded = 0.0;
@@ -125,7 +131,11 @@ struct RunData
  * --host-profile-out; same final/periodic shape, host scalars), and
  * mct-timeline-v1 (--timeline-out; its flat "final" object carries
  * the sim.timeline.* / timeline.<metric>.* / alert.* scalars, so
- * alert counts diff-gate like any other metric).
+ * alert counts diff-gate like any other metric), and mct-fleet-v1
+ * (the `mct_report aggregate` rollup, whose "final" object carries
+ * the merged metrics under their original names plus the
+ * fleet.<metric>.* dispersion cells, so a fleet document diff-gates
+ * like any stats document).
  */
 [[nodiscard]] bool loadSnapshots(const std::string &path, RunData &out,
                                  std::string &err);
@@ -137,6 +147,136 @@ struct RunData
  * a shared machine cannot fake a regression.
  */
 RunData medianRuns(const std::vector<RunData> &runs);
+
+// --------------------------------------------------------------------
+// Run manifests (mct-manifest-v1) + fleet rollup (mct-fleet-v1)
+// --------------------------------------------------------------------
+
+/** One artifact row of a loaded run manifest. */
+struct ManifestArtifactRow
+{
+    std::string kind;   ///< stats, host, timeline, spans, ...
+    std::string schema; ///< artifact document schema ("" for JSONL)
+    std::string path;   ///< as recorded (relative to the manifest)
+    std::uint64_t bytes = 0;
+    std::string fnv1a; ///< 16-digit hex checksum of the artifact
+};
+
+/** One loaded mct-manifest-v1 document. */
+struct ManifestData
+{
+    std::string path; ///< the manifest file itself
+    std::string runId;
+    std::string mode;
+    std::string app;
+    std::string config;
+    std::uint64_t seed = 0;
+    std::string faultPlan;
+    std::string fingerprint;
+    std::vector<ManifestArtifactRow> artifacts;
+
+    /** @p a's path resolved against this manifest's directory. */
+    std::string artifactPath(const ManifestArtifactRow &a) const;
+
+    /** First artifact of @p kind; null when the run produced none. */
+    const ManifestArtifactRow *artifact(const std::string &kind) const;
+
+    /** Value of the --group-by field @p field; false on an unknown
+     *  field name (app, mode, config, seed, fault_plan, run_id). */
+    [[nodiscard]] bool groupKey(const std::string &field,
+                                std::string &out) const;
+};
+
+/** Load a manifest document; false + @p err on parse/shape issues. */
+[[nodiscard]] bool loadManifest(const std::string &path,
+                                ManifestData &out, std::string &err);
+
+/**
+ * Re-checksum every artifact @p m names. An unreadable artifact or a
+ * checksum/size mismatch fails with @p err prefixed
+ * "integrity error:" — the named signal CI greps for when it tampers
+ * an artifact on purpose.
+ */
+[[nodiscard]] bool verifyManifest(const ManifestData &m,
+                                  std::string &err);
+
+/**
+ * Rebuild a typed snapshot from a loaded run document: scalars take
+ * their kind from the document's "kinds" object (gauge when absent —
+ * correct for host documents, which carry no counters), histograms
+ * are re-bucketed into dense LogHistogram form. The result feeds
+ * StatMerge, whose merge is order-invariant by construction.
+ */
+StatSnapshot snapshotFromRun(const RunData &run);
+
+/** One |value - mean| > k*stddev dispersion flag within a group. */
+struct FleetOutlier
+{
+    std::string runId;
+    std::string metric;
+    double value = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/** One --group-by bucket of the fleet rollup. */
+struct FleetGroup
+{
+    std::string key; ///< group-by field value ("all" when ungrouped)
+    std::vector<std::string> runIds; ///< canonical (sorted) order
+    StatMerge::Result merged;
+    std::vector<FleetOutlier> outliers;
+};
+
+/** The whole rollup: per-group merges plus the all-runs merge. */
+struct FleetReport
+{
+    std::string groupBy; ///< "" when ungrouped
+    std::string mode;    ///< uniform across runs, else "mixed"
+    std::string app;
+    std::string config;
+    std::size_t runs = 0;
+    double outlierK = 3.0;
+    StatMerge::Result all;          ///< merged over every run
+    std::vector<FleetGroup> groups; ///< sorted by key
+    std::size_t outliers = 0;       ///< total across groups
+};
+
+struct AggregateOptions
+{
+    std::string groupBy; ///< "" = single group
+    bool withHost = false; ///< also merge each run's host document
+    bool verify = true;    ///< re-checksum artifacts before loading
+    double outlierK = 3.0;
+};
+
+/**
+ * Load + verify the manifests at @p paths and merge their stats
+ * documents (plus host documents with opt.withHost) into a
+ * FleetReport. Deterministic in the order of @p paths: runs are
+ * keyed and sorted by (run id, manifest path) before any merge.
+ */
+[[nodiscard]] bool aggregateManifests(
+    const std::vector<std::string> &paths, const AggregateOptions &opt,
+    FleetReport &out, std::string &err);
+
+/**
+ * Emit @p r as an mct-fleet-v1 document. The top-level "final"
+ * object holds the all-runs merge — counters summed, gauges averaged,
+ * histograms added bucket-wise, all under their original names — plus
+ * the fleet.<metric>.{count,mean,min,max,stddev} dispersion cells and
+ * the sim.fleet.{runs,groups,outliers} summary scalars; each entry of
+ * "groups" repeats that shape for one group. Byte-identical for any
+ * permutation of the aggregated runs.
+ */
+void writeFleetDoc(std::ostream &os, const FleetReport &r);
+
+/** Human-readable rollup: per group the sim.* gauge dispersion table
+ *  and any outlier flags. */
+void renderFleet(std::ostream &os, const FleetReport &r);
+
+/** Declared key set of mct-fleet-v1 (doc-contract lint + tests). */
+const std::vector<std::string> &fleetDocKeys();
 
 // --------------------------------------------------------------------
 // Timeline (mct-timeline-v1) + alert log (alerts.jsonl)
